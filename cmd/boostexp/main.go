@@ -1,0 +1,162 @@
+// Command boostexp runs the experiment harness: it regenerates the
+// tables and figures of the paper's evaluation (Sections VII-VIII) on
+// scaled synthetic stand-ins.
+//
+// Usage:
+//
+//	boostexp -run fig5 -scale 0.02
+//	boostexp -run all -scale 0.01 -sims 1000
+//	boostexp -list
+//
+// Experiment ids follow the paper's artifact numbering: table1, fig5,
+// fig6, table2, fig7, fig8, fig9, fig10, fig11, table3, fig12, fig13,
+// fig14, fig15.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/kboost/kboost/internal/exp"
+)
+
+func main() {
+	var (
+		run        = flag.String("run", "", "experiment id to run, or 'all'")
+		list       = flag.Bool("list", false, "list experiment ids")
+		scale      = flag.Float64("scale", 0.02, "dataset scale relative to the paper (0,1]")
+		datasets   = flag.String("datasets", "", "comma-separated datasets (default all four)")
+		beta       = flag.Float64("beta", 2, "boosting parameter: p' = 1-(1-p)^beta")
+		kvals      = flag.String("k", "", "comma-separated k sweep (default 10,50,100)")
+		sims       = flag.Int("sims", 2000, "Monte-Carlo simulations per estimate")
+		maxSamples = flag.Int("max-samples", 100000, "cap on PRR/RR pool sizes")
+		eps        = flag.Float64("eps", 0.5, "approximation parameter epsilon")
+		ell        = flag.Float64("ell", 1, "failure exponent ell")
+		seed       = flag.Uint64("seed", 1, "RNG seed")
+		workers    = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		treeN      = flag.Int("tree-n", 1000, "tree size for fig14/fig15")
+		treeKs     = flag.String("tree-k", "", "comma-separated tree k sweep (default 25,50,100)")
+		treeEps    = flag.String("tree-eps", "", "comma-separated DP epsilons (default 0.2,0.5,1)")
+		csvDir     = flag.String("csv", "", "also write each table as CSV into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range exp.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *run == "" {
+		fmt.Fprintln(os.Stderr, "boostexp: -run <id> required (use -list to enumerate)")
+		os.Exit(2)
+	}
+
+	cfg := exp.Config{
+		Scale:      *scale,
+		Beta:       *beta,
+		Sims:       *sims,
+		MaxSamples: *maxSamples,
+		Epsilon:    *eps,
+		Ell:        *ell,
+		Seed:       *seed,
+		Workers:    *workers,
+		TreeN:      *treeN,
+	}
+	if *datasets != "" {
+		cfg.Datasets = strings.Split(*datasets, ",")
+	}
+	var err error
+	if cfg.KValues, err = parseInts(*kvals); err != nil {
+		fatal(err)
+	}
+	if cfg.TreeKs, err = parseInts(*treeKs); err != nil {
+		fatal(err)
+	}
+	if cfg.TreeEps, err = parseFloats(*treeEps); err != nil {
+		fatal(err)
+	}
+
+	ids := []string{*run}
+	if *run == "all" {
+		ids = exp.IDs()
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		fmt.Printf("### experiment %s (scale=%g, seed=%d)\n", id, *scale, *seed)
+		runner, ok := exp.Registry[id]
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q (use -list)", id))
+		}
+		tables, err := runner(cfg)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", id, err))
+		}
+		for i, t := range tables {
+			if err := t.Render(os.Stdout); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+			if *csvDir != "" {
+				path := filepath.Join(*csvDir, fmt.Sprintf("%s_%d.csv", id, i))
+				f, err := os.Create(path)
+				if err != nil {
+					fatal(err)
+				}
+				if err := t.RenderCSV(f); err != nil {
+					f.Close()
+					fatal(err)
+				}
+				if err := f.Close(); err != nil {
+					fatal(err)
+				}
+			}
+		}
+		fmt.Printf("### %s done in %.1fs\n\n", id, time.Since(start).Seconds())
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("boostexp: bad integer %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("boostexp: bad float %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "boostexp:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1, 2,3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("parseInts = %v", got)
+	}
+	if _, err := parseInts("1,x"); err == nil {
+		t.Fatal("bad int accepted")
+	}
+	empty, err := parseInts("")
+	if err != nil || empty != nil {
+		t.Fatalf("empty parse: %v %v", empty, err)
+	}
+}
+
+func TestParseFloats(t *testing.T) {
+	got, err := parseFloats("0.2,0.5, 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 0.2 || got[2] != 1 {
+		t.Fatalf("parseFloats = %v", got)
+	}
+	if _, err := parseFloats("0.2,?"); err == nil {
+		t.Fatal("bad float accepted")
+	}
+}

@@ -1,0 +1,125 @@
+// Command gengraph generates synthetic influence graphs and bidirected
+// trees in the kboost text (or binary) format.
+//
+// Usage:
+//
+//	gengraph -kind dataset -dataset digg -scale 0.02 -out digg.txt
+//	gengraph -kind scalefree -n 10000 -d 5 -prob trivalency -out sf.txt
+//	gengraph -kind tree -n 2047 -shape binary -out tree.txt
+//	gengraph -kind er -n 1000 -m 8000 -prob wc -beta 3 -out er.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	kboost "github.com/kboost/kboost"
+	"github.com/kboost/kboost/internal/gen"
+	"github.com/kboost/kboost/internal/graph"
+	"github.com/kboost/kboost/internal/rng"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "dataset", "dataset | scalefree | er | smallworld | tree | edgelist")
+		inPath  = flag.String("in", "", "input edge list file (kind=edgelist)")
+		name    = flag.String("dataset", "digg", "dataset stand-in name (kind=dataset)")
+		scale   = flag.Float64("scale", 0.02, "dataset scale (kind=dataset)")
+		n       = flag.Int("n", 1000, "number of nodes")
+		m       = flag.Int("m", 0, "number of edges (kind=er; default 8n)")
+		d       = flag.Int("d", 4, "edges per node (kind=scalefree) / ring degree (kind=smallworld)")
+		back    = flag.Float64("back", 0.3, "reciprocity probability (kind=scalefree)")
+		rewire  = flag.Float64("rewire", 0.1, "rewire probability (kind=smallworld)")
+		shape   = flag.String("shape", "binary", "tree shape: binary | random (kind=tree)")
+		probStr = flag.String("prob", "trivalency", "probability model: trivalency | wc | const:<p> | expmean:<m>")
+		beta    = flag.Float64("beta", 2, "boosting parameter: p' = 1-(1-p)^beta")
+		seed    = flag.Uint64("seed", 1, "RNG seed")
+		out     = flag.String("out", "", "output path (default stdout)")
+		binary  = flag.Bool("binary", false, "write the binary format")
+	)
+	flag.Parse()
+
+	var g *graph.Graph
+	var err error
+	r := rng.New(*seed)
+	switch *kind {
+	case "dataset":
+		g, err = kboost.GenerateDataset(*name, *scale, *beta, *seed)
+	case "tree":
+		g, err = kboost.GenerateBidirectedTree(*n, *shape, *beta, *seed)
+	case "scalefree":
+		var topo gen.Topology
+		topo, err = gen.ScaleFree(*n, *d, *back, r)
+		if err == nil {
+			g, err = buildWithProb(topo, *probStr, *beta, r)
+		}
+	case "er":
+		edges := *m
+		if edges == 0 {
+			edges = 8 * *n
+		}
+		var topo gen.Topology
+		topo, err = gen.ErdosRenyi(*n, edges, r)
+		if err == nil {
+			g, err = buildWithProb(topo, *probStr, *beta, r)
+		}
+	case "smallworld":
+		var topo gen.Topology
+		topo, err = gen.SmallWorld(*n, *d, *rewire, r)
+		if err == nil {
+			g, err = buildWithProb(topo, *probStr, *beta, r)
+		}
+	case "edgelist":
+		if *inPath == "" {
+			fatal(fmt.Errorf("-in is required for kind=edgelist"))
+		}
+		var f *os.File
+		f, err = os.Open(*inPath)
+		if err == nil {
+			var assign gen.ProbAssigner
+			assign, err = gen.ParseProbModel(*probStr)
+			if err == nil {
+				g, _, err = gen.ReadEdgeList(f, assign, *beta, r)
+			}
+			f.Close()
+		}
+	default:
+		err = fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if *binary {
+		err = g.WriteBinary(w)
+	} else {
+		err = g.WriteText(w)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "gengraph: wrote %d nodes, %d edges\n", g.N(), g.M())
+}
+
+func buildWithProb(topo gen.Topology, probStr string, beta float64, r *rng.Source) (*graph.Graph, error) {
+	assign, err := gen.ParseProbModel(probStr)
+	if err != nil {
+		return nil, err
+	}
+	return gen.BuildGraph(topo, assign, beta, r)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gengraph:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+// Ltextension: does boosting transfer across diffusion models?
+//
+// The paper develops its algorithms for the Independent Cascade model
+// and names the Linear Threshold model as future work (Section IX).
+// kboost ships a boosted-LT model as an extension. This example selects
+// a boost set with PRR-Boost (an IC-based algorithm) and checks how
+// much of its advantage survives when the world actually diffuses by
+// boosted-LT — comparing against an LT-native Monte-Carlo greedy and a
+// degree heuristic.
+//
+// Run with: go run ./examples/ltextension
+package main
+
+import (
+	"fmt"
+	"log"
+
+	kboost "github.com/kboost/kboost"
+)
+
+func main() {
+	g, err := kboost.GenerateDataset("digg", 0.008, 2, 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seedRes, err := kboost.SelectSeeds(g, 10, kboost.SeedOptions{Seed: 21, MaxSamples: 50000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	seeds := seedRes.Seeds
+	fmt.Printf("network: %d users, %d edges, %d seeds\n\n", g.N(), g.M(), len(seeds))
+
+	const k = 10
+	ltOpt := kboost.LTOptions{Sims: 4000, Seed: 33}
+
+	// IC-native choice.
+	prr, err := kboost.PRRBoost(g, seeds, kboost.BoostOptions{K: k, Seed: 21, MaxSamples: 50000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	icOnLT, err := kboost.LTEstimateBoost(g, seeds, prr.BoostSet, ltOpt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// LT-native greedy (Monte-Carlo, heuristic).
+	ltSet, ltBoost, err := kboost.LTGreedyBoost(g, seeds, k, 40, ltOpt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Degree heuristic, best of the four variants under LT.
+	bestDeg := 0.0
+	for _, set := range kboost.HighDegreeGlobal(g, seeds, k) {
+		v, err := kboost.LTEstimateBoost(g, seeds, set, ltOpt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if v > bestDeg {
+			bestDeg = v
+		}
+	}
+
+	// And the IC-world boost of the IC-native set, for reference.
+	icBoost, err := kboost.EstimateBoost(g, seeds, prr.BoostSet, kboost.SimOptions{Sims: 8000, Seed: 33})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("boost of %d nodes under the boosted-LT model:\n", k)
+	fmt.Printf("  LT-native greedy:        %6.2f  (set %v)\n", ltBoost, ltSet)
+	fmt.Printf("  PRR-Boost (IC-chosen):   %6.2f\n", icOnLT)
+	fmt.Printf("  best degree heuristic:   %6.2f\n", bestDeg)
+	fmt.Printf("\nfor reference, the IC-world boost of the PRR-Boost set: %.2f\n", icBoost)
+	fmt.Println("\ntakeaway: IC-chosen boosts carry a useful fraction of their value")
+	fmt.Println("to the LT world, but a model-native selector does better — the gap")
+	fmt.Println("motivates the paper's future-work direction.")
+}

@@ -1,0 +1,185 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"github.com/kboost/kboost/internal/graph"
+	"github.com/kboost/kboost/internal/rng"
+	"github.com/kboost/kboost/internal/rrset"
+	"github.com/kboost/kboost/internal/testutil"
+)
+
+func starGraph(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for leaf := int32(1); int(leaf) < n; leaf++ {
+		b.MustAddEdge(0, leaf, 0.5, 0.8)
+	}
+	return b.MustBuild()
+}
+
+func TestHighDegreeGlobalShapes(t *testing.T) {
+	r := rng.New(1)
+	g := testutil.RandomGraph(r, 30, 90, 0.4)
+	seeds := []int32{0, 1}
+	sets := HighDegreeGlobal(g, seeds, 5)
+	if len(sets) != 4 {
+		t.Fatalf("%d variants, want 4", len(sets))
+	}
+	for kind, set := range sets {
+		if len(set) != 5 {
+			t.Fatalf("variant %d returned %d nodes", kind, len(set))
+		}
+		seen := map[int32]bool{}
+		for _, v := range set {
+			if v == 0 || v == 1 {
+				t.Fatalf("variant %d picked a seed", kind)
+			}
+			if seen[v] {
+				t.Fatalf("variant %d picked %d twice", kind, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestHighDegreeGlobalPicksHub(t *testing.T) {
+	// Star with a non-seed hub: the out-sum variant must pick the hub
+	// first.
+	g := starGraph(10)
+	sets := HighDegreeGlobal(g, []int32{9}, 1)
+	if sets[OutSum][0] != 0 {
+		t.Fatalf("OutSum picked %v, want hub 0", sets[OutSum])
+	}
+}
+
+func TestHighDegreeLocalPrefersSeedNeighbors(t *testing.T) {
+	// Two stars; seeds at star A's hub. Local must pick among A's
+	// leaves even though B's hub has the highest degree.
+	b := graph.NewBuilder(12)
+	for leaf := int32(1); leaf <= 5; leaf++ {
+		b.MustAddEdge(0, leaf, 0.5, 0.8)
+	}
+	for leaf := int32(7); leaf < 12; leaf++ {
+		b.MustAddEdge(6, leaf, 0.9, 0.99)
+	}
+	g := b.MustBuild()
+	sets := HighDegreeLocal(g, []int32{0}, 3)
+	for kind, set := range sets {
+		if len(set) != 3 {
+			t.Fatalf("variant %d returned %d nodes", kind, len(set))
+		}
+		for _, v := range set {
+			if v < 1 || v > 5 {
+				t.Fatalf("variant %d picked %d outside seed neighborhood", kind, v)
+			}
+		}
+	}
+}
+
+func TestHighDegreeLocalFallsBack(t *testing.T) {
+	// Seeds with only 2 reachable nodes but k=4: must fall back to
+	// global eligibility.
+	b := graph.NewBuilder(8)
+	b.MustAddEdge(0, 1, 0.5, 0.8)
+	b.MustAddEdge(1, 2, 0.5, 0.8)
+	b.MustAddEdge(4, 5, 0.5, 0.8)
+	b.MustAddEdge(5, 6, 0.5, 0.8)
+	g := b.MustBuild()
+	sets := HighDegreeLocal(g, []int32{0}, 4)
+	for kind, set := range sets {
+		if len(set) != 4 {
+			t.Fatalf("variant %d returned %d nodes, want 4 (with fallback)", kind, len(set))
+		}
+	}
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	r := rng.New(2)
+	g := testutil.RandomGraph(r, 40, 120, 0.4)
+	pr := PageRank(g, PageRankOptions{})
+	var sum float64
+	for _, v := range pr {
+		if v < 0 {
+			t.Fatalf("negative PageRank %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("PageRank sums to %v", sum)
+	}
+}
+
+func TestPageRankInfluencerWins(t *testing.T) {
+	// Hub influences many leaves: leaves vote for the hub, so the hub
+	// must have the top PageRank.
+	g := starGraph(20)
+	pr := PageRank(g, PageRankOptions{})
+	for v := 1; v < 20; v++ {
+		if pr[0] <= pr[v] {
+			t.Fatalf("hub rank %v not above leaf %d rank %v", pr[0], v, pr[v])
+		}
+	}
+}
+
+func TestPageRankBoostExcludesSeeds(t *testing.T) {
+	g := starGraph(20)
+	picks := PageRankBoost(g, []int32{0}, 3, PageRankOptions{})
+	if len(picks) != 3 {
+		t.Fatalf("%d picks", len(picks))
+	}
+	for _, v := range picks {
+		if v == 0 {
+			t.Fatal("seed picked")
+		}
+	}
+}
+
+func TestPageRankDanglingMass(t *testing.T) {
+	// A graph where some nodes have no incoming influence (rho=0):
+	// iteration must still converge and sum to 1.
+	b := graph.NewBuilder(4)
+	b.MustAddEdge(0, 1, 0.5, 0.8)
+	b.MustAddEdge(2, 3, 0.5, 0.8)
+	g := b.MustBuild()
+	pr := PageRank(g, PageRankOptions{})
+	var sum float64
+	for _, v := range pr {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("PageRank with dangling nodes sums to %v", sum)
+	}
+}
+
+func TestMoreSeeds(t *testing.T) {
+	r := rng.New(3)
+	g := testutil.RandomGraph(r, 25, 60, 0.4)
+	seeds := []int32{0, 1}
+	picks, err := MoreSeeds(g, seeds, 3, rrset.Options{Seed: 4, MaxSamples: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picks) != 3 {
+		t.Fatalf("%d picks", len(picks))
+	}
+	for _, v := range picks {
+		if v == 0 || v == 1 {
+			t.Fatal("existing seed returned")
+		}
+	}
+}
+
+func TestDegreeKindString(t *testing.T) {
+	names := map[DegreeKind]string{
+		OutSum:                "out-sum",
+		OutSumDiscounted:      "out-sum-discounted",
+		InBoostGain:           "in-boost-gain",
+		InBoostGainDiscounted: "in-boost-gain-discounted",
+	}
+	for kind, want := range names {
+		if kind.String() != want {
+			t.Fatalf("String(%d) = %q", kind, kind.String())
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package baselines
+
+import (
+	"testing"
+
+	"github.com/kboost/kboost/internal/graph"
+)
+
+// The discounted out-sum variant must differ from the plain one when
+// chosen nodes point at each other: after picking the hub, its
+// satellite's discounted degree drops.
+func TestDiscountedVariantDiffers(t *testing.T) {
+	// hub 0 -> {2,3,4}; satellite 1 -> {0, 2} with strong edges into
+	// already-chosen territory.
+	b := graph.NewBuilder(6)
+	b.MustAddEdge(0, 2, 0.9, 0.95)
+	b.MustAddEdge(0, 3, 0.9, 0.95)
+	b.MustAddEdge(0, 4, 0.9, 0.95)
+	b.MustAddEdge(1, 0, 0.9, 0.95) // points at the hub (chosen first)
+	b.MustAddEdge(1, 2, 0.9, 0.95)
+	b.MustAddEdge(5, 3, 0.8, 0.9)
+	b.MustAddEdge(5, 4, 0.8, 0.9)
+	g := b.MustBuild()
+	seeds := []int32{2} // keep 0,1,5 eligible
+
+	sets := HighDegreeGlobal(g, seeds, 2)
+	plain := sets[OutSum]
+	discounted := sets[OutSumDiscounted]
+
+	// Plain: 0 (2.7), then 1 (1.8). Discounted: 0 (2.7), then 1's
+	// discounted degree is 0.9 (edge to 0 no longer counts, edge to
+	// seed 2 still does)... while 5 keeps 1.6 -> discounted must pick 5.
+	if plain[0] != 0 || plain[1] != 1 {
+		t.Fatalf("plain picks %v, want [0 1]", plain)
+	}
+	if discounted[0] != 0 || discounted[1] != 5 {
+		t.Fatalf("discounted picks %v, want [0 5]", discounted)
+	}
+}
+
+// The in-boost-gain variants rank by p'-p, not by p.
+func TestInBoostGainRanksByGain(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.MustAddEdge(0, 1, 0.9, 0.91) // strong but nearly unboostable
+	b.MustAddEdge(0, 2, 0.1, 0.8)  // weak but very boostable
+	g := b.MustBuild()
+	sets := HighDegreeGlobal(g, []int32{0}, 1)
+	if sets[InBoostGain][0] != 2 {
+		t.Fatalf("InBoostGain picked %v, want [2]", sets[InBoostGain])
+	}
+	if sets[OutSum][0] != 1 && sets[OutSum][0] != 2 {
+		t.Fatalf("OutSum picked %v", sets[OutSum])
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/kboost/kboost/internal/rng"
+	"github.com/kboost/kboost/internal/rrset"
+	"github.com/kboost/kboost/internal/testutil"
+)
+
+// Adaptive sampling must make the same qualitative choice as IMM on the
+// Figure 1 example (boost v0) with far fewer samples on easy instances.
+func TestPRRBoostAdaptiveFig1(t *testing.T) {
+	g, seeds := testutil.Fig1()
+	res, err := PRRBoost(g, seeds, Options{K: 1, Seed: 3, Adaptive: true, MaxSamples: 200000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.BoostSet) != 1 || res.BoostSet[0] != 1 {
+		t.Fatalf("adaptive boost set %v, want [1]", res.BoostSet)
+	}
+	if math.Abs(res.EstBoost-0.22) > 0.05 {
+		t.Fatalf("adaptive boost estimate %v, want ~0.22", res.EstBoost)
+	}
+}
+
+func TestPRRBoostLBAdaptive(t *testing.T) {
+	r := rng.New(5)
+	g := testutil.RandomGraph(r, 25, 70, 0.4)
+	seeds := []int32{0, 1}
+	res, err := PRRBoostLB(g, seeds, Options{K: 3, Seed: 3, Adaptive: true, MaxSamples: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.BoostSet) != 3 {
+		t.Fatalf("|B| = %d", len(res.BoostSet))
+	}
+	for _, v := range res.BoostSet {
+		if v == 0 || v == 1 {
+			t.Fatal("adaptive LB picked a seed")
+		}
+	}
+}
+
+// The two controllers must agree on solution quality; sample counts
+// differ per instance (IMM wins when OPT's lower bound is large,
+// adaptive wins when IMM's union-bound sizing is pessimistic), so only
+// quality is asserted.
+func TestAdaptiveMatchesIMMQuality(t *testing.T) {
+	r := rng.New(6)
+	g := testutil.RandomGraph(r, 40, 120, 0.4)
+	seeds := []int32{0}
+	immRes, err := PRRBoost(g, seeds, Options{K: 3, Seed: 7, MaxSamples: 300000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := PRRBoost(g, seeds, Options{K: 3, Seed: 7, Adaptive: true, MaxSamples: 300000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adaptive.Samples == 0 || adaptive.EstBoost <= 0 {
+		t.Fatalf("degenerate adaptive run: %+v", adaptive)
+	}
+	if adaptive.EstBoost < 0.7*immRes.EstBoost {
+		t.Fatalf("adaptive boost %v far below IMM's %v", adaptive.EstBoost, immRes.EstBoost)
+	}
+}
+
+func TestSelectSeedsAdaptive(t *testing.T) {
+	r := rng.New(9)
+	g := testutil.RandomGraph(r, 30, 80, 0.3)
+	res, err := rrset.SelectSeeds(g, 3, rrset.Options{Seed: 2, Adaptive: true, MaxSamples: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) != 3 {
+		t.Fatalf("%d seeds", len(res.Seeds))
+	}
+	if res.EstInfluence < 3 {
+		t.Fatalf("influence estimate %v below seed count", res.EstInfluence)
+	}
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/kboost/kboost/internal/exact"
+	"github.com/kboost/kboost/internal/graph"
+	"github.com/kboost/kboost/internal/rng"
+	"github.com/kboost/kboost/internal/testutil"
+)
+
+// bruteForceBest finds the exact optimal boost set of size k on a tiny
+// graph by enumeration.
+func bruteForceBest(t *testing.T, g *graph.Graph, seeds []int32, k int) ([]int32, float64) {
+	t.Helper()
+	nonSeeds := testutil.NonSeeds(g.N(), seeds)
+	var best []int32
+	bestVal := -1.0
+	var rec func(start int, cur []int32)
+	rec = func(start int, cur []int32) {
+		if len(cur) == k {
+			val, err := exact.Boost(g, seeds, cur)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if val > bestVal {
+				bestVal = val
+				best = append([]int32(nil), cur...)
+			}
+			return
+		}
+		for i := start; i < len(nonSeeds); i++ {
+			rec(i+1, append(cur, nonSeeds[i]))
+		}
+	}
+	rec(0, nil)
+	return best, bestVal
+}
+
+// PRR-Boost on the Figure 1 example must pick v0 for k=1 (the paper's
+// motivating point: v0 boosts 0.22 vs v1's 0.02).
+func TestPRRBoostFig1(t *testing.T) {
+	g, seeds := testutil.Fig1()
+	res, err := PRRBoost(g, seeds, Options{K: 1, Seed: 3, MaxSamples: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.BoostSet) != 1 || res.BoostSet[0] != 1 {
+		t.Fatalf("boost set %v, want [1] (v0)", res.BoostSet)
+	}
+	if math.Abs(res.EstBoost-0.22) > 0.03 {
+		t.Fatalf("estimated boost %v, want ~0.22", res.EstBoost)
+	}
+}
+
+func TestPRRBoostLBFig1(t *testing.T) {
+	g, seeds := testutil.Fig1()
+	res, err := PRRBoostLB(g, seeds, Options{K: 1, Seed: 3, MaxSamples: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.BoostSet) != 1 || res.BoostSet[0] != 1 {
+		t.Fatalf("boost set %v, want [1] (v0)", res.BoostSet)
+	}
+}
+
+// On small random graphs the returned set's exact boost should be close
+// to the enumerated optimum (the sandwich guarantee is data-dependent;
+// empirically these graphs give near-optimal results).
+func TestPRRBoostNearOptimal(t *testing.T) {
+	r := rng.New(61)
+	for trial := 0; trial < 4; trial++ {
+		g := testutil.RandomGraph(r, 7, 11, 0.6)
+		seeds := []int32{0}
+		_, optVal := bruteForceBest(t, g, seeds, 2)
+		if optVal < 0.01 {
+			continue // boosting is pointless on this instance
+		}
+		res, err := PRRBoost(g, seeds, Options{K: 2, Seed: uint64(trial + 1), MaxSamples: 300000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotVal, err := exact.Boost(g, seeds, res.BoostSet)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotVal < 0.6*optVal-0.02 {
+			t.Fatalf("trial %d: boost %v of %v (opt %v) too far from optimal",
+				trial, gotVal, res.BoostSet, optVal)
+		}
+	}
+}
+
+func TestPRRBoostLBQuality(t *testing.T) {
+	r := rng.New(62)
+	g := testutil.RandomGraph(r, 8, 12, 0.6)
+	seeds := []int32{0}
+	_, optVal := bruteForceBest(t, g, seeds, 2)
+	if optVal < 0.01 {
+		t.Skip("degenerate instance")
+	}
+	res, err := PRRBoostLB(g, seeds, Options{K: 2, Seed: 5, MaxSamples: 300000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotVal, err := exact.Boost(g, seeds, res.BoostSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotVal < 0.5*optVal-0.02 {
+		t.Fatalf("LB boost %v (opt %v) too far from optimal", gotVal, optVal)
+	}
+}
+
+func TestResultShape(t *testing.T) {
+	r := rng.New(63)
+	g := testutil.RandomGraph(r, 20, 50, 0.4)
+	seeds := []int32{0, 1}
+	res, err := PRRBoost(g, seeds, Options{K: 3, Seed: 7, MaxSamples: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.BoostSet) != 3 {
+		t.Fatalf("|B|=%d, want 3", len(res.BoostSet))
+	}
+	for _, v := range res.BoostSet {
+		if v == 0 || v == 1 {
+			t.Fatalf("seed %d in boost set", v)
+		}
+	}
+	if res.Samples == 0 || res.PoolStats.Total != res.Samples {
+		t.Fatalf("sample accounting wrong: %d vs %+v", res.Samples, res.PoolStats)
+	}
+	if len(res.BoostSetMu) != 3 || len(res.BoostSetDelta) != 3 {
+		t.Fatalf("intermediate sets missing: %v %v", res.BoostSetMu, res.BoostSetDelta)
+	}
+	if res.EstBoost < 0 {
+		t.Fatalf("negative boost estimate %v", res.EstBoost)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	g, seeds := testutil.Fig1()
+	cases := []struct {
+		name  string
+		seeds []int32
+		opt   Options
+	}{
+		{"k=0", seeds, Options{K: 0}},
+		{"k too large", seeds, Options{K: 3}},
+		{"no seeds", nil, Options{K: 1}},
+		{"bad seed", []int32{-1}, Options{K: 1}},
+		{"dup seed", []int32{0, 0}, Options{K: 1}},
+	}
+	for _, c := range cases {
+		if _, err := PRRBoost(g, c.seeds, c.opt); err == nil {
+			t.Errorf("%s accepted by PRRBoost", c.name)
+		}
+		if _, err := PRRBoostLB(g, c.seeds, c.opt); err == nil {
+			t.Errorf("%s accepted by PRRBoostLB", c.name)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	r := rng.New(64)
+	g := testutil.RandomGraph(r, 15, 35, 0.5)
+	seeds := []int32{0}
+	run := func() []int32 {
+		res, err := PRRBoost(g, seeds, Options{K: 2, Seed: 99, Workers: 2, MaxSamples: 20000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.BoostSet
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestSandwichRatio(t *testing.T) {
+	r := rng.New(65)
+	g := testutil.RandomGraph(r, 15, 35, 0.5)
+	seeds := []int32{0}
+	res, err := PRRBoost(g, seeds, Options{K: 2, Seed: 3, MaxSamples: 30000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, delta, ratio, err := SandwichRatio(g, seeds, res.BoostSet, 30000, Options{K: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mu > delta+1e-9 {
+		t.Fatalf("μ̂=%v > Δ̂=%v", mu, delta)
+	}
+	if delta > 0 && (ratio < 0 || ratio > 1+1e-9) {
+		t.Fatalf("ratio %v out of [0,1]", ratio)
+	}
+}
+
+func TestBudgetAllocation(t *testing.T) {
+	r := rng.New(66)
+	g := testutil.RandomGraph(r, 40, 120, 0.3)
+	pts, err := BudgetAllocation(g, BudgetAllocationOptions{
+		BudgetSeeds: 4,
+		CostRatio:   4,
+		SeedFracs:   []float64{0.5, 1.0},
+		Boost:       Options{Seed: 5, MaxSamples: 10000},
+		Sims:        4000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("%d points", len(pts))
+	}
+	if pts[0].NumSeeds != 2 || pts[1].NumSeeds != 4 {
+		t.Fatalf("seed counts %d/%d", pts[0].NumSeeds, pts[1].NumSeeds)
+	}
+	if pts[0].NumBoost != 8 || pts[1].NumBoost != 0 {
+		t.Fatalf("boost counts %d/%d", pts[0].NumBoost, pts[1].NumBoost)
+	}
+	for _, pt := range pts {
+		if pt.BoostedSpread < float64(pt.NumSeeds) {
+			t.Fatalf("spread %v below seed count %d", pt.BoostedSpread, pt.NumSeeds)
+		}
+	}
+}
+
+func TestBudgetAllocationValidation(t *testing.T) {
+	g, _ := testutil.Fig1()
+	if _, err := BudgetAllocation(g, BudgetAllocationOptions{BudgetSeeds: 0, CostRatio: 1, SeedFracs: []float64{1}}); err == nil {
+		t.Fatal("BudgetSeeds=0 accepted")
+	}
+	if _, err := BudgetAllocation(g, BudgetAllocationOptions{BudgetSeeds: 1, CostRatio: 0, SeedFracs: []float64{1}}); err == nil {
+		t.Fatal("CostRatio=0 accepted")
+	}
+	if _, err := BudgetAllocation(g, BudgetAllocationOptions{BudgetSeeds: 1, CostRatio: 1}); err == nil {
+		t.Fatal("empty fractions accepted")
+	}
+	if _, err := BudgetAllocation(g, BudgetAllocationOptions{BudgetSeeds: 1, CostRatio: 1, SeedFracs: []float64{2}}); err == nil {
+		t.Fatal("fraction > 1 accepted")
+	}
+}
+
+func TestSortedCopy(t *testing.T) {
+	in := []int32{3, 1, 2}
+	out := SortedCopy(in)
+	if out[0] != 1 || out[1] != 2 || out[2] != 3 {
+		t.Fatalf("sorted %v", out)
+	}
+	if in[0] != 3 {
+		t.Fatal("input mutated")
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/kboost/kboost/internal/graph"
+	"github.com/kboost/kboost/internal/rng"
+	"github.com/kboost/kboost/internal/testutil"
+)
+
+// With p' == p everywhere boosting is useless: every PRR-graph is
+// non-boostable, estimates are zero, and the algorithm must still
+// terminate (via the sample cap) and return a harmless padded set.
+func TestPRRBoostDegenerateNoBoosting(t *testing.T) {
+	b := graph.NewBuilder(6)
+	b.MustAddEdge(0, 1, 0.4, 0.4)
+	b.MustAddEdge(1, 2, 0.4, 0.4)
+	b.MustAddEdge(2, 3, 0.4, 0.4)
+	b.MustAddEdge(3, 4, 0.4, 0.4)
+	b.MustAddEdge(4, 5, 0.4, 0.4)
+	g := b.MustBuild()
+	res, err := PRRBoost(g, []int32{0}, Options{K: 2, Seed: 1, MaxSamples: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EstBoost != 0 {
+		t.Fatalf("EstBoost = %v, want 0", res.EstBoost)
+	}
+	if len(res.BoostSet) != 2 {
+		t.Fatalf("|B| = %d, want padded to 2", len(res.BoostSet))
+	}
+	if res.PoolStats.Boostable != 0 {
+		t.Fatalf("boostable graphs %d, want 0", res.PoolStats.Boostable)
+	}
+}
+
+// Disconnected non-seed nodes can never be boosted usefully; the
+// algorithm must not crash and must stay within the eligible universe.
+func TestPRRBoostDisconnected(t *testing.T) {
+	b := graph.NewBuilder(10)
+	b.MustAddEdge(0, 1, 0.3, 0.6)
+	b.MustAddEdge(1, 2, 0.3, 0.6)
+	// nodes 3..9 isolated
+	g := b.MustBuild()
+	res, err := PRRBoost(g, []int32{0}, Options{K: 3, Seed: 1, MaxSamples: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.BoostSet) != 3 {
+		t.Fatalf("|B| = %d", len(res.BoostSet))
+	}
+	for _, v := range res.BoostSet {
+		if v == 0 {
+			t.Fatal("seed boosted")
+		}
+	}
+}
+
+// All nodes seeds except one: k is forced to the single eligible node.
+func TestPRRBoostOneEligible(t *testing.T) {
+	r := rng.New(4)
+	g := testutil.RandomGraph(r, 6, 10, 0.5)
+	seeds := []int32{0, 1, 2, 3, 4}
+	res, err := PRRBoost(g, seeds, Options{K: 1, Seed: 1, MaxSamples: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.BoostSet) != 1 || res.BoostSet[0] != 5 {
+		t.Fatalf("boost set %v, want [5]", res.BoostSet)
+	}
+}
+
+// Options.MaxSamples must bound the pool in both modes.
+func TestMaxSamplesBound(t *testing.T) {
+	r := rng.New(5)
+	g := testutil.RandomGraph(r, 20, 40, 0.2)
+	seeds := []int32{0}
+	for _, f := range []func(*graph.Graph, []int32, Options) (*Result, error){PRRBoost, PRRBoostLB} {
+		res, err := f(g, seeds, Options{K: 2, Seed: 1, MaxSamples: 1234})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Samples > 1234 {
+			t.Fatalf("samples %d exceed cap", res.Samples)
+		}
+	}
+}

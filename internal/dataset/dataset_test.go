@@ -1,0 +1,135 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+func TestByName(t *testing.T) {
+	for _, want := range All {
+		got, err := ByName(want.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Name != want.Name {
+			t.Fatalf("ByName(%q) = %q", want.Name, got.Name)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestGenerateScalesSizes(t *testing.T) {
+	g, err := Digg.Generate(0.02, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantN := int(float64(Digg.PaperN) * 0.02)
+	// WCC extraction trims some nodes; allow 40% slack downward.
+	if g.N() < wantN*6/10 || g.N() > wantN {
+		t.Fatalf("N=%d, want near %d", g.N(), wantN)
+	}
+	// Density should be in the ballpark of the paper's m/n.
+	paperDensity := float64(Digg.PaperM) / float64(Digg.PaperN)
+	gotDensity := float64(g.M()) / float64(g.N())
+	if gotDensity < paperDensity*0.4 || gotDensity > paperDensity*2 {
+		t.Fatalf("density %v, paper %v", gotDensity, paperDensity)
+	}
+}
+
+func TestGenerateMatchesAvgProbability(t *testing.T) {
+	for _, spec := range []Spec{Digg, Flickr} {
+		g, err := spec.Generate(0.01, 2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := g.ComputeStats()
+		if math.Abs(st.AvgP-spec.AvgP) > spec.AvgP*0.25 {
+			t.Fatalf("%s: avg p %v, want ~%v", spec.Name, st.AvgP, spec.AvgP)
+		}
+		if st.AvgPBoost < st.AvgP {
+			t.Fatalf("%s: avg p' %v below avg p %v", spec.Name, st.AvgPBoost, st.AvgP)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Flixster.Generate(0.01, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Flixster.Generate(0.01, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != b.N() || a.M() != b.M() {
+		t.Fatalf("sizes differ: %d/%d vs %d/%d", a.N(), a.M(), b.N(), b.M())
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Digg.Generate(0, 2, 1); err == nil {
+		t.Fatal("scale=0 accepted")
+	}
+	if _, err := Digg.Generate(1.5, 2, 1); err == nil {
+		t.Fatal("scale>1 accepted")
+	}
+}
+
+func TestInfluentialSeeds(t *testing.T) {
+	g, err := Digg.Generate(0.01, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := InfluentialSeeds(g, 10)
+	if len(seeds) != 10 {
+		t.Fatalf("got %d seeds", len(seeds))
+	}
+	seen := map[int32]bool{}
+	for _, s := range seeds {
+		if s < 0 || int(s) >= g.N() || seen[s] {
+			t.Fatalf("bad seed list %v", seeds)
+		}
+		seen[s] = true
+	}
+	// The selected nodes should have above-average out-weight.
+	var selW, totW float64
+	for u := int32(0); int(u) < g.N(); u++ {
+		var w float64
+		for _, p := range g.OutP(u) {
+			w += p
+		}
+		totW += w
+		if seen[u] {
+			selW += w
+		}
+	}
+	if selW/10 <= totW/float64(g.N()) {
+		t.Fatal("influential seeds are not above average out-weight")
+	}
+}
+
+func TestRandomSeeds(t *testing.T) {
+	g, err := Digg.Generate(0.01, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := RandomSeeds(g, 50, 3)
+	if len(seeds) != 50 {
+		t.Fatalf("got %d seeds", len(seeds))
+	}
+	seen := map[int32]bool{}
+	for _, s := range seeds {
+		if seen[s] {
+			t.Fatalf("duplicate seed %d", s)
+		}
+		seen[s] = true
+	}
+	again := RandomSeeds(g, 50, 3)
+	for i := range seeds {
+		if seeds[i] != again[i] {
+			t.Fatal("RandomSeeds not deterministic for fixed seed")
+		}
+	}
+}

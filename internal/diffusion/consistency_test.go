@@ -1,0 +1,60 @@
+package diffusion
+
+import (
+	"math"
+	"testing"
+
+	"github.com/kboost/kboost/internal/rng"
+	"github.com/kboost/kboost/internal/testutil"
+)
+
+// Σ_v activation(v) must equal the spread estimate: both are computed
+// from the same distribution, so with a common budget they agree
+// statistically.
+func TestActivationSumsToSpread(t *testing.T) {
+	r := rng.New(71)
+	g := testutil.RandomGraph(r, 15, 35, 0.5)
+	seeds := []int32{0, 1}
+	boost := []int32{4, 5}
+	const sims = 100000
+	probs, err := EstimateActivation(g, seeds, boost, Options{Sims: sims, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, p := range probs {
+		sum += p
+	}
+	spread, err := EstimateSpread(g, seeds, boost, Options{Sims: sims, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sum-spread) > 0.02*spread+0.1 {
+		t.Fatalf("Σ activation = %v vs spread %v", sum, spread)
+	}
+}
+
+// The coupled PairOnce estimator and independent differencing must
+// agree in expectation.
+func TestPairMatchesDifferencing(t *testing.T) {
+	r := rng.New(72)
+	g := testutil.RandomGraph(r, 12, 30, 0.5)
+	seeds := []int32{0}
+	boost := []int32{2, 3}
+	pair, err := EstimateBoost(g, seeds, boost, Options{Sims: 300000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	with, err := EstimateSpread(g, seeds, boost, Options{Sims: 300000, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := EstimateSpread(g, seeds, nil, Options{Sims: 300000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := with - without
+	if math.Abs(pair-diff) > 0.05+0.05*math.Abs(diff) {
+		t.Fatalf("coupled Δ=%v vs differenced Δ=%v", pair, diff)
+	}
+}

@@ -1,0 +1,100 @@
+package diffusion
+
+import (
+	"math"
+	"testing"
+
+	"github.com/kboost/kboost/internal/graph"
+	"github.com/kboost/kboost/internal/rng"
+	"github.com/kboost/kboost/internal/testutil"
+)
+
+// On a two-edge chain, the sender variant can be computed by hand:
+// boosting v0 upgrades the edge v0->v1 (v0 is the sender), not s->v0.
+func TestSenderVariantChain(t *testing.T) {
+	g, seeds := testutil.Fig1() // s=0 -> v0=1 (0.2/0.4) -> v1=2 (0.1/0.2)
+	// Boost v0 under the sender model: σ = 1 + 0.2 + 0.2*0.2 = 1.24.
+	got, err := EstimateSpreadTarget(g, seeds, []int32{1}, BoostSenders, Options{Sims: 300000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1.24) > 0.01 {
+		t.Fatalf("sender-boost σ = %v, want 1.24", got)
+	}
+	// Boost the seed s: upgrades s->v0: σ = 1 + 0.4 + 0.4*0.1 = 1.44.
+	got, err = EstimateSpreadTarget(g, seeds, []int32{0}, BoostSenders, Options{Sims: 300000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1.44) > 0.01 {
+		t.Fatalf("seed-sender-boost σ = %v, want 1.44", got)
+	}
+}
+
+// Receiver target must match the default path exactly.
+func TestReceiverTargetDelegates(t *testing.T) {
+	g, seeds := testutil.Fig1()
+	a, err := EstimateSpreadTarget(g, seeds, []int32{1}, BoostReceivers, Options{Sims: 50000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EstimateSpread(g, seeds, []int32{1}, Options{Sims: 50000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("receiver variant %v != default %v", a, b)
+	}
+}
+
+// The two variants agree when the boost set is empty.
+func TestVariantsAgreeOnEmptyBoost(t *testing.T) {
+	r := rng.New(7)
+	g := testutil.RandomGraph(r, 12, 24, 0.5)
+	seeds := []int32{0}
+	a, err := EstimateSpreadTarget(g, seeds, nil, BoostSenders, Options{Sims: 100000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EstimateSpread(g, seeds, nil, Options{Sims: 100000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-b) > 0.05 {
+		t.Fatalf("variants disagree with empty boost: %v vs %v", a, b)
+	}
+}
+
+// Boosting seeds matters only in the sender variant; boosting leaves
+// matters only in the receiver variant — the defining asymmetry.
+func TestVariantAsymmetry(t *testing.T) {
+	b := graph.NewBuilder(2)
+	b.MustAddEdge(0, 1, 0.1, 0.9)
+	g := b.MustBuild()
+	seeds := []int32{0}
+
+	// Receiver model: boosting the seed does nothing.
+	recvSeed, err := EstimateBoostTarget(g, seeds, []int32{0}, BoostReceivers, Options{Sims: 100000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(recvSeed) > 0.01 {
+		t.Fatalf("receiver model: boosting the seed changed Δ by %v", recvSeed)
+	}
+	// Sender model: boosting the seed upgrades its out-edge (+0.8).
+	sendSeed, err := EstimateBoostTarget(g, seeds, []int32{0}, BoostSenders, Options{Sims: 300000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sendSeed-0.8) > 0.01 {
+		t.Fatalf("sender model: Δ from boosting seed = %v, want 0.8", sendSeed)
+	}
+	// Sender model: boosting the sink does nothing.
+	sendSink, err := EstimateBoostTarget(g, seeds, []int32{1}, BoostSenders, Options{Sims: 100000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sendSink) > 0.01 {
+		t.Fatalf("sender model: boosting the sink changed Δ by %v", sendSink)
+	}
+}

@@ -1,0 +1,167 @@
+package exact
+
+import (
+	"math"
+	"testing"
+
+	"github.com/kboost/kboost/internal/graph"
+	"github.com/kboost/kboost/internal/rng"
+	"github.com/kboost/kboost/internal/testutil"
+)
+
+func rngSource(seed uint64) *rng.Source { return rng.New(seed) }
+
+func TestFig1Exact(t *testing.T) {
+	g, seeds := testutil.Fig1()
+	cases := []struct {
+		boost []int32
+		want  float64
+	}{
+		{nil, 1.22},
+		{[]int32{1}, 1.44},
+		{[]int32{2}, 1.24},
+		{[]int32{1, 2}, 1.48},
+	}
+	for _, c := range cases {
+		got, err := Spread(g, seeds, c.boost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("σ_S(%v) = %v, want %v", c.boost, got, c.want)
+		}
+	}
+}
+
+func TestFig1BoostExact(t *testing.T) {
+	g, seeds := testutil.Fig1()
+	got, err := Boost(g, seeds, []int32{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.26) > 1e-12 {
+		t.Fatalf("Δ = %v, want 0.26", got)
+	}
+}
+
+func TestActivationSeedsAreOne(t *testing.T) {
+	g, seeds := testutil.Fig1()
+	probs, err := Activation(g, seeds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probs[0] != 1 {
+		t.Fatalf("seed activation %v, want 1", probs[0])
+	}
+	if math.Abs(probs[1]-0.2) > 1e-12 || math.Abs(probs[2]-0.02) > 1e-12 {
+		t.Fatalf("activations %v", probs)
+	}
+}
+
+func TestDeterministicEdges(t *testing.T) {
+	// A chain with p=1 everywhere: everything is always activated.
+	b := graph.NewBuilder(4)
+	b.MustAddEdge(0, 1, 1, 1)
+	b.MustAddEdge(1, 2, 1, 1)
+	b.MustAddEdge(2, 3, 1, 1)
+	g := b.MustBuild()
+	got, err := Spread(g, []int32{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-4) > 1e-12 {
+		t.Fatalf("spread %v, want 4", got)
+	}
+}
+
+func TestBlockedEdges(t *testing.T) {
+	// p = p' = 0: influence never crosses.
+	b := graph.NewBuilder(2)
+	b.MustAddEdge(0, 1, 0, 0)
+	g := b.MustBuild()
+	got, err := Spread(g, []int32{0}, []int32{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("spread %v, want 1", got)
+	}
+}
+
+func TestBoostOnlyEdge(t *testing.T) {
+	// p=0, p'=1: crossing iff the target is boosted.
+	b := graph.NewBuilder(2)
+	b.MustAddEdge(0, 1, 0, 1)
+	g := b.MustBuild()
+	plain, err := Spread(g, []int32{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boosted, err := Spread(g, []int32{0}, []int32{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != 1 || boosted != 2 {
+		t.Fatalf("plain=%v boosted=%v, want 1 and 2", plain, boosted)
+	}
+}
+
+func TestDiamondIndependence(t *testing.T) {
+	// 0 -> {1,2} -> 3 with p=0.5 everywhere: P(3 active) =
+	// E over worlds; compute by hand: P(1)=P(2)=0.5 independent;
+	// P(3 | a of {1,2} active) = 1-(0.5)^a.
+	b := graph.NewBuilder(4)
+	b.MustAddEdge(0, 1, 0.5, 0.5)
+	b.MustAddEdge(0, 2, 0.5, 0.5)
+	b.MustAddEdge(1, 3, 0.5, 0.5)
+	b.MustAddEdge(2, 3, 0.5, 0.5)
+	g := b.MustBuild()
+	probs, err := Activation(g, []int32{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P(3) = sum over a in {0,1,2}: C(2,a) 0.25 * (1-0.5^a)
+	want := 0.25*0 + 0.5*0.5 + 0.25*0.75
+	if math.Abs(probs[3]-want) > 1e-12 {
+		t.Fatalf("P(3) = %v, want %v", probs[3], want)
+	}
+}
+
+func TestEdgeLimit(t *testing.T) {
+	b := graph.NewBuilder(20)
+	for i := int32(0); i < 18; i++ {
+		b.MustAddEdge(i, i+1, 0.5, 0.6)
+	}
+	g := b.MustBuild()
+	if _, err := Spread(g, []int32{0}, nil); err == nil {
+		t.Fatal("graph above MaxEdges accepted")
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	g, _ := testutil.Fig1()
+	if _, err := Spread(g, []int32{-1}, nil); err == nil {
+		t.Fatal("bad seed accepted")
+	}
+	if _, err := Spread(g, []int32{0}, []int32{77}); err == nil {
+		t.Fatal("bad boost node accepted")
+	}
+}
+
+func TestProbabilitiesSumConsistency(t *testing.T) {
+	// Activation probabilities of all worlds weight to 1: the seed's
+	// activation probability is exactly 1 regardless of structure.
+	g := testutil.RandomGraph(rngSource(5), 6, 9, 0.9)
+	probs, err := Activation(g, []int32{2}, []int32{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(probs[2]-1) > 1e-9 {
+		t.Fatalf("seed activation %v", probs[2])
+	}
+	for v, p := range probs {
+		if p < -1e-12 || p > 1+1e-12 {
+			t.Fatalf("activation[%d] = %v out of [0,1]", v, p)
+		}
+	}
+}

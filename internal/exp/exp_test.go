@@ -1,0 +1,227 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/kboost/kboost/internal/rng"
+)
+
+func rngNew(seed uint64) *rng.Source { return rng.New(seed) }
+
+// tinyConfig keeps the harness tests fast: minimal graphs, few sims.
+func tinyConfig() Config {
+	return Config{
+		Scale:      0.002,
+		Datasets:   []string{"digg"},
+		KValues:    []int{3, 6},
+		Sims:       200,
+		MaxSamples: 5000,
+		Seed:       1,
+		TreeN:      127,
+		TreeKs:     []int{5},
+		TreeEps:    []float64{1.0},
+	}
+}
+
+func TestIDsComplete(t *testing.T) {
+	want := []string{
+		"table1", "table2", "table3",
+		"fig5", "fig6", "fig7", "fig8", "fig9",
+		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+	}
+	ids := IDs()
+	have := map[string]bool{}
+	for _, id := range ids {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %s missing from registry", id)
+		}
+	}
+	if len(ids) != len(want) {
+		t.Errorf("registry has %d ids, want %d", len(ids), len(want))
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("nope", tinyConfig(), &buf); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	tables, err := Table1(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || tables[0].NumRows() != 1 {
+		t.Fatalf("unexpected shape: %d tables", len(tables))
+	}
+	out := tables[0].String()
+	if !strings.Contains(out, "digg") {
+		t.Fatalf("missing dataset row:\n%s", out)
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	cfg := tinyConfig()
+	tables, err := Fig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 {
+		t.Fatalf("%d tables, want 1 per dataset", len(tables))
+	}
+	if tables[0].NumRows() != len(cfg.KValues) {
+		t.Fatalf("%d rows, want %d", tables[0].NumRows(), len(cfg.KValues))
+	}
+	for _, col := range algoOrder {
+		if !strings.Contains(tables[0].String(), col) {
+			t.Fatalf("missing column %s", col)
+		}
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	tables, err := Fig6(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tables[0].NumRows() == 0 {
+		t.Fatal("no timing rows")
+	}
+	if !strings.Contains(tables[0].String(), "speedup") {
+		t.Fatal("missing speedup column")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	tables, err := Table2(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tables[0].String()
+	if !strings.Contains(out, "ratio") {
+		t.Fatalf("missing ratio column:\n%s", out)
+	}
+	if tables[0].NumRows() == 0 {
+		t.Fatal("no compression rows")
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	tables, err := Fig7(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tables[0].NumRows() == 0 {
+		t.Fatal("no sandwich rows")
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	tables, err := Fig13(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tables[0].NumRows() == 0 {
+		t.Fatal("no budget rows")
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	tables, err := Fig14(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("%d tables, want boost+time", len(tables))
+	}
+	if tables[0].NumRows() != 1 || tables[1].NumRows() != 1 {
+		t.Fatal("wrong row counts")
+	}
+}
+
+func TestFig15Shape(t *testing.T) {
+	tables, err := Fig15(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("%d tables", len(tables))
+	}
+	if tables[0].NumRows() != 3 { // 3 sizes x 1 k
+		t.Fatalf("%d rows, want 3", tables[0].NumRows())
+	}
+}
+
+func TestRunRendersOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("table1", tinyConfig(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table 1") {
+		t.Fatalf("missing rendered title:\n%s", buf.String())
+	}
+}
+
+// The headline sanity check across the harness: PRR-Boost must beat
+// MoreSeeds and PageRank on the stand-in, as in the paper's Figure 5.
+func TestFig5Ordering(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Scale = 0.004
+	cfg.KValues = []int{10}
+	cfg.Sims = 1000
+	cfg.MaxSamples = 20000
+	cfg = cfg.WithDefaults()
+	inst, err := loadInstance("digg", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := algorithms(inst.g, inst.infSeeds, 10, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res["PRR-Boost"] < res["PageRank"] {
+		t.Errorf("PRR-Boost %v below PageRank %v", res["PRR-Boost"], res["PageRank"])
+	}
+	if res["PRR-Boost"] < res["MoreSeeds"] {
+		t.Errorf("PRR-Boost %v below MoreSeeds %v", res["PRR-Boost"], res["MoreSeeds"])
+	}
+}
+
+func TestPerturbSets(t *testing.T) {
+	cfg := tinyConfig()
+	_ = cfg
+	base := []int32{1, 2, 3}
+	r := rngNew(7)
+	sets := perturbSets(base, 50, []int32{0}, 8, r)
+	if len(sets) != 8 {
+		t.Fatalf("%d sets, want 8", len(sets))
+	}
+	// First set is the base itself.
+	for i, v := range sets[0] {
+		if v != base[i] {
+			t.Fatalf("first set %v != base %v", sets[0], base)
+		}
+	}
+	for _, s := range sets {
+		if len(s) != len(base) {
+			t.Fatalf("set %v has wrong size", s)
+		}
+		seen := map[int32]bool{}
+		for _, v := range s {
+			if v == 0 {
+				t.Fatalf("seed in perturbed set %v", s)
+			}
+			if seen[v] {
+				t.Fatalf("duplicate in perturbed set %v", s)
+			}
+			seen[v] = true
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// The random-seed and beta-sweep runners share engines with the tested
+// influential-seed runners; these tests pin their shapes at tiny scale.
+
+func TestFig10Shape(t *testing.T) {
+	tables, err := Fig10(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || tables[0].NumRows() == 0 {
+		t.Fatalf("unexpected shape")
+	}
+	if !strings.Contains(tables[0].Title, "random seeds") {
+		t.Fatalf("title %q", tables[0].Title)
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	tables, err := Fig11(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tables[0].NumRows() == 0 {
+		t.Fatal("no rows")
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	tables, err := Table3(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tables[0].NumRows() == 0 {
+		t.Fatal("no rows")
+	}
+	if !strings.Contains(tables[0].Title, "random seeds") {
+		t.Fatalf("title %q", tables[0].Title)
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	tables, err := Fig12(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tables[0].NumRows() == 0 {
+		t.Fatal("no sandwich rows")
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	cfg := tinyConfig()
+	tables, err := Fig8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 betas x 1 dataset.
+	if tables[0].NumRows() != 5 {
+		t.Fatalf("%d rows, want 5", tables[0].NumRows())
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	tables, err := Fig9(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tables[0].String()
+	for _, beta := range []string{"4", "5", "6"} {
+		if !strings.Contains(out, beta) {
+			t.Fatalf("missing beta %s:\n%s", beta, out)
+		}
+	}
+}
+
+// The instance cache must return identical instances for identical
+// configurations.
+func TestInstanceCache(t *testing.T) {
+	cfg := tinyConfig().WithDefaults()
+	a, err := loadInstance("digg", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loadInstance("digg", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("cache miss for identical config")
+	}
+	cfg2 := cfg
+	cfg2.Beta = 3
+	c, err := loadInstance("digg", cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Fatal("cache hit across different beta")
+	}
+}

@@ -1,0 +1,92 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/kboost/kboost/internal/rng"
+)
+
+func TestReadEdgeList(t *testing.T) {
+	input := `# a SNAP-style comment
+% another comment style
+100 200
+200 100
+100 300
+300 400
+100 100
+100 200
+`
+	g, orig, err := ReadEdgeList(strings.NewReader(input), Const(0.2), 2, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 {
+		t.Fatalf("N=%d, want 4", g.N())
+	}
+	// Self-loop and duplicate dropped: 4 arcs remain.
+	if g.M() != 4 {
+		t.Fatalf("M=%d, want 4", g.M())
+	}
+	if len(orig) != 4 || orig[0] != 100 || orig[1] != 200 || orig[2] != 300 || orig[3] != 400 {
+		t.Fatalf("orig ids %v", orig)
+	}
+	p, pb, ok := g.FindEdge(0, 1) // 100 -> 200
+	if !ok || p != 0.2 {
+		t.Fatalf("edge probabilities %v %v %v", p, pb, ok)
+	}
+	want := 1 - 0.8*0.8
+	if diff := pb - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("boosted probability %v, want %v", pb, want)
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"",            // empty
+		"1\n",         // one field
+		"a b\n",       // non-numeric
+		"1 -2\n",      // negative id
+		"# only\n",    // comments only -> empty
+		"9 x extra\n", // bad second field
+	}
+	for _, c := range cases {
+		if _, _, err := ReadEdgeList(strings.NewReader(c), Const(0.1), 2, rng.New(1)); err == nil {
+			t.Fatalf("accepted %q", c)
+		}
+	}
+}
+
+func TestReadEdgeListWeightedCascade(t *testing.T) {
+	input := "1 3\n2 3\n"
+	g, _, err := ReadEdgeList(strings.NewReader(input), WeightedCascade(), 2, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 3 has in-degree 2 -> p = 0.5 on both in-edges.
+	for _, e := range g.Edges() {
+		if e.P != 0.5 {
+			t.Fatalf("WC probability %v, want 0.5", e.P)
+		}
+	}
+}
+
+func TestParseProbModel(t *testing.T) {
+	for _, ok := range []string{"trivalency", "wc", "const:0.25", "expmean:0.1"} {
+		if _, err := ParseProbModel(ok); err != nil {
+			t.Fatalf("ParseProbModel(%q): %v", ok, err)
+		}
+	}
+	for _, bad := range []string{"", "nope", "const:x", "expmean:"} {
+		if _, err := ParseProbModel(bad); err == nil {
+			t.Fatalf("ParseProbModel(%q) accepted", bad)
+		}
+	}
+	assign, err := ParseProbModel("const:0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := assign(0, 1, nil, nil); got != 0.25 {
+		t.Fatalf("const assigner gave %v", got)
+	}
+}

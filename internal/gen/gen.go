@@ -1,0 +1,293 @@
+// Package gen produces synthetic graphs and trees for tests, examples
+// and the experiment harness.
+//
+// The paper evaluates on four crawled social networks (Digg, Flixster,
+// Twitter, Flickr) with influence probabilities learned from action
+// logs, plus synthetic complete binary bidirected trees with trivalency
+// probabilities. The crawls are not redistributable, so this package
+// provides the synthetic equivalents: scale-free topologies with matched
+// density and probability distributions (see internal/dataset), plus the
+// classic generators (Erdős–Rényi, Watts–Strogatz) and bidirected trees.
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/kboost/kboost/internal/graph"
+	"github.com/kboost/kboost/internal/rng"
+)
+
+// Topology is a directed multigraph skeleton before probabilities are
+// assigned. Arcs must not contain self-loops or duplicates.
+type Topology struct {
+	N    int
+	Arcs [][2]int32
+}
+
+// InDegrees returns the in-degree of every node.
+func (t Topology) InDegrees() []int {
+	deg := make([]int, t.N)
+	for _, a := range t.Arcs {
+		deg[a[1]]++
+	}
+	return deg
+}
+
+// ProbAssigner maps an arc to a base influence probability. inDeg is the
+// in-degree array of the topology (used by the weighted-cascade model).
+type ProbAssigner func(from, to int32, inDeg []int, r *rng.Source) float64
+
+// Trivalency assigns probabilities uniformly at random from
+// {0.1, 0.01, 0.001}, the classic trivalency model.
+func Trivalency() ProbAssigner {
+	vals := [3]float64{0.1, 0.01, 0.001}
+	return func(_, _ int32, _ []int, r *rng.Source) float64 {
+		return vals[r.Intn(3)]
+	}
+}
+
+// WeightedCascade assigns p(u,v) = 1/inDeg(v).
+func WeightedCascade() ProbAssigner {
+	return func(_, to int32, inDeg []int, _ *rng.Source) float64 {
+		d := inDeg[to]
+		if d == 0 {
+			return 0
+		}
+		return 1 / float64(d)
+	}
+}
+
+// Const assigns the same probability to every arc.
+func Const(p float64) ProbAssigner {
+	return func(_, _ int32, _ []int, _ *rng.Source) float64 { return p }
+}
+
+// ExpMean assigns probabilities drawn from an exponential distribution
+// with the given mean, clamped to [lo, 0.999]. It mimics the skewed
+// probability distributions learned from action logs: many weak edges, a
+// few strong ones. The clamp slightly biases the realized mean; for
+// means <= 0.6 the bias is small, and dataset stand-ins correct for it
+// by calibrating on the realized average (see internal/dataset).
+func ExpMean(mean float64) ProbAssigner {
+	const lo = 1e-4
+	return func(_, _ int32, _ []int, r *rng.Source) float64 {
+		p := mean * r.Exp()
+		if p < lo {
+			p = lo
+		}
+		if p > 0.999 {
+			p = 0.999
+		}
+		return p
+	}
+}
+
+// BuildGraph assigns probabilities to every arc of t with assign, sets
+// the boosted probability to 1-(1-p)^beta, and returns the built graph.
+func BuildGraph(t Topology, assign ProbAssigner, beta float64, r *rng.Source) (*graph.Graph, error) {
+	if beta < 1 {
+		return nil, fmt.Errorf("gen: beta=%v must be >= 1", beta)
+	}
+	inDeg := t.InDegrees()
+	b := graph.NewBuilder(t.N)
+	for _, a := range t.Arcs {
+		p := assign(a[0], a[1], inDeg, r)
+		pb := 1 - math.Pow(1-p, beta)
+		if pb < p {
+			pb = p
+		}
+		if err := b.AddEdge(a[0], a[1], p, pb); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}
+
+// arcSet tracks added arcs to prevent duplicates.
+type arcSet map[[2]int32]struct{}
+
+func (s arcSet) add(u, v int32) bool {
+	if u == v {
+		return false
+	}
+	key := [2]int32{u, v}
+	if _, dup := s[key]; dup {
+		return false
+	}
+	s[key] = struct{}{}
+	return true
+}
+
+// ScaleFree generates a directed scale-free topology by preferential
+// attachment. Each new node draws edgesPerNode targets proportionally to
+// (current degree + 1); each attachment adds the arc new->target, and
+// with probability backProb also target->new (social links are often
+// reciprocated). The result has no duplicate arcs or self-loops.
+func ScaleFree(n, edgesPerNode int, backProb float64, r *rng.Source) (Topology, error) {
+	if n < 2 {
+		return Topology{}, fmt.Errorf("gen: ScaleFree needs n >= 2, got %d", n)
+	}
+	if edgesPerNode < 1 {
+		return Topology{}, fmt.Errorf("gen: ScaleFree needs edgesPerNode >= 1, got %d", edgesPerNode)
+	}
+	t := Topology{N: n}
+	seen := make(arcSet)
+	// The repeated-nodes list implements preferential attachment: each
+	// endpoint occurrence makes a node proportionally more likely to be
+	// chosen again.
+	endpoints := make([]int32, 0, 2*n*edgesPerNode)
+	endpoints = append(endpoints, 0)
+	for v := int32(1); v < int32(n); v++ {
+		d := edgesPerNode
+		if int(v) < edgesPerNode {
+			d = int(v)
+		}
+		attached := 0
+		attempts := 0
+		for attached < d && attempts < 20*d {
+			attempts++
+			var target int32
+			// Mix preferential attachment with uniform choice to keep the
+			// degree distribution heavy-tailed but connected.
+			if r.Float64() < 0.9 {
+				target = endpoints[r.Intn(len(endpoints))]
+			} else {
+				target = int32(r.Intn(int(v)))
+			}
+			if target == v {
+				continue
+			}
+			if !seen.add(v, target) {
+				continue
+			}
+			t.Arcs = append(t.Arcs, [2]int32{v, target})
+			endpoints = append(endpoints, target)
+			attached++
+			if r.Bernoulli(backProb) && seen.add(target, v) {
+				t.Arcs = append(t.Arcs, [2]int32{target, v})
+			}
+		}
+		endpoints = append(endpoints, v)
+	}
+	return t, nil
+}
+
+// ErdosRenyi generates a uniform random directed topology with exactly m
+// arcs (no duplicates, no self-loops). It errors if m exceeds n*(n-1).
+func ErdosRenyi(n, m int, r *rng.Source) (Topology, error) {
+	if n < 2 {
+		return Topology{}, fmt.Errorf("gen: ErdosRenyi needs n >= 2, got %d", n)
+	}
+	if m < 0 || m > n*(n-1) {
+		return Topology{}, fmt.Errorf("gen: ErdosRenyi m=%d out of range [0,%d]", m, n*(n-1))
+	}
+	t := Topology{N: n}
+	seen := make(arcSet, m)
+	for len(t.Arcs) < m {
+		u := int32(r.Intn(n))
+		v := int32(r.Intn(n))
+		if seen.add(u, v) {
+			t.Arcs = append(t.Arcs, [2]int32{u, v})
+		}
+	}
+	return t, nil
+}
+
+// SmallWorld generates a Watts–Strogatz-style directed topology: a ring
+// where every node links to its next k clockwise neighbors in both
+// directions, with each arc's head rewired uniformly with probability
+// rewire.
+func SmallWorld(n, k int, rewire float64, r *rng.Source) (Topology, error) {
+	if n < 4 || k < 1 || 2*k >= n {
+		return Topology{}, fmt.Errorf("gen: SmallWorld needs n >= 4 and 1 <= k < n/2 (n=%d k=%d)", n, k)
+	}
+	if rewire < 0 || rewire > 1 {
+		return Topology{}, fmt.Errorf("gen: SmallWorld rewire=%v out of [0,1]", rewire)
+	}
+	t := Topology{N: n}
+	seen := make(arcSet)
+	addOrRewire := func(u, v int32) {
+		if r.Bernoulli(rewire) {
+			for tries := 0; tries < 32; tries++ {
+				w := int32(r.Intn(n))
+				if seen.add(u, w) {
+					t.Arcs = append(t.Arcs, [2]int32{u, w})
+					return
+				}
+			}
+			return // extremely unlikely; drop the arc
+		}
+		if seen.add(u, v) {
+			t.Arcs = append(t.Arcs, [2]int32{u, v})
+		}
+	}
+	for u := 0; u < n; u++ {
+		for j := 1; j <= k; j++ {
+			v := (u + j) % n
+			addOrRewire(int32(u), int32(v))
+			addOrRewire(int32(v), int32(u))
+		}
+	}
+	return t, nil
+}
+
+// CompleteBinaryTreeParents returns the parent array of a complete
+// binary tree with n nodes: parent(i) = (i-1)/2, parent(0) = -1.
+func CompleteBinaryTreeParents(n int) []int32 {
+	parents := make([]int32, n)
+	parents[0] = -1
+	for i := 1; i < n; i++ {
+		parents[i] = int32((i - 1) / 2)
+	}
+	return parents
+}
+
+// RandomTreeParents returns the parent array of a random tree in which
+// node i attaches to a uniformly random earlier node, subject to the
+// maxChildren bound (0 = unbounded).
+func RandomTreeParents(n, maxChildren int, r *rng.Source) ([]int32, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gen: RandomTreeParents needs n >= 1, got %d", n)
+	}
+	if maxChildren == 1 && n > 2 {
+		// A path still works: each node has at most one child.
+		parents := make([]int32, n)
+		parents[0] = -1
+		for i := 1; i < n; i++ {
+			parents[i] = int32(i - 1)
+		}
+		return parents, nil
+	}
+	parents := make([]int32, n)
+	parents[0] = -1
+	childCount := make([]int, n)
+	for i := 1; i < n; i++ {
+		for {
+			p := int32(r.Intn(i))
+			if maxChildren > 0 && childCount[p] >= maxChildren {
+				continue
+			}
+			parents[i] = p
+			childCount[p]++
+			break
+		}
+	}
+	return parents, nil
+}
+
+// BidirectedTree builds a bidirected tree graph from a parent array:
+// every undirected tree edge becomes two directed edges, each with an
+// independently assigned probability.
+func BidirectedTree(parents []int32, assign ProbAssigner, beta float64, r *rng.Source) (*graph.Graph, error) {
+	n := len(parents)
+	t := Topology{N: n}
+	for i := 1; i < n; i++ {
+		p := parents[i]
+		if p < 0 || int(p) >= n || int(p) == i {
+			return nil, fmt.Errorf("gen: invalid parent %d for node %d", p, i)
+		}
+		t.Arcs = append(t.Arcs, [2]int32{int32(i), p}, [2]int32{p, int32(i)})
+	}
+	return BuildGraph(t, assign, beta, r)
+}

@@ -1,0 +1,282 @@
+package gen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/kboost/kboost/internal/rng"
+)
+
+func TestScaleFreeBasics(t *testing.T) {
+	r := rng.New(1)
+	topo, err := ScaleFree(500, 4, 0.3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.N != 500 {
+		t.Fatalf("N=%d", topo.N)
+	}
+	if len(topo.Arcs) < 500 {
+		t.Fatalf("only %d arcs", len(topo.Arcs))
+	}
+	assertNoDupArcs(t, topo)
+}
+
+func TestScaleFreeHeavyTail(t *testing.T) {
+	r := rng.New(2)
+	topo, err := ScaleFree(2000, 3, 0.2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := topo.InDegrees()
+	max := 0
+	for _, d := range deg {
+		if d > max {
+			max = d
+		}
+	}
+	avg := float64(len(topo.Arcs)) / float64(topo.N)
+	// Preferential attachment must produce hubs far above the mean.
+	if float64(max) < 5*avg {
+		t.Fatalf("max in-degree %d vs avg %v: no heavy tail", max, avg)
+	}
+}
+
+func TestScaleFreeValidation(t *testing.T) {
+	r := rng.New(3)
+	if _, err := ScaleFree(1, 2, 0.5, r); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := ScaleFree(10, 0, 0.5, r); err == nil {
+		t.Fatal("edgesPerNode=0 accepted")
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	r := rng.New(4)
+	topo, err := ErdosRenyi(50, 200, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Arcs) != 200 {
+		t.Fatalf("%d arcs, want 200", len(topo.Arcs))
+	}
+	assertNoDupArcs(t, topo)
+	if _, err := ErdosRenyi(3, 7, r); err == nil {
+		t.Fatal("m > n(n-1) accepted")
+	}
+	if _, err := ErdosRenyi(1, 0, r); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+}
+
+func TestSmallWorld(t *testing.T) {
+	r := rng.New(5)
+	topo, err := SmallWorld(100, 3, 0.1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertNoDupArcs(t, topo)
+	// Roughly 2*k*n arcs (some lost to rewire collisions).
+	if len(topo.Arcs) < 500 {
+		t.Fatalf("only %d arcs", len(topo.Arcs))
+	}
+	if _, err := SmallWorld(4, 2, 0.1, r); err == nil {
+		t.Fatal("2k >= n accepted")
+	}
+	if _, err := SmallWorld(10, 2, 1.5, r); err == nil {
+		t.Fatal("rewire > 1 accepted")
+	}
+}
+
+func TestBuildGraphProbabilities(t *testing.T) {
+	r := rng.New(6)
+	topo, err := ErdosRenyi(30, 100, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := BuildGraph(topo, Const(0.3), 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 100 {
+		t.Fatalf("M=%d", g.M())
+	}
+	for _, e := range g.Edges() {
+		if e.P != 0.3 {
+			t.Fatalf("edge p=%v", e.P)
+		}
+		want := 1 - 0.7*0.7
+		if math.Abs(e.PBoost-want) > 1e-12 {
+			t.Fatalf("edge p'=%v want %v", e.PBoost, want)
+		}
+	}
+	if _, err := BuildGraph(topo, Const(0.3), 0.5, r); err == nil {
+		t.Fatal("beta < 1 accepted")
+	}
+}
+
+func TestTrivalencyValues(t *testing.T) {
+	r := rng.New(7)
+	assign := Trivalency()
+	seen := map[float64]int{}
+	for i := 0; i < 3000; i++ {
+		seen[assign(0, 1, nil, r)]++
+	}
+	for _, v := range []float64{0.1, 0.01, 0.001} {
+		if seen[v] < 800 {
+			t.Fatalf("trivalency value %v seen only %d times", v, seen[v])
+		}
+	}
+	if len(seen) != 3 {
+		t.Fatalf("unexpected trivalency values: %v", seen)
+	}
+}
+
+func TestWeightedCascade(t *testing.T) {
+	assign := WeightedCascade()
+	inDeg := []int{0, 4}
+	if got := assign(0, 1, inDeg, nil); got != 0.25 {
+		t.Fatalf("WC prob %v, want 0.25", got)
+	}
+	if got := assign(1, 0, inDeg, nil); got != 0 {
+		t.Fatalf("WC prob for zero in-degree %v, want 0", got)
+	}
+}
+
+func TestExpMeanApproximatesMean(t *testing.T) {
+	r := rng.New(8)
+	for _, mean := range []float64{0.013, 0.1, 0.24} {
+		assign := ExpMean(mean)
+		var sum float64
+		const n = 100000
+		for i := 0; i < n; i++ {
+			p := assign(0, 1, nil, r)
+			if p < 0 || p > 1 {
+				t.Fatalf("probability %v out of range", p)
+			}
+			sum += p
+		}
+		got := sum / n
+		if math.Abs(got-mean) > mean*0.15 {
+			t.Fatalf("ExpMean(%v) realized mean %v", mean, got)
+		}
+	}
+}
+
+func TestCompleteBinaryTreeParents(t *testing.T) {
+	p := CompleteBinaryTreeParents(7)
+	want := []int32{-1, 0, 0, 1, 1, 2, 2}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("parents = %v, want %v", p, want)
+		}
+	}
+}
+
+func TestRandomTreeParents(t *testing.T) {
+	r := rng.New(9)
+	p, err := RandomTreeParents(100, 3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 100)
+	for i := 1; i < 100; i++ {
+		if p[i] < 0 || int(p[i]) >= i {
+			t.Fatalf("parent[%d] = %d not earlier node", i, p[i])
+		}
+		counts[p[i]]++
+	}
+	for v, c := range counts {
+		if c > 3 {
+			t.Fatalf("node %d has %d children, cap 3", v, c)
+		}
+	}
+}
+
+func TestBidirectedTreeIsTree(t *testing.T) {
+	r := rng.New(10)
+	parents := CompleteBinaryTreeParents(31)
+	g, err := BidirectedTree(parents, Trivalency(), 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsBidirectedTree() {
+		t.Fatal("generated tree is not a bidirected tree")
+	}
+	if g.M() != 2*30 {
+		t.Fatalf("M=%d, want 60", g.M())
+	}
+}
+
+func TestBidirectedTreeBadParents(t *testing.T) {
+	r := rng.New(11)
+	if _, err := BidirectedTree([]int32{-1, 5}, Const(0.1), 2, r); err == nil {
+		t.Fatal("invalid parent accepted")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a, err := ScaleFree(200, 3, 0.3, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ScaleFree(200, 3, 0.3, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Arcs) != len(b.Arcs) {
+		t.Fatalf("arc counts differ: %d vs %d", len(a.Arcs), len(b.Arcs))
+	}
+	for i := range a.Arcs {
+		if a.Arcs[i] != b.Arcs[i] {
+			t.Fatalf("arc %d differs", i)
+		}
+	}
+}
+
+// Property: generated trees always satisfy parent[i] < i and exactly
+// n-1 undirected edges.
+func TestQuickRandomTree(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, capRaw uint8) bool {
+		n := int(nRaw%60) + 2
+		maxC := int(capRaw % 5) // 0 = unbounded
+		if maxC == 1 {
+			maxC = 2 // maxChildren=1 only supports paths; avoid stalls
+		}
+		p, err := RandomTreeParents(n, maxC, rng.New(seed))
+		if err != nil {
+			return false
+		}
+		if len(p) != n || p[0] != -1 {
+			return false
+		}
+		for i := 1; i < n; i++ {
+			if p[i] < 0 || int(p[i]) >= i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func assertNoDupArcs(t *testing.T, topo Topology) {
+	t.Helper()
+	seen := map[[2]int32]bool{}
+	for _, a := range topo.Arcs {
+		if a[0] == a[1] {
+			t.Fatalf("self loop %v", a)
+		}
+		if seen[a] {
+			t.Fatalf("duplicate arc %v", a)
+		}
+		seen[a] = true
+		if a[0] < 0 || int(a[0]) >= topo.N || a[1] < 0 || int(a[1]) >= topo.N {
+			t.Fatalf("arc %v out of range", a)
+		}
+	}
+}

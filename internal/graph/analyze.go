@@ -1,0 +1,196 @@
+package graph
+
+import "math"
+
+// mathFloat64bits / mathFloat64frombits are tiny aliases so io.go does
+// not import math directly for two calls; keeping them here groups all
+// float handling.
+func mathFloat64bits(f float64) uint64     { return math.Float64bits(f) }
+func mathFloat64frombits(b uint64) float64 { return math.Float64frombits(b) }
+
+// Stats summarizes a graph. It mirrors the dataset statistics the paper
+// reports in Table 1.
+type Stats struct {
+	N            int     // number of nodes
+	M            int     // number of directed edges
+	AvgP         float64 // average base influence probability
+	AvgPBoost    float64 // average boosted influence probability
+	MaxOutDegree int
+	MaxInDegree  int
+	AvgOutDegree float64
+}
+
+// ComputeStats scans the graph once and returns its Stats.
+func (g *Graph) ComputeStats() Stats {
+	s := Stats{N: g.N(), M: g.M()}
+	var sumP, sumPB float64
+	for _, p := range g.outP {
+		sumP += p
+	}
+	for _, pb := range g.outPB {
+		sumPB += pb
+	}
+	if s.M > 0 {
+		s.AvgP = sumP / float64(s.M)
+		s.AvgPBoost = sumPB / float64(s.M)
+	}
+	for u := int32(0); u < int32(g.n); u++ {
+		if d := g.OutDegree(u); d > s.MaxOutDegree {
+			s.MaxOutDegree = d
+		}
+		if d := g.InDegree(u); d > s.MaxInDegree {
+			s.MaxInDegree = d
+		}
+	}
+	if s.N > 0 {
+		s.AvgOutDegree = float64(s.M) / float64(s.N)
+	}
+	return s
+}
+
+// LargestWCC returns the subgraph induced by the largest weakly
+// connected component and the mapping from new node ids to original ids.
+// Singleton components count. If the graph is empty it returns an empty
+// graph and a nil mapping.
+func (g *Graph) LargestWCC() (*Graph, []int32) {
+	n := g.n
+	if n == 0 {
+		return &Graph{outStart: []int32{0}, inStart: []int32{0}}, nil
+	}
+	comp := make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var queue []int32
+	numComp := int32(0)
+	compSize := []int{}
+	for s := int32(0); s < int32(n); s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		comp[s] = numComp
+		size := 1
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, v := range g.OutTo(u) {
+				if comp[v] < 0 {
+					comp[v] = numComp
+					size++
+					queue = append(queue, v)
+				}
+			}
+			for _, v := range g.InFrom(u) {
+				if comp[v] < 0 {
+					comp[v] = numComp
+					size++
+					queue = append(queue, v)
+				}
+			}
+		}
+		compSize = append(compSize, size)
+		numComp++
+	}
+	best := int32(0)
+	for c, size := range compSize {
+		if size > compSize[best] {
+			best = int32(c)
+		}
+	}
+	keep := make([]bool, n)
+	for v := int32(0); v < int32(n); v++ {
+		keep[v] = comp[v] == best
+	}
+	return g.Subgraph(keep)
+}
+
+// Subgraph returns the subgraph induced by the nodes with keep[v]==true
+// together with the mapping newID -> oldID. Edges with either endpoint
+// outside the kept set are dropped.
+func (g *Graph) Subgraph(keep []bool) (*Graph, []int32) {
+	if len(keep) != g.n {
+		panic("graph: Subgraph keep mask has wrong length")
+	}
+	newID := make([]int32, g.n)
+	var mapping []int32
+	next := int32(0)
+	for v := int32(0); v < int32(g.n); v++ {
+		if keep[v] {
+			newID[v] = next
+			mapping = append(mapping, v)
+			next++
+		} else {
+			newID[v] = -1
+		}
+	}
+	b := NewBuilder(int(next))
+	for u := int32(0); u < int32(g.n); u++ {
+		if !keep[u] {
+			continue
+		}
+		to := g.OutTo(u)
+		p := g.OutP(u)
+		pb := g.OutPBoost(u)
+		for i, v := range to {
+			if keep[v] {
+				b.MustAddEdge(newID[u], newID[v], p[i], pb[i])
+			}
+		}
+	}
+	return b.MustBuild(), mapping
+}
+
+// IsBidirectedTree reports whether the graph's underlying undirected
+// graph (directions and duplicate edges removed) is a tree, i.e. it is
+// connected and has exactly n-1 undirected edges. This is the structural
+// requirement for the tree algorithms of Section VI of the paper.
+func (g *Graph) IsBidirectedTree() bool {
+	n := g.n
+	if n == 0 {
+		return false
+	}
+	// Count undirected edges: each unordered pair {u,v} with at least one
+	// directed edge counts once. Adjacency runs are sorted, so count pairs
+	// (u,v) with u<v from out-edges and pairs (u,v) with u>v only when the
+	// reverse edge does not exist.
+	undirected := 0
+	for u := int32(0); u < int32(n); u++ {
+		for _, v := range g.OutTo(u) {
+			if u < v {
+				undirected++
+			} else {
+				if _, _, ok := g.FindEdge(v, u); !ok {
+					undirected++
+				}
+			}
+		}
+	}
+	if undirected != n-1 {
+		return false
+	}
+	// Connectivity over the undirected view.
+	seen := make([]bool, n)
+	stack := []int32{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range g.OutTo(u) {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				stack = append(stack, v)
+			}
+		}
+		for _, v := range g.InFrom(u) {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				stack = append(stack, v)
+			}
+		}
+	}
+	return count == n
+}

@@ -1,0 +1,157 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates edges and assembles an immutable Graph.
+//
+// A Builder may be reused after Build; building does not clear the edge
+// list, so successive Builds of an unchanged Builder yield equal graphs.
+type Builder struct {
+	n     int
+	edges []Edge
+}
+
+// NewBuilder returns a Builder for a graph with n nodes (ids 0..n-1).
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: NewBuilder with negative n")
+	}
+	return &Builder{n: n}
+}
+
+// N returns the number of nodes the builder was created with.
+func (b *Builder) N() int { return b.n }
+
+// NumEdges returns the number of edges added so far.
+func (b *Builder) NumEdges() int { return len(b.edges) }
+
+// AddEdge adds the directed edge (u,v) with base probability p and
+// boosted probability pBoost. Self-loops, duplicate edges, out-of-range
+// endpoints, and invalid probability pairs are rejected.
+func (b *Builder) AddEdge(u, v int32, p, pBoost float64) error {
+	if int(u) < 0 || int(u) >= b.n || int(v) < 0 || int(v) >= b.n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self loop at node %d", u)
+	}
+	if err := checkProbPair(p, pBoost); err != nil {
+		return fmt.Errorf("graph: edge (%d,%d): %w", u, v, err)
+	}
+	b.edges = append(b.edges, Edge{From: u, To: v, P: p, PBoost: pBoost})
+	return nil
+}
+
+// MustAddEdge is AddEdge that panics on error. Intended for tests and
+// generators whose inputs are correct by construction.
+func (b *Builder) MustAddEdge(u, v int32, p, pBoost float64) {
+	if err := b.AddEdge(u, v, p, pBoost); err != nil {
+		panic(err)
+	}
+}
+
+// Build assembles the immutable Graph. It returns an error on duplicate
+// edges.
+func (b *Builder) Build() (*Graph, error) {
+	n := b.n
+	m := len(b.edges)
+	g := &Graph{
+		n:        n,
+		outStart: make([]int32, n+1),
+		outTo:    make([]int32, m),
+		outP:     make([]float64, m),
+		outPB:    make([]float64, m),
+		inStart:  make([]int32, n+1),
+		inFrom:   make([]int32, m),
+		inP:      make([]float64, m),
+		inPB:     make([]float64, m),
+	}
+
+	// Counting sort by source for the out-CSR, then by target for in-CSR.
+	for _, e := range b.edges {
+		g.outStart[e.From+1]++
+		g.inStart[e.To+1]++
+	}
+	for i := 0; i < n; i++ {
+		g.outStart[i+1] += g.outStart[i]
+		g.inStart[i+1] += g.inStart[i]
+	}
+	outPos := append([]int32(nil), g.outStart[:n]...)
+	inPos := append([]int32(nil), g.inStart[:n]...)
+	for _, e := range b.edges {
+		op := outPos[e.From]
+		g.outTo[op] = e.To
+		g.outP[op] = e.P
+		g.outPB[op] = e.PBoost
+		outPos[e.From]++
+
+		ip := inPos[e.To]
+		g.inFrom[ip] = e.From
+		g.inP[ip] = e.P
+		g.inPB[ip] = e.PBoost
+		inPos[e.To]++
+	}
+
+	// Sort each adjacency run by neighbor id for deterministic layout and
+	// binary-searchable adjacency; detect duplicates while at it.
+	for u := 0; u < n; u++ {
+		if err := sortRun(g.outTo, g.outP, g.outPB, int(g.outStart[u]), int(g.outStart[u+1])); err != nil {
+			return nil, fmt.Errorf("graph: node %d out edges: %w", u, err)
+		}
+		if err := sortRun(g.inFrom, g.inP, g.inPB, int(g.inStart[u]), int(g.inStart[u+1])); err != nil {
+			return nil, fmt.Errorf("graph: node %d in edges: %w", u, err)
+		}
+	}
+	return g, nil
+}
+
+// MustBuild is Build that panics on error.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// sortRun sorts the [lo,hi) slice of the parallel arrays by id and
+// reports duplicates.
+func sortRun(ids []int32, p, pb []float64, lo, hi int) error {
+	run := runSorter{ids: ids[lo:hi], p: p[lo:hi], pb: pb[lo:hi]}
+	sort.Sort(run)
+	for i := 1; i < len(run.ids); i++ {
+		if run.ids[i] == run.ids[i-1] {
+			return fmt.Errorf("duplicate edge to node %d", run.ids[i])
+		}
+	}
+	return nil
+}
+
+type runSorter struct {
+	ids []int32
+	p   []float64
+	pb  []float64
+}
+
+func (s runSorter) Len() int           { return len(s.ids) }
+func (s runSorter) Less(i, j int) bool { return s.ids[i] < s.ids[j] }
+func (s runSorter) Swap(i, j int) {
+	s.ids[i], s.ids[j] = s.ids[j], s.ids[i]
+	s.p[i], s.p[j] = s.p[j], s.p[i]
+	s.pb[i], s.pb[j] = s.pb[j], s.pb[i]
+}
+
+// FromEdges is a convenience constructor building a Graph from an edge
+// list in one call.
+func FromEdges(n int, edges []Edge) (*Graph, error) {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		if err := b.AddEdge(e.From, e.To, e.P, e.PBoost); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,171 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Text format
+//
+//	# comment lines start with '#'
+//	<n> <m>
+//	<from> <to> <p> <pBoost>        (m lines)
+//
+// Node ids are 0-based. The format is line-oriented and whitespace
+// separated; it is the interchange format used by cmd/gengraph and
+// cmd/kboost.
+
+// WriteText writes g in the text format.
+func (g *Graph) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", g.N(), g.M()); err != nil {
+		return err
+	}
+	for u := int32(0); u < int32(g.n); u++ {
+		to := g.OutTo(u)
+		p := g.OutP(u)
+		pb := g.OutPBoost(u)
+		for i := range to {
+			if _, err := fmt.Fprintf(bw, "%d %d %g %g\n", u, to[i], p[i], pb[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses a graph in the text format.
+func ReadText(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+
+	line, err := nextDataLine(sc)
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading header: %w", err)
+	}
+	var n, m int
+	if _, err := fmt.Sscanf(line, "%d %d", &n, &m); err != nil {
+		return nil, fmt.Errorf("graph: bad header %q: %w", line, err)
+	}
+	if n < 0 || m < 0 {
+		return nil, fmt.Errorf("graph: negative size in header %q", line)
+	}
+	b := NewBuilder(n)
+	for i := 0; i < m; i++ {
+		line, err := nextDataLine(sc)
+		if err != nil {
+			return nil, fmt.Errorf("graph: reading edge %d/%d: %w", i+1, m, err)
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("graph: edge line %q: want 4 fields, got %d", line, len(fields))
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: edge line %q: %w", line, err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: edge line %q: %w", line, err)
+		}
+		p, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: edge line %q: %w", line, err)
+		}
+		pb, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: edge line %q: %w", line, err)
+		}
+		if err := b.AddEdge(int32(u), int32(v), p, pb); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}
+
+func nextDataLine(sc *bufio.Scanner) (string, error) {
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		return line, nil
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", io.ErrUnexpectedEOF
+}
+
+// Binary format: a compact little-endian encoding.
+//
+//	magic "KBG1" | uint32 n | uint32 m
+//	m records of: uint32 from | uint32 to | float64 p | float64 pBoost
+const binaryMagic = "KBG1"
+
+// WriteBinary writes g in the binary format.
+func (g *Graph) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	hdr := [8]byte{}
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(g.N()))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(g.M()))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [24]byte
+	for u := int32(0); u < int32(g.n); u++ {
+		to := g.OutTo(u)
+		p := g.OutP(u)
+		pb := g.OutPBoost(u)
+		for i := range to {
+			binary.LittleEndian.PutUint32(rec[0:4], uint32(u))
+			binary.LittleEndian.PutUint32(rec[4:8], uint32(to[i]))
+			binary.LittleEndian.PutUint64(rec[8:16], mathFloat64bits(p[i]))
+			binary.LittleEndian.PutUint64(rec[16:24], mathFloat64bits(pb[i]))
+			if _, err := bw.Write(rec[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses a graph in the binary format.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("graph: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("graph: bad magic %q (want %q)", magic, binaryMagic)
+	}
+	hdr := make([]byte, 8)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("graph: reading header: %w", err)
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[0:4]))
+	m := int(binary.LittleEndian.Uint32(hdr[4:8]))
+	b := NewBuilder(n)
+	rec := make([]byte, 24)
+	for i := 0; i < m; i++ {
+		if _, err := io.ReadFull(br, rec); err != nil {
+			return nil, fmt.Errorf("graph: reading edge %d/%d: %w", i+1, m, err)
+		}
+		u := int32(binary.LittleEndian.Uint32(rec[0:4]))
+		v := int32(binary.LittleEndian.Uint32(rec[4:8]))
+		p := mathFloat64frombits(binary.LittleEndian.Uint64(rec[8:16]))
+		pb := mathFloat64frombits(binary.LittleEndian.Uint64(rec[16:24]))
+		if err := b.AddEdge(u, v, p, pb); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,77 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/kboost/kboost/internal/rng"
+)
+
+// Property: LargestWCC returns a weakly connected subgraph whose size
+// equals the largest undirected component of the input.
+func TestQuickLargestWCC(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint8) bool {
+		r := rng.New(seed)
+		n := 2 + int(nRaw%30)
+		m := int(mRaw) % (n * 2)
+		b := NewBuilder(n)
+		seen := map[[2]int32]bool{}
+		for i := 0; i < m; i++ {
+			u := int32(r.Intn(n))
+			v := int32(r.Intn(n))
+			if u == v || seen[[2]int32{u, v}] {
+				continue
+			}
+			seen[[2]int32{u, v}] = true
+			b.MustAddEdge(u, v, 0.5, 0.7)
+		}
+		g := b.MustBuild()
+
+		wcc, mapping := g.LargestWCC()
+		// Reference: undirected components by union-find.
+		parent := make([]int, n)
+		for i := range parent {
+			parent[i] = i
+		}
+		var find func(int) int
+		find = func(x int) int {
+			for parent[x] != x {
+				parent[x] = parent[parent[x]]
+				x = parent[x]
+			}
+			return x
+		}
+		for _, e := range g.Edges() {
+			a, bb := find(int(e.From)), find(int(e.To))
+			if a != bb {
+				parent[a] = bb
+			}
+		}
+		sizes := map[int]int{}
+		best := 0
+		for v := 0; v < n; v++ {
+			s := find(v)
+			sizes[s]++
+			if sizes[s] > best {
+				best = sizes[s]
+			}
+		}
+		if wcc.N() != best {
+			return false
+		}
+		// All mapped original nodes must belong to one component.
+		if len(mapping) > 0 {
+			root := find(int(mapping[0]))
+			for _, orig := range mapping {
+				if find(int(orig)) != root {
+					return false
+				}
+			}
+		}
+		// The subgraph must be internally consistent.
+		return wcc.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,301 @@
+// Package lt implements a boosted Linear Threshold model, the extension
+// direction the paper's conclusion singles out ("investigate similar
+// problems under other influence diffusion models, for example the
+// well-known Linear Threshold model").
+//
+// Model: node v draws a threshold θ_v ~ U[0,1]; it activates when the
+// summed weight of its active in-neighbors reaches θ_v. Edge weights
+// derive from the influence probabilities: with W'(v) = Σ_u p'(u,v) and
+// norm(v) = max(1, W'(v)),
+//
+//	w(u,v)  = p(u,v)  / norm(v)   (v not boosted)
+//	w'(u,v) = p'(u,v) / norm(v)   (v boosted)
+//
+// so weights into any node sum to at most 1 and boosting only raises
+// them — the LT analogue of the influence boosting model. There is no
+// approximation theory here (the boosted-LT objective inherits the
+// non-submodularity problems); the package provides simulation and a
+// Monte-Carlo greedy heuristic, plus the estimator plumbing needed to
+// experiment with the model.
+package lt
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/kboost/kboost/internal/graph"
+	"github.com/kboost/kboost/internal/rng"
+)
+
+// Model is a boosted-LT instance derived from an influence graph.
+type Model struct {
+	g    *graph.Graph
+	norm []float64 // per node: max(1, Σ_in p')
+}
+
+// New derives a boosted-LT model from g.
+func New(g *graph.Graph) *Model {
+	m := &Model{g: g, norm: make([]float64, g.N())}
+	for v := int32(0); int(v) < g.N(); v++ {
+		var sum float64
+		for _, pb := range g.InPBoost(v) {
+			sum += pb
+		}
+		if sum < 1 {
+			sum = 1
+		}
+		m.norm[v] = sum
+	}
+	return m
+}
+
+// Weight returns the effective weight of edge (u,v) given v's boost
+// status, or 0 if the edge does not exist.
+func (m *Model) Weight(u, v int32, boosted bool) float64 {
+	p, pb, ok := m.g.FindEdge(u, v)
+	if !ok {
+		return 0
+	}
+	if boosted {
+		return pb / m.norm[v]
+	}
+	return p / m.norm[v]
+}
+
+// Simulator runs boosted-LT diffusions. Not safe for concurrent use.
+type Simulator struct {
+	m *Model
+
+	threshold []float64
+	weightIn  []float64 // accumulated active in-weight
+	active    []bool
+	queue     []int32
+	touched   []int32
+}
+
+// NewSimulator returns a Simulator for m.
+func NewSimulator(m *Model) *Simulator {
+	n := m.g.N()
+	return &Simulator{
+		m:         m,
+		threshold: make([]float64, n),
+		weightIn:  make([]float64, n),
+		active:    make([]bool, n),
+	}
+}
+
+// SpreadOnce runs one boosted-LT diffusion and returns the number of
+// active nodes at quiescence. boost may be nil.
+func (s *Simulator) SpreadOnce(seeds []int32, boost []bool, r *rng.Source) int {
+	g := s.m.g
+	// Reset state touched by the previous run.
+	for _, v := range s.touched {
+		s.active[v] = false
+		s.weightIn[v] = 0
+		s.threshold[v] = 0
+	}
+	s.touched = s.touched[:0]
+	s.queue = s.queue[:0]
+
+	activate := func(v int32) {
+		s.active[v] = true
+		s.queue = append(s.queue, v)
+	}
+	touch := func(v int32) {
+		if s.threshold[v] == 0 {
+			s.threshold[v] = r.Float64()
+			if s.threshold[v] == 0 {
+				s.threshold[v] = 1e-18 // avoid re-draw on revisit
+			}
+			s.touched = append(s.touched, v)
+		}
+	}
+	for _, v := range seeds {
+		if !s.active[v] {
+			touch(v)
+			activate(v)
+		}
+	}
+	count := len(s.queue)
+	for qi := 0; qi < len(s.queue); qi++ {
+		u := s.queue[qi]
+		to := g.OutTo(u)
+		p := g.OutP(u)
+		pb := g.OutPBoost(u)
+		for i, v := range to {
+			if s.active[v] {
+				continue
+			}
+			touch(v)
+			w := p[i]
+			if boost != nil && boost[v] {
+				w = pb[i]
+			}
+			s.weightIn[v] += w / s.m.norm[v]
+			if s.weightIn[v] >= s.threshold[v] {
+				activate(v)
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// Options configures Monte-Carlo estimation.
+type Options struct {
+	Sims    int    // default 10000
+	Seed    uint64 // default 1
+	Workers int    // default GOMAXPROCS
+}
+
+func (o Options) withDefaults() Options {
+	if o.Sims <= 0 {
+		o.Sims = 10000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Workers > o.Sims {
+		o.Workers = o.Sims
+	}
+	return o
+}
+
+// EstimateSpread estimates the expected boosted-LT spread.
+func EstimateSpread(g *graph.Graph, seeds, boost []int32, opt Options) (float64, error) {
+	for _, v := range append(append([]int32(nil), seeds...), boost...) {
+		if v < 0 || int(v) >= g.N() {
+			return 0, fmt.Errorf("lt: node %d out of range [0,%d)", v, g.N())
+		}
+	}
+	opt = opt.withDefaults()
+	m := New(g)
+	mask := make([]bool, g.N())
+	for _, v := range boost {
+		mask[v] = true
+	}
+	root := rng.New(opt.Seed)
+	sums := make([]float64, opt.Workers)
+	var wg sync.WaitGroup
+	per := opt.Sims / opt.Workers
+	rem := opt.Sims % opt.Workers
+	for w := 0; w < opt.Workers; w++ {
+		r := root.Split()
+		count := per
+		if w < rem {
+			count++
+		}
+		if count == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w, count int) {
+			defer wg.Done()
+			sim := NewSimulator(m)
+			var sum float64
+			for i := 0; i < count; i++ {
+				sum += float64(sim.SpreadOnce(seeds, mask, r))
+			}
+			sums[w] = sum
+		}(w, count)
+	}
+	wg.Wait()
+	var total float64
+	for _, s := range sums {
+		total += s
+	}
+	return total / float64(opt.Sims), nil
+}
+
+// EstimateBoost estimates the LT boost Δ_S(B) by differencing spreads
+// estimated with common random seeds.
+func EstimateBoost(g *graph.Graph, seeds, boost []int32, opt Options) (float64, error) {
+	withB, err := EstimateSpread(g, seeds, boost, opt)
+	if err != nil {
+		return 0, err
+	}
+	withoutB, err := EstimateSpread(g, seeds, nil, opt)
+	if err != nil {
+		return 0, err
+	}
+	return withB - withoutB, nil
+}
+
+// GreedyBoost is a Monte-Carlo greedy heuristic for boosted-LT: each
+// round it evaluates the marginal boost of every candidate (non-seed
+// nodes with the largest boost-gain in-weight, capped at candCap) and
+// takes the best. It has no approximation guarantee — the paper leaves
+// boosted LT as future work — but serves as a reasonable comparator.
+func GreedyBoost(g *graph.Graph, seeds []int32, k int, candCap int, opt Options) ([]int32, float64, error) {
+	if k < 1 {
+		return nil, 0, fmt.Errorf("lt: k=%d must be >= 1", k)
+	}
+	if candCap < k {
+		candCap = 4 * k
+	}
+	opt = opt.withDefaults()
+	seedMask := make([]bool, g.N())
+	for _, s := range seeds {
+		seedMask[s] = true
+	}
+	// Candidate pool: non-seeds by incoming boost gain Σ (p'-p).
+	type nw struct {
+		v int32
+		w float64
+	}
+	pool := make([]nw, 0, g.N())
+	for v := int32(0); int(v) < g.N(); v++ {
+		if seedMask[v] {
+			continue
+		}
+		var wsum float64
+		p := g.InP(v)
+		pb := g.InPBoost(v)
+		for i := range p {
+			wsum += pb[i] - p[i]
+		}
+		pool = append(pool, nw{v, wsum})
+	}
+	sort.Slice(pool, func(i, j int) bool {
+		if pool[i].w != pool[j].w {
+			return pool[i].w > pool[j].w
+		}
+		return pool[i].v < pool[j].v
+	})
+	if len(pool) > candCap {
+		pool = pool[:candCap]
+	}
+
+	var chosen []int32
+	chosenMask := make(map[int32]bool)
+	best := 0.0
+	for round := 0; round < k && round < len(pool); round++ {
+		bestV := int32(-1)
+		bestVal := best - 1
+		for _, cand := range pool {
+			if chosenMask[cand.v] {
+				continue
+			}
+			trial := append(append([]int32(nil), chosen...), cand.v)
+			val, err := EstimateBoost(g, seeds, trial, opt)
+			if err != nil {
+				return nil, 0, err
+			}
+			if val > bestVal {
+				bestV, bestVal = cand.v, val
+			}
+		}
+		if bestV < 0 {
+			break
+		}
+		chosen = append(chosen, bestV)
+		chosenMask[bestV] = true
+		best = bestVal
+	}
+	return chosen, best, nil
+}

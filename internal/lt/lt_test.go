@@ -1,0 +1,152 @@
+package lt
+
+import (
+	"math"
+	"testing"
+
+	"github.com/kboost/kboost/internal/graph"
+	"github.com/kboost/kboost/internal/rng"
+	"github.com/kboost/kboost/internal/testutil"
+)
+
+func TestWeightsNormalized(t *testing.T) {
+	r := rng.New(1)
+	g := testutil.RandomGraph(r, 20, 60, 0.8)
+	m := New(g)
+	for v := int32(0); int(v) < g.N(); v++ {
+		var sumBoost float64
+		for _, u := range g.InFrom(v) {
+			w := m.Weight(u, v, true)
+			wBase := m.Weight(u, v, false)
+			if wBase > w {
+				t.Fatalf("base weight %v exceeds boosted %v on (%d,%d)", wBase, w, u, v)
+			}
+			sumBoost += w
+		}
+		if sumBoost > 1+1e-9 {
+			t.Fatalf("boosted in-weights of %d sum to %v > 1", v, sumBoost)
+		}
+	}
+}
+
+func TestWeightMissingEdge(t *testing.T) {
+	g, _ := testutil.Fig1()
+	m := New(g)
+	if m.Weight(2, 0, false) != 0 {
+		t.Fatal("missing edge has non-zero weight")
+	}
+}
+
+// For a two-node graph with a single edge the LT activation probability
+// equals the edge weight, exactly computable.
+func TestTwoNodeExact(t *testing.T) {
+	b := graph.NewBuilder(2)
+	b.MustAddEdge(0, 1, 0.3, 0.6)
+	g := b.MustBuild()
+	plain, err := EstimateSpread(g, []int32{0}, nil, Options{Sims: 200000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// norm(1) = max(1, 0.6) = 1, so w = 0.3.
+	if math.Abs(plain-(1+0.3)) > 0.01 {
+		t.Fatalf("plain spread %v, want 1.3", plain)
+	}
+	boosted, err := EstimateSpread(g, []int32{0}, []int32{1}, Options{Sims: 200000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(boosted-(1+0.6)) > 0.01 {
+		t.Fatalf("boosted spread %v, want 1.6", boosted)
+	}
+}
+
+func TestSpreadBounds(t *testing.T) {
+	r := rng.New(3)
+	g := testutil.RandomGraph(r, 15, 40, 0.6)
+	m := New(g)
+	sim := NewSimulator(m)
+	seeds := []int32{0, 1}
+	for i := 0; i < 500; i++ {
+		n := sim.SpreadOnce(seeds, nil, r)
+		if n < 2 || n > g.N() {
+			t.Fatalf("spread %d out of bounds", n)
+		}
+	}
+}
+
+func TestBoostMonotone(t *testing.T) {
+	r := rng.New(4)
+	g := testutil.RandomGraph(r, 15, 45, 0.7)
+	seeds := []int32{0}
+	small, err := EstimateSpread(g, seeds, []int32{1}, Options{Sims: 60000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := EstimateSpread(g, seeds, []int32{1, 2, 3, 4}, Options{Sims: 60000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large+0.1 < small {
+		t.Fatalf("LT spread decreased with more boosts: %v -> %v", small, large)
+	}
+}
+
+func TestEstimateBoostNonNegative(t *testing.T) {
+	r := rng.New(5)
+	g := testutil.RandomGraph(r, 12, 30, 0.6)
+	boost, err := EstimateBoost(g, []int32{0}, []int32{1, 2}, Options{Sims: 60000, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if boost < -0.1 {
+		t.Fatalf("LT boost strongly negative: %v", boost)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	g, _ := testutil.Fig1()
+	if _, err := EstimateSpread(g, []int32{-1}, nil, Options{Sims: 10}); err == nil {
+		t.Fatal("bad seed accepted")
+	}
+	if _, err := EstimateSpread(g, []int32{0}, []int32{9}, Options{Sims: 10}); err == nil {
+		t.Fatal("bad boost accepted")
+	}
+	if _, _, err := GreedyBoost(g, []int32{0}, 0, 0, Options{Sims: 10}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestGreedyBoostPicksUseful(t *testing.T) {
+	// Chain 0 -> 1 -> 2 with boost-sensitive edges: boosting 1 should be
+	// chosen first (it gates the whole chain).
+	b := graph.NewBuilder(3)
+	b.MustAddEdge(0, 1, 0.2, 0.9)
+	b.MustAddEdge(1, 2, 0.2, 0.9)
+	g := b.MustBuild()
+	chosen, boost, err := GreedyBoost(g, []int32{0}, 1, 2, Options{Sims: 40000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chosen) != 1 || chosen[0] != 1 {
+		t.Fatalf("greedy chose %v, want [1]", chosen)
+	}
+	if boost <= 0 {
+		t.Fatalf("reported boost %v", boost)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	r := rng.New(8)
+	g := testutil.RandomGraph(r, 20, 50, 0.5)
+	a, err := EstimateSpread(g, []int32{0}, []int32{1}, Options{Sims: 5000, Seed: 9, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EstimateSpread(g, []int32{0}, []int32{1}, Options{Sims: 5000, Seed: 9, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("nondeterministic: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,174 @@
+// Package maxcover implements greedy weighted maximum coverage with
+// lazy (CELF-style) evaluation.
+//
+// The universe of "sets" are sketches (RR-sets or PRR-graph critical
+// node sets); the pickable items are graph nodes. Greedy max coverage
+// over submodular coverage functions yields the classic (1-1/e)
+// guarantee, which the IMM machinery converts into an end-to-end
+// approximation bound.
+package maxcover
+
+import "container/heap"
+
+// Coverage is an incremental max-coverage instance. Add sketches with
+// AddSet, then call Select (repeatedly, as the pool grows).
+type Coverage struct {
+	numItems int
+	sets     [][]int32 // sketch id -> item list (deduplicated per sketch)
+	postings [][]int32 // item -> sketch ids containing it
+}
+
+// New returns a Coverage over items 0..numItems-1.
+func New(numItems int) *Coverage {
+	return &Coverage{
+		numItems: numItems,
+		postings: make([][]int32, numItems),
+	}
+}
+
+// NumItems returns the size of the item universe.
+func (c *Coverage) NumItems() int { return c.numItems }
+
+// NumSets returns the number of sketches added.
+func (c *Coverage) NumSets() int { return len(c.sets) }
+
+// Sets exposes the stored sketches; the result aliases internal storage.
+func (c *Coverage) Sets() [][]int32 { return c.sets }
+
+// AddSet records one sketch. Items outside [0,numItems) are ignored;
+// duplicates within one sketch are deduplicated. Empty sketches are
+// allowed (they can never be covered) and count toward NumSets.
+func (c *Coverage) AddSet(items []int32) {
+	id := int32(len(c.sets))
+	clean := make([]int32, 0, len(items))
+	for _, v := range items {
+		if v < 0 || int(v) >= c.numItems {
+			continue
+		}
+		dup := false
+		for _, w := range clean {
+			if w == v {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			clean = append(clean, v)
+		}
+	}
+	c.sets = append(c.sets, clean)
+	for _, v := range clean {
+		c.postings[v] = append(c.postings[v], id)
+	}
+}
+
+// CoverageOf returns how many sketches contain at least one item of
+// chosen.
+func (c *Coverage) CoverageOf(chosen []int32) int {
+	covered := make(map[int32]struct{})
+	for _, v := range chosen {
+		if v < 0 || int(v) >= c.numItems {
+			continue
+		}
+		for _, s := range c.postings[v] {
+			covered[s] = struct{}{}
+		}
+	}
+	return len(covered)
+}
+
+// celfEntry is a lazily evaluated marginal gain.
+type celfEntry struct {
+	item  int32
+	gain  int
+	round int // the selection round in which gain was computed
+}
+
+type celfHeap []celfEntry
+
+func (h celfHeap) Len() int { return len(h) }
+func (h celfHeap) Less(i, j int) bool {
+	if h[i].gain != h[j].gain {
+		return h[i].gain > h[j].gain
+	}
+	return h[i].item < h[j].item // deterministic tie-break
+}
+func (h celfHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *celfHeap) Push(x interface{}) { *h = append(*h, x.(celfEntry)) }
+func (h *celfHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Select greedily picks up to k items maximizing sketch coverage, using
+// lazy evaluation. banned items (may be nil) are never picked;
+// preCovered sketches (by the items in pre) count as already covered and
+// do not contribute to gains or the returned coverage delta.
+//
+// It returns the chosen items in pick order and the number of sketches
+// they cover (excluding sketches pre covered).
+func (c *Coverage) Select(k int, banned []bool, pre []int32) (chosen []int32, covered int) {
+	if k <= 0 {
+		return nil, 0
+	}
+	coveredSet := make([]bool, len(c.sets))
+	for _, v := range pre {
+		if v < 0 || int(v) >= c.numItems {
+			continue
+		}
+		for _, s := range c.postings[v] {
+			coveredSet[s] = true
+		}
+	}
+
+	gainOf := func(item int32) int {
+		gain := 0
+		for _, s := range c.postings[item] {
+			if !coveredSet[s] {
+				gain++
+			}
+		}
+		return gain
+	}
+
+	h := make(celfHeap, 0, c.numItems)
+	for v := 0; v < c.numItems; v++ {
+		if banned != nil && banned[v] {
+			continue
+		}
+		if len(c.postings[v]) == 0 {
+			continue
+		}
+		h = append(h, celfEntry{item: int32(v), gain: len(c.postings[v]), round: -1})
+	}
+	heap.Init(&h)
+
+	taken := make([]bool, c.numItems)
+	for len(chosen) < k && h.Len() > 0 {
+		top := heap.Pop(&h).(celfEntry)
+		if taken[top.item] {
+			continue
+		}
+		if top.round == len(chosen) {
+			// Gain is current: take it.
+			if top.gain == 0 {
+				break
+			}
+			chosen = append(chosen, top.item)
+			taken[top.item] = true
+			covered += top.gain
+			for _, s := range c.postings[top.item] {
+				coveredSet[s] = true
+			}
+			continue
+		}
+		// Stale: recompute and push back.
+		top.gain = gainOf(top.item)
+		top.round = len(chosen)
+		heap.Push(&h, top)
+	}
+	return chosen, covered
+}

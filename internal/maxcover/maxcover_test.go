@@ -1,0 +1,192 @@
+package maxcover
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/kboost/kboost/internal/rng"
+)
+
+func TestSelectBasic(t *testing.T) {
+	c := New(5)
+	c.AddSet([]int32{0, 1})
+	c.AddSet([]int32{1, 2})
+	c.AddSet([]int32{3})
+	chosen, covered := c.Select(1, nil, nil)
+	if len(chosen) != 1 || chosen[0] != 1 || covered != 2 {
+		t.Fatalf("chose %v covering %d, want [1] covering 2", chosen, covered)
+	}
+}
+
+func TestSelectAllCoverable(t *testing.T) {
+	c := New(4)
+	c.AddSet([]int32{0})
+	c.AddSet([]int32{1})
+	c.AddSet([]int32{2})
+	chosen, covered := c.Select(3, nil, nil)
+	if covered != 3 || len(chosen) != 3 {
+		t.Fatalf("covered %d with %v", covered, chosen)
+	}
+}
+
+func TestSelectStopsAtZeroGain(t *testing.T) {
+	c := New(4)
+	c.AddSet([]int32{0})
+	chosen, covered := c.Select(3, nil, nil)
+	if len(chosen) != 1 || covered != 1 {
+		t.Fatalf("chose %v covering %d", chosen, covered)
+	}
+}
+
+func TestSelectBanned(t *testing.T) {
+	c := New(3)
+	c.AddSet([]int32{0})
+	c.AddSet([]int32{0})
+	c.AddSet([]int32{1})
+	banned := []bool{true, false, false}
+	chosen, covered := c.Select(2, banned, nil)
+	if covered != 1 || len(chosen) != 1 || chosen[0] != 1 {
+		t.Fatalf("banned node ignored: %v covering %d", chosen, covered)
+	}
+}
+
+func TestSelectPreCovered(t *testing.T) {
+	c := New(3)
+	c.AddSet([]int32{0, 1})
+	c.AddSet([]int32{2})
+	chosen, covered := c.Select(2, nil, []int32{0})
+	// Set 0 is pre-covered; only set 1 contributes.
+	if covered != 1 || len(chosen) != 1 || chosen[0] != 2 {
+		t.Fatalf("pre-covered not honored: %v covering %d", chosen, covered)
+	}
+}
+
+func TestEmptySketchesAllowed(t *testing.T) {
+	c := New(3)
+	c.AddSet(nil)
+	c.AddSet([]int32{1})
+	if c.NumSets() != 2 {
+		t.Fatalf("NumSets=%d", c.NumSets())
+	}
+	_, covered := c.Select(2, nil, nil)
+	if covered != 1 {
+		t.Fatalf("covered=%d", covered)
+	}
+}
+
+func TestAddSetDedupsAndFilters(t *testing.T) {
+	c := New(3)
+	c.AddSet([]int32{1, 1, 7, -2, 2})
+	if got := c.Sets()[0]; len(got) != 2 {
+		t.Fatalf("stored set %v, want deduped in-range pair", got)
+	}
+}
+
+func TestCoverageOf(t *testing.T) {
+	c := New(4)
+	c.AddSet([]int32{0, 1})
+	c.AddSet([]int32{2})
+	c.AddSet([]int32{1, 2})
+	if got := c.CoverageOf([]int32{1}); got != 2 {
+		t.Fatalf("CoverageOf([1]) = %d, want 2", got)
+	}
+	if got := c.CoverageOf([]int32{0, 2}); got != 3 {
+		t.Fatalf("CoverageOf([0,2]) = %d, want 3", got)
+	}
+	if got := c.CoverageOf(nil); got != 0 {
+		t.Fatalf("CoverageOf(nil) = %d", got)
+	}
+}
+
+// Lazy greedy must equal plain greedy: coverage functions are
+// submodular, so CELF's lazy evaluations are exact.
+func TestLazyEqualsPlainGreedy(t *testing.T) {
+	r := rng.New(5)
+	for trial := 0; trial < 30; trial++ {
+		numItems := 2 + r.Intn(20)
+		c := New(numItems)
+		numSets := r.Intn(40)
+		for s := 0; s < numSets; s++ {
+			size := r.Intn(5)
+			set := make([]int32, 0, size)
+			for j := 0; j < size; j++ {
+				set = append(set, int32(r.Intn(numItems)))
+			}
+			c.AddSet(set)
+		}
+		k := 1 + r.Intn(4)
+		_, lazyCov := c.Select(k, nil, nil)
+		plainCov := plainGreedy(c, k)
+		if lazyCov != plainCov {
+			t.Fatalf("trial %d: lazy coverage %d != plain %d", trial, lazyCov, plainCov)
+		}
+	}
+}
+
+// plainGreedy is an O(k·items·sets) reference implementation.
+func plainGreedy(c *Coverage, k int) int {
+	covered := make([]bool, c.NumSets())
+	chosen := make([]bool, c.NumItems())
+	total := 0
+	for round := 0; round < k; round++ {
+		best, bestGain := -1, 0
+		for v := 0; v < c.NumItems(); v++ {
+			if chosen[v] {
+				continue
+			}
+			gain := 0
+			for si, set := range c.Sets() {
+				if covered[si] {
+					continue
+				}
+				for _, item := range set {
+					if int(item) == v {
+						gain++
+						break
+					}
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = v, gain
+			}
+		}
+		if best < 0 || bestGain == 0 {
+			break
+		}
+		chosen[best] = true
+		total += bestGain
+		for si, set := range c.Sets() {
+			if covered[si] {
+				continue
+			}
+			for _, item := range set {
+				if int(item) == best {
+					covered[si] = true
+					break
+				}
+			}
+		}
+	}
+	return total
+}
+
+// Property: coverage of the greedy solution equals CoverageOf(chosen).
+func TestQuickSelectConsistent(t *testing.T) {
+	f := func(seed uint64, kRaw uint8) bool {
+		r := rng.New(seed)
+		c := New(10)
+		for s := 0; s < 20; s++ {
+			var set []int32
+			for j := 0; j < r.Intn(4); j++ {
+				set = append(set, int32(r.Intn(10)))
+			}
+			c.AddSet(set)
+		}
+		k := 1 + int(kRaw%5)
+		chosen, covered := c.Select(k, nil, nil)
+		return covered == c.CoverageOf(chosen)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

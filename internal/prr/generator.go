@@ -1,0 +1,618 @@
+package prr
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/kboost/kboost/internal/graph"
+	"github.com/kboost/kboost/internal/rng"
+)
+
+// Mode selects how much of a boostable PRR-graph is materialized.
+type Mode uint8
+
+const (
+	// ModeFull builds the compressed PRR-graph and its critical nodes
+	// (needed by PRR-Boost, which greedily optimizes Δ̂ on the pool).
+	ModeFull Mode = iota
+	// ModeLB computes only the critical node set C_R, generating with an
+	// effective budget of one boost: single-boost seed→root paths are all
+	// C_R depends on, which is why PRR-Boost-LB is faster and leaner
+	// (Section V-C).
+	ModeLB
+)
+
+// edge status codes for the sampled possible world.
+const (
+	esUnsampled uint8 = iota
+	esBlocked
+	esLive
+	esBoost // live-upon-boost
+)
+
+const inf = int32(1) << 29
+
+// rawEdge is a non-blocked edge recorded during the backward BFS, in
+// original node ids. boost is 1 for live-upon-boost edges.
+type rawEdge struct {
+	from, to int32
+	boost    uint8
+}
+
+// Result reports one generated PRR-graph.
+type Result struct {
+	Kind     Kind
+	Root     int32
+	Graph    *PRR    // compressed graph; nil unless Kind==Boostable and ModeFull
+	Critical []int32 // critical node ids; nil unless Kind==Boostable
+	// RawEdges is the number of non-blocked edges recorded before
+	// compression (the "uncompressed" size of Tables 2-3).
+	RawEdges int
+	// CompressedEdges is the edge count after compression (ModeFull).
+	CompressedEdges int
+	// EdgesExamined counts edge lookups during generation: the empirical
+	// analogue of EPT in the running-time analysis.
+	EdgesExamined int
+}
+
+// Generator produces random PRR-graphs for a fixed (graph, seeds, k).
+// It owns large scratch buffers; create one per goroutine.
+type Generator struct {
+	g        *graph.Graph
+	seedMask []bool
+	k        int
+	mode     Mode
+
+	status  []uint8 // per global in-edge: sampled status
+	touched []int32 // in-edge indices to reset
+
+	dr       []int32 // phase 1: node -> #boost-edges to root (inf if unseen)
+	expanded []bool
+	cur      []int32
+	next     []int32
+
+	rawEdges []rawEdge
+	rawNodes []int32 // original ids with dr assigned, in discovery order
+
+	localOf []int32 // original id -> raw local index (valid for rawNodes)
+
+	emptyMask []bool // all-false mask for critical extraction
+	scratch   *Scratch
+}
+
+// NewGenerator returns a Generator. seeds must be valid node ids; k>=1.
+func NewGenerator(g *graph.Graph, seeds []int32, k int, mode Mode) (*Generator, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("prr: k=%d must be >= 1", k)
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("prr: empty seed set")
+	}
+	seedMask := make([]bool, g.N())
+	for _, s := range seeds {
+		if s < 0 || int(s) >= g.N() {
+			return nil, fmt.Errorf("prr: seed %d out of range [0,%d)", s, g.N())
+		}
+		seedMask[s] = true
+	}
+	gen := &Generator{
+		g:         g,
+		seedMask:  seedMask,
+		k:         k,
+		mode:      mode,
+		status:    make([]uint8, g.M()),
+		dr:        make([]int32, g.N()),
+		expanded:  make([]bool, g.N()),
+		localOf:   make([]int32, g.N()),
+		emptyMask: make([]bool, g.N()),
+		scratch:   NewScratch(),
+	}
+	for i := range gen.dr {
+		gen.dr[i] = inf
+	}
+	return gen, nil
+}
+
+// genBudget is the pruning budget for phase 1 (k, or 1 in LB mode).
+func (gen *Generator) genBudget() int32 {
+	if gen.mode == ModeLB {
+		return 1
+	}
+	return int32(gen.k)
+}
+
+// cleanup resets all per-generation scratch state.
+func (gen *Generator) cleanup() {
+	for _, e := range gen.touched {
+		gen.status[e] = esUnsampled
+	}
+	gen.touched = gen.touched[:0]
+	for _, v := range gen.rawNodes {
+		gen.dr[v] = inf
+		gen.expanded[v] = false
+	}
+	gen.rawNodes = gen.rawNodes[:0]
+	gen.rawEdges = gen.rawEdges[:0]
+	gen.cur = gen.cur[:0]
+	gen.next = gen.next[:0]
+}
+
+// Generate produces one PRR-graph for a uniformly random root.
+func (gen *Generator) Generate(r *rng.Source) Result {
+	root := int32(r.Intn(gen.g.N()))
+	return gen.GenerateFrom(root, r)
+}
+
+// GenerateFrom produces one PRR-graph rooted at root (Algorithm 1).
+func (gen *Generator) GenerateFrom(root int32, r *rng.Source) Result {
+	defer gen.cleanup()
+	res := Result{Root: root}
+	if gen.seedMask[root] {
+		res.Kind = KindActivated
+		return res
+	}
+
+	g := gen.g
+	kGen := gen.genBudget()
+
+	// Phase 1: backward 0-1 BFS from the root. Bucket queues process
+	// nodes in nondecreasing boost-distance, so a node's distance is
+	// final when it is expanded.
+	gen.dr[root] = 0
+	gen.rawNodes = append(gen.rawNodes, root)
+	gen.cur = append(gen.cur, root)
+	seenSeed := false
+	d := int32(0)
+	for len(gen.cur) > 0 {
+		for qi := 0; qi < len(gen.cur); qi++ {
+			u := gen.cur[qi]
+			if gen.dr[u] != d || gen.expanded[u] {
+				continue
+			}
+			gen.expanded[u] = true
+			from := g.InFrom(u)
+			pArr := g.InP(u)
+			pbArr := g.InPBoost(u)
+			offs := g.InOffset(u)
+			for i, v := range from {
+				e := offs + int32(i)
+				st := gen.status[e]
+				if st == esUnsampled {
+					st = sampleEdge(pArr[i], pbArr[i], r)
+					gen.status[e] = st
+					gen.touched = append(gen.touched, e)
+				}
+				res.EdgesExamined++
+				if st == esBlocked {
+					continue
+				}
+				dvr := d
+				var b uint8
+				if st == esBoost {
+					dvr++
+					b = 1
+				}
+				if dvr > kGen {
+					continue // pruning: cannot become live with <= k boosts
+				}
+				gen.rawEdges = append(gen.rawEdges, rawEdge{from: v, to: u, boost: b})
+				if dvr < gen.dr[v] {
+					if gen.dr[v] == inf {
+						gen.rawNodes = append(gen.rawNodes, v)
+					}
+					gen.dr[v] = dvr
+					if gen.seedMask[v] {
+						if dvr == 0 {
+							res.Kind = KindActivated
+							return res
+						}
+						seenSeed = true
+						// Seeds terminate paths: never expanded.
+					} else if dvr == d {
+						gen.cur = append(gen.cur, v)
+					} else {
+						gen.next = append(gen.next, v)
+					}
+				}
+			}
+		}
+		gen.cur, gen.next = gen.next, gen.cur[:0]
+		d++
+	}
+	if !seenSeed {
+		res.Kind = KindHopeless
+		return res
+	}
+
+	res.Kind = KindBoostable
+	res.RawEdges = len(gen.rawEdges)
+
+	if gen.mode == ModeLB {
+		res.Critical = gen.criticalFromRaw(root)
+		return res
+	}
+
+	prr, err := gen.compress(root)
+	if err != nil {
+		// Compression failing indicates an internal invariant violation;
+		// surface it loudly rather than silently skewing estimates.
+		panic(fmt.Sprintf("prr: compression failed: %v", err))
+	}
+	res.Graph = prr
+	res.Critical = prr.critical
+	res.CompressedEdges = prr.NumEdges()
+	return res
+}
+
+func sampleEdge(p, pb float64, r *rng.Source) uint8 {
+	u := r.Float64()
+	switch {
+	case u < p:
+		return esLive
+	case u < pb:
+		return esBoost
+	default:
+		return esBlocked
+	}
+}
+
+// rawAdj builds forward and backward adjacency over the raw edges in
+// local indices. Returns CSR-style arrays.
+func (gen *Generator) rawAdj() (cnt int, outStart, outIdx, inStart, inIdx []int32) {
+	cnt = len(gen.rawNodes)
+	for i, orig := range gen.rawNodes {
+		gen.localOf[orig] = int32(i)
+	}
+	outStart = make([]int32, cnt+1)
+	inStart = make([]int32, cnt+1)
+	for _, e := range gen.rawEdges {
+		outStart[gen.localOf[e.from]+1]++
+		inStart[gen.localOf[e.to]+1]++
+	}
+	for i := 0; i < cnt; i++ {
+		outStart[i+1] += outStart[i]
+		inStart[i+1] += inStart[i]
+	}
+	outIdx = make([]int32, len(gen.rawEdges)) // edge indices into rawEdges
+	inIdx = make([]int32, len(gen.rawEdges))
+	outPos := append([]int32(nil), outStart[:cnt]...)
+	inPos := append([]int32(nil), inStart[:cnt]...)
+	for ei, e := range gen.rawEdges {
+		f := gen.localOf[e.from]
+		t := gen.localOf[e.to]
+		outIdx[outPos[f]] = int32(ei)
+		outPos[f]++
+		inIdx[inPos[t]] = int32(ei)
+		inPos[t]++
+	}
+	return cnt, outStart, outIdx, inStart, inIdx
+}
+
+// criticalFromRaw computes C_R directly on the raw structure:
+// X = nodes live-reachable from seeds, Z = nodes live-reaching the root;
+// v is critical iff v ∉ X, v ∈ Z, and some live-upon-boost edge (u,v)
+// has u ∈ X.
+func (gen *Generator) criticalFromRaw(root int32) []int32 {
+	cnt, outStart, outIdx, inStart, inIdx := gen.rawAdj()
+
+	inX := make([]bool, cnt)
+	queue := make([]int32, 0, cnt)
+	for i, orig := range gen.rawNodes {
+		if gen.seedMask[orig] {
+			inX[i] = true
+			queue = append(queue, int32(i))
+		}
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
+		for j := outStart[u]; j < outStart[u+1]; j++ {
+			e := gen.rawEdges[outIdx[j]]
+			if e.boost == 1 {
+				continue
+			}
+			t := gen.localOf[e.to]
+			if !inX[t] {
+				inX[t] = true
+				queue = append(queue, t)
+			}
+		}
+	}
+
+	inZ := make([]bool, cnt)
+	rl := gen.localOf[root]
+	inZ[rl] = true
+	queue = append(queue[:0], rl)
+	for qi := 0; qi < len(queue); qi++ {
+		v := queue[qi]
+		for j := inStart[v]; j < inStart[v+1]; j++ {
+			e := gen.rawEdges[inIdx[j]]
+			if e.boost == 1 {
+				continue
+			}
+			f := gen.localOf[e.from]
+			if !inZ[f] {
+				inZ[f] = true
+				queue = append(queue, f)
+			}
+		}
+	}
+
+	var critical []int32
+	for i, orig := range gen.rawNodes {
+		if inX[i] || !inZ[i] {
+			continue
+		}
+		for j := inStart[i]; j < inStart[int32(i)+1]; j++ {
+			e := gen.rawEdges[inIdx[j]]
+			if e.boost == 1 && inX[gen.localOf[e.from]] {
+				critical = append(critical, orig)
+				break
+			}
+		}
+	}
+	sort.Slice(critical, func(i, j int) bool { return critical[i] < critical[j] })
+	return critical
+}
+
+// compress implements phase 2 of Algorithm 1 (Section V-A): merge the
+// live-reachable region into a super-seed, drop nodes that cannot lie on
+// a <=k-boost seed→root path, shortcut live paths to the root, and keep
+// only nodes on super-seed→root paths. The result preserves f_R(B) and
+// f−_R(B) for all |B| <= k.
+func (gen *Generator) compress(root int32) (*PRR, error) {
+	cnt, outStart, outIdx, inStart, inIdx := gen.rawAdj()
+	rl := gen.localOf[root]
+
+	// dS: 0-1 BFS from seeds over raw edges (forward). Weight 1 on
+	// live-upon-boost edges.
+	dS := make([]int32, cnt)
+	for i := range dS {
+		dS[i] = inf
+	}
+	var cur, next []int32
+	for i, orig := range gen.rawNodes {
+		if gen.seedMask[orig] {
+			dS[i] = 0
+			cur = append(cur, int32(i))
+		}
+	}
+	for d := int32(0); len(cur) > 0; d++ {
+		for qi := 0; qi < len(cur); qi++ {
+			u := cur[qi]
+			if dS[u] != d {
+				continue
+			}
+			for j := outStart[u]; j < outStart[u+1]; j++ {
+				e := gen.rawEdges[outIdx[j]]
+				t := gen.localOf[e.to]
+				nd := d + int32(e.boost)
+				if nd < dS[t] {
+					dS[t] = nd
+					if nd == d {
+						cur = append(cur, t)
+					} else {
+						next = append(next, t)
+					}
+				}
+			}
+		}
+		cur, next = next, cur[:0]
+	}
+
+	inX := make([]bool, cnt)
+	for i := range inX {
+		inX[i] = dS[i] == 0
+	}
+	if inX[rl] {
+		return nil, fmt.Errorf("root is live-reachable in a boostable PRR-graph")
+	}
+
+	// d'r: 0-1 BFS backward from the root, not passing through X.
+	dpr := make([]int32, cnt)
+	for i := range dpr {
+		dpr[i] = inf
+	}
+	dpr[rl] = 0
+	cur = append(cur[:0], rl)
+	next = next[:0]
+	for d := int32(0); len(cur) > 0; d++ {
+		for qi := 0; qi < len(cur); qi++ {
+			v := cur[qi]
+			if dpr[v] != d {
+				continue
+			}
+			for j := inStart[v]; j < inStart[v+1]; j++ {
+				e := gen.rawEdges[inIdx[j]]
+				f := gen.localOf[e.from]
+				if inX[f] {
+					continue // paths may start at the super-seed but not cross it
+				}
+				nd := d + int32(e.boost)
+				if nd < dpr[f] {
+					dpr[f] = nd
+					if nd == d {
+						cur = append(cur, f)
+					} else {
+						next = append(next, f)
+					}
+				}
+			}
+		}
+		cur, next = next, cur[:0]
+	}
+
+	// Stage-2 ids: 0 = super-seed; kept non-X nodes renumbered 1..
+	keepID := make([]int32, cnt)
+	var stageOrig []int32 // stage id -> original id (stage 0 = -1)
+	stageOrig = append(stageOrig, -1)
+	for i := 0; i < cnt; i++ {
+		switch {
+		case inX[i]:
+			keepID[i] = 0
+		case dS[i] < inf && dpr[i] < inf && dS[i]+dpr[i] <= int32(gen.k):
+			keepID[i] = int32(len(stageOrig))
+			stageOrig = append(stageOrig, gen.rawNodes[i])
+		default:
+			keepID[i] = -1
+		}
+	}
+	rootStage := keepID[rl]
+	if rootStage <= 0 {
+		return nil, fmt.Errorf("root dropped during compression")
+	}
+
+	// Stage-2 edge list with super-seed contraction and root shortcuts.
+	type sEdge struct {
+		from, to int32
+		boost    uint8
+	}
+	var edges []sEdge
+	for i := 0; i < cnt; i++ {
+		si := keepID[i]
+		if si < 0 {
+			continue
+		}
+		if si > 0 && si != rootStage && dpr[i] == 0 {
+			// Live path to the root: outgoing edges replaced by a direct
+			// live edge below.
+			continue
+		}
+		for j := outStart[i]; j < outStart[int32(i)+1]; j++ {
+			e := gen.rawEdges[outIdx[j]]
+			t := keepID[gen.localOf[e.to]]
+			if t <= 0 {
+				continue // dropped, or edge into the super-seed
+			}
+			if si == 0 && t == 0 {
+				continue
+			}
+			edges = append(edges, sEdge{from: si, to: t, boost: e.boost})
+		}
+	}
+	for i := 0; i < cnt; i++ {
+		si := keepID[i]
+		if si > 0 && si != rootStage && dpr[i] == 0 {
+			edges = append(edges, sEdge{from: si, to: rootStage, boost: 0})
+		}
+	}
+
+	// Dedup parallel edges (contraction can create them), preferring live
+	// over live-upon-boost.
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].from != edges[b].from {
+			return edges[a].from < edges[b].from
+		}
+		if edges[a].to != edges[b].to {
+			return edges[a].to < edges[b].to
+		}
+		return edges[a].boost < edges[b].boost
+	})
+	dedup := edges[:0]
+	for i, e := range edges {
+		if i > 0 && e.from == dedup[len(dedup)-1].from && e.to == dedup[len(dedup)-1].to {
+			continue
+		}
+		dedup = append(dedup, e)
+	}
+	edges = dedup
+
+	// Keep only nodes on some super-seed→root chain: forward-reachable
+	// from the super-seed and backward-reachable from the root, over all
+	// (live + live-upon-boost) edges.
+	ns := len(stageOrig)
+	fwd := make([]bool, ns)
+	bwd := make([]bool, ns)
+	outAdj := make([][]int32, ns) // stage node -> edge indices
+	inAdj := make([][]int32, ns)
+	for ei, e := range edges {
+		outAdj[e.from] = append(outAdj[e.from], int32(ei))
+		inAdj[e.to] = append(inAdj[e.to], int32(ei))
+	}
+	q := append([]int32(nil), 0)
+	fwd[0] = true
+	for qi := 0; qi < len(q); qi++ {
+		for _, ei := range outAdj[q[qi]] {
+			t := edges[ei].to
+			if !fwd[t] {
+				fwd[t] = true
+				q = append(q, t)
+			}
+		}
+	}
+	if !fwd[rootStage] {
+		return nil, fmt.Errorf("root unreachable from super-seed after contraction")
+	}
+	q = append(q[:0], rootStage)
+	bwd[rootStage] = true
+	for qi := 0; qi < len(q); qi++ {
+		for _, ei := range inAdj[q[qi]] {
+			f := edges[ei].from
+			if !bwd[f] {
+				bwd[f] = true
+				q = append(q, f)
+			}
+		}
+	}
+
+	// Final renumbering.
+	finalID := make([]int32, ns)
+	finalID[0] = 0
+	finalOrig := []int32{-1}
+	for s := 1; s < ns; s++ {
+		if fwd[s] && bwd[s] {
+			finalID[s] = int32(len(finalOrig))
+			finalOrig = append(finalOrig, stageOrig[s])
+		} else {
+			finalID[s] = -1
+		}
+	}
+	n := int32(len(finalOrig))
+	R := &PRR{
+		root: finalID[rootStage],
+		orig: finalOrig,
+	}
+
+	// Final CSR (both directions).
+	R.outStart = make([]int32, n+1)
+	R.inStart = make([]int32, n+1)
+	kept := 0
+	for _, e := range edges {
+		if finalID[e.from] >= 0 && finalID[e.to] >= 0 {
+			R.outStart[finalID[e.from]+1]++
+			R.inStart[finalID[e.to]+1]++
+			kept++
+		}
+	}
+	for i := int32(0); i < n; i++ {
+		R.outStart[i+1] += R.outStart[i]
+		R.inStart[i+1] += R.inStart[i]
+	}
+	R.outTo = make([]int32, kept)
+	R.outBoost = make([]uint8, kept)
+	R.inFrom = make([]int32, kept)
+	R.inBoost = make([]uint8, kept)
+	outPos := append([]int32(nil), R.outStart[:n]...)
+	inPos := append([]int32(nil), R.inStart[:n]...)
+	for _, e := range edges {
+		f, t := finalID[e.from], finalID[e.to]
+		if f < 0 || t < 0 {
+			continue
+		}
+		R.outTo[outPos[f]] = t
+		R.outBoost[outPos[f]] = e.boost
+		outPos[f]++
+		R.inFrom[inPos[t]] = f
+		R.inBoost[inPos[t]] = e.boost
+		inPos[t]++
+	}
+
+	if err := R.validate(); err != nil {
+		return nil, err
+	}
+
+	// Critical nodes from the compressed structure.
+	_, cands := R.Candidates(gen.emptyMask, gen.scratch)
+	R.critical = append([]int32(nil), cands...)
+	sort.Slice(R.critical, func(i, j int) bool { return R.critical[i] < R.critical[j] })
+	return R, nil
+}

@@ -1,0 +1,342 @@
+package prr
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/kboost/kboost/internal/graph"
+	"github.com/kboost/kboost/internal/imm"
+	"github.com/kboost/kboost/internal/maxcover"
+	"github.com/kboost/kboost/internal/rng"
+)
+
+// Pool is a growable collection of random PRR-graphs for a fixed
+// (graph, seed set, k). It implements imm.Sketcher over the critical
+// node sets (the μ lower bound), and — in ModeFull — supports greedy
+// selection and estimation of the true boost objective Δ̂.
+//
+// Estimates are normalized by the total number of generated PRR-graphs,
+// including activated and hopeless ones (they contribute f_R ≡ 0).
+type Pool struct {
+	g        *graph.Graph
+	seeds    []int32
+	seedMask []bool
+	k        int
+	mode     Mode
+	workers  int
+	streams  []*rng.Source
+	gens     []*Generator
+
+	cov    *maxcover.Coverage // critical sets of boostable graphs
+	graphs []*PRR             // ModeFull: compressed boostable graphs
+
+	total         int
+	numActivated  int
+	numHopeless   int
+	numBoostable  int
+	sumRaw        int64
+	sumCompressed int64
+	sumExamined   int64
+	sumCritical   int64
+}
+
+// NewPool creates an empty pool. workers <= 0 means GOMAXPROCS.
+func NewPool(g *graph.Graph, seeds []int32, k int, mode Mode, seed uint64, workers int) (*Pool, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{
+		g:        g,
+		seeds:    append([]int32(nil), seeds...),
+		seedMask: make([]bool, g.N()),
+		k:        k,
+		mode:     mode,
+		workers:  workers,
+		cov:      maxcover.New(g.N()),
+	}
+	root := rng.New(seed)
+	for w := 0; w < workers; w++ {
+		gen, err := NewGenerator(g, seeds, k, mode)
+		if err != nil {
+			return nil, err
+		}
+		p.gens = append(p.gens, gen)
+		p.streams = append(p.streams, root.Split())
+	}
+	for _, s := range seeds {
+		p.seedMask[s] = true
+	}
+	return p, nil
+}
+
+// Size returns the total number of PRR-graphs generated (all kinds).
+func (p *Pool) Size() int { return p.total }
+
+// Extend grows the pool to at least target total PRR-graphs.
+func (p *Pool) Extend(target int) {
+	need := target - p.total
+	if need <= 0 {
+		return
+	}
+	counts := make([]int, p.workers)
+	base, rem := need/p.workers, need%p.workers
+	for w := range counts {
+		counts[w] = base
+		if w < rem {
+			counts[w]++
+		}
+	}
+	batches := make([][]Result, p.workers)
+	var wg sync.WaitGroup
+	for w := 0; w < p.workers; w++ {
+		if counts[w] == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := p.streams[w]
+			gen := p.gens[w]
+			batch := make([]Result, 0, counts[w])
+			for i := 0; i < counts[w]; i++ {
+				batch = append(batch, gen.Generate(r))
+			}
+			batches[w] = batch
+		}(w)
+	}
+	wg.Wait()
+	for _, batch := range batches {
+		for _, res := range batch {
+			p.total++
+			p.sumExamined += int64(res.EdgesExamined)
+			switch res.Kind {
+			case KindActivated:
+				p.numActivated++
+			case KindHopeless:
+				p.numHopeless++
+			case KindBoostable:
+				p.numBoostable++
+				p.sumRaw += int64(res.RawEdges)
+				p.sumCompressed += int64(res.CompressedEdges)
+				p.sumCritical += int64(len(res.Critical))
+				p.cov.AddSet(res.Critical)
+				if p.mode == ModeFull {
+					p.graphs = append(p.graphs, res.Graph)
+				}
+			}
+		}
+	}
+}
+
+// SelectAndCover greedily maximizes μ̂ coverage (critical-node max
+// coverage) with seeds banned; it implements imm.Sketcher.
+func (p *Pool) SelectAndCover(k int) ([]int32, int) {
+	return p.cov.Select(k, p.seedMask, nil)
+}
+
+// CoverageOf returns how many boostable PRR-graphs have a critical node
+// among items (the validation hook for imm.RunAdaptive).
+func (p *Pool) CoverageOf(items []int32) int {
+	return p.cov.CoverageOf(items)
+}
+
+var (
+	_ imm.Sketcher            = (*Pool)(nil)
+	_ imm.ValidatableSketcher = (*Pool)(nil)
+)
+
+// scale converts a covered-sketch count into an estimate of a boost:
+// n * covered / total.
+func (p *Pool) scale(covered int) float64 {
+	if p.total == 0 {
+		return 0
+	}
+	return float64(p.g.N()) * float64(covered) / float64(p.total)
+}
+
+// EstimateMu returns μ̂(B) = n/|R| * Σ I(B ∩ C_R ≠ ∅).
+func (p *Pool) EstimateMu(b []int32) float64 {
+	return p.scale(p.cov.CoverageOf(b))
+}
+
+// EstimateDelta returns Δ̂(B) = n/|R| * Σ f_R(B). ModeFull only.
+func (p *Pool) EstimateDelta(b []int32) (float64, error) {
+	if p.mode != ModeFull {
+		return 0, fmt.Errorf("prr: EstimateDelta requires ModeFull")
+	}
+	mask := make([]bool, p.g.N())
+	for _, v := range b {
+		if v < 0 || int(v) >= p.g.N() {
+			return 0, fmt.Errorf("prr: boost node %d out of range", v)
+		}
+		mask[v] = true
+	}
+	counts := make([]int, p.workers)
+	var wg sync.WaitGroup
+	chunk := (len(p.graphs) + p.workers - 1) / p.workers
+	for w := 0; w < p.workers; w++ {
+		lo := w * chunk
+		if lo >= len(p.graphs) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(p.graphs) {
+			hi = len(p.graphs)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			s := NewScratch()
+			c := 0
+			for _, R := range p.graphs[lo:hi] {
+				if R.Eval(mask, s) {
+					c++
+				}
+			}
+			counts[w] = c
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	covered := 0
+	for _, c := range counts {
+		covered += c
+	}
+	return p.scale(covered), nil
+}
+
+// SelectDelta greedily selects up to k nodes maximizing Δ̂ over the pool
+// (the non-submodular objective; no worst-case guarantee, per Section
+// V-B this is the B_Δ of Algorithm 2 line 4). It returns the chosen
+// nodes and the number of covered PRR-graphs.
+func (p *Pool) SelectDelta(k int) ([]int32, int, error) {
+	if p.mode != ModeFull {
+		return nil, 0, fmt.Errorf("prr: SelectDelta requires ModeFull")
+	}
+	n := p.g.N()
+	mask := make([]bool, n)
+	covered := make([]bool, len(p.graphs))
+	gain := make([]int32, n)
+	cands := make([][]int32, len(p.graphs))
+
+	// Inverted index: original node -> PRR-graphs containing it.
+	postings := make([][]int32, n)
+	for gi, R := range p.graphs {
+		for _, v := range R.Nodes() {
+			postings[v] = append(postings[v], int32(gi))
+		}
+	}
+
+	// Initial candidate sets, computed in parallel.
+	var wg sync.WaitGroup
+	chunk := (len(p.graphs) + p.workers - 1) / p.workers
+	for w := 0; w < p.workers; w++ {
+		lo := w * chunk
+		if lo >= len(p.graphs) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(p.graphs) {
+			hi = len(p.graphs)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			s := NewScratch()
+			for gi := lo; gi < hi; gi++ {
+				cov, cs := p.graphs[gi].Candidates(mask, s)
+				if cov {
+					covered[gi] = true // cannot happen for boostable graphs with B=∅
+					continue
+				}
+				cands[gi] = append([]int32(nil), cs...)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	coveredCount := 0
+	for gi := range p.graphs {
+		if covered[gi] {
+			coveredCount++
+		}
+		for _, v := range cands[gi] {
+			gain[v]++
+		}
+	}
+
+	scratch := NewScratch()
+	var chosen []int32
+	for len(chosen) < k {
+		best := int32(-1)
+		var bestGain int32
+		for v := int32(0); int(v) < n; v++ {
+			if mask[v] || p.seedMask[v] {
+				continue
+			}
+			if gain[v] > bestGain {
+				best, bestGain = v, gain[v]
+			}
+		}
+		if best < 0 || bestGain == 0 {
+			break
+		}
+		chosen = append(chosen, best)
+		mask[best] = true
+		for _, gi := range postings[best] {
+			if covered[gi] {
+				continue
+			}
+			for _, v := range cands[gi] {
+				gain[v]--
+			}
+			cov, cs := p.graphs[gi].Candidates(mask, scratch)
+			if cov {
+				covered[gi] = true
+				coveredCount++
+				cands[gi] = nil
+				continue
+			}
+			cands[gi] = append(cands[gi][:0], cs...)
+			for _, v := range cands[gi] {
+				gain[v]++
+			}
+		}
+	}
+	return chosen, coveredCount, nil
+}
+
+// PoolStats summarizes the pool for the compression and memory tables.
+type PoolStats struct {
+	Total        int
+	Activated    int
+	Hopeless     int
+	Boostable    int
+	AvgRawEdges  float64 // average uncompressed edges per boostable graph
+	AvgCompEdges float64 // average compressed edges per boostable graph
+	// CompressionRatio = AvgRawEdges / AvgCompEdges (Tables 2-3).
+	CompressionRatio float64
+	AvgCriticalSize  float64
+	AvgExamined      float64 // average edges examined per generated graph
+}
+
+// Stats returns current pool statistics.
+func (p *Pool) Stats() PoolStats {
+	st := PoolStats{
+		Total:     p.total,
+		Activated: p.numActivated,
+		Hopeless:  p.numHopeless,
+		Boostable: p.numBoostable,
+	}
+	if p.numBoostable > 0 {
+		st.AvgRawEdges = float64(p.sumRaw) / float64(p.numBoostable)
+		st.AvgCompEdges = float64(p.sumCompressed) / float64(p.numBoostable)
+		st.AvgCriticalSize = float64(p.sumCritical) / float64(p.numBoostable)
+		if st.AvgCompEdges > 0 {
+			st.CompressionRatio = st.AvgRawEdges / st.AvgCompEdges
+		}
+	}
+	if p.total > 0 {
+		st.AvgExamined = float64(p.sumExamined) / float64(p.total)
+	}
+	return st
+}

@@ -1,0 +1,134 @@
+package prr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/kboost/kboost/internal/rng"
+	"github.com/kboost/kboost/internal/testutil"
+)
+
+// Property: on random graphs and roots, every generated boostable
+// PRR-graph satisfies the structural contract: valid CSR, root not
+// covered at B=∅, critical nodes are exactly the single-node covers,
+// and f−_R(B) ≤ f_R(B) for random B.
+func TestQuickPRRStructuralContract(t *testing.T) {
+	f := func(seed uint64, kRaw uint8) bool {
+		r := rng.New(seed)
+		g := testutil.RandomGraph(r, 10, 20, 0.6)
+		seeds := testutil.RandomSeedSet(r, g.N(), 1+r.Intn(2))
+		k := 1 + int(kRaw%4)
+		gen, err := NewGenerator(g, seeds, k, ModeFull)
+		if err != nil {
+			return false
+		}
+		s := NewScratch()
+		for i := 0; i < 20; i++ {
+			res := gen.Generate(r)
+			if res.Kind != KindBoostable {
+				continue
+			}
+			R := res.Graph
+			if err := R.validate(); err != nil {
+				return false
+			}
+			emptyMask := make([]bool, g.N())
+			if R.Eval(emptyMask, s) {
+				return false // boostable graph must not be covered at ∅
+			}
+			// Critical definition check: f_R({v}) = 1 iff v ∈ C_R.
+			crit := map[int32]bool{}
+			for _, c := range R.Critical() {
+				crit[c] = true
+			}
+			for _, v := range R.Nodes() {
+				mask := make([]bool, g.N())
+				mask[v] = true
+				if R.Eval(mask, s) != crit[v] {
+					return false
+				}
+			}
+			// Lower bound property on a random B.
+			mask := make([]bool, g.N())
+			lower := false
+			for _, v := range R.Nodes() {
+				if r.Bernoulli(0.5) {
+					mask[v] = true
+					if crit[v] {
+						lower = true
+					}
+				}
+			}
+			if lower && !R.Eval(mask, s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the LB generator's critical sets match the full generator's
+// in distribution — here checked structurally: every critical node of
+// an LB-mode graph is a non-seed node of the original graph.
+func TestQuickLBCriticalNodesValid(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		g := testutil.RandomGraph(r, 12, 25, 0.5)
+		seeds := testutil.RandomSeedSet(r, g.N(), 2)
+		seedMask := make(map[int32]bool)
+		for _, s := range seeds {
+			seedMask[s] = true
+		}
+		gen, err := NewGenerator(g, seeds, 3, ModeLB)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 30; i++ {
+			res := gen.Generate(r)
+			if res.Kind != KindBoostable {
+				continue
+			}
+			for _, c := range res.Critical {
+				if c < 0 || int(c) >= g.N() || seedMask[c] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: generation leaves no residue — repeated generation from
+// the same Generator must stay consistent (the scratch reset paths are
+// exercised by interleaving roots and kinds).
+func TestGeneratorScratchReset(t *testing.T) {
+	r := rng.New(33)
+	g := testutil.RandomGraph(r, 15, 35, 0.5)
+	seeds := testutil.RandomSeedSet(r, g.N(), 2)
+	gen, err := NewGenerator(g, seeds, 2, ModeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave fixed-root generations; statuses must be independently
+	// resampled, so outcomes vary, but the structure must stay valid.
+	kinds := map[Kind]int{}
+	for i := 0; i < 300; i++ {
+		root := int32(i % g.N())
+		res := gen.GenerateFrom(root, r)
+		kinds[res.Kind]++
+		if res.Kind == KindBoostable && res.Graph != nil {
+			if err := res.Graph.validate(); err != nil {
+				t.Fatalf("iteration %d: %v", i, err)
+			}
+		}
+	}
+	if kinds[KindBoostable] == 0 {
+		t.Skip("no boostable graphs on this instance")
+	}
+}

@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("summary %+v", s)
+	}
+	wantStd := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 3)
+	if math.Abs(s.Std-wantStd) > 1e-12 {
+		t.Fatalf("std %v, want %v", s.Std, wantStd)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.Std != 0 {
+		t.Fatalf("empty summary %+v", s)
+	}
+	if s.CI95() != 0 {
+		t.Fatal("CI of empty sample not 0")
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Std != 0 || s.Min != 7 || s.Max != 7 {
+		t.Fatalf("single summary %+v", s)
+	}
+}
+
+func TestCI95(t *testing.T) {
+	s := Summarize([]float64{0, 2, 0, 2})
+	want := 1.96 * s.Std / 2
+	if math.Abs(s.CI95()-want) > 1e-12 {
+		t.Fatalf("CI %v, want %v", s.CI95(), want)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if Mean([]float64{1, 3}) != 2 {
+		t.Fatal("Mean wrong")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("odd median wrong")
+	}
+	if Median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Fatal("even median wrong")
+	}
+	if Median(nil) != 0 {
+		t.Fatal("empty median wrong")
+	}
+	// Input must not be reordered.
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 {
+		t.Fatal("Median mutated input")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	cases := []struct{ q, want float64 }{
+		{0, 0}, {1, 4}, {0.5, 2}, {0.25, 1}, {0.125, 0.5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("empty quantile wrong")
+	}
+}
+
+func TestTimer(t *testing.T) {
+	tm := StartTimer()
+	if tm.Seconds() < 0 {
+		t.Fatal("negative elapsed time")
+	}
+	if tm.Elapsed() < 0 {
+		t.Fatal("negative duration")
+	}
+}
+
+func TestHeapAllocMB(t *testing.T) {
+	if HeapAllocMB() <= 0 {
+		t.Fatal("heap allocation not positive")
+	}
+}

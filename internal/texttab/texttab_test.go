@@ -1,0 +1,90 @@
+package texttab
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tb := New("demo", "name", "value")
+	tb.AddRow("a", 1)
+	tb.AddRow("longer", 2.5)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "== demo ==") {
+		t.Fatalf("missing title: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "name") || !strings.Contains(lines[1], "value") {
+		t.Fatalf("bad header: %q", lines[1])
+	}
+	// Columns align: "value" starts at the same offset in header and rows.
+	off := strings.Index(lines[1], "value")
+	if lines[3][off-2:off] != "  " && lines[3][off] == ' ' {
+		t.Fatalf("row misaligned:\n%s", out)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	tb := New("", "x")
+	tb.AddRow(1.23456789)
+	tb.AddRow(float32(2.5))
+	out := tb.String()
+	if !strings.Contains(out, "1.235") {
+		t.Fatalf("float64 not compacted: %s", out)
+	}
+	if !strings.Contains(out, "2.5") {
+		t.Fatalf("float32 missing: %s", out)
+	}
+}
+
+func TestNoTitle(t *testing.T) {
+	tb := New("", "a")
+	tb.AddRow("x")
+	if strings.Contains(tb.String(), "==") {
+		t.Fatal("unexpected title marker")
+	}
+}
+
+func TestNumRows(t *testing.T) {
+	tb := New("t", "a")
+	if tb.NumRows() != 0 {
+		t.Fatal("empty table has rows")
+	}
+	tb.AddRow(1)
+	tb.AddRow(2)
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tb := New("ignored title", "a", "b")
+	tb.AddRow("plain", 1.5)
+	tb.AddRow(`quo"te`, "with,comma")
+	var sb strings.Builder
+	if err := tb.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := "a,b\nplain,1.5\n\"quo\"\"te\",\"with,comma\"\n"
+	if got != want {
+		t.Fatalf("CSV:\n%q\nwant\n%q", got, want)
+	}
+	if strings.Contains(got, "ignored title") {
+		t.Fatal("title leaked into CSV")
+	}
+}
+
+func TestMixedTypes(t *testing.T) {
+	tb := New("t", "a", "b", "c", "d")
+	tb.AddRow("s", 42, 3.14, true)
+	out := tb.String()
+	for _, want := range []string{"s", "42", "3.14", "true"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in %s", want, out)
+		}
+	}
+}

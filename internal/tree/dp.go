@@ -1,0 +1,620 @@
+package tree
+
+import (
+	"fmt"
+	"math"
+)
+
+// DP-Boost (Section VI-B and Appendix B): a rounded bottom-up dynamic
+// program over the tree rooted at node 0. For every node v it tabulates
+//
+//	g'(v, κ, c, f) = max expected boost inside v's subtree, given that
+//	  at most κ nodes of the subtree are boosted, v is activated within
+//	  the subtree with probability c, and v's parent is activated with
+//	  probability f when the subtree is removed,
+//
+// with c and f restricted to multiples of a rounding parameter δ and
+// range-refined per node (the refinement of Section VI-B; without it
+// table sizes are impractical). Values are rounded down, so g' lower
+// bounds the true g, and the returned set B̃ satisfies
+// Δ(B̃) ≥ (1−ε)·OPT when OPT ≥ 1 (Theorems 3-4).
+//
+// δ follows Algorithm 4: δ = ε·max(LB,1) / (2·Σ_{u,v} p(k)(u⇝v)), where
+// LB comes from Greedy-Boost. We upper-bound p(k)(u⇝v) (the path
+// probability with the top-k edges boosted) by the all-boosted path
+// probability, which only shrinks δ and therefore preserves the
+// guarantee. Nodes with more than two children use the helper-chain DP
+// of Definition 5 with intermediate values rounded on the finer grid
+// δ/d, again only tightening the rounding the analysis allows.
+
+// DPOptions configures DPBoost.
+type DPOptions struct {
+	Epsilon float64 // approximation slack ε (default 0.5)
+	// MaxGridCells caps the total number of DP table cells as a safety
+	// valve (default 64M). DPBoost returns an error suggesting a larger
+	// ε when exceeded.
+	MaxGridCells int64
+}
+
+func (o DPOptions) withDefaults() DPOptions {
+	if o.Epsilon <= 0 {
+		o.Epsilon = 0.5
+	}
+	if o.MaxGridCells <= 0 {
+		o.MaxGridCells = 64 << 20
+	}
+	return o
+}
+
+// DPResult reports a DPBoost run.
+type DPResult struct {
+	Boost   []int32 // chosen boost set (|B| <= k)
+	Delta   float64 // exact Δ_S(B) of the returned set
+	DPValue float64 // the DP's (lower-bound) objective value
+	DeltaG  float64 // the rounding parameter δ
+	GridN   int     // 1/δ
+	LB      float64 // Greedy-Boost lower bound used to set δ
+}
+
+var negInf = math.Inf(-1)
+
+// table is a dense DP table for one node.
+type table struct {
+	kmax       int
+	ciLo, ciHi int32
+	fiLo, fiHi int32
+	nc, nf     int32
+	vals       []float64
+}
+
+func newTable(kmax int, ciLo, ciHi, fiLo, fiHi int32) *table {
+	tb := &table{
+		kmax: kmax,
+		ciLo: ciLo, ciHi: ciHi, fiLo: fiLo, fiHi: fiHi,
+		nc: ciHi - ciLo + 1, nf: fiHi - fiLo + 1,
+	}
+	tb.vals = make([]float64, (kmax+1)*int(tb.nc)*int(tb.nf))
+	for i := range tb.vals {
+		tb.vals[i] = negInf
+	}
+	return tb
+}
+
+func (tb *table) cells() int64 { return int64(len(tb.vals)) }
+
+func (tb *table) idx(k int, ci, fi int32) int {
+	return (k*int(tb.nc)+int(ci-tb.ciLo))*int(tb.nf) + int(fi-tb.fiLo)
+}
+
+// at returns the value, or -inf when the coordinate is out of range.
+func (tb *table) at(k int, ci, fi int32) float64 {
+	if k < 0 || ci < tb.ciLo || ci > tb.ciHi || fi < tb.fiLo || fi > tb.fiHi {
+		return negInf
+	}
+	if k > tb.kmax {
+		k = tb.kmax
+	}
+	return tb.vals[tb.idx(k, ci, fi)]
+}
+
+func (tb *table) bump(k int, ci, fi int32, v float64) {
+	if ci < tb.ciLo || ci > tb.ciHi || fi < tb.fiLo || fi > tb.fiHi || k < 0 || k > tb.kmax {
+		return
+	}
+	i := tb.idx(k, ci, fi)
+	if v > tb.vals[i] {
+		tb.vals[i] = v
+	}
+}
+
+// monotonize makes the table non-decreasing in κ ("at most κ" semantics).
+func (tb *table) monotonize() {
+	for k := 1; k <= tb.kmax; k++ {
+		for ci := tb.ciLo; ci <= tb.ciHi; ci++ {
+			for fi := tb.fiLo; fi <= tb.fiHi; fi++ {
+				lo := tb.vals[tb.idx(k-1, ci, fi)]
+				i := tb.idx(k, ci, fi)
+				if lo > tb.vals[i] {
+					tb.vals[i] = lo
+				}
+			}
+		}
+	}
+}
+
+// dpState carries everything the DP needs.
+type dpState struct {
+	t     *Tree
+	k     int
+	gridN int     // δ = 1/gridN
+	delta float64 // rounding parameter
+
+	ap0      []float64
+	children [][]int32
+	kmax     []int
+	ciLo     []int32
+	ciHi     []int32
+	fiLo     []int32
+	fiHi     []int32
+	tables   []*table
+}
+
+// floorIdx maps a value to its δ-grid index, rounding down (with a fuzz
+// guard so exact grid points are not pushed below themselves).
+func (s *dpState) floorIdx(x float64) int32 {
+	i := int32(math.Floor(x*float64(s.gridN) + 1e-9))
+	if i < 0 {
+		i = 0
+	}
+	if i > int32(s.gridN) {
+		i = int32(s.gridN)
+	}
+	return i
+}
+
+func (s *dpState) ceilIdx(x float64) int32 {
+	i := int32(math.Ceil(x*float64(s.gridN) - 1e-9))
+	if i < 0 {
+		i = 0
+	}
+	if i > int32(s.gridN) {
+		i = int32(s.gridN)
+	}
+	return i
+}
+
+func (s *dpState) val(idx int32) float64 { return float64(idx) * s.delta }
+
+// probs into v from its parent (slot parent->v).
+func (s *dpState) parentProb(v int32) (p, pb float64) {
+	ps := s.t.parentSlot[v]
+	if ps < 0 {
+		return 0, 0 // virtual parent of the root
+	}
+	j := s.t.rev[ps] // slot (parent -> v)
+	return s.t.p[j], s.t.pb[j]
+}
+
+// probs into v from child c (slot c->v).
+func (s *dpState) childProb(v, c int32) (p, pb float64) {
+	for j := s.t.start[c]; j < s.t.start[c+1]; j++ {
+		if s.t.nbr[j] == v {
+			return s.t.p[j], s.t.pb[j]
+		}
+	}
+	panic("tree: childProb: not adjacent")
+}
+
+// selfTerm is the node's own contribution max{1-(1-c)(1-f·p^b)-ap∅, 0}.
+func (s *dpState) selfTerm(v int32, cVal, fVal float64, b int) float64 {
+	p, pb := s.parentProb(v)
+	pin := p
+	if b == 1 {
+		pin = pb
+	}
+	val := 1 - (1-cVal)*(1-fVal*pin) - s.ap0[v]
+	if val < 0 {
+		return 0
+	}
+	return val
+}
+
+// DPBoost runs the rounded dynamic program and extracts a boost set.
+func DPBoost(t *Tree, k int, opt DPOptions) (*DPResult, error) {
+	opt = opt.withDefaults()
+	if k < 1 {
+		return nil, fmt.Errorf("tree: DPBoost needs k >= 1, got %d", k)
+	}
+	if len(t.seeds) == 0 {
+		return nil, fmt.Errorf("tree: DPBoost needs at least one seed")
+	}
+
+	greedy, err := GreedyBoost(t, k)
+	if err != nil {
+		return nil, err
+	}
+	lb := greedy.Delta
+
+	denom := t.allBoostPathSum()
+	delta := opt.Epsilon * math.Max(lb, 1) / (2 * denom)
+	if delta > 1 {
+		delta = 1
+	}
+	gridN := int(math.Ceil(1/delta - 1e-9))
+	if gridN < 1 {
+		gridN = 1
+	}
+	delta = 1 / float64(gridN)
+
+	s := &dpState{t: t, k: k, gridN: gridN, delta: delta}
+	e := NewEvaluator(t)
+	e.baseline()
+	s.ap0 = e.ap0
+
+	s.children = make([][]int32, t.n)
+	for v := int32(0); int(v) < t.n; v++ {
+		s.children[v] = t.children(v)
+	}
+	s.computeKmax()
+	s.computeRanges()
+
+	// Table budget check.
+	var totalCells int64
+	for v := int32(0); int(v) < t.n; v++ {
+		nc := int64(s.ciHi[v]-s.ciLo[v]) + 1
+		nf := int64(s.fiHi[v]-s.fiLo[v]) + 1
+		totalCells += int64(s.kmax[v]+1) * nc * nf
+	}
+	if totalCells > opt.MaxGridCells {
+		return nil, fmt.Errorf("tree: DP tables need %d cells (cap %d); increase Epsilon", totalCells, opt.MaxGridCells)
+	}
+
+	s.tables = make([]*table, t.n)
+	for oi := len(t.order) - 1; oi >= 0; oi-- {
+		v := t.order[oi]
+		s.fillNode(v)
+		s.tables[v].monotonize()
+	}
+
+	// Best root cell: f of the root is fixed at index 0.
+	root := t.order[0]
+	rt := s.tables[root]
+	bestVal := 0.0
+	bestCi := int32(-1)
+	for ci := rt.ciLo; ci <= rt.ciHi; ci++ {
+		if v := rt.at(rt.kmax, ci, 0); v > bestVal {
+			bestVal, bestCi = v, ci
+		}
+	}
+	res := &DPResult{DPValue: bestVal, DeltaG: delta, GridN: gridN, LB: lb}
+	if bestCi >= 0 {
+		boost, err := s.extract(root, rt.kmax, bestCi, 0)
+		if err != nil {
+			return nil, err
+		}
+		res.Boost = boost
+	}
+	// If greedy beat the DP extraction (possible because the DP optimizes
+	// a floor-rounded objective), return the better set, as the paper's
+	// experiments do when comparing the two.
+	d, err := e.Delta(res.Boost)
+	if err != nil {
+		return nil, err
+	}
+	res.Delta = d
+	return res, nil
+}
+
+// allBoostPathSum computes Σ_{u,v∈V} Π_{e∈path(u→v)} p'(e), the
+// upper bound on Σ p(k)(u⇝v) used for δ (diagonal terms count 1 each).
+func (t *Tree) allBoostPathSum() float64 {
+	total := float64(t.n) // u == v terms
+	// DFS from every node, multiplying boosted probabilities outward.
+	type frame struct {
+		node, prev int32
+		prod       float64
+	}
+	stack := make([]frame, 0, t.n)
+	for u := int32(0); int(u) < t.n; u++ {
+		stack = append(stack[:0], frame{u, -1, 1})
+		for len(stack) > 0 {
+			fr := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for j := t.start[fr.node]; j < t.start[fr.node+1]; j++ {
+				w := t.nbr[j]
+				if w == fr.prev {
+					continue
+				}
+				prod := fr.prod * t.pb[j]
+				total += prod
+				if prod > 0 {
+					stack = append(stack, frame{w, fr.node, prod})
+				}
+			}
+		}
+	}
+	return total
+}
+
+// computeKmax sets kmax[v] = min(k, #non-seed nodes in subtree(v)).
+func (s *dpState) computeKmax() {
+	t := s.t
+	s.kmax = make([]int, t.n)
+	count := make([]int, t.n)
+	for oi := len(t.order) - 1; oi >= 0; oi-- {
+		v := t.order[oi]
+		c := 0
+		if !t.seed[v] {
+			c = 1
+		}
+		for _, ch := range s.children[v] {
+			c += count[ch]
+		}
+		count[v] = c
+		if c > s.k {
+			c = s.k
+		}
+		s.kmax[v] = c
+	}
+}
+
+// computeRanges fills the per-node [cLo,cHi] and [fLo,fHi] index ranges
+// (the range refinement): lo under no boosting with DP-style flooring,
+// hi under all-boosting with ceiling.
+func (s *dpState) computeRanges() {
+	t := s.t
+	n := t.n
+	s.ciLo = make([]int32, n)
+	s.ciHi = make([]int32, n)
+	s.fiLo = make([]int32, n)
+	s.fiHi = make([]int32, n)
+
+	one := int32(s.gridN)
+	// Bottom-up c ranges.
+	for oi := len(t.order) - 1; oi >= 0; oi-- {
+		v := t.order[oi]
+		if t.seed[v] {
+			s.ciLo[v], s.ciHi[v] = one, one
+			continue
+		}
+		if len(s.children[v]) == 0 {
+			s.ciLo[v], s.ciHi[v] = 0, 0
+			continue
+		}
+		prodLo, prodHi := 1.0, 1.0
+		for _, c := range s.children[v] {
+			p, pb := s.childProb(v, c)
+			prodLo *= 1 - s.val(s.ciLo[c])*p
+			prodHi *= 1 - s.val(s.ciHi[c])*pb
+		}
+		s.ciLo[v] = s.floorIdx(1 - prodLo)
+		s.ciHi[v] = s.ceilIdx(1 - prodHi)
+	}
+	// Top-down f ranges.
+	for _, v := range t.order {
+		if t.parent[v] == -1 {
+			s.fiLo[v], s.fiHi[v] = 0, 0
+		}
+		kids := s.children[v]
+		if len(kids) == 0 {
+			continue
+		}
+		if t.seed[v] {
+			for _, c := range kids {
+				s.fiLo[c], s.fiHi[c] = one, one
+			}
+			continue
+		}
+		pu, pbu := s.parentProb(v)
+		baseLo := 1 - s.val(s.fiLo[v])*pu
+		baseHi := 1 - s.val(s.fiHi[v])*pbu
+		// prefix/suffix products of sibling terms.
+		d := len(kids)
+		preLo := make([]float64, d+1)
+		preHi := make([]float64, d+1)
+		sufLo := make([]float64, d+1)
+		sufHi := make([]float64, d+1)
+		preLo[0], preHi[0] = 1, 1
+		for i, c := range kids {
+			p, pb := s.childProb(v, c)
+			preLo[i+1] = preLo[i] * (1 - s.val(s.ciLo[c])*p)
+			preHi[i+1] = preHi[i] * (1 - s.val(s.ciHi[c])*pb)
+		}
+		sufLo[d], sufHi[d] = 1, 1
+		for i := d - 1; i >= 0; i-- {
+			c := kids[i]
+			p, pb := s.childProb(v, c)
+			sufLo[i] = sufLo[i+1] * (1 - s.val(s.ciLo[c])*p)
+			sufHi[i] = sufHi[i+1] * (1 - s.val(s.ciHi[c])*pb)
+		}
+		for i, c := range kids {
+			s.fiLo[c] = s.floorIdx(1 - baseLo*preLo[i]*sufLo[i+1])
+			s.fiHi[c] = s.ceilIdx(1 - baseHi*preHi[i]*sufHi[i+1])
+		}
+	}
+}
+
+// fillNode dispatches on the node case.
+func (s *dpState) fillNode(v int32) {
+	tb := newTable(s.kmax[v], s.ciLo[v], s.ciHi[v], s.fiLo[v], s.fiHi[v])
+	s.tables[v] = tb
+	kids := s.children[v]
+	switch {
+	case s.t.seed[v] && len(kids) == 0:
+		s.fillSeedLeaf(v, tb)
+	case s.t.seed[v]:
+		s.fillSeedInternal(v, tb, kids)
+	case len(kids) == 0:
+		s.fillLeaf(v, tb)
+	case len(kids) <= 2:
+		s.fillSmall(v, tb, kids)
+	default:
+		s.fillChain(v, tb, kids)
+	}
+}
+
+func (s *dpState) fillSeedLeaf(v int32, tb *table) {
+	one := int32(s.gridN)
+	for k := 0; k <= tb.kmax; k++ {
+		for fi := tb.fiLo; fi <= tb.fiHi; fi++ {
+			tb.bump(k, one, fi, 0)
+		}
+	}
+}
+
+func (s *dpState) fillLeaf(v int32, tb *table) {
+	for k := 0; k <= tb.kmax; k++ {
+		b := 0
+		if k > 0 {
+			b = 1
+		}
+		for fi := tb.fiLo; fi <= tb.fiHi; fi++ {
+			tb.bump(k, 0, fi, s.selfTerm(v, 0, s.val(fi), b))
+		}
+	}
+}
+
+// seedBest returns, for child c, best over ci of table(c) at (κ, ci, f=1).
+func (s *dpState) seedBest(c int32, kappa int) float64 {
+	ct := s.tables[c]
+	one := int32(s.gridN)
+	best := negInf
+	for ci := ct.ciLo; ci <= ct.ciHi; ci++ {
+		if val := ct.at(kappa, ci, one); val > best {
+			best = val
+		}
+	}
+	return best
+}
+
+func (s *dpState) fillSeedInternal(v int32, tb *table, kids []int32) {
+	// Knapsack over children; each child sees f = 1.
+	h := make([]float64, tb.kmax+1) // best sum for first i children
+	for i := range h {
+		h[i] = negInf
+	}
+	h[0] = 0
+	for _, c := range kids {
+		nh := make([]float64, tb.kmax+1)
+		for i := range nh {
+			nh[i] = negInf
+		}
+		cmax := s.kmax[c]
+		for kPrev := 0; kPrev <= tb.kmax; kPrev++ {
+			if h[kPrev] == negInf {
+				continue
+			}
+			for kc := 0; kc <= cmax && kPrev+kc <= tb.kmax; kc++ {
+				val := h[kPrev] + s.seedBest(c, kc)
+				if val > nh[kPrev+kc] {
+					nh[kPrev+kc] = val
+				}
+			}
+		}
+		h = nh
+	}
+	one := int32(s.gridN)
+	for k := 0; k <= tb.kmax; k++ {
+		if h[k] == negInf {
+			continue
+		}
+		for fi := tb.fiLo; fi <= tb.fiHi; fi++ {
+			tb.bump(k, one, fi, h[k])
+		}
+	}
+}
+
+// fillSmall handles non-seed nodes with 1 or 2 children (Definition 4).
+func (s *dpState) fillSmall(v int32, tb *table, kids []int32) {
+	s.enumSmall(v, tb, kids, nil)
+}
+
+// enumSmall enumerates all (b, f, c-children, κ-split) combinations for
+// d<=2. When visit is nil the table is filled; otherwise visit is called
+// with each combination (used for extraction) and filling is skipped.
+type smallCombo struct {
+	b          int
+	kTotal     int
+	ci, fi     int32
+	kc         [2]int
+	cic, fic   [2]int32
+	childCount int
+	value      float64
+}
+
+func (s *dpState) enumSmall(v int32, tb *table, kids []int32, visit func(smallCombo) bool) {
+	pu, pbu := s.parentProb(v)
+	d := len(kids)
+	c1 := kids[0]
+	t1 := s.tables[c1]
+	p1, pb1 := s.childProb(v, c1)
+	var t2 *table
+	var p2, pb2 float64
+	var c2 int32
+	if d == 2 {
+		c2 = kids[1]
+		t2 = s.tables[c2]
+		p2, pb2 = s.childProb(v, c2)
+	}
+
+	for b := 0; b <= 1; b++ {
+		if b > tb.kmax {
+			break
+		}
+		e1, eu := p1, pu
+		if b == 1 {
+			e1, eu = pb1, pbu
+		}
+		e2 := p2
+		if b == 1 {
+			e2 = pb2
+		}
+		for fi := tb.fiLo; fi <= tb.fiHi; fi++ {
+			fVal := s.val(fi)
+			parentFactor := 1 - fVal*eu
+			for ci1 := t1.ciLo; ci1 <= t1.ciHi; ci1++ {
+				c1Val := s.val(ci1)
+				f1 := 1 - c1Val*e1 // factor (1 - c1·p^b)
+				if d == 1 {
+					ci := s.floorIdx(c1Val * e1)
+					fi1 := s.floorIdx(fVal * eu)
+					cVal := s.val(ci)
+					st := s.selfTerm(v, cVal, fVal, b)
+					for k1 := 0; k1 <= t1.kmax && k1+b <= tb.kmax; k1++ {
+						val := t1.at(k1, ci1, fi1)
+						if val == negInf {
+							continue
+						}
+						total := val + st
+						if visit != nil {
+							cmb := smallCombo{b: b, kTotal: k1 + b, ci: ci, fi: fi, childCount: 1, value: total}
+							cmb.kc[0], cmb.cic[0], cmb.fic[0] = k1, ci1, fi1
+							if visit(cmb) {
+								return
+							}
+							continue
+						}
+						tb.bump(k1+b, ci, fi, total)
+					}
+					continue
+				}
+				for ci2 := t2.ciLo; ci2 <= t2.ciHi; ci2++ {
+					c2Val := s.val(ci2)
+					f2 := 1 - c2Val*e2
+					ci := s.floorIdx(1 - f1*f2)
+					fi1 := s.floorIdx(1 - parentFactor*f2)
+					fi2 := s.floorIdx(1 - parentFactor*f1)
+					cVal := s.val(ci)
+					st := s.selfTerm(v, cVal, fVal, b)
+					for k1 := 0; k1 <= t1.kmax; k1++ {
+						v1 := t1.at(k1, ci1, fi1)
+						if v1 == negInf {
+							continue
+						}
+						maxK2 := tb.kmax - b - k1
+						if maxK2 > t2.kmax {
+							maxK2 = t2.kmax
+						}
+						for k2 := 0; k2 <= maxK2; k2++ {
+							v2 := t2.at(k2, ci2, fi2)
+							if v2 == negInf {
+								continue
+							}
+							total := v1 + v2 + st
+							if visit != nil {
+								cmb := smallCombo{b: b, kTotal: k1 + k2 + b, ci: ci, fi: fi, childCount: 2, value: total}
+								cmb.kc[0], cmb.cic[0], cmb.fic[0] = k1, ci1, fi1
+								cmb.kc[1], cmb.cic[1], cmb.fic[1] = k2, ci2, fi2
+								if visit(cmb) {
+									return
+								}
+								continue
+							}
+							tb.bump(k1+k2+b, ci, fi, total)
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,530 @@
+package tree
+
+import (
+	"fmt"
+	"math"
+)
+
+// The helper-chain DP of Definition 5 (Appendix B): a non-seed node v
+// with children v_1..v_d (d >= 3) processes children sequentially.
+// State after position i:
+//
+//	x_i = probability v is activated by the first i subtrees,
+//	z_i = probability v is activated "from the right": by the parent
+//	      side and subtrees j > i (z_d is the table's f coordinate).
+//
+// Intermediate x/z values are rounded on the finer grid γ = δ/d, which
+// keeps the per-level rounding budget within the δ the analysis of
+// Theorem 4 allots (the paper rounds at δ/(d-2); rounding finer only
+// tightens the bound). The overall δ already carries the factor 2 of
+// Algorithm 4 to absorb this intermediate rounding.
+
+// htab is a dense helper table h(κ, xIdx, zIdx) for one chain position.
+type htab struct {
+	kmax     int
+	xLo, xHi int32
+	zLo, zHi int32
+	nx, nz   int32
+	vals     []float64
+}
+
+func newHtab(kmax int, xLo, xHi, zLo, zHi int32) *htab {
+	h := &htab{
+		kmax: kmax,
+		xLo:  xLo, xHi: xHi, zLo: zLo, zHi: zHi,
+		nx: xHi - xLo + 1, nz: zHi - zLo + 1,
+	}
+	h.vals = make([]float64, (kmax+1)*int(h.nx)*int(h.nz))
+	for i := range h.vals {
+		h.vals[i] = negInf
+	}
+	return h
+}
+
+func (h *htab) idx(k int, xi, zi int32) int {
+	return (k*int(h.nx)+int(xi-h.xLo))*int(h.nz) + int(zi-h.zLo)
+}
+
+func (h *htab) at(k int, xi, zi int32) float64 {
+	if k < 0 || k > h.kmax || xi < h.xLo || xi > h.xHi || zi < h.zLo || zi > h.zHi {
+		return negInf
+	}
+	return h.vals[h.idx(k, xi, zi)]
+}
+
+func (h *htab) bump(k int, xi, zi int32, v float64) {
+	if k < 0 || k > h.kmax || xi < h.xLo || xi > h.xHi || zi < h.zLo || zi > h.zHi {
+		return
+	}
+	i := h.idx(k, xi, zi)
+	if v > h.vals[i] {
+		h.vals[i] = v
+	}
+}
+
+// chainCtx holds the per-node chain structures for one value of b.
+type chainCtx struct {
+	v    int32
+	kids []int32
+	b    int
+	d    int
+
+	gridM int       // intermediate grid: γ = 1/gridM = δ/d
+	eKids []float64 // p^b(kid_i -> v), 1-based position i
+	eu    float64   // p^b(parent -> v)
+
+	xLo, xHi []int32 // per position 0..d, γ grid
+	zLo, zHi []int32 // per position 2..d (position d on the δ grid)
+
+	h []*htab // per position 2..d (index i)
+}
+
+func (s *dpState) gammaFloor(c *chainCtx, x float64) int32 {
+	i := int32(math.Floor(x*float64(c.gridM) + 1e-9))
+	if i < 0 {
+		i = 0
+	}
+	if i > int32(c.gridM) {
+		i = int32(c.gridM)
+	}
+	return i
+}
+
+func (s *dpState) gammaCeil(c *chainCtx, x float64) int32 {
+	i := int32(math.Ceil(x*float64(c.gridM) - 1e-9))
+	if i < 0 {
+		i = 0
+	}
+	if i > int32(c.gridM) {
+		i = int32(c.gridM)
+	}
+	return i
+}
+
+func (s *dpState) gammaVal(c *chainCtx, idx int32) float64 {
+	return float64(idx) / float64(c.gridM)
+}
+
+// buildChain constructs the chain helper tables for node v and boost
+// flag b.
+func (s *dpState) buildChain(v int32, kids []int32, b int) *chainCtx {
+	d := len(kids)
+	c := &chainCtx{v: v, kids: kids, b: b, d: d, gridM: s.gridN * d}
+	pu, pbu := s.parentProb(v)
+	c.eu = pu
+	if b == 1 {
+		c.eu = pbu
+	}
+	c.eKids = make([]float64, d+1)
+	for i := 1; i <= d; i++ {
+		p, pb := s.childProb(v, kids[i-1])
+		c.eKids[i] = p
+		if b == 1 {
+			c.eKids[i] = pb
+		}
+	}
+
+	// x ranges (prefix, positions 0..d). Lo uses base probabilities and
+	// flooring; Hi uses boosted probabilities and ceiling — independent
+	// of b, these bound every reachable value.
+	c.xLo = make([]int32, d+1)
+	c.xHi = make([]int32, d+1)
+	for i := 1; i <= d; i++ {
+		kid := kids[i-1]
+		p, pb := s.childProb(v, kid)
+		lo := 1 - (1-s.gammaVal(c, c.xLo[i-1]))*(1-s.val(s.ciLo[kid])*p)
+		hi := 1 - (1-s.gammaVal(c, c.xHi[i-1]))*(1-s.val(s.ciHi[kid])*pb)
+		c.xLo[i] = s.gammaFloor(c, lo)
+		c.xHi[i] = s.gammaCeil(c, hi)
+	}
+
+	// z ranges (suffix, positions 2..d). Position d is the node's own f
+	// grid (δ); earlier positions live on the γ grid.
+	c.zLo = make([]int32, d+1)
+	c.zHi = make([]int32, d+1)
+	c.zLo[d] = s.fiLo[v]
+	c.zHi[d] = s.fiHi[v]
+	yLo := s.val(s.fiLo[v]) * pu
+	yHi := s.val(s.fiHi[v]) * pbu
+	for i := d - 1; i >= 2; i-- {
+		kid := kids[i] // position i+1 child (1-based i+1 => kids[i])
+		p, pb := s.childProb(v, kid)
+		lo := 1 - (1-s.val(s.ciLo[kid])*p)*(1-yLo)
+		hi := 1 - (1-s.val(s.ciHi[kid])*pb)*(1-yHi)
+		c.zLo[i] = s.gammaFloor(c, lo)
+		c.zHi[i] = s.gammaCeil(c, hi)
+		yLo = s.gammaVal(c, c.zLo[i])
+		yHi = s.gammaVal(c, c.zHi[i])
+	}
+
+	// Helper kmax per position: b plus the child budgets so far.
+	c.h = make([]*htab, d+1)
+	kSoFar := b
+	for i := 1; i <= d; i++ {
+		kSoFar += s.kmax[kids[i-1]]
+		if kSoFar > s.kmax[v] {
+			kSoFar = s.kmax[v]
+		}
+		if i >= 2 {
+			c.h[i] = newHtab(kSoFar, c.xLo[i], c.xHi[i], c.zLo[i], c.zHi[i])
+		}
+	}
+
+	s.chainBoundary(c)
+	for i := 3; i <= d; i++ {
+		s.chainLevel(c, i)
+	}
+	return c
+}
+
+// yAt returns y_i given the stored z index at position i.
+func (s *dpState) yAt(c *chainCtx, i int, zIdx int32) float64 {
+	if i == c.d {
+		return s.val(zIdx) * c.eu
+	}
+	return s.gammaVal(c, zIdx)
+}
+
+// chainBoundary fills h[2] from children at positions 1 and 2.
+func (s *dpState) chainBoundary(c *chainCtx) {
+	k1t := s.tables[c.kids[0]]
+	k2t := s.tables[c.kids[1]]
+	e1, e2 := c.eKids[1], c.eKids[2]
+	h2 := c.h[2]
+	for zIdx := c.zLo[2]; zIdx <= c.zHi[2]; zIdx++ {
+		y2 := s.yAt(c, 2, zIdx)
+		for ci1 := k1t.ciLo; ci1 <= k1t.ciHi; ci1++ {
+			f1fac := 1 - s.val(ci1)*e1
+			for ci2 := k2t.ciLo; ci2 <= k2t.ciHi; ci2++ {
+				f2fac := 1 - s.val(ci2)*e2
+				x2 := s.gammaFloor(c, 1-f1fac*f2fac)
+				fi1 := s.floorIdx(1 - f2fac*(1-y2))
+				fi2 := s.floorIdx(1 - f1fac*(1-y2))
+				for k1 := 0; k1 <= k1t.kmax; k1++ {
+					v1 := k1t.at(k1, ci1, fi1)
+					if v1 == negInf {
+						continue
+					}
+					for k2 := 0; k2 <= k2t.kmax; k2++ {
+						v2 := k2t.at(k2, ci2, fi2)
+						if v2 == negInf {
+							continue
+						}
+						h2.bump(k1+k2+c.b, x2, zIdx, v1+v2)
+					}
+				}
+			}
+		}
+	}
+}
+
+// chainLevel fills h[i] from h[i-1] and child at position i.
+func (s *dpState) chainLevel(c *chainCtx, i int) {
+	kid := c.kids[i-1]
+	kt := s.tables[kid]
+	e := c.eKids[i]
+	hPrev := c.h[i-1]
+	hi := c.h[i]
+	for zIdx := c.zLo[i]; zIdx <= c.zHi[i]; zIdx++ {
+		y := s.yAt(c, i, zIdx)
+		for xPrev := c.xLo[i-1]; xPrev <= c.xHi[i-1]; xPrev++ {
+			xPrevVal := s.gammaVal(c, xPrev)
+			for ci := kt.ciLo; ci <= kt.ciHi; ci++ {
+				cfac := 1 - s.val(ci)*e
+				xNew := s.gammaFloor(c, 1-(1-xPrevVal)*cfac)
+				zPrev := s.gammaFloor(c, 1-cfac*(1-y))
+				fIdx := s.floorIdx(1 - (1-xPrevVal)*(1-y))
+				for kc := 0; kc <= kt.kmax; kc++ {
+					cv := kt.at(kc, ci, fIdx)
+					if cv == negInf {
+						continue
+					}
+					for kp := 0; kp <= hPrev.kmax; kp++ {
+						pv := hPrev.at(kp, xPrev, zPrev)
+						if pv == negInf {
+							continue
+						}
+						hi.bump(kp+kc, xNew, zIdx, pv+cv)
+					}
+				}
+			}
+		}
+	}
+}
+
+// fillChain handles non-seed nodes with d >= 3 children.
+func (s *dpState) fillChain(v int32, tb *table, kids []int32) {
+	for b := 0; b <= 1 && b <= tb.kmax; b++ {
+		c := s.buildChain(v, kids, b)
+		hd := c.h[c.d]
+		for fi := tb.fiLo; fi <= tb.fiHi; fi++ {
+			fVal := s.val(fi)
+			for xIdx := hd.xLo; xIdx <= hd.xHi; xIdx++ {
+				ci := s.floorIdx(s.gammaVal(c, xIdx))
+				st := s.selfTerm(v, s.val(ci), fVal, b)
+				for k := 0; k <= hd.kmax; k++ {
+					hv := hd.at(k, xIdx, fi)
+					if hv == negInf {
+						continue
+					}
+					tb.bump(k, ci, fi, hv+st)
+				}
+			}
+		}
+	}
+}
+
+// --- extraction ---
+
+// extract walks the filled tables and returns the encoded boost set.
+func (s *dpState) extract(root int32, kappa int, ci, fi int32) ([]int32, error) {
+	var out []int32
+	if err := s.assign(root, kappa, ci, fi, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// eq compares DP values for extraction matching; fills and re-runs use
+// identical expressions, so exact equality holds (a tiny tolerance
+// guards against compiler-level fused operations).
+func eq(a, b float64) bool {
+	return a == b || math.Abs(a-b) <= 1e-12
+}
+
+func (s *dpState) assign(v int32, kappa int, ci, fi int32, out *[]int32) error {
+	tb := s.tables[v]
+	if kappa > tb.kmax {
+		kappa = tb.kmax
+	}
+	for kappa > 0 && tb.at(kappa-1, ci, fi) == tb.at(kappa, ci, fi) {
+		kappa--
+	}
+	target := tb.at(kappa, ci, fi)
+	if target == negInf {
+		return fmt.Errorf("tree: extraction reached infeasible cell (v=%d κ=%d ci=%d fi=%d)", v, kappa, ci, fi)
+	}
+	kids := s.children[v]
+	t := s.t
+	switch {
+	case len(kids) == 0:
+		if !t.seed[v] && kappa > 0 {
+			// Leaf value used b = I(κ>0); re-check which b realizes it.
+			if !eq(s.selfTerm(v, 0, s.val(fi), 0), target) {
+				*out = append(*out, v)
+			}
+		}
+		return nil
+	case t.seed[v]:
+		return s.assignSeedInternal(v, kappa, fi, target, out)
+	case len(kids) <= 2:
+		return s.assignSmall(v, kappa, ci, fi, target, out)
+	default:
+		return s.assignChain(v, kappa, ci, fi, target, out)
+	}
+}
+
+func (s *dpState) assignSeedInternal(v int32, kappa int, fi int32, target float64, out *[]int32) error {
+	kids := s.children[v]
+	one := int32(s.gridN)
+	// Rebuild the knapsack keeping all levels.
+	levels := make([][]float64, len(kids)+1)
+	levels[0] = make([]float64, kappa+1)
+	for i := range levels[0] {
+		levels[0][i] = negInf
+	}
+	levels[0][0] = 0
+	for li, c := range kids {
+		nh := make([]float64, kappa+1)
+		for i := range nh {
+			nh[i] = negInf
+		}
+		cmax := s.kmax[c]
+		for kPrev := 0; kPrev <= kappa; kPrev++ {
+			if levels[li][kPrev] == negInf {
+				continue
+			}
+			for kc := 0; kc <= cmax && kPrev+kc <= kappa; kc++ {
+				val := levels[li][kPrev] + s.seedBest(c, kc)
+				if val > nh[kPrev+kc] {
+					nh[kPrev+kc] = val
+				}
+			}
+		}
+		levels[li+1] = nh
+	}
+	_ = fi
+	// Walk back.
+	kRem := kappa
+	// levels[len(kids)][kRem] may exceed target only if monotonization
+	// reduced κ; find the matching budget.
+	for kRem > 0 && !eq(levels[len(kids)][kRem], target) {
+		kRem--
+	}
+	for li := len(kids); li >= 1; li-- {
+		c := kids[li-1]
+		cmax := s.kmax[c]
+		found := false
+		for kc := 0; kc <= cmax && kc <= kRem; kc++ {
+			if levels[li-1][kRem-kc] == negInf {
+				continue
+			}
+			if eq(levels[li-1][kRem-kc]+s.seedBest(c, kc), levels[li][kRem]) {
+				// Find the child c-index achieving seedBest.
+				ct := s.tables[c]
+				best := s.seedBest(c, kc)
+				for ci := ct.ciLo; ci <= ct.ciHi; ci++ {
+					if eq(ct.at(kc, ci, one), best) {
+						if err := s.assign(c, kc, ci, one, out); err != nil {
+							return err
+						}
+						found = true
+						break
+					}
+				}
+				if found {
+					kRem -= kc
+					break
+				}
+			}
+		}
+		if !found {
+			return fmt.Errorf("tree: extraction failed at seed node %d", v)
+		}
+	}
+	return nil
+}
+
+func (s *dpState) assignSmall(v int32, kappa int, ci, fi int32, target float64, out *[]int32) error {
+	kids := s.children[v]
+	tb := s.tables[v]
+	var match *smallCombo
+	s.enumSmall(v, tb, kids, func(cmb smallCombo) bool {
+		if cmb.kTotal == kappa && cmb.ci == ci && cmb.fi == fi && eq(cmb.value, target) {
+			m := cmb
+			match = &m
+			return true
+		}
+		return false
+	})
+	if match == nil {
+		return fmt.Errorf("tree: extraction failed at node %d (κ=%d ci=%d fi=%d)", v, kappa, ci, fi)
+	}
+	if match.b == 1 {
+		*out = append(*out, v)
+	}
+	for i := 0; i < match.childCount; i++ {
+		if err := s.assign(kids[i], match.kc[i], match.cic[i], match.fic[i], out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *dpState) assignChain(v int32, kappa int, ci, fi int32, target float64, out *[]int32) error {
+	kids := s.children[v]
+	for b := 0; b <= 1 && b <= kappa; b++ {
+		c := s.buildChain(v, kids, b)
+		hd := c.h[c.d]
+		for xIdx := hd.xLo; xIdx <= hd.xHi; xIdx++ {
+			if s.floorIdx(s.gammaVal(c, xIdx)) != ci {
+				continue
+			}
+			hv := hd.at(kappa, xIdx, fi)
+			if hv == negInf {
+				continue
+			}
+			st := s.selfTerm(v, s.val(ci), s.val(fi), b)
+			if !eq(hv+st, target) {
+				continue
+			}
+			if b == 1 {
+				*out = append(*out, v)
+			}
+			return s.walkChain(c, kappa, xIdx, fi, out)
+		}
+	}
+	return fmt.Errorf("tree: chain extraction failed at node %d (κ=%d ci=%d fi=%d)", v, kappa, ci, fi)
+}
+
+// walkChain decodes positions d..2 of the chain.
+func (s *dpState) walkChain(c *chainCtx, kappa int, xIdx, zIdx int32, out *[]int32) error {
+	for i := c.d; i >= 3; i-- {
+		kid := c.kids[i-1]
+		kt := s.tables[kid]
+		e := c.eKids[i]
+		hPrev := c.h[i-1]
+		hCur := c.h[i]
+		cur := hCur.at(kappa, xIdx, zIdx)
+		y := s.yAt(c, i, zIdx)
+		found := false
+		for xPrev := c.xLo[i-1]; xPrev <= c.xHi[i-1] && !found; xPrev++ {
+			xPrevVal := s.gammaVal(c, xPrev)
+			for ci := kt.ciLo; ci <= kt.ciHi && !found; ci++ {
+				cfac := 1 - s.val(ci)*e
+				if s.gammaFloor(c, 1-(1-xPrevVal)*cfac) != xIdx {
+					continue
+				}
+				zPrev := s.gammaFloor(c, 1-cfac*(1-y))
+				fIdx := s.floorIdx(1 - (1-xPrevVal)*(1-y))
+				for kc := 0; kc <= kt.kmax && kc <= kappa && !found; kc++ {
+					cv := kt.at(kc, ci, fIdx)
+					if cv == negInf {
+						continue
+					}
+					pv := hPrev.at(kappa-kc, xPrev, zPrev)
+					if pv == negInf || !eq(pv+cv, cur) {
+						continue
+					}
+					if err := s.assign(kid, kc, ci, fIdx, out); err != nil {
+						return err
+					}
+					kappa -= kc
+					xIdx, zIdx = xPrev, zPrev
+					found = true
+				}
+			}
+		}
+		if !found {
+			return fmt.Errorf("tree: chain walk failed at node %d position %d", c.v, i)
+		}
+	}
+	// Boundary: positions 1 and 2.
+	k1t := s.tables[c.kids[0]]
+	k2t := s.tables[c.kids[1]]
+	e1, e2 := c.eKids[1], c.eKids[2]
+	cur := c.h[2].at(kappa, xIdx, zIdx)
+	y2 := s.yAt(c, 2, zIdx)
+	for ci1 := k1t.ciLo; ci1 <= k1t.ciHi; ci1++ {
+		f1fac := 1 - s.val(ci1)*e1
+		for ci2 := k2t.ciLo; ci2 <= k2t.ciHi; ci2++ {
+			f2fac := 1 - s.val(ci2)*e2
+			if s.gammaFloor(c, 1-f1fac*f2fac) != xIdx {
+				continue
+			}
+			fi1 := s.floorIdx(1 - f2fac*(1-y2))
+			fi2 := s.floorIdx(1 - f1fac*(1-y2))
+			for k1 := 0; k1 <= k1t.kmax && k1+c.b <= kappa; k1++ {
+				v1 := k1t.at(k1, ci1, fi1)
+				if v1 == negInf {
+					continue
+				}
+				k2 := kappa - k1 - c.b
+				if k2 < 0 || k2 > k2t.kmax {
+					// Try all k2 (h entries are exact-κ but children are
+					// monotone); enumerate instead of deriving.
+					continue
+				}
+				v2 := k2t.at(k2, ci2, fi2)
+				if v2 == negInf || !eq(v1+v2, cur) {
+					continue
+				}
+				if err := s.assign(c.kids[0], k1, ci1, fi1, out); err != nil {
+					return err
+				}
+				return s.assign(c.kids[1], k2, ci2, fi2, out)
+			}
+		}
+	}
+	return fmt.Errorf("tree: chain boundary extraction failed at node %d", c.v)
+}

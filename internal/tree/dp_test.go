@@ -1,0 +1,259 @@
+package tree
+
+import (
+	"math"
+	"testing"
+
+	"github.com/kboost/kboost/internal/gen"
+	"github.com/kboost/kboost/internal/graph"
+	"github.com/kboost/kboost/internal/rng"
+	"github.com/kboost/kboost/internal/testutil"
+)
+
+// bruteForceOpt enumerates all boost sets of size <= k with the exact
+// tree evaluator.
+func bruteForceOpt(t *testing.T, tr *Tree, k int) float64 {
+	t.Helper()
+	e := NewEvaluator(tr)
+	var nonSeeds []int32
+	for v := int32(0); int(v) < tr.N(); v++ {
+		if !tr.IsSeed(v) {
+			nonSeeds = append(nonSeeds, v)
+		}
+	}
+	best := 0.0
+	var rec func(start int, cur []int32)
+	rec = func(start int, cur []int32) {
+		if len(cur) > 0 {
+			d, err := e.Delta(cur)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d > best {
+				best = d
+			}
+		}
+		if len(cur) == k {
+			return
+		}
+		for i := start; i < len(nonSeeds); i++ {
+			rec(i+1, append(cur, nonSeeds[i]))
+		}
+	}
+	rec(0, nil)
+	return best
+}
+
+// buildTree makes a bidirected tree from parent array with the given
+// probability assigner.
+func buildTestTree(t *testing.T, parents []int32, seeds []int32, r *rng.Source, lo, hi float64) *Tree {
+	t.Helper()
+	n := len(parents)
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		p1 := lo + (hi-lo)*r.Float64()
+		p2 := lo + (hi-lo)*r.Float64()
+		b.MustAddEdge(int32(i), parents[i], p1, 1-(1-p1)*(1-p1))
+		b.MustAddEdge(parents[i], int32(i), p2, 1-(1-p2)*(1-p2))
+	}
+	tr, err := FromGraph(b.MustBuild(), seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// The FPTAS guarantee in additive form: Δ(B̃) ≥ OPT − ε·max(LB,1).
+func checkGuarantee(t *testing.T, tr *Tree, k int, eps float64, label string) {
+	t.Helper()
+	res, err := DPBoost(tr, k, DPOptions{Epsilon: eps})
+	if err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	if len(res.Boost) > k {
+		t.Fatalf("%s: |B|=%d > k=%d", label, len(res.Boost), k)
+	}
+	for _, v := range res.Boost {
+		if tr.IsSeed(v) {
+			t.Fatalf("%s: DP boosted seed %d", label, v)
+		}
+	}
+	seen := map[int32]bool{}
+	for _, v := range res.Boost {
+		if seen[v] {
+			t.Fatalf("%s: duplicate boost %d", label, v)
+		}
+		seen[v] = true
+	}
+	// The realized boost must be at least the DP's own lower bound.
+	if res.Delta+1e-9 < res.DPValue {
+		t.Fatalf("%s: exact Δ=%v below DP value %v", label, res.Delta, res.DPValue)
+	}
+	opt := bruteForceOpt(t, tr, k)
+	slack := eps*math.Max(res.LB, 1) + 1e-9
+	if res.Delta < opt-slack {
+		t.Fatalf("%s: Δ(B̃)=%v violates guarantee OPT−ε·max(LB,1)=%v−%v",
+			label, res.Delta, opt, slack)
+	}
+}
+
+func TestDPPathTree(t *testing.T) {
+	r := rng.New(1)
+	parents := []int32{-1, 0, 1, 2, 3, 4}
+	tr := buildTestTree(t, parents, []int32{0}, r, 0.3, 0.7)
+	checkGuarantee(t, tr, 2, 0.5, "path")
+}
+
+func TestDPBinaryTree(t *testing.T) {
+	r := rng.New(2)
+	parents := gen.CompleteBinaryTreeParents(15)
+	tr := buildTestTree(t, parents, []int32{0}, r, 0.2, 0.6)
+	checkGuarantee(t, tr, 3, 0.5, "binary")
+}
+
+func TestDPStarTree(t *testing.T) {
+	// Root with 5 children: exercises the chain-helper DP (d >= 3).
+	r := rng.New(3)
+	parents := []int32{-1, 0, 0, 0, 0, 0}
+	tr := buildTestTree(t, parents, []int32{1}, r, 0.3, 0.7)
+	checkGuarantee(t, tr, 2, 0.5, "star")
+}
+
+func TestDPStarTreeSeedCenter(t *testing.T) {
+	r := rng.New(4)
+	parents := []int32{-1, 0, 0, 0, 0, 0, 0}
+	tr := buildTestTree(t, parents, []int32{0}, r, 0.3, 0.7)
+	checkGuarantee(t, tr, 3, 0.5, "star-seed-center")
+}
+
+func TestDPRandomTrees(t *testing.T) {
+	r := rng.New(5)
+	for trial := 0; trial < 8; trial++ {
+		n := 5 + r.Intn(7)
+		parents, err := gen.RandomTreeParents(n, 0, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seeds := testutil.RandomSeedSet(r, n, 1+r.Intn(2))
+		tr := buildTestTree(t, parents, seeds, r, 0.2, 0.8)
+		k := 1 + r.Intn(3)
+		eps := 0.3 + 0.4*r.Float64()
+		checkGuarantee(t, tr, k, eps, "random")
+	}
+}
+
+func TestDPTightEpsilonNearExact(t *testing.T) {
+	r := rng.New(6)
+	parents := []int32{-1, 0, 0, 1, 1}
+	tr := buildTestTree(t, parents, []int32{0}, r, 0.4, 0.8)
+	opt := bruteForceOpt(t, tr, 2)
+	res, err := DPBoost(tr, 2, DPOptions{Epsilon: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delta < opt-0.05*math.Max(res.LB, 1)-1e-9 {
+		t.Fatalf("tight-ε DP Δ=%v, OPT=%v", res.Delta, opt)
+	}
+}
+
+func TestDPVsGreedy(t *testing.T) {
+	// DP with small ε should never be much worse than greedy.
+	r := rng.New(7)
+	parents := gen.CompleteBinaryTreeParents(31)
+	tr := buildTestTree(t, parents, []int32{0, 5}, r, 0.2, 0.5)
+	greedy, err := GreedyBoost(tr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DPBoost(tr, 4, DPOptions{Epsilon: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delta < greedy.Delta-0.3*math.Max(res.LB, 1)-1e-9 {
+		t.Fatalf("DP Δ=%v far below greedy Δ=%v", res.Delta, greedy.Delta)
+	}
+}
+
+func TestDPValidation(t *testing.T) {
+	r := rng.New(8)
+	tr := buildTestTree(t, []int32{-1, 0, 1}, []int32{0}, r, 0.3, 0.5)
+	if _, err := DPBoost(tr, 0, DPOptions{}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	g, _ := testutil.Fig4()
+	noSeeds, err := FromGraph(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DPBoost(noSeeds, 1, DPOptions{}); err == nil {
+		t.Fatal("seedless tree accepted")
+	}
+}
+
+func TestDPGridCellCap(t *testing.T) {
+	r := rng.New(9)
+	parents := gen.CompleteBinaryTreeParents(63)
+	tr := buildTestTree(t, parents, []int32{0}, r, 0.4, 0.8)
+	if _, err := DPBoost(tr, 5, DPOptions{Epsilon: 0.5, MaxGridCells: 10}); err == nil {
+		t.Fatal("tiny cell cap not enforced")
+	}
+}
+
+func TestDPDeterminism(t *testing.T) {
+	r := rng.New(10)
+	parents := gen.CompleteBinaryTreeParents(15)
+	tr := buildTestTree(t, parents, []int32{0}, r, 0.3, 0.6)
+	a, err := DPBoost(tr, 3, DPOptions{Epsilon: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DPBoost(tr, 3, DPOptions{Epsilon: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Delta != b.Delta || len(a.Boost) != len(b.Boost) {
+		t.Fatalf("nondeterministic DP: %+v vs %+v", a, b)
+	}
+}
+
+func TestDPKExceedsNonSeeds(t *testing.T) {
+	r := rng.New(11)
+	tr := buildTestTree(t, []int32{-1, 0, 1}, []int32{0}, r, 0.3, 0.5)
+	res, err := DPBoost(tr, 10, DPOptions{Epsilon: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Boost) > 2 {
+		t.Fatalf("boosted %d nodes with only 2 non-seeds", len(res.Boost))
+	}
+}
+
+func TestDPTrivalencyLikeTree(t *testing.T) {
+	// Mirrors the paper's synthetic setup: complete binary tree with
+	// trivalency probabilities and β=2.
+	r := rng.New(12)
+	parents := gen.CompleteBinaryTreeParents(63)
+	g, err := gen.BidirectedTree(parents, gen.Trivalency(), 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := FromGraph(g, []int32{0, 7, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := GreedyBoost(tr, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DPBoost(tr, 5, DPOptions{Epsilon: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delta+1e-9 < res.DPValue {
+		t.Fatalf("Δ=%v below DP value %v", res.Delta, res.DPValue)
+	}
+	// The DP must be competitive with greedy under its guarantee slack.
+	if res.Delta < greedy.Delta-0.5*math.Max(res.LB, 1)-1e-9 {
+		t.Fatalf("DP Δ=%v vs greedy Δ=%v with LB=%v", res.Delta, greedy.Delta, res.LB)
+	}
+}

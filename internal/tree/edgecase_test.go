@@ -1,0 +1,127 @@
+package tree
+
+import (
+	"math"
+	"testing"
+
+	"github.com/kboost/kboost/internal/gen"
+	"github.com/kboost/kboost/internal/graph"
+	"github.com/kboost/kboost/internal/rng"
+)
+
+// All nodes seeds: nothing to boost; both algorithms return empty sets.
+func TestAllSeeds(t *testing.T) {
+	r := rng.New(1)
+	tr := buildTestTree(t, []int32{-1, 0, 0}, []int32{0, 1, 2}, r, 0.3, 0.6)
+	greedy, err := GreedyBoost(tr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(greedy.Boost) != 0 || greedy.Delta != 0 {
+		t.Fatalf("greedy on all-seed tree: %+v", greedy)
+	}
+	dp, err := DPBoost(tr, 2, DPOptions{Epsilon: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dp.Boost) != 0 || dp.Delta != 0 {
+		t.Fatalf("DP on all-seed tree: %+v", dp)
+	}
+}
+
+// A two-node tree, the smallest valid instance.
+func TestTwoNodeTree(t *testing.T) {
+	b := graph.NewBuilder(2)
+	b.MustAddEdge(0, 1, 0.2, 0.7)
+	b.MustAddEdge(1, 0, 0.2, 0.7)
+	tr, err := FromGraph(b.MustBuild(), []int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := GreedyBoost(tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(greedy.Boost) != 1 || greedy.Boost[0] != 1 {
+		t.Fatalf("greedy %v", greedy.Boost)
+	}
+	if math.Abs(greedy.Delta-0.5) > 1e-12 {
+		t.Fatalf("Δ = %v, want 0.5", greedy.Delta)
+	}
+	dp, err := DPBoost(tr, 1, DPOptions{Epsilon: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dp.Delta-0.5) > 1e-12 {
+		t.Fatalf("DP Δ = %v, want 0.5", dp.Delta)
+	}
+}
+
+// Zero-probability reverse edges (one-directional trees) must work in
+// the DP too.
+func TestDPOneDirectionalTree(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.MustAddEdge(0, 1, 0.3, 0.6)
+	b.MustAddEdge(1, 2, 0.3, 0.6)
+	b.MustAddEdge(1, 3, 0.3, 0.6)
+	tr, err := FromGraph(b.MustBuild(), []int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := bruteForceOpt(t, tr, 2)
+	res, err := DPBoost(tr, 2, DPOptions{Epsilon: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delta < opt-0.3*math.Max(res.LB, 1)-1e-9 {
+		t.Fatalf("DP Δ=%v vs OPT=%v", res.Delta, opt)
+	}
+}
+
+// Seeds deep in the tree (not at the root) exercise the f-range
+// propagation across seed boundaries.
+func TestDPSeedsAtLeaves(t *testing.T) {
+	r := rng.New(3)
+	parents := gen.CompleteBinaryTreeParents(15)
+	tr := buildTestTree(t, parents, []int32{7, 8, 14}, r, 0.3, 0.7)
+	opt := bruteForceOpt(t, tr, 2)
+	res, err := DPBoost(tr, 2, DPOptions{Epsilon: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delta < opt-0.4*math.Max(res.LB, 1)-1e-9 {
+		t.Fatalf("DP Δ=%v vs OPT=%v (LB=%v)", res.Delta, opt, res.LB)
+	}
+}
+
+// Wide star with many children and a leaf seed: the chain DP with a
+// seed at one chain position.
+func TestDPWideStarChain(t *testing.T) {
+	r := rng.New(4)
+	parents := []int32{-1, 0, 0, 0, 0, 0, 0, 0}
+	tr := buildTestTree(t, parents, []int32{3}, r, 0.25, 0.7)
+	opt := bruteForceOpt(t, tr, 3)
+	res, err := DPBoost(tr, 3, DPOptions{Epsilon: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delta < opt-0.5*math.Max(res.LB, 1)-1e-9 {
+		t.Fatalf("DP Δ=%v vs OPT=%v", res.Delta, opt)
+	}
+}
+
+// Greedy's reported Sigma must equal baseline + Delta.
+func TestGreedySigmaConsistency(t *testing.T) {
+	r := rng.New(5)
+	parents := gen.CompleteBinaryTreeParents(31)
+	tr := buildTestTree(t, parents, []int32{0}, r, 0.2, 0.6)
+	res, err := GreedyBoost(tr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEvaluator(tr)
+	base := e.baseline()
+	if math.Abs(res.Sigma-(base+res.Delta)) > 1e-9 {
+		t.Fatalf("σ=%v != base %v + Δ %v", res.Sigma, base, res.Delta)
+	}
+}

@@ -1,0 +1,335 @@
+package tree
+
+import "fmt"
+
+// Evaluator computes exact boosted influence spreads on a Tree in O(n)
+// per evaluation, following the three-step computation of Section VI-A:
+//
+//	Step I   activation probabilities ap_B(u) and ap_B(u\v) (Lemma 5)
+//	Step II  seeding gains g_B(u\v) (Lemma 6)
+//	Step III σ_S(B) and σ_S(B ∪ {u}) for every u (Lemma 7)
+//
+// Instead of the recursion with division of Eqs. (9)/(11), the rerooting
+// passes use prefix/suffix aggregation, which avoids divide-by-zero
+// special cases on deterministic (p=1) edges.
+//
+// An Evaluator owns scratch arrays; create one per goroutine.
+type Evaluator struct {
+	t *Tree
+
+	ap    []float64 // ap_B(u), per node
+	apOut []float64 // ap_B(u\v), per slot (u->v)
+	gOut  []float64 // g_B(u\v), per slot (u->v)
+
+	// scratch for prefix/suffix aggregation, sized to max degree
+	pre []float64
+	suf []float64
+
+	ap0 []float64 // ap_∅(u), baseline activation probabilities (lazily computed)
+}
+
+// NewEvaluator returns an Evaluator for t.
+func NewEvaluator(t *Tree) *Evaluator {
+	maxDeg := 0
+	for u := int32(0); int(u) < t.n; u++ {
+		if d := t.Degree(u); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	return &Evaluator{
+		t:     t,
+		ap:    make([]float64, t.n),
+		apOut: make([]float64, len(t.nbr)),
+		gOut:  make([]float64, len(t.nbr)),
+		pre:   make([]float64, maxDeg+1),
+		suf:   make([]float64, maxDeg+1),
+	}
+}
+
+// computeAP fills ap and apOut for the boost mask (Step I).
+func (e *Evaluator) computeAP(boost []bool) {
+	t := e.t
+	// Bottom-up: apOut[slot u->parent] over reverse BFS order.
+	for oi := len(t.order) - 1; oi >= 0; oi-- {
+		u := t.order[oi]
+		ps := t.parentSlot[u]
+		if ps < 0 {
+			continue // root has no parent slot
+		}
+		if t.seed[u] {
+			e.apOut[ps] = 1
+			continue
+		}
+		prod := 1.0
+		for j := t.start[u]; j < t.start[u+1]; j++ {
+			v := t.nbr[j]
+			if v == t.parent[u] {
+				continue
+			}
+			// child v: ap_B(v\u) is apOut at slot (v->u) = rev[j];
+			// probability v->u uses u's boost status.
+			rj := t.rev[j]
+			prod *= 1 - e.apOut[rj]*t.probInto(rj, boost[u])
+		}
+		e.apOut[ps] = 1 - prod
+	}
+	// Top-down: apOut[slot u->child] and ap[u], using prefix/suffix
+	// products over all neighbors.
+	for _, u := range t.order {
+		deg := t.Degree(u)
+		base := t.start[u]
+		if t.seed[u] {
+			e.ap[u] = 1
+			for j := base; j < t.start[u+1]; j++ {
+				e.apOut[j] = 1
+			}
+			continue
+		}
+		// Factor per neighbor x: 1 - ap_B(x\u) * p^B(x->u).
+		e.pre[0] = 1
+		for i := 0; i < deg; i++ {
+			j := base + int32(i)
+			rj := t.rev[j]
+			f := 1 - e.apOut[rj]*t.probInto(rj, boost[u])
+			e.pre[i+1] = e.pre[i] * f
+		}
+		e.suf[deg] = 1
+		for i := deg - 1; i >= 0; i-- {
+			j := base + int32(i)
+			rj := t.rev[j]
+			f := 1 - e.apOut[rj]*t.probInto(rj, boost[u])
+			e.suf[i] = e.suf[i+1] * f
+		}
+		e.ap[u] = 1 - e.pre[deg]
+		for i := 0; i < deg; i++ {
+			j := base + int32(i)
+			v := t.nbr[j]
+			if t.parent[u] == v {
+				continue // slot to parent already computed bottom-up
+			}
+			e.apOut[j] = 1 - e.pre[i]*e.suf[i+1]
+		}
+	}
+}
+
+// gTerm computes the summand of Lemma 6 for neighbor x of u at slot
+// j=(u->x): p^B(u->x) * g_B(x\u) / (1 - ap_B(x\u) * p^B(x->u)). The
+// guarded zero when the denominator vanishes is safe: that case forces
+// 1-ap_B(u\v)=0 for every v≠x, so the term is always multiplied by 0.
+func (e *Evaluator) gTerm(j int32, boost []bool) float64 {
+	t := e.t
+	x := t.nbr[j]
+	rj := t.rev[j]
+	denom := 1 - e.apOut[rj]*t.probInto(rj, boost[t.nbr[rj]])
+	if denom <= 1e-15 {
+		return 0
+	}
+	return t.probInto(j, boost[x]) * e.gOut[rj] / denom
+}
+
+// computeG fills gOut for the boost mask (Step II). Requires computeAP.
+func (e *Evaluator) computeG(boost []bool) {
+	t := e.t
+	// Bottom-up: gOut[slot u->parent].
+	for oi := len(t.order) - 1; oi >= 0; oi-- {
+		u := t.order[oi]
+		ps := t.parentSlot[u]
+		if ps < 0 {
+			continue
+		}
+		if t.seed[u] {
+			e.gOut[ps] = 0
+			continue
+		}
+		sum := 1.0
+		for j := t.start[u]; j < t.start[u+1]; j++ {
+			if t.nbr[j] == t.parent[u] {
+				continue
+			}
+			sum += e.gTerm(j, boost)
+		}
+		e.gOut[ps] = (1 - e.apOut[ps]) * sum
+	}
+	// Top-down: gOut[slot u->child] via prefix/suffix sums.
+	for _, u := range t.order {
+		if t.seed[u] {
+			for j := t.start[u]; j < t.start[u+1]; j++ {
+				e.gOut[j] = 0
+			}
+			continue
+		}
+		deg := t.Degree(u)
+		base := t.start[u]
+		e.pre[0] = 0
+		for i := 0; i < deg; i++ {
+			e.pre[i+1] = e.pre[i] + e.gTerm(base+int32(i), boost)
+		}
+		e.suf[deg] = 0
+		for i := deg - 1; i >= 0; i-- {
+			e.suf[i] = e.suf[i+1] + e.gTerm(base+int32(i), boost)
+		}
+		for i := 0; i < deg; i++ {
+			j := base + int32(i)
+			v := t.nbr[j]
+			if t.parent[u] == v {
+				continue
+			}
+			e.gOut[j] = (1 - e.apOut[j]) * (1 + e.pre[i] + e.suf[i+1])
+		}
+	}
+}
+
+// maskOf converts a node list to a mask, validating entries.
+func (e *Evaluator) maskOf(boost []int32) ([]bool, error) {
+	mask := make([]bool, e.t.n)
+	for _, v := range boost {
+		if v < 0 || int(v) >= e.t.n {
+			return nil, fmt.Errorf("tree: boost node %d out of range [0,%d)", v, e.t.n)
+		}
+		mask[v] = true
+	}
+	return mask, nil
+}
+
+// Sigma returns the exact boosted influence spread σ_S(B).
+func (e *Evaluator) Sigma(boost []int32) (float64, error) {
+	mask, err := e.maskOf(boost)
+	if err != nil {
+		return 0, err
+	}
+	return e.sigmaMask(mask), nil
+}
+
+func (e *Evaluator) sigmaMask(mask []bool) float64 {
+	e.computeAP(mask)
+	var sigma float64
+	for _, a := range e.ap {
+		sigma += a
+	}
+	return sigma
+}
+
+// baseline returns σ_S(∅), computing and caching ap_∅.
+func (e *Evaluator) baseline() float64 {
+	if e.ap0 == nil {
+		mask := make([]bool, e.t.n)
+		e.computeAP(mask)
+		e.ap0 = append([]float64(nil), e.ap...)
+	}
+	var s float64
+	for _, a := range e.ap0 {
+		s += a
+	}
+	return s
+}
+
+// Ap0 returns the baseline activation probability ap_∅(v).
+func (e *Evaluator) Ap0(v int32) float64 {
+	e.baseline()
+	return e.ap0[v]
+}
+
+// Delta returns the exact boost of influence Δ_S(B) = σ_S(B) − σ_S(∅).
+func (e *Evaluator) Delta(boost []int32) (float64, error) {
+	base := e.baseline()
+	sigma, err := e.Sigma(boost)
+	if err != nil {
+		return 0, err
+	}
+	return sigma - base, nil
+}
+
+// SigmaWithEach returns σ_S(B) and, for every node u, σ_S(B ∪ {u})
+// (Step III, Lemma 7). For u ∈ B ∪ S the marginal equals σ_S(B). Total
+// cost O(n).
+func (e *Evaluator) SigmaWithEach(boost []int32) (sigma float64, withU []float64, err error) {
+	mask, err := e.maskOf(boost)
+	if err != nil {
+		return 0, nil, err
+	}
+	sigma, withU = e.sigmaWithEachMask(mask)
+	return sigma, withU, nil
+}
+
+func (e *Evaluator) sigmaWithEachMask(mask []bool) (float64, []float64) {
+	t := e.t
+	e.computeAP(mask)
+	e.computeG(mask)
+	var sigma float64
+	for _, a := range e.ap {
+		sigma += a
+	}
+	withU := make([]float64, t.n)
+	for u := int32(0); int(u) < t.n; u++ {
+		if t.seed[u] || mask[u] {
+			withU[u] = sigma
+			continue
+		}
+		deg := t.Degree(u)
+		base := t.start[u]
+		// Products of 1 - ap_B(x\u) * p'(x->u) over neighbors x: boosting
+		// u upgrades every incoming probability to p'.
+		e.pre[0] = 1
+		for i := 0; i < deg; i++ {
+			rj := t.rev[base+int32(i)]
+			e.pre[i+1] = e.pre[i] * (1 - e.apOut[rj]*t.pb[rj])
+		}
+		e.suf[deg] = 1
+		for i := deg - 1; i >= 0; i-- {
+			rj := t.rev[base+int32(i)]
+			e.suf[i] = e.suf[i+1] * (1 - e.apOut[rj]*t.pb[rj])
+		}
+		dApU := (1 - e.pre[deg]) - e.ap[u]
+		total := sigma + dApU
+		for i := 0; i < deg; i++ {
+			j := base + int32(i)
+			v := t.nbr[j]
+			dApUV := (1 - e.pre[i]*e.suf[i+1]) - e.apOut[j]
+			total += t.probInto(j, mask[v]) * dApUV * e.gOut[t.rev[j]]
+		}
+		withU[u] = total
+	}
+	return sigma, withU
+}
+
+// GreedyResult reports a Greedy-Boost run.
+type GreedyResult struct {
+	Boost []int32 // chosen nodes in pick order
+	Sigma float64 // σ_S(B) of the final set
+	Delta float64 // Δ_S(B) of the final set
+}
+
+// GreedyBoost runs the paper's Greedy-Boost: k rounds, each picking the
+// node u maximizing the exact σ_S(B ∪ {u}). O(kn) total.
+func GreedyBoost(t *Tree, k int) (*GreedyResult, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("tree: negative k")
+	}
+	e := NewEvaluator(t)
+	base := e.baseline()
+	mask := make([]bool, t.n)
+	res := &GreedyResult{}
+	sigma := base
+	for round := 0; round < k; round++ {
+		_, withU := e.sigmaWithEachMask(mask)
+		best := int32(-1)
+		bestVal := sigma
+		for u := int32(0); int(u) < t.n; u++ {
+			if mask[u] || t.seed[u] {
+				continue
+			}
+			if withU[u] > bestVal+1e-15 {
+				best, bestVal = u, withU[u]
+			}
+		}
+		if best < 0 {
+			break // no strictly improving node remains
+		}
+		mask[best] = true
+		res.Boost = append(res.Boost, best)
+		sigma = bestVal
+	}
+	res.Sigma = e.sigmaMask(mask)
+	res.Delta = res.Sigma - base
+	return res, nil
+}

@@ -1,0 +1,401 @@
+package tree
+
+import (
+	"math"
+	"testing"
+
+	"github.com/kboost/kboost/internal/exact"
+	"github.com/kboost/kboost/internal/gen"
+	"github.com/kboost/kboost/internal/graph"
+	"github.com/kboost/kboost/internal/rng"
+	"github.com/kboost/kboost/internal/testutil"
+)
+
+func fig4Tree(t *testing.T) *Tree {
+	t.Helper()
+	g, seeds := testutil.Fig4()
+	tr, err := FromGraph(g, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// randomTree builds a random bidirected tree with n nodes (2(n-1) edges,
+// so n <= 9 keeps exact enumeration feasible) and pseudo-random
+// probabilities.
+func randomTree(t *testing.T, r *rng.Source, n int, numSeeds int) (*graph.Graph, *Tree, []int32) {
+	t.Helper()
+	parents, err := gen.RandomTreeParents(n, 0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		p1 := 0.1 + 0.5*r.Float64()
+		p2 := 0.1 + 0.5*r.Float64()
+		b.MustAddEdge(int32(i), parents[i], p1, 1-(1-p1)*(1-p1))
+		b.MustAddEdge(parents[i], int32(i), p2, 1-(1-p2)*(1-p2))
+	}
+	g := b.MustBuild()
+	seeds := testutil.RandomSeedSet(r, n, numSeeds)
+	tr, err := FromGraph(g, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, tr, seeds
+}
+
+func TestFromGraphValidation(t *testing.T) {
+	// Not a tree: triangle.
+	b := graph.NewBuilder(3)
+	b.MustAddEdge(0, 1, 0.5, 0.6)
+	b.MustAddEdge(1, 2, 0.5, 0.6)
+	b.MustAddEdge(2, 0, 0.5, 0.6)
+	if _, err := FromGraph(b.MustBuild(), []int32{0}); err == nil {
+		t.Fatal("triangle accepted")
+	}
+	// Bad seeds.
+	g, _ := testutil.Fig4()
+	if _, err := FromGraph(g, []int32{9}); err == nil {
+		t.Fatal("out-of-range seed accepted")
+	}
+	if _, err := FromGraph(g, []int32{1, 1}); err == nil {
+		t.Fatal("duplicate seed accepted")
+	}
+}
+
+// The paper's Figure 4 example: ap_∅(v0) = 0.19, ap_∅(v0\v1) = 0.1,
+// and g_∅(v0\v1) = 0.99.
+func TestFig4PaperValues(t *testing.T) {
+	tr := fig4Tree(t)
+	e := NewEvaluator(tr)
+	mask := make([]bool, tr.N())
+	e.computeAP(mask)
+	if math.Abs(e.ap[0]-0.19) > 1e-12 {
+		t.Fatalf("ap(v0) = %v, want 0.19", e.ap[0])
+	}
+	// slot v0 -> v1:
+	var slot01 int32 = -1
+	for j := tr.start[0]; j < tr.start[1]; j++ {
+		if tr.nbr[j] == 1 {
+			slot01 = j
+		}
+	}
+	if slot01 < 0 {
+		t.Fatal("slot v0->v1 not found")
+	}
+	if math.Abs(e.apOut[slot01]-0.1) > 1e-12 {
+		t.Fatalf("ap(v0\\v1) = %v, want 0.1", e.apOut[slot01])
+	}
+	e.computeG(mask)
+	if math.Abs(e.gOut[slot01]-0.99) > 1e-12 {
+		t.Fatalf("g(v0\\v1) = %v, want 0.99", e.gOut[slot01])
+	}
+}
+
+func TestFig4Sigma(t *testing.T) {
+	tr := fig4Tree(t)
+	e := NewEvaluator(tr)
+	got, err := e.Sigma(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ap(v1)=ap(v3)=1, ap(v0)=0.19, ap(v2)=0.19*0.1.
+	want := 1 + 1 + 0.19 + 0.019
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("σ(∅) = %v, want %v", got, want)
+	}
+}
+
+// Exact tree computation must match possible-world enumeration for many
+// random trees and boost sets.
+func TestSigmaMatchesEnumeration(t *testing.T) {
+	r := rng.New(42)
+	for trial := 0; trial < 25; trial++ {
+		n := 3 + r.Intn(6) // 3..8 nodes -> <= 14 edges
+		g, tr, seeds := randomTree(t, r, n, 1+r.Intn(2))
+		var boost []int32
+		for v := int32(0); int(v) < n; v++ {
+			if !tr.IsSeed(v) && r.Bernoulli(0.4) {
+				boost = append(boost, v)
+			}
+		}
+		want, err := exact.Spread(g, seeds, boost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := NewEvaluator(tr)
+		got, err := e.Sigma(boost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d (n=%d, B=%v): tree σ=%v, enumeration σ=%v",
+				trial, n, boost, got, want)
+		}
+	}
+}
+
+// Marginals from SigmaWithEach must equal σ recomputed from scratch
+// with u added.
+func TestSigmaWithEachConsistent(t *testing.T) {
+	r := rng.New(43)
+	for trial := 0; trial < 15; trial++ {
+		n := 4 + r.Intn(8)
+		_, tr, _ := randomTree(t, r, n, 1)
+		var boost []int32
+		for v := int32(0); int(v) < n; v++ {
+			if !tr.IsSeed(v) && r.Bernoulli(0.3) {
+				boost = append(boost, v)
+			}
+		}
+		e := NewEvaluator(tr)
+		sigma, withU, err := e.SigmaWithEach(boost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check, err := e.Sigma(boost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(sigma-check) > 1e-9 {
+			t.Fatalf("σ mismatch: %v vs %v", sigma, check)
+		}
+		for u := int32(0); int(u) < n; u++ {
+			want, err := e.Sigma(append(append([]int32(nil), boost...), u))
+			if err != nil {
+				t.Fatal(err)
+			}
+			inB := tr.IsSeed(u)
+			for _, b := range boost {
+				if b == u {
+					inB = true
+				}
+			}
+			if inB {
+				want = check
+			}
+			if math.Abs(withU[u]-want) > 1e-9 {
+				t.Fatalf("trial %d: σ(B∪{%d}) = %v, recomputed %v (B=%v)",
+					trial, u, withU[u], want, boost)
+			}
+		}
+	}
+}
+
+func TestDeterministicEdgesGuard(t *testing.T) {
+	// p=1 edges exercise the division guard in the g computation.
+	b := graph.NewBuilder(4)
+	b.MustAddEdge(0, 1, 1, 1)
+	b.MustAddEdge(1, 0, 1, 1)
+	b.MustAddEdge(1, 2, 0.5, 0.75)
+	b.MustAddEdge(2, 1, 0.5, 0.75)
+	b.MustAddEdge(2, 3, 0.2, 0.36)
+	b.MustAddEdge(3, 2, 0.2, 0.36)
+	g := b.MustBuild()
+	tr, err := FromGraph(g, []int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEvaluator(tr)
+	sigma, withU, err := e.SigmaWithEach(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := exact.Spread(g, []int32{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sigma-want) > 1e-9 {
+		t.Fatalf("σ=%v, want %v", sigma, want)
+	}
+	for u := int32(1); u < 4; u++ {
+		wu, err := exact.Spread(g, []int32{0}, []int32{u})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(withU[u]-wu) > 1e-9 {
+			t.Fatalf("σ(∅∪{%d}) = %v, want %v", u, withU[u], wu)
+		}
+	}
+}
+
+func TestOneDirectionalTreeEdges(t *testing.T) {
+	// A tree given with only one direction per edge: the reverse
+	// direction is implicit with p=0.
+	b := graph.NewBuilder(3)
+	b.MustAddEdge(0, 1, 0.5, 0.75)
+	b.MustAddEdge(1, 2, 0.5, 0.75)
+	g := b.MustBuild()
+	tr, err := FromGraph(g, []int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEvaluator(tr)
+	got, err := e.Sigma(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 + 0.5 + 0.25
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("σ = %v, want %v", got, want)
+	}
+}
+
+func TestDeltaBaseline(t *testing.T) {
+	r := rng.New(44)
+	_, tr, _ := randomTree(t, r, 7, 1)
+	e := NewEvaluator(tr)
+	d, err := e.Delta(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d) > 1e-12 {
+		t.Fatalf("Δ(∅) = %v, want 0", d)
+	}
+}
+
+func TestGreedyBoostBasics(t *testing.T) {
+	r := rng.New(45)
+	_, tr, _ := randomTree(t, r, 12, 2)
+	res, err := GreedyBoost(tr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Boost) > 3 {
+		t.Fatalf("|B| = %d", len(res.Boost))
+	}
+	for _, v := range res.Boost {
+		if tr.IsSeed(v) {
+			t.Fatalf("greedy picked seed %d", v)
+		}
+	}
+	if res.Delta < 0 {
+		t.Fatalf("negative Δ %v", res.Delta)
+	}
+	// Delta must equal recomputed exact delta.
+	e := NewEvaluator(tr)
+	want, err := e.Delta(res.Boost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Delta-want) > 1e-9 {
+		t.Fatalf("greedy Δ=%v, recomputed %v", res.Delta, want)
+	}
+}
+
+// Greedy marginal values must be consistent: each picked node is the
+// argmax of the exact marginals at its round.
+func TestGreedyPicksArgmax(t *testing.T) {
+	r := rng.New(46)
+	_, tr, _ := randomTree(t, r, 9, 1)
+	res, err := GreedyBoost(tr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Boost) == 0 {
+		t.Skip("nothing to boost")
+	}
+	e := NewEvaluator(tr)
+	_, withU, err := e.SigmaWithEach(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.Boost[0]
+	for u := int32(0); int(u) < tr.N(); u++ {
+		if withU[u] > withU[first]+1e-12 {
+			t.Fatalf("greedy first pick %d (σ=%v) beaten by %d (σ=%v)",
+				first, withU[first], u, withU[u])
+		}
+	}
+}
+
+// On small trees greedy should be close to the enumerated optimum.
+func TestGreedyNearOptimal(t *testing.T) {
+	r := rng.New(47)
+	for trial := 0; trial < 10; trial++ {
+		n := 5 + r.Intn(4)
+		_, tr, _ := randomTree(t, r, n, 1)
+		const k = 2
+		res, err := GreedyBoost(tr, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Brute force optimum using the tree evaluator.
+		e := NewEvaluator(tr)
+		nonSeeds := []int32{}
+		for v := int32(0); int(v) < tr.N(); v++ {
+			if !tr.IsSeed(v) {
+				nonSeeds = append(nonSeeds, v)
+			}
+		}
+		best := 0.0
+		for i := 0; i < len(nonSeeds); i++ {
+			for j := i + 1; j < len(nonSeeds); j++ {
+				d, err := e.Delta([]int32{nonSeeds[i], nonSeeds[j]})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d > best {
+					best = d
+				}
+			}
+		}
+		if res.Delta < 0.6*best-1e-9 {
+			t.Fatalf("trial %d: greedy Δ=%v, optimum %v", trial, res.Delta, best)
+		}
+	}
+}
+
+func TestGreedyZeroK(t *testing.T) {
+	r := rng.New(48)
+	_, tr, _ := randomTree(t, r, 6, 1)
+	res, err := GreedyBoost(tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Boost) != 0 || math.Abs(res.Delta) > 1e-12 {
+		t.Fatalf("k=0 gave %v Δ=%v", res.Boost, res.Delta)
+	}
+	if _, err := GreedyBoost(tr, -1); err == nil {
+		t.Fatal("negative k accepted")
+	}
+}
+
+func TestEvaluatorInputValidation(t *testing.T) {
+	tr := fig4Tree(t)
+	e := NewEvaluator(tr)
+	if _, err := e.Sigma([]int32{99}); err == nil {
+		t.Fatal("bad boost node accepted")
+	}
+	if _, _, err := e.SigmaWithEach([]int32{-1}); err == nil {
+		t.Fatal("negative boost node accepted")
+	}
+}
+
+// Boosting monotonicity on trees: σ non-decreasing as B grows.
+func TestTreeBoostMonotone(t *testing.T) {
+	r := rng.New(49)
+	_, tr, _ := randomTree(t, r, 10, 2)
+	e := NewEvaluator(tr)
+	var boost []int32
+	prev, err := e.Sigma(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int32(0); int(v) < tr.N(); v++ {
+		if tr.IsSeed(v) {
+			continue
+		}
+		boost = append(boost, v)
+		cur, err := e.Sigma(boost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur+1e-12 < prev {
+			t.Fatalf("σ decreased adding %d: %v -> %v", v, prev, cur)
+		}
+		prev = cur
+	}
+}

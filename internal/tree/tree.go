@@ -1,0 +1,182 @@
+// Package tree implements the paper's Section VI: the k-boosting
+// problem on bidirected trees. It provides
+//
+//   - an O(n) exact computation of the boosted influence spread σ_S(B)
+//     and of all single-node marginals σ_S(B ∪ {u}) (Lemmas 5-7),
+//   - Greedy-Boost, the O(kn) greedy algorithm built on it, and
+//   - DP-Boost, a rounded dynamic program that is a fully
+//     polynomial-time approximation scheme (Theorem 3 / Appendix B).
+//
+// A bidirected tree is a directed graph whose underlying undirected
+// graph is a tree; influence may flow in both directions of each edge
+// with independent probabilities.
+package tree
+
+import (
+	"fmt"
+
+	"github.com/kboost/kboost/internal/graph"
+)
+
+// Tree is an immutable bidirected tree with seed annotations, stored as
+// a flattened adjacency structure: for the j-th adjacency slot of node u
+// (edge u->v), rev[j] is the global slot index of the reverse direction
+// (v->u).
+type Tree struct {
+	n int
+
+	start []int32 // len n+1: adjacency offsets
+	nbr   []int32 // neighbor node ids
+	rev   []int32 // global slot index of the reverse slot
+	p     []float64
+	pb    []float64 // boosted probability
+
+	seed  []bool
+	seeds []int32
+
+	// Rooted orientation used by traversals (root 0): parents, BFS order.
+	parent     []int32 // -1 for root
+	parentSlot []int32 // slot index (u->parent) for each u; -1 for root
+	order      []int32 // BFS order from the root
+}
+
+// FromGraph validates that g is a bidirected tree and builds the Tree.
+// Missing reverse directions are treated as probability-0 edges, per the
+// paper's convention that every adjacent pair is connected both ways.
+func FromGraph(g *graph.Graph, seeds []int32) (*Tree, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, fmt.Errorf("tree: empty graph")
+	}
+	if !g.IsBidirectedTree() {
+		return nil, fmt.Errorf("tree: graph is not a bidirected tree")
+	}
+	t := &Tree{n: n, seed: make([]bool, n)}
+	for _, s := range seeds {
+		if s < 0 || int(s) >= n {
+			return nil, fmt.Errorf("tree: seed %d out of range [0,%d)", s, n)
+		}
+		if t.seed[s] {
+			return nil, fmt.Errorf("tree: duplicate seed %d", s)
+		}
+		t.seed[s] = true
+		t.seeds = append(t.seeds, s)
+	}
+
+	// Undirected neighbor sets (union of out- and in-neighbors).
+	nbrSets := make([][]int32, n)
+	addNbr := func(u, v int32) {
+		for _, w := range nbrSets[u] {
+			if w == v {
+				return
+			}
+		}
+		nbrSets[u] = append(nbrSets[u], v)
+	}
+	for u := int32(0); int(u) < n; u++ {
+		for _, v := range g.OutTo(u) {
+			addNbr(u, v)
+			addNbr(v, u)
+		}
+	}
+
+	t.start = make([]int32, n+1)
+	for u := 0; u < n; u++ {
+		t.start[u+1] = t.start[u] + int32(len(nbrSets[u]))
+	}
+	total := t.start[n]
+	t.nbr = make([]int32, total)
+	t.rev = make([]int32, total)
+	t.p = make([]float64, total)
+	t.pb = make([]float64, total)
+	for u := int32(0); int(u) < n; u++ {
+		base := t.start[u]
+		for i, v := range nbrSets[u] {
+			j := base + int32(i)
+			t.nbr[j] = v
+			if p, pbv, ok := g.FindEdge(u, v); ok {
+				t.p[j] = p
+				t.pb[j] = pbv
+			}
+		}
+	}
+	// Reverse slot index.
+	for u := int32(0); int(u) < n; u++ {
+		for j := t.start[u]; j < t.start[u+1]; j++ {
+			v := t.nbr[j]
+			found := false
+			for jj := t.start[v]; jj < t.start[v+1]; jj++ {
+				if t.nbr[jj] == u {
+					t.rev[j] = jj
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("tree: internal error: missing reverse slot for (%d,%d)", u, v)
+			}
+		}
+	}
+
+	// Rooted orientation from node 0.
+	t.parent = make([]int32, n)
+	t.parentSlot = make([]int32, n)
+	for i := range t.parent {
+		t.parent[i] = -2 // unvisited
+		t.parentSlot[i] = -1
+	}
+	t.order = make([]int32, 0, n)
+	t.parent[0] = -1
+	t.order = append(t.order, 0)
+	for qi := 0; qi < len(t.order); qi++ {
+		u := t.order[qi]
+		for j := t.start[u]; j < t.start[u+1]; j++ {
+			v := t.nbr[j]
+			if t.parent[v] == -2 {
+				t.parent[v] = u
+				t.parentSlot[v] = t.rev[j] // slot (v -> u)
+				t.order = append(t.order, v)
+			}
+		}
+	}
+	if len(t.order) != n {
+		return nil, fmt.Errorf("tree: internal error: BFS visited %d of %d nodes", len(t.order), n)
+	}
+	return t, nil
+}
+
+// N returns the number of nodes.
+func (t *Tree) N() int { return t.n }
+
+// NumSeeds returns the number of seed nodes.
+func (t *Tree) NumSeeds() int { return len(t.seeds) }
+
+// Seeds returns the seed node ids (aliases internal storage).
+func (t *Tree) Seeds() []int32 { return t.seeds }
+
+// IsSeed reports whether v is a seed.
+func (t *Tree) IsSeed(v int32) bool { return t.seed[v] }
+
+// Degree returns the number of neighbors of u.
+func (t *Tree) Degree(u int32) int { return int(t.start[u+1] - t.start[u]) }
+
+// children returns the child node ids of u in the rooted orientation.
+func (t *Tree) children(u int32) []int32 {
+	var out []int32
+	for j := t.start[u]; j < t.start[u+1]; j++ {
+		v := t.nbr[j]
+		if t.parent[v] == u {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// probInto returns p(from->to) given whether `to` is boosted; slot j is
+// the (from->to) slot.
+func (t *Tree) probInto(j int32, boosted bool) float64 {
+	if boosted {
+		return t.pb[j]
+	}
+	return t.p[j]
+}

@@ -1,0 +1,30 @@
+package kboost
+
+import "github.com/kboost/kboost/internal/lt"
+
+// The boosted Linear Threshold extension (the paper's future-work
+// direction, Section IX): thresholds θ_v ~ U[0,1], edge weights derived
+// from the influence probabilities and normalized per node, boosted
+// nodes receive the boosted weights. See internal/lt for the model
+// definition.
+
+// LTOptions configures boosted-LT Monte-Carlo estimation.
+type LTOptions = lt.Options
+
+// LTEstimateSpread estimates the expected boosted-LT spread σ^LT_S(B).
+func LTEstimateSpread(g *Graph, seeds, boost []int32, opt LTOptions) (float64, error) {
+	return lt.EstimateSpread(g, seeds, boost, opt)
+}
+
+// LTEstimateBoost estimates the boosted-LT boost Δ^LT_S(B).
+func LTEstimateBoost(g *Graph, seeds, boost []int32, opt LTOptions) (float64, error) {
+	return lt.EstimateBoost(g, seeds, boost, opt)
+}
+
+// LTGreedyBoost greedily selects k boost nodes under the boosted-LT
+// model by Monte-Carlo marginal evaluation over a candidate pool of
+// size candCap (0 picks a default). Heuristic: no approximation
+// guarantee exists for boosted LT.
+func LTGreedyBoost(g *Graph, seeds []int32, k, candCap int, opt LTOptions) ([]int32, float64, error) {
+	return lt.GreedyBoost(g, seeds, k, candCap, opt)
+}

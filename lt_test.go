@@ -1,0 +1,33 @@
+package kboost
+
+import "testing"
+
+func TestLTAPI(t *testing.T) {
+	g, err := GenerateDataset("digg", 0.002, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := InfluentialSeeds(g, 3)
+	spread, err := LTEstimateSpread(g, seeds, nil, LTOptions{Sims: 2000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spread < float64(len(seeds)) {
+		t.Fatalf("LT spread %v below seed count", spread)
+	}
+	boostSet := RandomSeeds(g, 5, 9)
+	boost, err := LTEstimateBoost(g, seeds, boostSet, LTOptions{Sims: 5000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if boost < -1 {
+		t.Fatalf("LT boost implausibly negative: %v", boost)
+	}
+	chosen, val, err := LTGreedyBoost(g, seeds, 2, 10, LTOptions{Sims: 1000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chosen) > 2 || val < -1 {
+		t.Fatalf("LT greedy: %v %v", chosen, val)
+	}
+}
