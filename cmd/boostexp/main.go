@@ -134,7 +134,7 @@ func parseInts(s string) ([]int, error) {
 	for _, part := range strings.Split(s, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil {
-			return nil, fmt.Errorf("boostexp: bad integer %q", part)
+			return nil, fmt.Errorf("boostexp: bad integer %q: %w", part, err)
 		}
 		out = append(out, v)
 	}
@@ -149,7 +149,7 @@ func parseFloats(s string) ([]float64, error) {
 	for _, part := range strings.Split(s, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
 		if err != nil {
-			return nil, fmt.Errorf("boostexp: bad float %q", part)
+			return nil, fmt.Errorf("boostexp: bad float %q: %w", part, err)
 		}
 		out = append(out, v)
 	}

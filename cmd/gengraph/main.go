@@ -92,13 +92,16 @@ func main() {
 	}
 
 	w := os.Stdout
+	dest := "stdout"
+	var outFile *os.File
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
+		outFile = f
 		w = f
+		dest = *out
 	}
 	if *binary {
 		err = g.WriteBinary(w)
@@ -106,7 +109,14 @@ func main() {
 		err = g.WriteText(w)
 	}
 	if err != nil {
-		fatal(err)
+		fatal(fmt.Errorf("writing %s: %w", dest, err))
+	}
+	// Close errors matter here: they are the write errors of buffered
+	// data, and a deferred Close would swallow them past os.Exit.
+	if outFile != nil {
+		if err := outFile.Close(); err != nil {
+			fatal(fmt.Errorf("writing %s: %w", dest, err))
+		}
 	}
 	fmt.Fprintf(os.Stderr, "gengraph: wrote %d nodes, %d edges\n", g.N(), g.M())
 }

@@ -64,7 +64,7 @@ func main() {
 		for _, part := range strings.Split(*seedsArg, ",") {
 			v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 32)
 			if err != nil {
-				fatal(fmt.Errorf("bad seed %q", part))
+				fatal(fmt.Errorf("bad seed %q: %w", part, err))
 			}
 			seeds = append(seeds, int32(v))
 		}

@@ -1,0 +1,189 @@
+// Command kboostd serves boosting queries over HTTP: it loads one or
+// more graph snapshots at startup, keeps PRR-graph pools cached across
+// queries, and exposes the engine as a JSON API.
+//
+// Usage:
+//
+//	kboostd -addr :8090 -graph prod=digg.txt
+//	kboostd -graph a=g1.txt -graph b=g2.bin -max-pools 16 -max-workers 8
+//	kboostd -dataset demo=digg:0.01:2:1   # synthetic stand-in, no file needed
+//
+// Endpoints (all JSON):
+//
+//	POST /v1/boost    {"graph":"prod","seeds":[1,2],"k":10,...}
+//	POST /v1/seeds    {"graph":"prod","k":10,...}
+//	POST /v1/estimate {"graph":"prod","seeds":[1,2],"boost":[3],...}
+//	GET  /v1/stats
+//
+// kboostd shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests for up to -drain-timeout.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	kboost "github.com/kboost/kboost"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "kboostd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("kboostd", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", ":8090", "listen address")
+		workers      = fs.Int("workers", 0, "default worker budget per query (0 = GOMAXPROCS)")
+		maxWorkers   = fs.Int("max-workers", 0, "cap on per-request worker budgets (0 = uncapped)")
+		maxPools     = fs.Int("max-pools", 8, "PRR pool cache capacity (LRU)")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain budget")
+		graphSpecs   sliceFlag
+		datasetSpecs sliceFlag
+	)
+	fs.Var(&graphSpecs, "graph", "id=path graph file to serve (repeatable)")
+	fs.Var(&datasetSpecs, "dataset", "id=name:scale:beta:seed synthetic stand-in to serve (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(graphSpecs) == 0 && len(datasetSpecs) == 0 {
+		return fmt.Errorf("no graphs to serve: pass at least one -graph id=path or -dataset id=spec")
+	}
+
+	eng := kboost.NewEngine(kboost.EngineOptions{MaxPools: *maxPools, Workers: *workers})
+	for _, spec := range graphSpecs {
+		id, path, err := splitSpec(spec)
+		if err != nil {
+			return fmt.Errorf("-graph %q: %w", spec, err)
+		}
+		g, err := kboost.LoadGraph(path)
+		if err != nil {
+			return fmt.Errorf("loading graph %q: %w", id, err)
+		}
+		if err := eng.RegisterGraph(id, g); err != nil {
+			return err
+		}
+		log.Printf("graph %q: %d nodes, %d edges (%s)", id, g.N(), g.M(), path)
+	}
+	for _, spec := range datasetSpecs {
+		id, rest, err := splitSpec(spec)
+		if err != nil {
+			return fmt.Errorf("-dataset %q: %w", spec, err)
+		}
+		g, err := generateDataset(rest)
+		if err != nil {
+			return fmt.Errorf("-dataset %q: %w", spec, err)
+		}
+		if err := eng.RegisterGraph(id, g); err != nil {
+			return err
+		}
+		log.Printf("graph %q: %d nodes, %d edges (synthetic %s)", id, g.N(), g.M(), rest)
+	}
+
+	handler := kboost.NewEngineServer(eng, kboost.EngineServerOptions{MaxWorkers: *maxWorkers})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           logRequests(handler),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return fmt.Errorf("serving: %w", err)
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down (draining up to %s)", *drainTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("serving: %w", err)
+	}
+	return nil
+}
+
+// sliceFlag collects repeated flag values.
+type sliceFlag []string
+
+func (f *sliceFlag) String() string     { return strings.Join(*f, ",") }
+func (f *sliceFlag) Set(v string) error { *f = append(*f, v); return nil }
+
+func splitSpec(spec string) (id, rest string, err error) {
+	id, rest, ok := strings.Cut(spec, "=")
+	if !ok || id == "" || rest == "" {
+		return "", "", fmt.Errorf("want id=value")
+	}
+	return id, rest, nil
+}
+
+// generateDataset parses "name:scale:beta:seed" (trailing fields
+// optional) and builds the synthetic stand-in.
+func generateDataset(spec string) (*kboost.Graph, error) {
+	parts := strings.Split(spec, ":")
+	name := parts[0]
+	scale, beta, seed := 0.01, 2.0, uint64(1)
+	var err error
+	if len(parts) > 1 {
+		if scale, err = strconv.ParseFloat(parts[1], 64); err != nil {
+			return nil, fmt.Errorf("bad scale %q: %w", parts[1], err)
+		}
+	}
+	if len(parts) > 2 {
+		if beta, err = strconv.ParseFloat(parts[2], 64); err != nil {
+			return nil, fmt.Errorf("bad beta %q: %w", parts[2], err)
+		}
+	}
+	if len(parts) > 3 {
+		if seed, err = strconv.ParseUint(parts[3], 10, 64); err != nil {
+			return nil, fmt.Errorf("bad seed %q: %w", parts[3], err)
+		}
+	}
+	if len(parts) > 4 {
+		return nil, fmt.Errorf("too many fields (want name:scale:beta:seed)")
+	}
+	return kboost.GenerateDataset(name, scale, beta, seed)
+}
+
+// logRequests is a minimal request-logging middleware.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		log.Printf("%s %s -> %d in %s", r.Method, r.URL.Path, rec.status, time.Since(start).Round(time.Millisecond))
+	})
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}

@@ -14,6 +14,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"math"
 	"sort"
 
 	kboost "github.com/kboost/kboost"
@@ -90,7 +91,7 @@ func mustBoost(g *kboost.Graph, seeds, boost []int32, sim kboost.SimOptions) flo
 }
 
 func bestOf(g *kboost.Graph, seeds []int32, sets [][]int32, sim kboost.SimOptions) float64 {
-	best := 0.0
+	best := math.Inf(-1)
 	for _, b := range sets {
 		if v := mustBoost(g, seeds, b, sim); v > best {
 			best = v

@@ -41,12 +41,17 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Println("seed-budget%  #seeds  #boosted  expected spread")
 	best := points[0]
 	for _, pt := range points {
-		marker := ""
 		if pt.BoostedSpread > best.BoostedSpread {
 			best = pt
+		}
+	}
+	fmt.Println("seed-budget%  #seeds  #boosted  expected spread")
+	for _, pt := range points {
+		marker := ""
+		if pt.SeedFrac == best.SeedFrac {
+			marker = "  <- best"
 		}
 		fmt.Printf("%11.0f%%  %6d  %8d  %15.1f%s\n",
 			pt.SeedFrac*100, pt.NumSeeds, pt.NumBoost, pt.BoostedSpread, marker)

@@ -14,6 +14,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"math"
 
 	kboost "github.com/kboost/kboost"
 )
@@ -50,7 +51,7 @@ func main() {
 	}
 
 	// Degree heuristic, best of the four variants under LT.
-	bestDeg := 0.0
+	bestDeg := math.Inf(-1)
 	for _, set := range kboost.HighDegreeGlobal(g, seeds, k) {
 		v, err := kboost.LTEstimateBoost(g, seeds, set, ltOpt)
 		if err != nil {

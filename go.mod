@@ -1,0 +1,3 @@
+module github.com/kboost/kboost
+
+go 1.21

@@ -50,7 +50,7 @@ func BudgetAllocation(g *graph.Graph, opt BudgetAllocationOptions) ([]MixPoint, 
 	if opt.Sims <= 0 {
 		opt.Sims = 10000
 	}
-	bo := opt.Boost.withDefaults()
+	bo := opt.Boost.WithDefaults()
 
 	var out []MixPoint
 	for _, frac := range opt.SeedFracs {

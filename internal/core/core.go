@@ -41,7 +41,7 @@ type Options struct {
 	Adaptive bool
 }
 
-func (o Options) withDefaults() Options {
+func (o Options) WithDefaults() Options {
 	if o.Epsilon <= 0 {
 		o.Epsilon = 0.5
 	}
@@ -79,6 +79,13 @@ type Result struct {
 	SelectionTime time.Duration
 }
 
+// Validate checks a (graph, seeds, opt) boosting query without running
+// it, so callers with caches (internal/engine) can reject bad requests
+// before mutating any state.
+func Validate(g *graph.Graph, seeds []int32, opt Options) error {
+	return validate(g, seeds, opt.WithDefaults())
+}
+
 func validate(g *graph.Graph, seeds []int32, opt Options) error {
 	if g.N() < 2 {
 		return fmt.Errorf("core: graph must have at least 2 nodes, has %d", g.N())
@@ -107,25 +114,105 @@ func validate(g *graph.Graph, seeds []int32, opt Options) error {
 
 // PRRBoost runs Algorithm 2 and returns the sandwich solution B_sa.
 func PRRBoost(g *graph.Graph, seeds []int32, opt Options) (*Result, error) {
-	opt = opt.withDefaults()
+	return boostOnce(g, seeds, opt, prr.ModeFull)
+}
+
+// PRRBoostLB runs the lower-bound-only variant: it returns B_μ directly,
+// skipping Δ̂ greedy and generating leaner PRR-graphs (critical nodes
+// only). Same approximation factor as PRR-Boost, lower cost (Section
+// V-C).
+func PRRBoostLB(g *graph.Graph, seeds []int32, opt Options) (*Result, error) {
+	return boostOnce(g, seeds, opt, prr.ModeLB)
+}
+
+// boostOnce is the one-shot path: build a fresh pool, select, discard.
+func boostOnce(g *graph.Graph, seeds []int32, opt Options, mode prr.Mode) (*Result, error) {
+	opt = opt.WithDefaults()
 	if err := validate(g, seeds, opt); err != nil {
 		return nil, err
 	}
-	res := &Result{}
 	t0 := time.Now()
-	pool, err := buildPool(g, seeds, opt, prr.ModeFull)
+	pool, err := buildPool(g, seeds, opt, mode)
 	if err != nil {
 		return nil, err
 	}
-	res.SamplingTime = time.Since(t0)
-	res.Samples = pool.Size()
-	res.PoolStats = pool.Stats()
+	sampling := time.Since(t0)
+	res, err := BoostFromPool(pool, opt)
+	if err != nil {
+		return nil, err
+	}
+	res.SamplingTime = sampling
+	return res, nil
+}
 
+// BuildPool runs the sampling phase on a fresh pool and returns it
+// sized for (opt.K, opt.Epsilon, opt.Ell). It is the exported half of
+// the PRRBoost split: long-lived callers (internal/engine) keep the
+// returned pool and amortize it across queries with GrowPool and
+// BoostFromPool.
+func BuildPool(g *graph.Graph, seeds []int32, opt Options, mode prr.Mode) (*prr.Pool, error) {
+	opt = opt.WithDefaults()
+	if err := validate(g, seeds, opt); err != nil {
+		return nil, err
+	}
+	return buildPool(g, seeds, opt, mode)
+}
+
+// GrowPool re-runs the IMM sizing against an existing pool, extending
+// it in place when the requested (K, Epsilon, Ell, MaxSamples) demand
+// more samples than the pool holds. Existing PRR-graphs are never
+// regenerated; the returned count is the number of newly generated
+// ones (zero when the pool is already large enough). opt.K must not
+// exceed the pool's generation budget pool.K().
+func GrowPool(pool *prr.Pool, opt Options) (added int, err error) {
+	opt = opt.WithDefaults()
+	if err := validate(pool.Graph(), pool.Seeds(), opt); err != nil {
+		return 0, err
+	}
+	if opt.K > pool.K() {
+		return 0, fmt.Errorf("core: pool was generated for k<=%d, cannot serve k=%d", pool.K(), opt.K)
+	}
+	before := pool.Size()
+	params := imm.Params{
+		N:          pool.Graph().N(),
+		K:          opt.K,
+		Epsilon:    opt.Epsilon,
+		Ell:        imm.EllForSandwich(opt.Ell, pool.Graph().N()),
+		MaxSamples: opt.MaxSamples,
+	}
+	if _, err := imm.Run(pool, params); err != nil {
+		return 0, err
+	}
+	return pool.Size() - before, nil
+}
+
+// BoostFromPool runs the selection phase of Algorithm 2 on an existing
+// pool: greedy max coverage of the critical-node sets (B_μ), and — for
+// ModeFull pools — the Δ̂ greedy plus the sandwich choice between the
+// two. The pool is not grown; callers wanting the full algorithm
+// combine BuildPool/GrowPool with this. SamplingTime is left zero.
+func BoostFromPool(pool *prr.Pool, opt Options) (*Result, error) {
+	opt = opt.WithDefaults()
+	g, seeds := pool.Graph(), pool.Seeds()
+	if err := validate(g, seeds, opt); err != nil {
+		return nil, err
+	}
+	if opt.K > pool.K() {
+		return nil, fmt.Errorf("core: pool was generated for k<=%d, cannot serve k=%d", pool.K(), opt.K)
+	}
+	res := &Result{Samples: pool.Size(), PoolStats: pool.Stats()}
 	t1 := time.Now()
 	bMu, covMu := pool.SelectAndCover(opt.K)
 	bMu = padBoostSet(bMu, opt.K, g, seeds)
 	res.BoostSetMu = bMu
 	res.EstMu = scale(g, covMu, pool.Size())
+
+	if pool.Mode() != prr.ModeFull {
+		res.BoostSet = bMu
+		res.EstBoost = res.EstMu
+		res.SelectionTime = time.Since(t1)
+		return res, nil
+	}
 
 	bDelta, covDelta, err := pool.SelectDelta(opt.K)
 	if err != nil {
@@ -147,36 +234,6 @@ func PRRBoost(g *graph.Graph, seeds []int32, opt Options) (*Result, error) {
 		res.BoostSet = bDelta
 		res.EstBoost = res.EstDelta
 	}
-	res.SelectionTime = time.Since(t1)
-	return res, nil
-}
-
-// PRRBoostLB runs the lower-bound-only variant: it returns B_μ directly,
-// skipping Δ̂ greedy and generating leaner PRR-graphs (critical nodes
-// only). Same approximation factor as PRR-Boost, lower cost (Section
-// V-C).
-func PRRBoostLB(g *graph.Graph, seeds []int32, opt Options) (*Result, error) {
-	opt = opt.withDefaults()
-	if err := validate(g, seeds, opt); err != nil {
-		return nil, err
-	}
-	res := &Result{}
-	t0 := time.Now()
-	pool, err := buildPool(g, seeds, opt, prr.ModeLB)
-	if err != nil {
-		return nil, err
-	}
-	res.SamplingTime = time.Since(t0)
-	res.Samples = pool.Size()
-	res.PoolStats = pool.Stats()
-
-	t1 := time.Now()
-	bMu, covMu := pool.SelectAndCover(opt.K)
-	bMu = padBoostSet(bMu, opt.K, g, seeds)
-	res.BoostSetMu = bMu
-	res.EstMu = scale(g, covMu, pool.Size())
-	res.BoostSet = bMu
-	res.EstBoost = res.EstMu
 	res.SelectionTime = time.Since(t1)
 	return res, nil
 }
@@ -245,7 +302,7 @@ func padBoostSet(chosen []int32, k int, g *graph.Graph, seeds []int32) []int32 {
 // fresh PRR-graph pool of the given size. The paper uses this ratio
 // (Figures 7, 9, 12) to report the data-dependent approximation factor.
 func SandwichRatio(g *graph.Graph, seeds, boost []int32, samples int, opt Options) (mu, delta, ratio float64, err error) {
-	opt = opt.withDefaults()
+	opt = opt.WithDefaults()
 	k := opt.K
 	if k < len(boost) {
 		k = len(boost)

@@ -1,0 +1,473 @@
+// Package engine turns the one-shot kboost library into a long-lived
+// query-serving system: it holds registered graph snapshots and a
+// bounded LRU cache of PRR-graph pools, so that repeated boosting
+// queries over the same (graph, seed set) amortize the expensive
+// sampling phase instead of regenerating it from scratch.
+//
+// Pools are cached per (graph, seed set, mode). Each cached pool
+// remembers the generation budget k it was built with; because a
+// PRR-graph generated for budget k' is valid for any query with
+// k <= k', a cached pool serves every smaller-or-equal k directly,
+// while a larger k forces a rebuild (generation-time pruning depends
+// on k, so growth cannot help there). A query that needs more samples
+// — tighter ε, higher ℓ, or a raised sample cap — grows the cached
+// pool in place via core.GrowPool: existing PRR-graphs are reused and
+// only the shortfall is generated.
+//
+// Access to each cached pool is serialized by a per-entry mutex, which
+// doubles as singleflight deduplication: when identical queries arrive
+// concurrently, exactly one builds the pool and the rest block until
+// it is ready, then reuse it.
+package engine
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/kboost/kboost/internal/core"
+	"github.com/kboost/kboost/internal/diffusion"
+	"github.com/kboost/kboost/internal/graph"
+	"github.com/kboost/kboost/internal/prr"
+	"github.com/kboost/kboost/internal/rrset"
+)
+
+// ErrUnknownGraph is returned (wrapped) when a request names a graph id
+// that was never registered.
+var ErrUnknownGraph = errors.New("unknown graph id")
+
+// Options configures an Engine.
+type Options struct {
+	// MaxPools bounds the PRR-pool LRU cache (default 8, minimum 1).
+	// Each pool can hold hundreds of thousands of compressed PRR-graphs,
+	// so this is the engine's main memory knob.
+	MaxPools int
+	// Workers is the worker budget used for pool construction and for
+	// requests that do not set their own (default GOMAXPROCS). A pool's
+	// worker count is fixed at construction — per-worker RNG streams
+	// make sampling deterministic for a fixed (seed, workers) pair — so
+	// this, not the per-request budget, governs cached pools.
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxPools < 1 {
+		o.MaxPools = 8
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Stats is a snapshot of the engine's counters.
+type Stats struct {
+	Graphs int `json:"graphs"` // registered graph snapshots
+	Pools  int `json:"pools"`  // currently cached PRR pools
+
+	BoostQueries    int64 `json:"boost_queries"`
+	SeedQueries     int64 `json:"seed_queries"`
+	EstimateQueries int64 `json:"estimate_queries"`
+
+	// PoolHits counts boost queries served from a cached pool (possibly
+	// after an in-place extension); PoolMisses counts cold builds;
+	// PoolRebuilds counts builds forced by a k larger than the cached
+	// pool's generation budget.
+	PoolHits     int64 `json:"pool_hits"`
+	PoolMisses   int64 `json:"pool_misses"`
+	PoolRebuilds int64 `json:"pool_rebuilds"`
+	// PoolExtensions counts warm queries that grew a cached pool in
+	// place (tighter ε / larger sample budget).
+	PoolExtensions int64 `json:"pool_extensions"`
+	Evictions      int64 `json:"evictions"`
+
+	// PRRGenerated is the cumulative number of PRR-graphs generated
+	// across all pools, including rebuilt and evicted ones. A warm-path
+	// query leaves it unchanged.
+	PRRGenerated int64 `json:"prr_generated"`
+}
+
+// Engine is a long-lived, concurrency-safe boosting service over a set
+// of registered graph snapshots. The zero value is not usable; create
+// one with New.
+type Engine struct {
+	opt Options
+
+	mu     sync.Mutex
+	graphs map[string]*graph.Graph
+	pools  map[string]*poolEntry
+	lru    *list.List // of *poolEntry; front = most recently used
+	stats  Stats
+}
+
+// poolEntry is one cached pool. entry.mu serializes every use of the
+// pool (build, extend, select): prr.Pool is not safe for concurrent
+// mutation, and the serialization doubles as singleflight — concurrent
+// identical queries block here while the first one builds.
+type poolEntry struct {
+	key  string
+	elem *list.Element
+
+	mu   sync.Mutex
+	pool *prr.Pool // nil until the first query builds it
+	// sized records the (K, ε, ℓ, MaxSamples) sizings already applied to
+	// the current pool. Re-running the IMM sizing re-derives its OPT
+	// lower bound from the now-larger pool and can land on a slightly
+	// larger sample target, so without this memo a literally identical
+	// repeat query would still generate a few samples. Reset on rebuild.
+	sized map[string]bool
+}
+
+// New creates an Engine.
+func New(opt Options) *Engine {
+	return &Engine{
+		opt:    opt.withDefaults(),
+		graphs: make(map[string]*graph.Graph),
+		pools:  make(map[string]*poolEntry),
+		lru:    list.New(),
+	}
+}
+
+// RegisterGraph adds a graph snapshot under id. Graphs are immutable
+// once registered; re-registering an id is an error (evolving a graph
+// means registering a new snapshot id, which naturally invalidates
+// nothing — old pools stay keyed to the old id until evicted).
+func (e *Engine) RegisterGraph(id string, g *graph.Graph) error {
+	if id == "" {
+		return fmt.Errorf("engine: empty graph id")
+	}
+	if g == nil {
+		return fmt.Errorf("engine: nil graph for id %q", id)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.graphs[id]; dup {
+		return fmt.Errorf("engine: graph id %q already registered", id)
+	}
+	e.graphs[id] = g
+	e.stats.Graphs = len(e.graphs)
+	return nil
+}
+
+// Graph returns the registered snapshot for id.
+func (e *Engine) Graph(id string) (*graph.Graph, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	g, ok := e.graphs[id]
+	if !ok {
+		return nil, fmt.Errorf("engine: %w: %q", ErrUnknownGraph, id)
+	}
+	return g, nil
+}
+
+// GraphIDs lists the registered snapshot ids, sorted.
+func (e *Engine) GraphIDs() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ids := make([]string, 0, len(e.graphs))
+	for id := range e.graphs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := e.stats
+	st.Pools = len(e.pools)
+	return st
+}
+
+// BoostRequest is one boosting query against a registered graph.
+type BoostRequest struct {
+	GraphID string  `json:"graph"`
+	Seeds   []int32 `json:"seeds"`
+	K       int     `json:"k"`
+	// Mode selects the algorithm: "full" (PRR-Boost, default) or "lb"
+	// (PRR-Boost-LB, leaner pools, lower-bound greedy only).
+	Mode       string  `json:"mode,omitempty"`
+	Epsilon    float64 `json:"epsilon,omitempty"`
+	Ell        float64 `json:"ell,omitempty"`
+	Seed       uint64  `json:"seed,omitempty"`
+	Workers    int     `json:"workers,omitempty"`
+	MaxSamples int     `json:"max_samples,omitempty"`
+}
+
+// BoostResult is a core.Result plus cache provenance.
+type BoostResult struct {
+	core.Result
+	// CacheHit is true when the query was served from a cached pool
+	// (NewSamples then reports the in-place extension, zero for a fully
+	// warm query).
+	CacheHit bool
+	// Rebuilt is true when a cached pool existed but had to be rebuilt
+	// because the query's K exceeded its generation budget.
+	Rebuilt bool
+	// NewSamples is the number of PRR-graphs generated by this query.
+	NewSamples int
+	// PoolK is the generation budget of the pool that served the query.
+	PoolK int
+}
+
+func parseMode(s string) (prr.Mode, error) {
+	switch s {
+	case "", "full":
+		return prr.ModeFull, nil
+	case "lb":
+		return prr.ModeLB, nil
+	default:
+		return 0, fmt.Errorf("engine: unknown mode %q (want \"full\" or \"lb\")", s)
+	}
+}
+
+// canonicalSeeds returns a sorted copy of seeds so that permutations of
+// the same seed set share one cache entry.
+func canonicalSeeds(seeds []int32) []int32 {
+	out := append([]int32(nil), seeds...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func poolKey(graphID string, mode prr.Mode, seeds []int32) string {
+	var b strings.Builder
+	b.WriteString(graphID)
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(int(mode)))
+	for _, s := range seeds {
+		b.WriteByte('|')
+		b.WriteString(strconv.Itoa(int(s)))
+	}
+	return b.String()
+}
+
+// Boost answers a boosting query, reusing a cached PRR pool when one
+// exists for the same (graph, seed set, mode) with a generation budget
+// covering req.K. Selection always runs against the current pool, so a
+// given query is deterministic for a fixed engine history.
+func (e *Engine) Boost(req BoostRequest) (*BoostResult, error) {
+	mode, err := parseMode(req.Mode)
+	if err != nil {
+		return nil, err
+	}
+	g, err := e.Graph(req.GraphID)
+	if err != nil {
+		return nil, err
+	}
+	seeds := canonicalSeeds(req.Seeds)
+	opt := core.Options{
+		K:          req.K,
+		Epsilon:    req.Epsilon,
+		Ell:        req.Ell,
+		Seed:       req.Seed,
+		Workers:    e.workersFor(req.Workers),
+		MaxSamples: req.MaxSamples,
+	}.WithDefaults()
+	// Reject bad requests before touching the cache: a garbage query
+	// must not bump the LRU or evict a warm pool.
+	if err := core.Validate(g, seeds, opt); err != nil {
+		return nil, err
+	}
+	key := poolKey(req.GraphID, mode, seeds)
+	sizeKey := fmt.Sprintf("%d|%g|%g|%d", opt.K, opt.Epsilon, opt.Ell, opt.MaxSamples)
+
+	e.mu.Lock()
+	e.stats.BoostQueries++
+	ent, ok := e.pools[key]
+	if !ok {
+		ent = &poolEntry{key: key}
+		e.pools[key] = ent
+		ent.elem = e.lru.PushFront(ent)
+	} else {
+		e.lru.MoveToFront(ent.elem)
+	}
+	e.evictLocked()
+	e.mu.Unlock()
+
+	ent.mu.Lock()
+	defer ent.mu.Unlock()
+
+	out := &BoostResult{}
+	switch {
+	case ent.pool == nil:
+		pool, err := core.BuildPool(g, seeds, opt, mode)
+		if err != nil {
+			e.dropEntry(ent)
+			return nil, err
+		}
+		ent.pool = pool
+		ent.sized = map[string]bool{sizeKey: true}
+		out.NewSamples = pool.Size()
+		e.count(func(st *Stats) {
+			st.PoolMisses++
+			st.PRRGenerated += int64(out.NewSamples)
+		})
+	case ent.pool.K() < req.K:
+		// Generation-time pruning depends on k; a bigger budget needs a
+		// rebuild. The new pool serves this and every smaller k after it.
+		// On failure keep the old pool — it still serves smaller k.
+		pool, err := core.BuildPool(g, seeds, opt, mode)
+		if err != nil {
+			return nil, err
+		}
+		ent.pool = pool
+		ent.sized = map[string]bool{sizeKey: true}
+		out.Rebuilt = true
+		out.NewSamples = pool.Size()
+		e.count(func(st *Stats) {
+			st.PoolRebuilds++
+			st.PRRGenerated += int64(out.NewSamples)
+		})
+	default:
+		var added int
+		if !ent.sized[sizeKey] {
+			if added, err = core.GrowPool(ent.pool, opt); err != nil {
+				return nil, err
+			}
+			ent.sized[sizeKey] = true
+		}
+		out.CacheHit = true
+		out.NewSamples = added
+		e.count(func(st *Stats) {
+			st.PoolHits++
+			if added > 0 {
+				st.PoolExtensions++
+				st.PRRGenerated += int64(added)
+			}
+		})
+	}
+
+	res, err := core.BoostFromPool(ent.pool, opt)
+	if err != nil {
+		return nil, err
+	}
+	out.Result = *res
+	out.PoolK = ent.pool.K()
+	return out, nil
+}
+
+// workersFor resolves a per-request worker budget against the engine
+// default.
+func (e *Engine) workersFor(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	return e.opt.Workers
+}
+
+// count applies a mutation to the stats under the engine lock.
+func (e *Engine) count(f func(*Stats)) {
+	e.mu.Lock()
+	f(&e.stats)
+	e.mu.Unlock()
+}
+
+// dropEntry removes a failed entry from the cache so the next query
+// retries the build instead of inheriting a nil pool.
+func (e *Engine) dropEntry(ent *poolEntry) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if cur, ok := e.pools[ent.key]; ok && cur == ent {
+		delete(e.pools, ent.key)
+		e.lru.Remove(ent.elem)
+	}
+}
+
+// evictLocked trims the LRU to MaxPools. Callers hold e.mu. An evicted
+// entry may still be in use by an in-flight query holding its own
+// reference; it simply stops being findable and is freed when the
+// query finishes.
+func (e *Engine) evictLocked() {
+	for len(e.pools) > e.opt.MaxPools {
+		back := e.lru.Back()
+		if back == nil {
+			return
+		}
+		ent := back.Value.(*poolEntry)
+		e.lru.Remove(back)
+		delete(e.pools, ent.key)
+		e.stats.Evictions++
+	}
+}
+
+// SeedsRequest asks for k influence-maximizing seeds on a registered
+// graph (classic IMM, no boosting).
+type SeedsRequest struct {
+	GraphID    string  `json:"graph"`
+	K          int     `json:"k"`
+	Epsilon    float64 `json:"epsilon,omitempty"`
+	Ell        float64 `json:"ell,omitempty"`
+	Seed       uint64  `json:"seed,omitempty"`
+	Workers    int     `json:"workers,omitempty"`
+	MaxSamples int     `json:"max_samples,omitempty"`
+}
+
+// SelectSeeds runs IMM seed selection on a registered graph. RR-set
+// pools are much cheaper than PRR pools and are not cached.
+func (e *Engine) SelectSeeds(req SeedsRequest) (rrset.Result, error) {
+	g, err := e.Graph(req.GraphID)
+	if err != nil {
+		return rrset.Result{}, err
+	}
+	e.count(func(st *Stats) { st.SeedQueries++ })
+	return rrset.SelectSeeds(g, req.K, rrset.Options{
+		Epsilon:    req.Epsilon,
+		Ell:        req.Ell,
+		Seed:       req.Seed,
+		Workers:    e.workersFor(req.Workers),
+		MaxSamples: req.MaxSamples,
+	})
+}
+
+// EstimateRequest asks for Monte-Carlo estimates of the boosted spread
+// σ_S(B) and the boost of influence Δ_S(B) on a registered graph.
+type EstimateRequest struct {
+	GraphID string  `json:"graph"`
+	Seeds   []int32 `json:"seeds"`
+	Boost   []int32 `json:"boost,omitempty"`
+	Sims    int     `json:"sims,omitempty"`
+	Seed    uint64  `json:"seed,omitempty"`
+	Workers int     `json:"workers,omitempty"`
+}
+
+// EstimateResult reports the two Monte-Carlo estimates.
+type EstimateResult struct {
+	// Spread is σ_S(B), the expected boosted spread.
+	Spread float64 `json:"spread"`
+	// Boost is Δ_S(B), estimated with coupled possible worlds.
+	Boost float64 `json:"boost"`
+}
+
+// Estimate runs Monte-Carlo estimation of spread and boost.
+func (e *Engine) Estimate(req EstimateRequest) (EstimateResult, error) {
+	g, err := e.Graph(req.GraphID)
+	if err != nil {
+		return EstimateResult{}, err
+	}
+	e.count(func(st *Stats) { st.EstimateQueries++ })
+	opt := diffusion.Options{
+		Sims:    req.Sims,
+		Seed:    req.Seed,
+		Workers: e.workersFor(req.Workers),
+	}
+	spread, err := diffusion.EstimateSpread(g, req.Seeds, req.Boost, opt)
+	if err != nil {
+		return EstimateResult{}, err
+	}
+	out := EstimateResult{Spread: spread}
+	if len(req.Boost) > 0 {
+		boost, err := diffusion.EstimateBoost(g, req.Seeds, req.Boost, opt)
+		if err != nil {
+			return EstimateResult{}, err
+		}
+		out.Boost = boost
+	}
+	return out, nil
+}

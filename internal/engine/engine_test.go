@@ -1,0 +1,394 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/kboost/kboost/internal/graph"
+	"github.com/kboost/kboost/internal/rng"
+)
+
+// testGraph builds a deterministic ~60-node graph with enough structure
+// that PRR pools contain boostable graphs: a directed ring with random
+// chords, base probability 0.15, boosted 0.35.
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	const n = 60
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.MustAddEdge(int32(i), int32((i+1)%n), 0.15, 0.35)
+	}
+	r := rng.New(7)
+	seen := make(map[[2]int32]bool)
+	for len(seen) < 3*n {
+		u, v := int32(r.Intn(n)), int32(r.Intn(n))
+		if u == v || v == (u+1)%int32(n) || seen[[2]int32{u, v}] {
+			continue
+		}
+		seen[[2]int32{u, v}] = true
+		b.MustAddEdge(u, v, 0.15, 0.35)
+	}
+	return b.MustBuild()
+}
+
+func testRequest() BoostRequest {
+	return BoostRequest{
+		GraphID:    "g",
+		Seeds:      []int32{0, 20, 40},
+		K:          3,
+		Seed:       11,
+		Workers:    2,
+		MaxSamples: 3000,
+	}
+}
+
+func newTestEngine(t *testing.T, opt Options) *Engine {
+	t.Helper()
+	e := New(opt)
+	if err := e.RegisterGraph("g", testGraph(t)); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestWarmQuerySkipsRegeneration(t *testing.T) {
+	e := newTestEngine(t, Options{})
+	req := testRequest()
+
+	cold, err := e.Boost(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.CacheHit {
+		t.Error("first query reported a cache hit")
+	}
+	if cold.NewSamples == 0 || cold.NewSamples != cold.Samples {
+		t.Errorf("cold query: NewSamples=%d, Samples=%d; want equal and positive",
+			cold.NewSamples, cold.Samples)
+	}
+	generated := e.Stats().PRRGenerated
+
+	warm, err := e.Boost(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.CacheHit {
+		t.Error("second identical query missed the cache")
+	}
+	if warm.NewSamples != 0 {
+		t.Errorf("warm query generated %d new PRR-graphs, want 0", warm.NewSamples)
+	}
+	if got := e.Stats().PRRGenerated; got != generated {
+		t.Errorf("warm query moved PRRGenerated from %d to %d", generated, got)
+	}
+	if warm.PoolStats.Total != cold.PoolStats.Total {
+		t.Errorf("pool grew across warm query: %d -> %d", cold.PoolStats.Total, warm.PoolStats.Total)
+	}
+	if fmt.Sprint(warm.BoostSet) != fmt.Sprint(cold.BoostSet) {
+		t.Errorf("same pool, different boost sets: %v vs %v", cold.BoostSet, warm.BoostSet)
+	}
+	st := e.Stats()
+	if st.PoolMisses != 1 || st.PoolHits != 1 {
+		t.Errorf("stats: misses=%d hits=%d, want 1/1", st.PoolMisses, st.PoolHits)
+	}
+}
+
+func TestSmallerKReusesPool(t *testing.T) {
+	e := newTestEngine(t, Options{})
+	req := testRequest()
+	if _, err := e.Boost(req); err != nil {
+		t.Fatal(err)
+	}
+	req.K = 1
+	res, err := e.Boost(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CacheHit || res.NewSamples != 0 {
+		t.Errorf("k=1 after k=3: CacheHit=%v NewSamples=%d, want hit with 0", res.CacheHit, res.NewSamples)
+	}
+	if res.PoolK != 3 {
+		t.Errorf("PoolK=%d, want the cached pool's 3", res.PoolK)
+	}
+	if len(res.BoostSet) != 1 {
+		t.Errorf("boost set has %d nodes, want 1", len(res.BoostSet))
+	}
+}
+
+func TestLargerKRebuildsPool(t *testing.T) {
+	e := newTestEngine(t, Options{})
+	req := testRequest()
+	req.K = 1
+	if _, err := e.Boost(req); err != nil {
+		t.Fatal(err)
+	}
+	req.K = 4
+	res, err := e.Boost(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHit || !res.Rebuilt {
+		t.Errorf("k=4 after k=1: CacheHit=%v Rebuilt=%v, want rebuild", res.CacheHit, res.Rebuilt)
+	}
+	if res.PoolK != 4 {
+		t.Errorf("PoolK=%d, want 4", res.PoolK)
+	}
+	if st := e.Stats(); st.PoolRebuilds != 1 {
+		t.Errorf("PoolRebuilds=%d, want 1", st.PoolRebuilds)
+	}
+}
+
+func TestLargerSampleBudgetExtendsInPlace(t *testing.T) {
+	e := newTestEngine(t, Options{})
+	req := testRequest()
+	req.MaxSamples = 500
+	cold, err := e.Boost(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.MaxSamples = 1500
+	warm, err := e.Boost(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.CacheHit {
+		t.Error("raised sample budget should still hit the cached pool")
+	}
+	if warm.NewSamples == 0 {
+		t.Skip("theory target below 500 samples; nothing to extend")
+	}
+	if warm.Samples != cold.Samples+warm.NewSamples {
+		t.Errorf("pool size %d != %d old + %d new", warm.Samples, cold.Samples, warm.NewSamples)
+	}
+	if st := e.Stats(); st.PoolExtensions != 1 {
+		t.Errorf("PoolExtensions=%d, want 1", st.PoolExtensions)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	e := newTestEngine(t, Options{MaxPools: 1})
+	a := testRequest()
+	b := testRequest()
+	b.Seeds = []int32{5, 25}
+	for _, req := range []BoostRequest{a, b} {
+		if _, err := e.Boost(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.Stats()
+	if st.Evictions != 1 || st.Pools != 1 {
+		t.Errorf("evictions=%d pools=%d, want 1/1", st.Evictions, st.Pools)
+	}
+	// The first pool was evicted, so re-running request a is a miss.
+	res, err := e.Boost(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHit {
+		t.Error("query against an evicted pool reported a cache hit")
+	}
+}
+
+func TestSeedOrderSharesPool(t *testing.T) {
+	e := newTestEngine(t, Options{})
+	req := testRequest()
+	if _, err := e.Boost(req); err != nil {
+		t.Fatal(err)
+	}
+	req.Seeds = []int32{40, 0, 20} // permutation of the same set
+	res, err := e.Boost(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CacheHit {
+		t.Error("permuted seed set missed the cache")
+	}
+}
+
+func TestConcurrentIdenticalQueriesShareOneBuild(t *testing.T) {
+	e := newTestEngine(t, Options{})
+	req := testRequest()
+	const workers = 8
+	results := make([]*BoostResult, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = e.Boost(req)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < workers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("query %d: %v", i, errs[i])
+		}
+		if fmt.Sprint(results[i].BoostSet) != fmt.Sprint(results[0].BoostSet) {
+			t.Errorf("query %d returned %v, query 0 returned %v", i, results[i].BoostSet, results[0].BoostSet)
+		}
+	}
+	st := e.Stats()
+	if st.PoolMisses != 1 {
+		t.Errorf("PoolMisses=%d, want 1 (singleflight should dedupe the build)", st.PoolMisses)
+	}
+	if st.PoolHits != workers-1 {
+		t.Errorf("PoolHits=%d, want %d", st.PoolHits, workers-1)
+	}
+	if st.PRRGenerated != int64(results[0].Samples) {
+		t.Errorf("PRRGenerated=%d, want one pool's worth (%d)", st.PRRGenerated, results[0].Samples)
+	}
+}
+
+func TestMixedConcurrentQueries(t *testing.T) {
+	e := newTestEngine(t, Options{MaxPools: 2})
+	reqs := []BoostRequest{testRequest(), testRequest(), testRequest()}
+	reqs[1].Seeds = []int32{5, 25}
+	reqs[2].Mode = "lb"
+	var wg sync.WaitGroup
+	for round := 0; round < 3; round++ {
+		for _, req := range reqs {
+			wg.Add(1)
+			go func(req BoostRequest) {
+				defer wg.Done()
+				if _, err := e.Boost(req); err != nil {
+					t.Error(err)
+				}
+			}(req)
+		}
+	}
+	wg.Wait()
+}
+
+func TestUnknownGraph(t *testing.T) {
+	e := New(Options{})
+	_, err := e.Boost(testRequest())
+	if !errors.Is(err, ErrUnknownGraph) {
+		t.Errorf("got %v, want ErrUnknownGraph", err)
+	}
+	if _, err := e.SelectSeeds(SeedsRequest{GraphID: "nope", K: 1}); !errors.Is(err, ErrUnknownGraph) {
+		t.Errorf("SelectSeeds: got %v, want ErrUnknownGraph", err)
+	}
+	if _, err := e.Estimate(EstimateRequest{GraphID: "nope"}); !errors.Is(err, ErrUnknownGraph) {
+		t.Errorf("Estimate: got %v, want ErrUnknownGraph", err)
+	}
+}
+
+func TestRegisterGraphValidation(t *testing.T) {
+	e := newTestEngine(t, Options{})
+	if err := e.RegisterGraph("g", testGraph(t)); err == nil {
+		t.Error("duplicate graph id registered without error")
+	}
+	if err := e.RegisterGraph("", testGraph(t)); err == nil {
+		t.Error("empty graph id registered without error")
+	}
+	if err := e.RegisterGraph("h", nil); err == nil {
+		t.Error("nil graph registered without error")
+	}
+}
+
+func TestBadMode(t *testing.T) {
+	e := newTestEngine(t, Options{})
+	req := testRequest()
+	req.Mode = "turbo"
+	if _, err := e.Boost(req); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestInvalidQueryDoesNotPoisonCache(t *testing.T) {
+	e := newTestEngine(t, Options{})
+	req := testRequest()
+	req.K = 0 // invalid
+	if _, err := e.Boost(req); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	req.K = 2
+	res, err := e.Boost(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHit {
+		t.Error("query after a failed build reported a cache hit")
+	}
+}
+
+func TestInvalidQueryDoesNotEvictWarmPool(t *testing.T) {
+	e := newTestEngine(t, Options{MaxPools: 1})
+	warm := testRequest()
+	if _, err := e.Boost(warm); err != nil {
+		t.Fatal(err)
+	}
+	// A garbage query (k exceeds non-seed nodes) on different seeds must
+	// not enter the LRU and push out the only warm pool.
+	bad := testRequest()
+	bad.Seeds = []int32{1}
+	bad.K = 1000
+	if _, err := e.Boost(bad); err == nil {
+		t.Fatal("oversized K accepted")
+	}
+	// Same seeds, invalid K: rejected up front, cached pool untouched.
+	bad2 := testRequest()
+	bad2.K = 1000
+	if _, err := e.Boost(bad2); err == nil {
+		t.Fatal("oversized K accepted")
+	}
+	res, err := e.Boost(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CacheHit {
+		t.Error("warm pool was evicted by invalid queries")
+	}
+	if st := e.Stats(); st.Evictions != 0 {
+		t.Errorf("evictions=%d, want 0", st.Evictions)
+	}
+}
+
+func TestLBModeUsesSeparatePool(t *testing.T) {
+	e := newTestEngine(t, Options{})
+	full := testRequest()
+	if _, err := e.Boost(full); err != nil {
+		t.Fatal(err)
+	}
+	lb := testRequest()
+	lb.Mode = "lb"
+	res, err := e.Boost(lb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHit {
+		t.Error("lb query hit the full-mode pool")
+	}
+	if len(res.BoostSet) != lb.K {
+		t.Errorf("lb boost set has %d nodes, want %d", len(res.BoostSet), lb.K)
+	}
+	if st := e.Stats(); st.Pools != 2 {
+		t.Errorf("pools=%d, want separate full and lb pools", st.Pools)
+	}
+}
+
+func TestEstimateAndSeeds(t *testing.T) {
+	e := newTestEngine(t, Options{})
+	seeds, err := e.SelectSeeds(SeedsRequest{GraphID: "g", K: 3, Seed: 5, MaxSamples: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds.Seeds) != 3 {
+		t.Fatalf("got %d seeds, want 3", len(seeds.Seeds))
+	}
+	est, err := e.Estimate(EstimateRequest{
+		GraphID: "g", Seeds: seeds.Seeds, Boost: []int32{7}, Sims: 500, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Spread < float64(len(seeds.Seeds)) {
+		t.Errorf("spread %.2f below seed count", est.Spread)
+	}
+	if est.Boost < 0 {
+		t.Errorf("boost %.4f negative", est.Boost)
+	}
+}

@@ -1,0 +1,224 @@
+package engine
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// ServerOptions configures the HTTP front end.
+type ServerOptions struct {
+	// MaxWorkers caps the per-request worker budget; requests asking for
+	// more are clamped (0 = no cap beyond the engine default).
+	MaxWorkers int
+	// MaxBodyBytes bounds request bodies (default 8 MiB — seed and boost
+	// lists can be large, graphs are never uploaded through this API).
+	MaxBodyBytes int64
+}
+
+func (o ServerOptions) withDefaults() ServerOptions {
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 8 << 20
+	}
+	return o
+}
+
+// Server is the HTTP front end of an Engine. It serves:
+//
+//	POST /v1/boost    — run PRR-Boost / PRR-Boost-LB (cached pools)
+//	POST /v1/seeds    — classic IMM seed selection
+//	POST /v1/estimate — Monte-Carlo spread / boost estimation
+//	GET  /v1/stats    — engine counters and uptime
+//
+// All request and response bodies are JSON. Errors are reported as
+// {"error": "..."} with a matching status code: 400 for malformed or
+// invalid requests, 404 for unknown graph ids, 405 for wrong methods.
+type Server struct {
+	engine *Engine
+	opt    ServerOptions
+	mux    *http.ServeMux
+	start  time.Time
+}
+
+// NewServer wraps an Engine in the HTTP front end.
+func NewServer(e *Engine, opt ServerOptions) *Server {
+	s := &Server{engine: e, opt: opt.withDefaults(), mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("/v1/boost", s.handleBoost)
+	s.mux.HandleFunc("/v1/seeds", s.handleSeeds)
+	s.mux.HandleFunc("/v1/estimate", s.handleEstimate)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}
+
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	if errors.Is(err, ErrUnknownGraph) {
+		status = http.StatusNotFound
+	}
+	s.writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// decode parses a JSON request body strictly: unknown fields and
+// trailing garbage are errors, so client typos fail loudly instead of
+// silently running a default query.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.opt.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("decoding request: trailing data after JSON body")
+	}
+	return nil
+}
+
+// requirePost returns false (after replying 405) unless the request is
+// a POST.
+func (s *Server) requirePost(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use POST"})
+		return false
+	}
+	return true
+}
+
+// clampWorkers applies the server-wide cap to a per-request budget. A
+// request that omits workers (<= 0) falls through to the engine
+// default rather than being forced up to the cap.
+func (s *Server) clampWorkers(requested int) int {
+	if s.opt.MaxWorkers > 0 && requested > s.opt.MaxWorkers {
+		return s.opt.MaxWorkers
+	}
+	return requested
+}
+
+type boostResponse struct {
+	BoostSet  []int32 `json:"boost_set"`
+	EstBoost  float64 `json:"est_boost"`
+	EstMu     float64 `json:"est_mu"`
+	EstDelta  float64 `json:"est_delta,omitempty"`
+	Samples   int     `json:"samples"`
+	CacheHit  bool    `json:"cache_hit"`
+	Rebuilt   bool    `json:"rebuilt,omitempty"`
+	NewPRR    int     `json:"new_prr_graphs"`
+	PoolK     int     `json:"pool_k"`
+	Boostable int     `json:"boostable_prr_graphs"`
+	SampleMS  float64 `json:"sampling_ms"`
+	SelectMS  float64 `json:"selection_ms"`
+}
+
+func (s *Server) handleBoost(w http.ResponseWriter, r *http.Request) {
+	if !s.requirePost(w, r) {
+		return
+	}
+	var req BoostRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	req.Workers = s.clampWorkers(req.Workers)
+	res, err := s.engine.Boost(req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, boostResponse{
+		BoostSet:  res.BoostSet,
+		EstBoost:  res.EstBoost,
+		EstMu:     res.EstMu,
+		EstDelta:  res.EstDelta,
+		Samples:   res.Samples,
+		CacheHit:  res.CacheHit,
+		Rebuilt:   res.Rebuilt,
+		NewPRR:    res.NewSamples,
+		PoolK:     res.PoolK,
+		Boostable: res.PoolStats.Boostable,
+		SampleMS:  float64(res.SamplingTime.Microseconds()) / 1e3,
+		SelectMS:  float64(res.SelectionTime.Microseconds()) / 1e3,
+	})
+}
+
+type seedsResponse struct {
+	Seeds        []int32 `json:"seeds"`
+	EstInfluence float64 `json:"est_influence"`
+	Samples      int     `json:"samples"`
+}
+
+func (s *Server) handleSeeds(w http.ResponseWriter, r *http.Request) {
+	if !s.requirePost(w, r) {
+		return
+	}
+	var req SeedsRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	req.Workers = s.clampWorkers(req.Workers)
+	res, err := s.engine.SelectSeeds(req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, seedsResponse{
+		Seeds:        res.Seeds,
+		EstInfluence: res.EstInfluence,
+		Samples:      res.Samples,
+	})
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	if !s.requirePost(w, r) {
+		return
+	}
+	var req EstimateRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	req.Workers = s.clampWorkers(req.Workers)
+	res, err := s.engine.Estimate(req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, res)
+}
+
+type statsResponse struct {
+	Stats
+	GraphIDs      []string `json:"graph_ids"`
+	UptimeSeconds float64  `json:"uptime_seconds"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		s.writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use GET"})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, statsResponse{
+		Stats:         s.engine.Stats(),
+		GraphIDs:      s.engine.GraphIDs(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	})
+}

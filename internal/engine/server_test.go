@@ -1,0 +1,168 @@
+package engine
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	e := newTestEngine(t, Options{})
+	srv := httptest.NewServer(NewServer(e, ServerOptions{MaxWorkers: 2}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var decoded map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&decoded); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp, decoded
+}
+
+func TestBoostEndpointRoundTrip(t *testing.T) {
+	srv := newTestServer(t)
+	body := `{"graph":"g","seeds":[0,20,40],"k":3,"seed":11,"max_samples":3000}`
+
+	resp, cold := postJSON(t, srv.URL+"/v1/boost", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold boost: status %d, body %v", resp.StatusCode, cold)
+	}
+	set, ok := cold["boost_set"].([]any)
+	if !ok || len(set) != 3 {
+		t.Fatalf("boost_set = %v, want 3 nodes", cold["boost_set"])
+	}
+	if cold["cache_hit"] != false {
+		t.Error("cold query reported cache_hit=true")
+	}
+
+	resp, warm := postJSON(t, srv.URL+"/v1/boost", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm boost: status %d", resp.StatusCode)
+	}
+	if warm["cache_hit"] != true {
+		t.Error("warm query reported cache_hit=false")
+	}
+	if warm["new_prr_graphs"] != float64(0) {
+		t.Errorf("warm query generated %v PRR-graphs, want 0", warm["new_prr_graphs"])
+	}
+}
+
+func TestBoostEndpointMalformedRequest(t *testing.T) {
+	srv := newTestServer(t)
+	for name, body := range map[string]string{
+		"truncated":     `{"graph":"g","seeds":[0`,
+		"wrong type":    `{"graph":"g","seeds":"zero","k":3}`,
+		"unknown field": `{"graph":"g","seeds":[0],"k":3,"turbo":true}`,
+		"trailing data": `{"graph":"g","seeds":[0],"k":3}{"again":1}`,
+	} {
+		resp, decoded := postJSON(t, srv.URL+"/v1/boost", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+		if msg, _ := decoded["error"].(string); msg == "" {
+			t.Errorf("%s: missing error message in %v", name, decoded)
+		}
+	}
+}
+
+func TestBoostEndpointUnknownGraph(t *testing.T) {
+	srv := newTestServer(t)
+	resp, decoded := postJSON(t, srv.URL+"/v1/boost", `{"graph":"missing","seeds":[0],"k":1}`)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status %d, want 404", resp.StatusCode)
+	}
+	if msg, _ := decoded["error"].(string); !strings.Contains(msg, "missing") {
+		t.Errorf("error %q does not name the graph id", msg)
+	}
+}
+
+func TestBoostEndpointInvalidQuery(t *testing.T) {
+	srv := newTestServer(t)
+	resp, decoded := postJSON(t, srv.URL+"/v1/boost", `{"graph":"g","seeds":[],"k":1}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty seed set: status %d, want 400; body %v", resp.StatusCode, decoded)
+	}
+}
+
+func TestBoostEndpointWrongMethod(t *testing.T) {
+	srv := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/v1/boost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/boost: status %d, want 405", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); allow != http.MethodPost {
+		t.Errorf("Allow header %q, want POST", allow)
+	}
+}
+
+func TestSeedsAndEstimateEndpoints(t *testing.T) {
+	srv := newTestServer(t)
+	resp, seeds := postJSON(t, srv.URL+"/v1/seeds", `{"graph":"g","k":2,"seed":5,"max_samples":2000}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("seeds: status %d, body %v", resp.StatusCode, seeds)
+	}
+	picked, ok := seeds["seeds"].([]any)
+	if !ok || len(picked) != 2 {
+		t.Fatalf("seeds = %v, want 2 nodes", seeds["seeds"])
+	}
+
+	resp, est := postJSON(t, srv.URL+"/v1/estimate",
+		`{"graph":"g","seeds":[0,20],"boost":[7],"sims":500,"seed":3}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("estimate: status %d, body %v", resp.StatusCode, est)
+	}
+	if spread, _ := est["spread"].(float64); spread < 2 {
+		t.Errorf("spread %v below seed count", est["spread"])
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	if _, decoded := postJSON(t, srv.URL+"/v1/boost",
+		`{"graph":"g","seeds":[0,20,40],"k":2,"max_samples":2000}`); decoded["error"] != nil {
+		t.Fatalf("boost failed: %v", decoded["error"])
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: status %d", resp.StatusCode)
+	}
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.BoostQueries != 1 || st.PoolMisses != 1 || st.Pools != 1 {
+		t.Errorf("stats = %+v, want one boost query / miss / pool", st.Stats)
+	}
+	if len(st.GraphIDs) != 1 || st.GraphIDs[0] != "g" {
+		t.Errorf("graph_ids = %v, want [g]", st.GraphIDs)
+	}
+
+	resp2, err := http.Post(srv.URL+"/v1/stats", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/stats: status %d, want 405", resp2.StatusCode)
+	}
+}

@@ -73,6 +73,21 @@ func NewPool(g *graph.Graph, seeds []int32, k int, mode Mode, seed uint64, worke
 // Size returns the total number of PRR-graphs generated (all kinds).
 func (p *Pool) Size() int { return p.total }
 
+// Graph returns the influence graph the pool samples from.
+func (p *Pool) Graph() *graph.Graph { return p.g }
+
+// Seeds returns the seed set the pool was built for. The returned slice
+// is owned by the pool; callers must not modify it.
+func (p *Pool) Seeds() []int32 { return p.seeds }
+
+// K returns the generation budget: PRR-graphs were classified and
+// compressed assuming boost sets of at most K nodes, so the pool can
+// serve any query with k <= K.
+func (p *Pool) K() int { return p.k }
+
+// Mode returns the materialization mode the pool generates with.
+func (p *Pool) Mode() Mode { return p.mode }
+
 // Extend grows the pool to at least target total PRR-graphs.
 func (p *Pool) Extend(target int) {
 	need := target - p.total

@@ -43,6 +43,29 @@
 //
 // All randomized components take explicit seeds and are deterministic
 // for a fixed (seed, workers) pair.
+//
+// # Serving repeated queries: the Engine
+//
+// PRRBoost rebuilds its PRR-graph pool on every call. For workloads
+// that issue many what-if queries over a fixed network — different k,
+// different seed sets, tighter ε — the Engine amortizes that cost: it
+// holds registered graph snapshots and a bounded LRU cache of PRR
+// pools, deduplicates concurrent identical queries, and grows a cached
+// pool in place when a later query needs more samples.
+//
+//	eng := kboost.NewEngine(kboost.EngineOptions{})
+//	_ = eng.RegisterGraph("prod", g)
+//	res, _ := eng.Boost(kboost.EngineBoostRequest{
+//		GraphID: "prod", Seeds: seeds, K: 50,
+//	})
+//	warm, _ := eng.Boost(kboost.EngineBoostRequest{ // served from cache
+//		GraphID: "prod", Seeds: seeds, K: 50,
+//	})
+//	fmt.Println(warm.CacheHit, warm.NewSamples) // true 0
+//
+// cmd/kboostd wraps the same Engine in an HTTP JSON API (POST
+// /v1/boost, /v1/seeds, /v1/estimate, GET /v1/stats); NewEngineServer
+// exposes that handler for embedding.
 package kboost
 
 import (
@@ -54,6 +77,7 @@ import (
 	"github.com/kboost/kboost/internal/core"
 	"github.com/kboost/kboost/internal/dataset"
 	"github.com/kboost/kboost/internal/diffusion"
+	"github.com/kboost/kboost/internal/engine"
 	"github.com/kboost/kboost/internal/exact"
 	"github.com/kboost/kboost/internal/gen"
 	"github.com/kboost/kboost/internal/graph"
@@ -210,6 +234,56 @@ type MixPoint = core.MixPoint
 // the remainder, and estimates the boosted spread.
 func BudgetAllocation(g *Graph, opt BudgetAllocationOptions) ([]MixPoint, error) {
 	return core.BudgetAllocation(g, opt)
+}
+
+// --- the query-serving engine ---
+
+// Engine is a long-lived, concurrency-safe boosting service: it holds
+// registered graph snapshots and a bounded LRU cache of PRR-graph
+// pools so repeated queries skip the sampling phase. See the package
+// doc's "Serving repeated queries" section.
+type Engine = engine.Engine
+
+// EngineOptions configures NewEngine.
+type EngineOptions = engine.Options
+
+// EngineStats is a snapshot of an Engine's cache and query counters.
+type EngineStats = engine.Stats
+
+// EngineBoostRequest is one boosting query against a registered graph.
+type EngineBoostRequest = engine.BoostRequest
+
+// EngineBoostResult is a BoostResult plus cache provenance (CacheHit,
+// NewSamples, ...).
+type EngineBoostResult = engine.BoostResult
+
+// EngineSeedsRequest asks an Engine for IMM-selected seeds.
+type EngineSeedsRequest = engine.SeedsRequest
+
+// EngineEstimateRequest asks an Engine for Monte-Carlo estimates.
+type EngineEstimateRequest = engine.EstimateRequest
+
+// EngineEstimateResult reports them.
+type EngineEstimateResult = engine.EstimateResult
+
+// ErrUnknownGraph is returned (wrapped) by Engine methods when a
+// request names a graph id that was never registered.
+var ErrUnknownGraph = engine.ErrUnknownGraph
+
+// NewEngine creates an Engine.
+func NewEngine(opt EngineOptions) *Engine { return engine.New(opt) }
+
+// EngineServer is the HTTP front end used by cmd/kboostd: POST
+// /v1/boost, /v1/seeds, /v1/estimate and GET /v1/stats with JSON
+// bodies. It implements http.Handler.
+type EngineServer = engine.Server
+
+// EngineServerOptions configures NewEngineServer.
+type EngineServerOptions = engine.ServerOptions
+
+// NewEngineServer wraps an Engine in the HTTP front end.
+func NewEngineServer(e *Engine, opt EngineServerOptions) *EngineServer {
+	return engine.NewServer(e, opt)
 }
 
 // --- classic influence maximization ---
