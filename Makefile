@@ -1,0 +1,33 @@
+GO ?= go
+
+# Recipes pipe `go test -bench` output through benchjson; pipefail makes
+# a benchmark failure fail the target instead of emitting partial JSON.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -ec
+
+.PHONY: all build test race bench bench-short
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/prr ./internal/diffusion ./internal/engine
+
+# bench runs the selection-path benchmarks (warm SelectDelta vs the
+# naive reference, incremental Extend, warm Engine queries) and emits
+# machine-readable BENCH_select.json alongside the usual text output.
+bench:
+	{ $(GO) test -run '^$$' -bench 'BenchmarkSelectDeltaWarm|BenchmarkExtendIncremental' -count=1 ./internal/prr && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkEngineWarmBoost' -count=1 . ; } | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_select.json
+	@echo "wrote BENCH_select.json"
+
+# bench-short is the CI smoke variant: tiny graphs, one iteration each,
+# just proving the benchmarks still build and run.
+bench-short:
+	$(GO) test -run '^$$' -bench 'BenchmarkSelectDeltaWarm|BenchmarkExtendIncremental' -benchtime 1x -short -count=1 ./internal/prr
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineWarmBoost' -benchtime 1x -short -count=1 .

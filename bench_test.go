@@ -366,6 +366,35 @@ func BenchmarkAblationSampler(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineWarmBoost measures a fully warm Engine boost query:
+// cached pool, sized memo hit, and — for the repeated k — a result-cache
+// hit that skips selection entirely. This is the steady-state latency a
+// kboostd client sees for repeated what-if queries.
+func BenchmarkEngineWarmBoost(b *testing.B) {
+	g := benchGraph(b, 0.01)
+	eng := NewEngine(EngineOptions{})
+	if err := eng.RegisterGraph("bench", g); err != nil {
+		b.Fatal(err)
+	}
+	req := EngineBoostRequest{
+		GraphID: "bench", Seeds: InfluentialSeeds(g, 20), K: 20,
+		Seed: 7, MaxSamples: 20000,
+	}
+	if _, err := eng.Boost(req); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eng.Boost(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.CacheHit || res.NewSamples != 0 {
+			b.Fatal("warm query was not served from the cache")
+		}
+	}
+}
+
 // BenchmarkGeneratorScaleFree measures synthetic topology generation.
 func BenchmarkGeneratorScaleFree(b *testing.B) {
 	r := rng.New(5)

@@ -1,0 +1,90 @@
+// Command benchjson converts `go test -bench` text output on stdin
+// into a JSON array on stdout, one object per benchmark result with the
+// parsed ns/op and any extra ReportMetric pairs. The Makefile's bench
+// target uses it to emit BENCH_select.json so selection-performance
+// regressions are diffable across commits.
+//
+//	go test -run '^$' -bench SelectDeltaWarm ./internal/prr | benchjson
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var results []result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		res, ok := parseLine(line)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: skipping unparseable line: %s\n", line)
+			continue
+		}
+		results = append(results, res)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
+// parseLine parses one benchmark result line:
+//
+//	BenchmarkName/sub-8   1114   1048074 ns/op   12.5 extra/op
+func parseLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	res := result{Name: fields[0], Iterations: iters}
+	// The rest of the line is (value, unit) pairs.
+	sawNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			res.NsPerOp = v
+			sawNs = true
+			continue
+		}
+		if res.Metrics == nil {
+			res.Metrics = make(map[string]float64)
+		}
+		res.Metrics[unit] = v
+	}
+	return res, sawNs
+}

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	kboostd -addr :8090 -graph prod=digg.txt
-//	kboostd -graph a=g1.txt -graph b=g2.bin -max-pools 16 -max-workers 8
+//	kboostd -graph a=g1.txt -graph b=g2.bin -max-pool-mb 2048 -max-workers 8
 //	kboostd -dataset demo=digg:0.01:2:1   # synthetic stand-in, no file needed
 //
 // Endpoints (all JSON):
@@ -49,7 +49,8 @@ func run(args []string) error {
 		addr         = fs.String("addr", ":8090", "listen address")
 		workers      = fs.Int("workers", 0, "default worker budget per query (0 = GOMAXPROCS)")
 		maxWorkers   = fs.Int("max-workers", 0, "cap on per-request worker budgets (0 = uncapped)")
-		maxPools     = fs.Int("max-pools", 8, "PRR pool cache capacity (LRU)")
+		maxPools     = fs.Int("max-pools", 8, "PRR pool cache capacity (LRU, entry count)")
+		maxPoolMB    = fs.Int64("max-pool-mb", 1024, "PRR pool cache budget in MiB of estimated pool memory")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain budget")
 		graphSpecs   sliceFlag
 		datasetSpecs sliceFlag
@@ -63,7 +64,11 @@ func run(args []string) error {
 		return fmt.Errorf("no graphs to serve: pass at least one -graph id=path or -dataset id=spec")
 	}
 
-	eng := kboost.NewEngine(kboost.EngineOptions{MaxPools: *maxPools, Workers: *workers})
+	eng := kboost.NewEngine(kboost.EngineOptions{
+		MaxPools:     *maxPools,
+		MaxPoolBytes: *maxPoolMB << 20,
+		Workers:      *workers,
+	})
 	for _, spec := range graphSpecs {
 		id, path, err := splitSpec(spec)
 		if err != nil {

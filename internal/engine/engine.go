@@ -43,10 +43,16 @@ var ErrUnknownGraph = errors.New("unknown graph id")
 
 // Options configures an Engine.
 type Options struct {
-	// MaxPools bounds the PRR-pool LRU cache (default 8, minimum 1).
-	// Each pool can hold hundreds of thousands of compressed PRR-graphs,
-	// so this is the engine's main memory knob.
+	// MaxPools bounds the PRR-pool LRU cache by entry count (default 8,
+	// minimum 1).
 	MaxPools int
+	// MaxPoolBytes bounds the cache by estimated resident bytes
+	// (prr.Pool.MemoryEstimate: boostable graphs × compressed edges plus
+	// the selection index), the engine's main memory knob now that pool
+	// sizes vary by orders of magnitude across graphs. Default 1 GiB.
+	// The most recently used pool is always retained, even when it alone
+	// exceeds the budget.
+	MaxPoolBytes int64
 	// Workers is the worker budget used for pool construction and for
 	// requests that do not set their own (default GOMAXPROCS). A pool's
 	// worker count is fixed at construction — per-worker RNG streams
@@ -59,6 +65,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxPools < 1 {
 		o.MaxPools = 8
 	}
+	if o.MaxPoolBytes <= 0 {
+		o.MaxPoolBytes = 1 << 30
+	}
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -69,6 +78,9 @@ func (o Options) withDefaults() Options {
 type Stats struct {
 	Graphs int `json:"graphs"` // registered graph snapshots
 	Pools  int `json:"pools"`  // currently cached PRR pools
+	// PoolBytes is the summed memory estimate of the cached pools (the
+	// quantity MaxPoolBytes evicts on).
+	PoolBytes int64 `json:"pool_bytes"`
 
 	BoostQueries    int64 `json:"boost_queries"`
 	SeedQueries     int64 `json:"seed_queries"`
@@ -84,7 +96,10 @@ type Stats struct {
 	// PoolExtensions counts warm queries that grew a cached pool in
 	// place (tighter ε / larger sample budget).
 	PoolExtensions int64 `json:"pool_extensions"`
-	Evictions      int64 `json:"evictions"`
+	// ResultHits counts boost queries answered from the per-pool result
+	// cache — identical warm queries that skipped selection entirely.
+	ResultHits int64 `json:"result_hits"`
+	Evictions  int64 `json:"evictions"`
 
 	// PRRGenerated is the cumulative number of PRR-graphs generated
 	// across all pools, including rebuilt and evicted ones. A warm-path
@@ -98,22 +113,25 @@ type Stats struct {
 type Engine struct {
 	opt Options
 
-	mu     sync.Mutex
-	graphs map[string]*graph.Graph
-	pools  map[string]*poolEntry
-	lru    *list.List // of *poolEntry; front = most recently used
-	stats  Stats
+	mu        sync.Mutex
+	graphs    map[string]*graph.Graph
+	pools     map[string]*poolEntry
+	lru       *list.List // of *poolEntry; front = most recently used
+	poolBytes int64      // summed ent.bytes of cached pools
+	stats     Stats
 }
 
-// poolEntry is one cached pool. entry.mu serializes every use of the
-// pool (build, extend, select): prr.Pool is not safe for concurrent
-// mutation, and the serialization doubles as singleflight — concurrent
-// identical queries block here while the first one builds.
+// poolEntry is one cached pool. entry.mu serializes pool *mutation*
+// (build, rebuild, grow) against everything else, and doubles as
+// singleflight — concurrent identical cold queries block here while the
+// first one builds. Selection and estimation only read the pool, so
+// they share an RLock: warm queries on the same pool run concurrently
+// instead of serializing behind one mutex.
 type poolEntry struct {
 	key  string
 	elem *list.Element
 
-	mu   sync.Mutex
+	mu   sync.RWMutex
 	pool *prr.Pool // nil until the first query builds it
 	// sized records the (K, ε, ℓ, MaxSamples) sizings already applied to
 	// the current pool. Re-running the IMM sizing re-derives its OPT
@@ -121,7 +139,30 @@ type poolEntry struct {
 	// larger sample target, so without this memo a literally identical
 	// repeat query would still generate a few samples. Reset on rebuild.
 	sized map[string]bool
+
+	// bytes is the pool's last MemoryEstimate, accounted into
+	// Engine.poolBytes; guarded by Engine.mu, not entry.mu.
+	bytes int64
+
+	// results caches final selection results keyed by (pool generation,
+	// k): selection is a pure function of the pool contents, so an
+	// identical warm query skips it entirely. resultsGen tracks the
+	// generation the map is valid for; growth or rebuild invalidates by
+	// generation mismatch / explicit clear.
+	resMu      sync.Mutex
+	results    map[resultKey]*core.Result
+	resultsGen uint64
 }
+
+// resultKey identifies one cached selection result.
+type resultKey struct {
+	gen uint64
+	k   int
+}
+
+// maxCachedResults bounds a pool's result cache; distinct k values per
+// generation rarely exceed a handful, this is a backstop.
+const maxCachedResults = 128
 
 // New creates an Engine.
 func New(opt Options) *Engine {
@@ -183,6 +224,7 @@ func (e *Engine) Stats() Stats {
 	defer e.mu.Unlock()
 	st := e.stats
 	st.Pools = len(e.pools)
+	st.PoolBytes = e.poolBytes
 	return st
 }
 
@@ -208,6 +250,10 @@ type BoostResult struct {
 	// (NewSamples then reports the in-place extension, zero for a fully
 	// warm query).
 	CacheHit bool
+	// ResultCached is true when even the selection phase was skipped:
+	// an identical query (same pool contents, same k) had already run
+	// and its result was cached.
+	ResultCached bool
 	// Rebuilt is true when a cached pool existed but had to be rebuilt
 	// because the query's K exceeded its generation budget.
 	Rebuilt bool
@@ -291,14 +337,27 @@ func (e *Engine) Boost(req BoostRequest) (*BoostResult, error) {
 	e.evictLocked()
 	e.mu.Unlock()
 
-	ent.mu.Lock()
-	defer ent.mu.Unlock()
-
 	out := &BoostResult{}
+
+	// Fast path: a fully warm entry — pool built, budget covers K, this
+	// exact sizing already applied — needs only read access. Taking the
+	// read lock lets concurrent warm queries on the same pool select in
+	// parallel instead of serializing.
+	ent.mu.RLock()
+	if ent.pool != nil && ent.pool.K() >= req.K && ent.sized[sizeKey] {
+		defer ent.mu.RUnlock()
+		out.CacheHit = true
+		e.count(func(st *Stats) { st.PoolHits++ })
+		return e.finishBoost(ent, out, opt)
+	}
+	ent.mu.RUnlock()
+
+	ent.mu.Lock()
 	switch {
 	case ent.pool == nil:
 		pool, err := core.BuildPool(g, seeds, opt, mode)
 		if err != nil {
+			ent.mu.Unlock()
 			e.dropEntry(ent)
 			return nil, err
 		}
@@ -315,10 +374,12 @@ func (e *Engine) Boost(req BoostRequest) (*BoostResult, error) {
 		// On failure keep the old pool — it still serves smaller k.
 		pool, err := core.BuildPool(g, seeds, opt, mode)
 		if err != nil {
+			ent.mu.Unlock()
 			return nil, err
 		}
 		ent.pool = pool
 		ent.sized = map[string]bool{sizeKey: true}
+		ent.clearResults() // a rebuilt pool may repeat generation numbers
 		out.Rebuilt = true
 		out.NewSamples = pool.Size()
 		e.count(func(st *Stats) {
@@ -326,9 +387,12 @@ func (e *Engine) Boost(req BoostRequest) (*BoostResult, error) {
 			st.PRRGenerated += int64(out.NewSamples)
 		})
 	default:
+		// Another query raced us here and finished the sizing between the
+		// read and write locks; or this sizing still needs a growth pass.
 		var added int
 		if !ent.sized[sizeKey] {
 			if added, err = core.GrowPool(ent.pool, opt); err != nil {
+				ent.mu.Unlock()
 				return nil, err
 			}
 			ent.sized[sizeKey] = true
@@ -343,14 +407,86 @@ func (e *Engine) Boost(req BoostRequest) (*BoostResult, error) {
 			}
 		})
 	}
+	e.accountBytes(ent, ent.pool.MemoryEstimate())
+	// Downgrade to a read lock for selection. Another query may grow the
+	// pool in the gap; selection then simply runs against the larger
+	// pool, which is the same behavior concurrent queries always had.
+	ent.mu.Unlock()
+	ent.mu.RLock()
+	defer ent.mu.RUnlock()
+	return e.finishBoost(ent, out, opt)
+}
 
-	res, err := core.BoostFromPool(ent.pool, opt)
+// finishBoost runs (or recalls) the selection phase for a ready pool.
+// Callers hold ent.mu.RLock; ent.pool is immutable for the duration.
+func (e *Engine) finishBoost(ent *poolEntry, out *BoostResult, opt core.Options) (*BoostResult, error) {
+	pool := ent.pool
+	key := resultKey{gen: pool.Generation(), k: opt.K}
+
+	ent.resMu.Lock()
+	if ent.resultsGen != key.gen {
+		ent.results, ent.resultsGen = nil, key.gen
+	}
+	cached := ent.results[key]
+	ent.resMu.Unlock()
+	if cached != nil {
+		out.Result = copyResult(cached)
+		out.ResultCached = true
+		out.PoolK = pool.K()
+		e.count(func(st *Stats) { st.ResultHits++ })
+		return out, nil
+	}
+
+	res, err := core.BoostFromPool(pool, opt)
 	if err != nil {
 		return nil, err
 	}
-	out.Result = *res
-	out.PoolK = ent.pool.K()
+	ent.resMu.Lock()
+	if ent.resultsGen == key.gen && len(ent.results) < maxCachedResults {
+		if ent.results == nil {
+			ent.results = make(map[resultKey]*core.Result)
+		}
+		ent.results[key] = res
+	}
+	ent.resMu.Unlock()
+
+	out.Result = copyResult(res)
+	out.PoolK = pool.K()
 	return out, nil
+}
+
+// copyResult returns res with its slices copied, so callers (and later
+// cache hits) cannot corrupt each other through shared backing arrays.
+func copyResult(res *core.Result) core.Result {
+	out := *res
+	out.BoostSet = append([]int32(nil), res.BoostSet...)
+	out.BoostSetMu = append([]int32(nil), res.BoostSetMu...)
+	out.BoostSetDelta = append([]int32(nil), res.BoostSetDelta...)
+	return out
+}
+
+// clearResults empties the result cache; called on rebuild while the
+// caller holds ent.mu for writing.
+func (ent *poolEntry) clearResults() {
+	ent.resMu.Lock()
+	ent.results, ent.resultsGen = nil, 0
+	ent.resMu.Unlock()
+}
+
+// accountBytes records a pool's current memory estimate into the
+// engine-wide total and trims the cache if the byte budget is now
+// exceeded. An entry evicted mid-build is skipped — it is no longer in
+// the cache, so crediting it would inflate poolBytes with bytes nothing
+// can ever subtract. Safe to call while holding ent.mu: eviction never
+// takes entry locks.
+func (e *Engine) accountBytes(ent *poolEntry, bytes int64) {
+	e.mu.Lock()
+	if cur, ok := e.pools[ent.key]; ok && cur == ent {
+		e.poolBytes += bytes - ent.bytes
+		ent.bytes = bytes
+		e.evictLocked()
+	}
+	e.mu.Unlock()
 }
 
 // workersFor resolves a per-request worker budget against the engine
@@ -377,15 +513,19 @@ func (e *Engine) dropEntry(ent *poolEntry) {
 	if cur, ok := e.pools[ent.key]; ok && cur == ent {
 		delete(e.pools, ent.key)
 		e.lru.Remove(ent.elem)
+		e.poolBytes -= ent.bytes
 	}
 }
 
-// evictLocked trims the LRU to MaxPools. Callers hold e.mu. An evicted
-// entry may still be in use by an in-flight query holding its own
-// reference; it simply stops being findable and is freed when the
-// query finishes.
+// evictLocked trims the LRU to MaxPools entries and MaxPoolBytes
+// estimated bytes (the byte bound always keeps the most recently used
+// pool, so one oversized pool cannot evict itself into a rebuild loop).
+// Callers hold e.mu. An evicted entry may still be in use by an
+// in-flight query holding its own reference; it simply stops being
+// findable and is freed when the query finishes.
 func (e *Engine) evictLocked() {
-	for len(e.pools) > e.opt.MaxPools {
+	for len(e.pools) > e.opt.MaxPools ||
+		(e.poolBytes > e.opt.MaxPoolBytes && len(e.pools) > 1) {
 		back := e.lru.Back()
 		if back == nil {
 			return
@@ -393,6 +533,7 @@ func (e *Engine) evictLocked() {
 		ent := back.Value.(*poolEntry)
 		e.lru.Remove(back)
 		delete(e.pools, ent.key)
+		e.poolBytes -= ent.bytes
 		e.stats.Evictions++
 	}
 }

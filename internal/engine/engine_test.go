@@ -392,3 +392,178 @@ func TestEstimateAndSeeds(t *testing.T) {
 		t.Errorf("boost %.4f negative", est.Boost)
 	}
 }
+
+func TestResultCacheSkipsSelection(t *testing.T) {
+	e := newTestEngine(t, Options{})
+	req := testRequest()
+	cold, err := e.Boost(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.ResultCached {
+		t.Error("cold query reported a cached result")
+	}
+	warm, err := e.Boost(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.ResultCached {
+		t.Error("identical warm query did not hit the result cache")
+	}
+	if fmt.Sprint(warm.BoostSet) != fmt.Sprint(cold.BoostSet) || warm.EstBoost != cold.EstBoost {
+		t.Errorf("cached result differs: %v/%v vs %v/%v",
+			warm.BoostSet, warm.EstBoost, cold.BoostSet, cold.EstBoost)
+	}
+	// A different k on the same (unchanged) pool is a selection miss but
+	// a pool hit.
+	req2 := req
+	req2.K = 2
+	other, err := e.Boost(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.ResultCached {
+		t.Error("different k hit the result cache")
+	}
+	if !other.CacheHit {
+		t.Error("different k missed the pool cache")
+	}
+	st := e.Stats()
+	if st.ResultHits != 1 {
+		t.Errorf("ResultHits=%d, want 1", st.ResultHits)
+	}
+}
+
+func TestResultCacheReturnsAreIsolated(t *testing.T) {
+	e := newTestEngine(t, Options{})
+	req := testRequest()
+	first, err := e.Boost(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprint(first.BoostSet)
+	for i := range first.BoostSet {
+		first.BoostSet[i] = -1 // a hostile caller scribbling on the result
+	}
+	again, err := e.Boost(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(again.BoostSet) != want {
+		t.Errorf("mutating a returned result corrupted the cache: got %v, want %s", again.BoostSet, want)
+	}
+}
+
+func TestResultCacheInvalidatedByGrowth(t *testing.T) {
+	e := newTestEngine(t, Options{})
+	req := testRequest()
+	req.MaxSamples = 500
+	if _, err := e.Boost(req); err != nil {
+		t.Fatal(err)
+	}
+	grown := req
+	grown.MaxSamples = 2000
+	res, err := e.Boost(grown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NewSamples == 0 {
+		t.Skip("theory target below 500 samples; nothing to extend")
+	}
+	if res.ResultCached {
+		t.Error("query that grew the pool reported a cached result")
+	}
+}
+
+func TestConcurrentWarmQueriesSelectInParallel(t *testing.T) {
+	e := newTestEngine(t, Options{})
+	req := testRequest()
+	cold, err := e.Boost(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alternate two k values so half the queries skip selection via the
+	// result cache and half run it concurrently under the read lock.
+	const workers = 8
+	results := make([]*BoostResult, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := req
+			if i%2 == 1 {
+				r.K = 2
+			}
+			results[i], errs[i] = e.Boost(r)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < workers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("query %d: %v", i, errs[i])
+		}
+		if !results[i].CacheHit || results[i].NewSamples != 0 {
+			t.Errorf("query %d was not fully warm: hit=%v new=%d",
+				i, results[i].CacheHit, results[i].NewSamples)
+		}
+	}
+	for i := 0; i < workers; i += 2 {
+		if fmt.Sprint(results[i].BoostSet) != fmt.Sprint(cold.BoostSet) {
+			t.Errorf("warm query %d returned %v, cold returned %v", i, results[i].BoostSet, cold.BoostSet)
+		}
+	}
+}
+
+func TestByteBasedEviction(t *testing.T) {
+	// A byte budget of 1 forces every second pool to evict the first;
+	// the most recently used pool must survive its own oversize.
+	e := newTestEngine(t, Options{MaxPools: 100, MaxPoolBytes: 1})
+	a := testRequest()
+	b := testRequest()
+	b.Seeds = []int32{5, 25}
+	if _, err := e.Boost(a); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Pools != 1 || st.Evictions != 0 {
+		t.Fatalf("after one query: pools=%d evictions=%d, want 1/0", st.Pools, st.Evictions)
+	}
+	if st.PoolBytes <= 0 {
+		t.Errorf("PoolBytes=%d, want positive estimate", st.PoolBytes)
+	}
+	if _, err := e.Boost(b); err != nil {
+		t.Fatal(err)
+	}
+	st = e.Stats()
+	if st.Pools != 1 || st.Evictions != 1 {
+		t.Errorf("after second query: pools=%d evictions=%d, want 1/1", st.Pools, st.Evictions)
+	}
+	// Pool a is gone: re-running it is a miss.
+	res, err := e.Boost(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHit {
+		t.Error("query against a byte-evicted pool reported a cache hit")
+	}
+}
+
+func TestPoolBytesAccounting(t *testing.T) {
+	e := newTestEngine(t, Options{})
+	a := testRequest()
+	b := testRequest()
+	b.Seeds = []int32{5, 25}
+	if _, err := e.Boost(a); err != nil {
+		t.Fatal(err)
+	}
+	one := e.Stats().PoolBytes
+	if _, err := e.Boost(b); err != nil {
+		t.Fatal(err)
+	}
+	two := e.Stats().PoolBytes
+	if two <= one {
+		t.Errorf("PoolBytes did not grow with a second pool: %d -> %d", one, two)
+	}
+}

@@ -119,6 +119,7 @@ type boostResponse struct {
 	EstDelta  float64 `json:"est_delta,omitempty"`
 	Samples   int     `json:"samples"`
 	CacheHit  bool    `json:"cache_hit"`
+	ResultHit bool    `json:"result_cached,omitempty"`
 	Rebuilt   bool    `json:"rebuilt,omitempty"`
 	NewPRR    int     `json:"new_prr_graphs"`
 	PoolK     int     `json:"pool_k"`
@@ -149,6 +150,7 @@ func (s *Server) handleBoost(w http.ResponseWriter, r *http.Request) {
 		EstDelta:  res.EstDelta,
 		Samples:   res.Samples,
 		CacheHit:  res.CacheHit,
+		ResultHit: res.ResultCached,
 		Rebuilt:   res.Rebuilt,
 		NewPRR:    res.NewSamples,
 		PoolK:     res.PoolK,

@@ -1,0 +1,47 @@
+package maxcover
+
+import "container/heap"
+
+// Entry is one lazily evaluated marginal gain in a Heap. Stamp is
+// caller-defined staleness metadata: CELF-style selection stores the
+// round the gain was computed in, lazy-deletion users store nothing and
+// compare Gain against their authoritative gain array instead.
+type Entry struct {
+	Item  int32
+	Gain  int32
+	Stamp int32
+}
+
+// Heap is a max-heap of lazily evaluated gains ordered by (Gain desc,
+// Item asc); the deterministic tie-break makes selection reproducible
+// regardless of push order. It is shared by the μ̂ greedy here and the
+// Δ̂ greedy in internal/prr.
+//
+// Use the Push/Pop methods below, not container/heap directly.
+type Heap []Entry
+
+func (h Heap) Len() int { return len(h) }
+func (h Heap) Less(i, j int) bool {
+	if h[i].Gain != h[j].Gain {
+		return h[i].Gain > h[j].Gain
+	}
+	return h[i].Item < h[j].Item
+}
+func (h Heap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *Heap) Push(x interface{}) { *h = append(*h, x.(Entry)) }
+func (h *Heap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Init establishes the heap invariant over entries appended directly.
+func (h *Heap) Init() { heap.Init(h) }
+
+// PushEntry adds an entry.
+func (h *Heap) PushEntry(e Entry) { heap.Push(h, e) }
+
+// PopMax removes and returns the maximum entry.
+func (h *Heap) PopMax() Entry { return heap.Pop(h).(Entry) }

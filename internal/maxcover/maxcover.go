@@ -8,14 +8,27 @@
 // approximation bound.
 package maxcover
 
-import "container/heap"
+import "sync"
 
 // Coverage is an incremental max-coverage instance. Add sketches with
-// AddSet, then call Select (repeatedly, as the pool grows).
+// AddSet, then call Select (repeatedly, as the pool grows). AddSet must
+// be externally serialized against every other method; CoverageOf and
+// Select are safe to call concurrently with each other.
 type Coverage struct {
 	numItems int
 	sets     [][]int32 // sketch id -> item list (deduplicated per sketch)
 	postings [][]int32 // item -> sketch ids containing it
+
+	// seen is an epoch-stamped per-item array reused across AddSet calls
+	// so deduplication is O(len(items)) instead of O(len(items)^2).
+	seen      []int32
+	seenEpoch int32
+
+	// covMu guards the reusable stamped sketch array of CoverageOf,
+	// which runs on every μ̂ estimate and must not allocate per call.
+	covMu    sync.Mutex
+	covSeen  []int32
+	covEpoch int32
 }
 
 // New returns a Coverage over items 0..numItems-1.
@@ -23,6 +36,7 @@ func New(numItems int) *Coverage {
 	return &Coverage{
 		numItems: numItems,
 		postings: make([][]int32, numItems),
+		seen:     make([]int32, numItems),
 	}
 }
 
@@ -40,21 +54,17 @@ func (c *Coverage) Sets() [][]int32 { return c.sets }
 // allowed (they can never be covered) and count toward NumSets.
 func (c *Coverage) AddSet(items []int32) {
 	id := int32(len(c.sets))
+	c.seenEpoch++
 	clean := make([]int32, 0, len(items))
 	for _, v := range items {
 		if v < 0 || int(v) >= c.numItems {
 			continue
 		}
-		dup := false
-		for _, w := range clean {
-			if w == v {
-				dup = true
-				break
-			}
+		if c.seen[v] == c.seenEpoch {
+			continue
 		}
-		if !dup {
-			clean = append(clean, v)
-		}
+		c.seen[v] = c.seenEpoch
+		clean = append(clean, v)
 	}
 	c.sets = append(c.sets, clean)
 	for _, v := range clean {
@@ -65,42 +75,26 @@ func (c *Coverage) AddSet(items []int32) {
 // CoverageOf returns how many sketches contain at least one item of
 // chosen.
 func (c *Coverage) CoverageOf(chosen []int32) int {
-	covered := make(map[int32]struct{})
+	c.covMu.Lock()
+	defer c.covMu.Unlock()
+	if len(c.covSeen) < len(c.sets) {
+		c.covSeen = make([]int32, len(c.sets))
+		c.covEpoch = 0
+	}
+	c.covEpoch++
+	covered := 0
 	for _, v := range chosen {
 		if v < 0 || int(v) >= c.numItems {
 			continue
 		}
 		for _, s := range c.postings[v] {
-			covered[s] = struct{}{}
+			if c.covSeen[s] != c.covEpoch {
+				c.covSeen[s] = c.covEpoch
+				covered++
+			}
 		}
 	}
-	return len(covered)
-}
-
-// celfEntry is a lazily evaluated marginal gain.
-type celfEntry struct {
-	item  int32
-	gain  int
-	round int // the selection round in which gain was computed
-}
-
-type celfHeap []celfEntry
-
-func (h celfHeap) Len() int { return len(h) }
-func (h celfHeap) Less(i, j int) bool {
-	if h[i].gain != h[j].gain {
-		return h[i].gain > h[j].gain
-	}
-	return h[i].item < h[j].item // deterministic tie-break
-}
-func (h celfHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *celfHeap) Push(x interface{}) { *h = append(*h, x.(celfEntry)) }
-func (h *celfHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+	return covered
 }
 
 // Select greedily picks up to k items maximizing sketch coverage, using
@@ -124,8 +118,8 @@ func (c *Coverage) Select(k int, banned []bool, pre []int32) (chosen []int32, co
 		}
 	}
 
-	gainOf := func(item int32) int {
-		gain := 0
+	gainOf := func(item int32) int32 {
+		gain := int32(0)
 		for _, s := range c.postings[item] {
 			if !coveredSet[s] {
 				gain++
@@ -134,7 +128,7 @@ func (c *Coverage) Select(k int, banned []bool, pre []int32) (chosen []int32, co
 		return gain
 	}
 
-	h := make(celfHeap, 0, c.numItems)
+	h := make(Heap, 0, c.numItems)
 	for v := 0; v < c.numItems; v++ {
 		if banned != nil && banned[v] {
 			continue
@@ -142,33 +136,33 @@ func (c *Coverage) Select(k int, banned []bool, pre []int32) (chosen []int32, co
 		if len(c.postings[v]) == 0 {
 			continue
 		}
-		h = append(h, celfEntry{item: int32(v), gain: len(c.postings[v]), round: -1})
+		h = append(h, Entry{Item: int32(v), Gain: int32(len(c.postings[v])), Stamp: -1})
 	}
-	heap.Init(&h)
+	h.Init()
 
 	taken := make([]bool, c.numItems)
 	for len(chosen) < k && h.Len() > 0 {
-		top := heap.Pop(&h).(celfEntry)
-		if taken[top.item] {
+		top := h.PopMax()
+		if taken[top.Item] {
 			continue
 		}
-		if top.round == len(chosen) {
+		if top.Stamp == int32(len(chosen)) {
 			// Gain is current: take it.
-			if top.gain == 0 {
+			if top.Gain == 0 {
 				break
 			}
-			chosen = append(chosen, top.item)
-			taken[top.item] = true
-			covered += top.gain
-			for _, s := range c.postings[top.item] {
+			chosen = append(chosen, top.Item)
+			taken[top.Item] = true
+			covered += int(top.Gain)
+			for _, s := range c.postings[top.Item] {
 				coveredSet[s] = true
 			}
 			continue
 		}
 		// Stale: recompute and push back.
-		top.gain = gainOf(top.item)
-		top.round = len(chosen)
-		heap.Push(&h, top)
+		top.Gain = gainOf(top.Item)
+		top.Stamp = int32(len(chosen))
+		h.PushEntry(top)
 	}
 	return chosen, covered
 }

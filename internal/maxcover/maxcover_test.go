@@ -1,6 +1,8 @@
 package maxcover
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -188,5 +190,107 @@ func TestQuickSelectConsistent(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestAddSetStampedDedup(t *testing.T) {
+	// Repeated AddSet calls must not let the epoch-stamped seen array
+	// leak state between sketches, and heavy duplication within one
+	// sketch must collapse to the distinct items.
+	c := New(8)
+	c.AddSet([]int32{3, 3, 3, 1, 3, 1, -5, 99})
+	c.AddSet([]int32{3, 2}) // 3 again: must survive the previous epoch
+	c.AddSet(nil)
+	sets := c.Sets()
+	if got := fmt.Sprint(sets[0]); got != "[3 1]" {
+		t.Errorf("set 0 = %s, want [3 1]", got)
+	}
+	if got := fmt.Sprint(sets[1]); got != "[3 2]" {
+		t.Errorf("set 1 = %s, want [3 2]", got)
+	}
+	if len(sets[2]) != 0 {
+		t.Errorf("set 2 = %v, want empty", sets[2])
+	}
+	if got := c.CoverageOf([]int32{3}); got != 2 {
+		t.Errorf("CoverageOf(3) = %d, want 2", got)
+	}
+}
+
+func TestCoverageOfReusableScratch(t *testing.T) {
+	c := New(4)
+	c.AddSet([]int32{0, 1})
+	c.AddSet([]int32{1, 2})
+	c.AddSet([]int32{3})
+	// Repeated calls reuse the stamped scratch; results must not bleed.
+	for i := 0; i < 5; i++ {
+		if got := c.CoverageOf([]int32{1}); got != 2 {
+			t.Fatalf("call %d: CoverageOf(1) = %d, want 2", i, got)
+		}
+		if got := c.CoverageOf([]int32{0, 2, 3}); got != 3 {
+			t.Fatalf("call %d: CoverageOf(0,2,3) = %d, want 3", i, got)
+		}
+		if got := c.CoverageOf(nil); got != 0 {
+			t.Fatalf("call %d: CoverageOf() = %d, want 0", i, got)
+		}
+	}
+	// Growing the instance mid-life must resize the scratch.
+	c.AddSet([]int32{0, 3})
+	if got := c.CoverageOf([]int32{3}); got != 2 {
+		t.Errorf("after growth: CoverageOf(3) = %d, want 2", got)
+	}
+}
+
+func TestCoverageOfConcurrent(t *testing.T) {
+	c := New(32)
+	r := rng.New(5)
+	for s := 0; s < 500; s++ {
+		set := make([]int32, 0, 4)
+		for j := 0; j < 1+r.Intn(4); j++ {
+			set = append(set, int32(r.Intn(32)))
+		}
+		c.AddSet(set)
+	}
+	want := c.CoverageOf([]int32{1, 7, 13})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if got := c.CoverageOf([]int32{1, 7, 13}); got != want {
+					t.Errorf("concurrent CoverageOf = %d, want %d", got, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestHeapDeterministicOrder(t *testing.T) {
+	// Same entries, different push orders: pops must agree, with ties
+	// broken toward the smaller item.
+	entries := []Entry{{Item: 4, Gain: 2}, {Item: 1, Gain: 5}, {Item: 2, Gain: 5}, {Item: 9, Gain: 7}}
+	pop := func(order []int) []Entry {
+		var h Heap
+		for _, i := range order {
+			h.PushEntry(entries[i])
+		}
+		var out []Entry
+		for h.Len() > 0 {
+			out = append(out, h.PopMax())
+		}
+		return out
+	}
+	a := pop([]int{0, 1, 2, 3})
+	b := pop([]int{3, 2, 1, 0})
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("pop order depends on push order: %v vs %v", a, b)
+	}
+	wantItems := []int32{9, 1, 2, 4}
+	for i, e := range a {
+		if e.Item != wantItems[i] {
+			t.Fatalf("pop %d = item %d, want %d (full order %v)", i, e.Item, wantItems[i], a)
+		}
 	}
 }

@@ -30,6 +30,15 @@ type Pool struct {
 
 	cov    *maxcover.Coverage // critical sets of boostable graphs
 	graphs []*PRR             // ModeFull: compressed boostable graphs
+	sel    *deltaIndex        // ModeFull: persistent Δ̂ selection index
+
+	// zeroMask is a shared all-false boost mask (read-only) used when
+	// computing initial candidate sets.
+	zeroMask []bool
+	// generation counts Extend calls that added PRR-graphs. Estimates
+	// and selections depend only on the pool contents, so callers may
+	// cache results keyed by (generation, k) and invalidate on change.
+	generation uint64
 
 	total         int
 	numActivated  int
@@ -54,6 +63,10 @@ func NewPool(g *graph.Graph, seeds []int32, k int, mode Mode, seed uint64, worke
 		mode:     mode,
 		workers:  workers,
 		cov:      maxcover.New(g.N()),
+		zeroMask: make([]bool, g.N()),
+	}
+	if mode == ModeFull {
+		p.sel = newDeltaIndex(g.N())
 	}
 	root := rng.New(seed)
 	for w := 0; w < workers; w++ {
@@ -121,6 +134,7 @@ func (p *Pool) Extend(target int) {
 		}(w)
 	}
 	wg.Wait()
+	indexedGraphs := len(p.graphs)
 	for _, batch := range batches {
 		for _, res := range batch {
 			p.total++
@@ -142,6 +156,10 @@ func (p *Pool) Extend(target int) {
 			}
 		}
 	}
+	if p.sel != nil {
+		p.sel.extend(p.graphs, indexedGraphs, p.zeroMask, p.workers)
+	}
+	p.generation++
 }
 
 // SelectAndCover greedily maximizes μ̂ coverage (critical-node max
@@ -220,104 +238,26 @@ func (p *Pool) EstimateDelta(b []int32) (float64, error) {
 	return p.scale(covered), nil
 }
 
-// SelectDelta greedily selects up to k nodes maximizing Δ̂ over the pool
-// (the non-submodular objective; no worst-case guarantee, per Section
-// V-B this is the B_Δ of Algorithm 2 line 4). It returns the chosen
-// nodes and the number of covered PRR-graphs.
-func (p *Pool) SelectDelta(k int) ([]int32, int, error) {
-	if p.mode != ModeFull {
-		return nil, 0, fmt.Errorf("prr: SelectDelta requires ModeFull")
-	}
-	n := p.g.N()
-	mask := make([]bool, n)
-	covered := make([]bool, len(p.graphs))
-	gain := make([]int32, n)
-	cands := make([][]int32, len(p.graphs))
+// Generation identifies the pool's contents: it increments on every
+// Extend call (estimates and selections are pure functions of the
+// contents, so results may be cached keyed by Generation).
+func (p *Pool) Generation() uint64 { return p.generation }
 
-	// Inverted index: original node -> PRR-graphs containing it.
-	postings := make([][]int32, n)
-	for gi, R := range p.graphs {
-		for _, v := range R.Nodes() {
-			postings[v] = append(postings[v], int32(gi))
-		}
+// MemoryEstimate approximates the pool's resident bytes: compressed
+// edges, node tables and critical sets of the boostable graphs, plus
+// the selection index. It is the engine's eviction weight; exactness is
+// not required, proportionality across pools is.
+func (p *Pool) MemoryEstimate() int64 {
+	// Per compressed edge: outTo+outBoost+inFrom+inBoost ≈ 10 bytes.
+	bytes := p.sumCompressed * 10
+	// Per boostable graph: orig/outStart/inStart tables and the critical
+	// set, dominated by node count ≈ critical size + constant slack.
+	bytes += int64(p.numBoostable) * 64
+	bytes += p.sumCritical * 4
+	if p.sel != nil {
+		bytes += int64(len(p.sel.postItems)+len(p.sel.candItems)+len(p.sel.postStart)+len(p.sel.candStart)) * 4
 	}
-
-	// Initial candidate sets, computed in parallel.
-	var wg sync.WaitGroup
-	chunk := (len(p.graphs) + p.workers - 1) / p.workers
-	for w := 0; w < p.workers; w++ {
-		lo := w * chunk
-		if lo >= len(p.graphs) {
-			break
-		}
-		hi := lo + chunk
-		if hi > len(p.graphs) {
-			hi = len(p.graphs)
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			s := NewScratch()
-			for gi := lo; gi < hi; gi++ {
-				cov, cs := p.graphs[gi].Candidates(mask, s)
-				if cov {
-					covered[gi] = true // cannot happen for boostable graphs with B=∅
-					continue
-				}
-				cands[gi] = append([]int32(nil), cs...)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-	coveredCount := 0
-	for gi := range p.graphs {
-		if covered[gi] {
-			coveredCount++
-		}
-		for _, v := range cands[gi] {
-			gain[v]++
-		}
-	}
-
-	scratch := NewScratch()
-	var chosen []int32
-	for len(chosen) < k {
-		best := int32(-1)
-		var bestGain int32
-		for v := int32(0); int(v) < n; v++ {
-			if mask[v] || p.seedMask[v] {
-				continue
-			}
-			if gain[v] > bestGain {
-				best, bestGain = v, gain[v]
-			}
-		}
-		if best < 0 || bestGain == 0 {
-			break
-		}
-		chosen = append(chosen, best)
-		mask[best] = true
-		for _, gi := range postings[best] {
-			if covered[gi] {
-				continue
-			}
-			for _, v := range cands[gi] {
-				gain[v]--
-			}
-			cov, cs := p.graphs[gi].Candidates(mask, scratch)
-			if cov {
-				covered[gi] = true
-				coveredCount++
-				cands[gi] = nil
-				continue
-			}
-			cands[gi] = append(cands[gi][:0], cs...)
-			for _, v := range cands[gi] {
-				gain[v]++
-			}
-		}
-	}
-	return chosen, coveredCount, nil
+	return bytes
 }
 
 // PoolStats summarizes the pool for the compression and memory tables.

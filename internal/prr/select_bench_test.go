@@ -1,0 +1,97 @@
+package prr
+
+import (
+	"testing"
+
+	"github.com/kboost/kboost/internal/dataset"
+)
+
+// The selection benchmarks run on a scaled stand-in of the paper's
+// flixster dataset — the same generator the repo-level figure
+// benchmarks use — so ns/op here tracks the warm-query numbers of the
+// serving path. `make bench` emits them as BENCH_select.json; CI runs
+// them once in short mode as a smoke test.
+
+func benchPool(b *testing.B, k int) *Pool {
+	b.Helper()
+	scale, samples := 0.01, 20000
+	if testing.Short() {
+		scale, samples = 0.004, 3000
+	}
+	spec, err := dataset.ByName("flixster")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := spec.Generate(scale, 2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seeds := dataset.InfluentialSeeds(g, 20)
+	pool, err := NewPool(g, seeds, k, ModeFull, 7, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool.Extend(samples)
+	return pool
+}
+
+// BenchmarkSelectDeltaWarm measures repeat-query selection on an
+// already-built pool: the incremental index + lazy-heap SelectDelta
+// against the retained from-scratch naive reference. This is the
+// warm-path cost a cached Engine pool pays per boost query (absent a
+// result-cache hit).
+func BenchmarkSelectDeltaWarm(b *testing.B) {
+	const k = 20
+	pool := benchPool(b, k)
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := pool.SelectDelta(k); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := pool.selectDeltaNaive(k); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkExtendIncremental measures pool growth including the
+// incremental maintenance of the selection index: one-shot generation
+// versus the same total arriving in ten batches (the Engine's GrowPool
+// pattern), which exercises the posting-CSR merge repeatedly.
+func BenchmarkExtendIncremental(b *testing.B) {
+	total := 10000
+	if testing.Short() {
+		total = 2000
+	}
+	spec, err := dataset.ByName("flixster")
+	if err != nil {
+		b.Fatal(err)
+	}
+	scale := 0.01
+	if testing.Short() {
+		scale = 0.004
+	}
+	g, err := spec.Generate(scale, 2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seeds := dataset.InfluentialSeeds(g, 20)
+	run := func(b *testing.B, steps int) {
+		for i := 0; i < b.N; i++ {
+			pool, err := NewPool(g, seeds, 20, ModeFull, 7, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for s := 1; s <= steps; s++ {
+				pool.Extend(total * s / steps)
+			}
+		}
+	}
+	b.Run("oneshot", func(b *testing.B) { run(b, 1) })
+	b.Run("staged10", func(b *testing.B) { run(b, 10) })
+}

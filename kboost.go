@@ -49,9 +49,14 @@
 // PRRBoost rebuilds its PRR-graph pool on every call. For workloads
 // that issue many what-if queries over a fixed network — different k,
 // different seed sets, tighter ε — the Engine amortizes that cost: it
-// holds registered graph snapshots and a bounded LRU cache of PRR
-// pools, deduplicates concurrent identical queries, and grows a cached
-// pool in place when a later query needs more samples.
+// holds registered graph snapshots and an LRU cache of PRR pools
+// (bounded by entry count and by estimated pool bytes), deduplicates
+// concurrent identical queries, and grows a cached pool in place when a
+// later query needs more samples. Warm selection is incremental too:
+// each pool maintains a persistent Δ̂ selection index, concurrent warm
+// queries on one pool select in parallel, and a per-pool result cache
+// keyed by (pool generation, k) lets an identical repeat query skip
+// selection entirely (ResultCached reports this).
 //
 //	eng := kboost.NewEngine(kboost.EngineOptions{})
 //	_ = eng.RegisterGraph("prod", g)
