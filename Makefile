@@ -16,18 +16,21 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/prr ./internal/diffusion ./internal/engine
+	$(GO) test -race ./internal/prr ./internal/diffusion ./internal/engine ./internal/lt
 
 # bench runs the selection-path benchmarks (warm SelectDelta vs the
-# naive reference, incremental Extend, warm Engine queries) and emits
-# machine-readable BENCH_select.json alongside the usual text output.
+# naive reference, incremental Extend, warm Engine queries — for both
+# the PRR and boosted-LT pool families) and emits machine-readable
+# BENCH_select.json alongside the usual text output.
 bench:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkSelectDeltaWarm|BenchmarkExtendIncremental' -count=1 ./internal/prr && \
-	  $(GO) test -run '^$$' -bench 'BenchmarkEngineWarmBoost' -count=1 . ; } | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_select.json
+	  $(GO) test -run '^$$' -bench 'BenchmarkLTSelectWarm|BenchmarkLTEstimateWarm' -count=1 ./internal/lt && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkEngineWarmBoost|BenchmarkLTWarmBoost|BenchmarkLTPoolExtend' -count=1 . ; } | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_select.json
 	@echo "wrote BENCH_select.json"
 
 # bench-short is the CI smoke variant: tiny graphs, one iteration each,
 # just proving the benchmarks still build and run.
 bench-short:
 	$(GO) test -run '^$$' -bench 'BenchmarkSelectDeltaWarm|BenchmarkExtendIncremental' -benchtime 1x -short -count=1 ./internal/prr
-	$(GO) test -run '^$$' -bench 'BenchmarkEngineWarmBoost' -benchtime 1x -short -count=1 .
+	$(GO) test -run '^$$' -bench 'BenchmarkLTSelectWarm|BenchmarkLTEstimateWarm' -benchtime 1x -short -count=1 ./internal/lt
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineWarmBoost|BenchmarkLTWarmBoost|BenchmarkLTPoolExtend' -benchtime 1x -short -count=1 .

@@ -395,6 +395,101 @@ func BenchmarkEngineWarmBoost(b *testing.B) {
 	}
 }
 
+// BenchmarkLTWarmBoost compares a cold mode:"lt" boost query — profile
+// sampling plus the pooled greedy — against the warm repeat served from
+// the cached pool and result cache. The warm/cold ratio is the speedup
+// the LT serving path exists for (the acceptance bar is ≥ 3×; in
+// practice the warm path is orders of magnitude faster).
+func BenchmarkLTWarmBoost(b *testing.B) {
+	g := benchGraph(b, 0.01)
+	seeds := InfluentialSeeds(g, 20)
+	sims := 10000
+	if testing.Short() {
+		sims = 1000
+	}
+	req := EngineBoostRequest{
+		GraphID: "bench", Seeds: seeds, K: 20,
+		Mode: "lt", Seed: 7, Sims: sims,
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng := NewEngine(EngineOptions{})
+			if err := eng.RegisterGraph("bench", g); err != nil {
+				b.Fatal(err)
+			}
+			res, err := eng.Boost(req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.CacheHit || res.NewSamples != sims {
+				b.Fatal("cold query did not sample a fresh pool")
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		eng := NewEngine(EngineOptions{})
+		if err := eng.RegisterGraph("bench", g); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.Boost(req); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := eng.Boost(req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.CacheHit || res.NewSamples != 0 {
+				b.Fatal("warm query was not served from the cache")
+			}
+		}
+	})
+	// warm-selection isolates the pooled greedy itself: pool hit but
+	// result-cache miss, the cost a warm query with a fresh k pays. The
+	// incremental-vs-naive selection comparison lives next to the
+	// implementation in internal/lt's BenchmarkLTSelectWarm.
+	b.Run("warm-selection", func(b *testing.B) {
+		pool, err := NewLTPool(g, seeds, 7, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pool.Extend(sims)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := pool.GreedyBoost(20, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkLTPoolExtend measures LT profile-pool growth: one-shot
+// generation versus the same total arriving in ten batches (the
+// Engine's warm-extension pattern), which exercises the frontier-index
+// merge repeatedly.
+func BenchmarkLTPoolExtend(b *testing.B) {
+	g := benchGraph(b, 0.01)
+	seeds := InfluentialSeeds(g, 20)
+	total := 10000
+	if testing.Short() {
+		total = 2000
+	}
+	run := func(b *testing.B, steps int) {
+		for i := 0; i < b.N; i++ {
+			pool, err := NewLTPool(g, seeds, 7, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for s := 1; s <= steps; s++ {
+				pool.Extend(total * s / steps)
+			}
+		}
+	}
+	b.Run("oneshot", func(b *testing.B) { run(b, 1) })
+	b.Run("staged10", func(b *testing.B) { run(b, 10) })
+}
+
 // BenchmarkGeneratorScaleFree measures synthetic topology generation.
 func BenchmarkGeneratorScaleFree(b *testing.B) {
 	r := rng.New(5)

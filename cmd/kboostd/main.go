@@ -15,6 +15,14 @@
 //	POST /v1/estimate {"graph":"prod","seeds":[1,2],"boost":[3],...}
 //	GET  /v1/stats
 //
+// Boost and estimate requests take a "mode": the default "full" and
+// "lb" run the paper's PRR-Boost algorithms under the IC model, while
+// "lt" serves the boosted Linear Threshold extension from a cached pool
+// of Monte-Carlo threshold profiles ("sims" sets the profile budget; LT
+// selection is a heuristic with no approximation guarantee). All modes
+// share the pool LRU, so warm LT queries skip sampling the same way
+// warm PRR queries do — watch the lt_* counters in /v1/stats.
+//
 // kboostd shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests for up to -drain-timeout.
 package main

@@ -18,6 +18,14 @@
 // doubles as singleflight deduplication: when identical queries arrive
 // concurrently, exactly one builds the pool and the rest block until
 // it is ready, then reuse it.
+//
+// Mode "lt" queries are served from a second pool family under the same
+// cache: boosted-LT threshold-profile pools (internal/lt). They share
+// the LRU, the byte budget, the singleflight entry locks and the
+// per-pool result cache, but differ structurally in one happy way: LT
+// profiles do not depend on the boost budget k, so an LT pool never
+// rebuilds — any k is a warm query, and only a larger simulation budget
+// grows it (in place).
 package engine
 
 import (
@@ -29,10 +37,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/kboost/kboost/internal/core"
 	"github.com/kboost/kboost/internal/diffusion"
 	"github.com/kboost/kboost/internal/graph"
+	"github.com/kboost/kboost/internal/lt"
 	"github.com/kboost/kboost/internal/prr"
 	"github.com/kboost/kboost/internal/rrset"
 )
@@ -86,15 +96,16 @@ type Stats struct {
 	SeedQueries     int64 `json:"seed_queries"`
 	EstimateQueries int64 `json:"estimate_queries"`
 
-	// PoolHits counts boost queries served from a cached pool (possibly
-	// after an in-place extension); PoolMisses counts cold builds;
-	// PoolRebuilds counts builds forced by a k larger than the cached
-	// pool's generation budget.
+	// PoolHits counts pool-backed queries (PRR and LT alike) served from
+	// a cached pool (possibly after an in-place extension); PoolMisses
+	// counts cold builds; PoolRebuilds counts builds forced by a k larger
+	// than the cached pool's generation budget (PRR only — LT profiles
+	// are k-independent and never rebuild).
 	PoolHits     int64 `json:"pool_hits"`
 	PoolMisses   int64 `json:"pool_misses"`
 	PoolRebuilds int64 `json:"pool_rebuilds"`
 	// PoolExtensions counts warm queries that grew a cached pool in
-	// place (tighter ε / larger sample budget).
+	// place (tighter ε / larger sample budget / more LT simulations).
 	PoolExtensions int64 `json:"pool_extensions"`
 	// ResultHits counts boost queries answered from the per-pool result
 	// cache — identical warm queries that skipped selection entirely.
@@ -105,6 +116,17 @@ type Stats struct {
 	// across all pools, including rebuilt and evicted ones. A warm-path
 	// query leaves it unchanged.
 	PRRGenerated int64 `json:"prr_generated"`
+
+	// The lt_* counters break out the boosted-LT serving path: queries
+	// with mode "lt", their share of the pool cache traffic, and the
+	// cumulative number of Monte-Carlo threshold profiles generated.
+	LTBoostQueries    int64 `json:"lt_boost_queries"`
+	LTEstimateQueries int64 `json:"lt_estimate_queries"`
+	LTPoolHits        int64 `json:"lt_pool_hits"`
+	LTPoolMisses      int64 `json:"lt_pool_misses"`
+	LTPoolExtensions  int64 `json:"lt_pool_extensions"`
+	LTResultHits      int64 `json:"lt_result_hits"`
+	LTProfiles        int64 `json:"lt_profiles"`
 }
 
 // Engine is a long-lived, concurrency-safe boosting service over a set
@@ -133,6 +155,11 @@ type poolEntry struct {
 
 	mu   sync.RWMutex
 	pool *prr.Pool // nil until the first query builds it
+	// lt is the boosted-LT profile pool for mode "lt" entries (an entry
+	// is either a PRR pool or an LT pool, never both — the families live
+	// under distinct keys but share the LRU, byte accounting and result
+	// cache machinery).
+	lt *lt.Pool
 	// sized records the (K, ε, ℓ, MaxSamples) sizings already applied to
 	// the current pool. Re-running the IMM sizing re-derives its OPT
 	// lower bound from the now-larger pool and can land on a slightly
@@ -154,10 +181,13 @@ type poolEntry struct {
 	resultsGen uint64
 }
 
-// resultKey identifies one cached selection result.
+// resultKey identifies one cached selection result. cand is the
+// resolved candidate-pool cap for LT selections (0 for PRR, whose
+// selection has no candidate cap).
 type resultKey struct {
-	gen uint64
-	k   int
+	gen  uint64
+	k    int
+	cand int
 }
 
 // maxCachedResults bounds a pool's result cache; distinct k values per
@@ -233,14 +263,24 @@ type BoostRequest struct {
 	GraphID string  `json:"graph"`
 	Seeds   []int32 `json:"seeds"`
 	K       int     `json:"k"`
-	// Mode selects the algorithm: "full" (PRR-Boost, default) or "lb"
-	// (PRR-Boost-LB, leaner pools, lower-bound greedy only).
+	// Mode selects the algorithm: "full" (PRR-Boost, default), "lb"
+	// (PRR-Boost-LB, leaner pools, lower-bound greedy only), or "lt"
+	// (boosted Linear Threshold: Monte-Carlo greedy over a cached pool
+	// of threshold profiles — a heuristic with no approximation
+	// guarantee, see internal/lt).
 	Mode       string  `json:"mode,omitempty"`
 	Epsilon    float64 `json:"epsilon,omitempty"`
 	Ell        float64 `json:"ell,omitempty"`
 	Seed       uint64  `json:"seed,omitempty"`
 	Workers    int     `json:"workers,omitempty"`
 	MaxSamples int     `json:"max_samples,omitempty"`
+	// Sims is the Monte-Carlo profile budget for mode "lt" (default
+	// 10000); a cached pool with fewer profiles is extended in place.
+	// Ignored by the PRR modes.
+	Sims int `json:"sims,omitempty"`
+	// CandCap caps the greedy candidate pool for mode "lt" (<= 0 picks
+	// the 4k default). Ignored by the PRR modes.
+	CandCap int `json:"cand_cap,omitempty"`
 }
 
 // BoostResult is a core.Result plus cache provenance.
@@ -257,9 +297,13 @@ type BoostResult struct {
 	// Rebuilt is true when a cached pool existed but had to be rebuilt
 	// because the query's K exceeded its generation budget.
 	Rebuilt bool
-	// NewSamples is the number of PRR-graphs generated by this query.
+	// NewSamples is the number of samples generated by this query:
+	// PRR-graphs for the PRR modes, threshold profiles for mode "lt"
+	// (both surface as new_prr_graphs in the HTTP response).
 	NewSamples int
 	// PoolK is the generation budget of the pool that served the query.
+	// Always 0 for mode "lt": LT profiles are k-independent, so an LT
+	// pool has no generation budget and serves every k.
 	PoolK int
 }
 
@@ -270,7 +314,7 @@ func parseMode(s string) (prr.Mode, error) {
 	case "lb":
 		return prr.ModeLB, nil
 	default:
-		return 0, fmt.Errorf("engine: unknown mode %q (want \"full\" or \"lb\")", s)
+		return 0, fmt.Errorf("engine: unknown mode %q (want \"full\", \"lb\" or \"lt\")", s)
 	}
 }
 
@@ -282,11 +326,14 @@ func canonicalSeeds(seeds []int32) []int32 {
 	return out
 }
 
-func poolKey(graphID string, mode prr.Mode, seeds []int32) string {
+// poolKey builds a cache key from the graph id, a mode tag ("m0"/"m1"
+// for the PRR materialization modes, "lt" for LT profile pools) and the
+// canonical seed set.
+func poolKey(graphID, modeTag string, seeds []int32) string {
 	var b strings.Builder
 	b.WriteString(graphID)
 	b.WriteByte('|')
-	b.WriteString(strconv.Itoa(int(mode)))
+	b.WriteString(modeTag)
 	for _, s := range seeds {
 		b.WriteByte('|')
 		b.WriteString(strconv.Itoa(int(s)))
@@ -299,6 +346,9 @@ func poolKey(graphID string, mode prr.Mode, seeds []int32) string {
 // covering req.K. Selection always runs against the current pool, so a
 // given query is deterministic for a fixed engine history.
 func (e *Engine) Boost(req BoostRequest) (*BoostResult, error) {
+	if req.Mode == "lt" {
+		return e.boostLT(req)
+	}
 	mode, err := parseMode(req.Mode)
 	if err != nil {
 		return nil, err
@@ -321,7 +371,7 @@ func (e *Engine) Boost(req BoostRequest) (*BoostResult, error) {
 	if err := core.Validate(g, seeds, opt); err != nil {
 		return nil, err
 	}
-	key := poolKey(req.GraphID, mode, seeds)
+	key := poolKey(req.GraphID, "m"+strconv.Itoa(int(mode)), seeds)
 	sizeKey := fmt.Sprintf("%d|%g|%g|%d", opt.K, opt.Epsilon, opt.Ell, opt.MaxSamples)
 
 	e.mu.Lock()
@@ -473,6 +523,206 @@ func (ent *poolEntry) clearResults() {
 	ent.resMu.Unlock()
 }
 
+// --- the boosted-LT serving path ---
+
+// defaultLTSims is the Monte-Carlo profile budget when a request does
+// not set one (matching lt.Options' default).
+const defaultLTSims = 10000
+
+// validateLT rejects bad LT boost queries before they can touch the
+// cache.
+func validateLT(g *graph.Graph, seeds []int32, k int) error {
+	if k < 1 {
+		return fmt.Errorf("engine: k=%d must be >= 1", k)
+	}
+	return validateLTSeeds(g, seeds)
+}
+
+// validateLTSeeds checks a canonical (sorted) seed set: non-empty, in
+// range, and free of duplicates — rejected like the PRR path does, so
+// two spellings of one seed set cannot fragment the pool cache.
+func validateLTSeeds(g *graph.Graph, seeds []int32) error {
+	if len(seeds) == 0 {
+		return fmt.Errorf("engine: empty seed set")
+	}
+	for i, v := range seeds {
+		if v < 0 || int(v) >= g.N() {
+			return fmt.Errorf("engine: seed %d out of range [0,%d)", v, g.N())
+		}
+		if i > 0 && seeds[i-1] == v {
+			return fmt.Errorf("engine: duplicate seed %d", v)
+		}
+	}
+	return nil
+}
+
+// boostLT answers a mode:"lt" boosting query from the cached profile
+// pool for (graph, seed set): warm queries reuse (and, when the request
+// asks for more simulations, extend in place) the pool's pre-sampled
+// threshold profiles, and identical repeat queries are answered from
+// the generation-keyed result cache without running selection at all.
+// LT pools have no generation budget — profiles are k-independent — so
+// unlike the PRR path there is no rebuild case. The profile RNG seed is
+// fixed at pool construction; a later query's Seed does not re-sample a
+// cached pool (register a new query with different seeds, or rely on
+// eviction, to draw fresh worlds).
+func (e *Engine) boostLT(req BoostRequest) (*BoostResult, error) {
+	g, err := e.Graph(req.GraphID)
+	if err != nil {
+		return nil, err
+	}
+	seeds := canonicalSeeds(req.Seeds)
+	if err := validateLT(g, seeds, req.K); err != nil {
+		return nil, err
+	}
+	e.count(func(st *Stats) {
+		st.BoostQueries++
+		st.LTBoostQueries++
+	})
+	// A boost query's simulation budget is a quality floor, so an
+	// omitted Sims means the full default — unlike estimates, which
+	// reuse a cached pool lazily at whatever size it has.
+	if req.Sims <= 0 {
+		req.Sims = defaultLTSims
+	}
+	ent, hit, added, err := e.ltAcquire(req, g, seeds)
+	if err != nil {
+		return nil, err
+	}
+	defer ent.mu.RUnlock()
+	out := &BoostResult{CacheHit: hit, NewSamples: added}
+	return e.finishBoostLT(ent, out, req.K, lt.CandidateCap(req.K, req.CandCap))
+}
+
+// ltAcquire returns the pool entry for (graph, "lt", seeds) with its
+// profile pool built or extended to at least the requested simulation
+// count, holding ent.mu for reading on success (the caller must
+// RUnlock). sims <= 0 is lazy: an existing pool is reused at whatever
+// size it has (a read must not silently trigger an expensive
+// extension), and only a cold build falls back to defaultLTSims. hit
+// reports whether a cached pool served the query (true even when it
+// was extended in place); added is the number of freshly generated
+// profiles.
+func (e *Engine) ltAcquire(req BoostRequest, g *graph.Graph, seeds []int32) (ent *poolEntry, hit bool, added int, err error) {
+	sims := req.Sims
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	key := poolKey(req.GraphID, "lt", seeds)
+
+	e.mu.Lock()
+	ent, ok := e.pools[key]
+	if !ok {
+		ent = &poolEntry{key: key}
+		e.pools[key] = ent
+		ent.elem = e.lru.PushFront(ent)
+	} else {
+		e.lru.MoveToFront(ent.elem)
+	}
+	e.evictLocked()
+	e.mu.Unlock()
+
+	// Fast path: the pool exists and already holds enough profiles —
+	// concurrent warm queries share the read lock and run in parallel.
+	ent.mu.RLock()
+	if ent.lt != nil && ent.lt.NumProfiles() >= sims {
+		e.count(func(st *Stats) { st.PoolHits++; st.LTPoolHits++ })
+		return ent, true, 0, nil
+	}
+	ent.mu.RUnlock()
+
+	ent.mu.Lock()
+	switch {
+	case ent.lt != nil && sims <= 0:
+		// Lazy request racing a concurrent build: reuse whatever exists.
+		hit = true
+		e.count(func(st *Stats) { st.PoolHits++; st.LTPoolHits++ })
+	case ent.lt == nil:
+		if sims <= 0 {
+			sims = defaultLTSims
+		}
+		pool, err := lt.NewPool(g, seeds, seed, e.workersFor(req.Workers))
+		if err != nil {
+			ent.mu.Unlock()
+			e.dropEntry(ent)
+			return nil, false, 0, err
+		}
+		pool.Extend(sims)
+		ent.lt = pool
+		added = sims
+		e.count(func(st *Stats) {
+			st.PoolMisses++
+			st.LTPoolMisses++
+			st.LTProfiles += int64(added)
+		})
+	case ent.lt.NumProfiles() < sims:
+		added = sims - ent.lt.NumProfiles()
+		ent.lt.Extend(sims)
+		hit = true
+		e.count(func(st *Stats) {
+			st.PoolHits++
+			st.LTPoolHits++
+			st.PoolExtensions++
+			st.LTPoolExtensions++
+			st.LTProfiles += int64(added)
+		})
+	default:
+		// Another query raced us here and finished the extension between
+		// the read and write locks.
+		hit = true
+		e.count(func(st *Stats) { st.PoolHits++; st.LTPoolHits++ })
+	}
+	e.accountBytes(ent, ent.lt.MemoryEstimate())
+	ent.mu.Unlock()
+	ent.mu.RLock()
+	return ent, hit, added, nil
+}
+
+// finishBoostLT runs (or recalls) the pooled LT greedy for a ready
+// pool. Callers hold ent.mu.RLock; ent.lt is immutable for the
+// duration.
+func (e *Engine) finishBoostLT(ent *poolEntry, out *BoostResult, k, candCap int) (*BoostResult, error) {
+	pool := ent.lt
+	key := resultKey{gen: pool.Generation(), k: k, cand: candCap}
+
+	ent.resMu.Lock()
+	if ent.resultsGen != key.gen {
+		ent.results, ent.resultsGen = nil, key.gen
+	}
+	cached := ent.results[key]
+	ent.resMu.Unlock()
+	if cached != nil {
+		out.Result = copyResult(cached)
+		out.ResultCached = true
+		e.count(func(st *Stats) { st.ResultHits++; st.LTResultHits++ })
+		return out, nil
+	}
+
+	start := time.Now()
+	chosen, est, err := pool.GreedyBoost(k, candCap)
+	if err != nil {
+		return nil, err
+	}
+	res := &core.Result{
+		BoostSet:      chosen,
+		EstBoost:      est,
+		Samples:       pool.NumProfiles(),
+		SelectionTime: time.Since(start),
+	}
+	ent.resMu.Lock()
+	if ent.resultsGen == key.gen && len(ent.results) < maxCachedResults {
+		if ent.results == nil {
+			ent.results = make(map[resultKey]*core.Result)
+		}
+		ent.results[key] = res
+	}
+	ent.resMu.Unlock()
+
+	out.Result = copyResult(res)
+	return out, nil
+}
+
 // accountBytes records a pool's current memory estimate into the
 // engine-wide total and trims the cache if the byte budget is now
 // exceeded. An entry evicted mid-build is skipped — it is no longer in
@@ -573,9 +823,18 @@ type EstimateRequest struct {
 	GraphID string  `json:"graph"`
 	Seeds   []int32 `json:"seeds"`
 	Boost   []int32 `json:"boost,omitempty"`
-	Sims    int     `json:"sims,omitempty"`
-	Seed    uint64  `json:"seed,omitempty"`
-	Workers int     `json:"workers,omitempty"`
+	// Mode selects the diffusion model: "" or "ic" runs fresh Monte-
+	// Carlo under the influence boosting (IC) model; "lt" evaluates on
+	// the cached boosted-LT profile pool for (graph, seeds) — the same
+	// pool mode:"lt" boost queries use, so a warm pool answers both.
+	Mode string `json:"mode,omitempty"`
+	// Sims is the simulation count. For mode "lt" it is lazy: omitted
+	// (<= 0), an existing pool is reused at whatever size it has — an
+	// estimate never silently triggers an expensive extension — and only
+	// a cold build samples the 10000-profile default.
+	Sims    int    `json:"sims,omitempty"`
+	Seed    uint64 `json:"seed,omitempty"`
+	Workers int    `json:"workers,omitempty"`
 }
 
 // EstimateResult reports the two Monte-Carlo estimates.
@@ -584,10 +843,20 @@ type EstimateResult struct {
 	Spread float64 `json:"spread"`
 	// Boost is Δ_S(B), estimated with coupled possible worlds.
 	Boost float64 `json:"boost"`
+	// CacheHit reports whether a mode:"lt" estimate was served from an
+	// already-built profile pool (IC estimates are never cached).
+	CacheHit bool `json:"cache_hit,omitempty"`
 }
 
 // Estimate runs Monte-Carlo estimation of spread and boost.
 func (e *Engine) Estimate(req EstimateRequest) (EstimateResult, error) {
+	switch req.Mode {
+	case "", "ic":
+	case "lt":
+		return e.estimateLT(req)
+	default:
+		return EstimateResult{}, fmt.Errorf("engine: unknown estimate mode %q (want \"ic\" or \"lt\")", req.Mode)
+	}
 	g, err := e.Graph(req.GraphID)
 	if err != nil {
 		return EstimateResult{}, err
@@ -605,6 +874,54 @@ func (e *Engine) Estimate(req EstimateRequest) (EstimateResult, error) {
 	out := EstimateResult{Spread: spread}
 	if len(req.Boost) > 0 {
 		boost, err := diffusion.EstimateBoost(g, req.Seeds, req.Boost, opt)
+		if err != nil {
+			return EstimateResult{}, err
+		}
+		out.Boost = boost
+	}
+	return out, nil
+}
+
+// estimateLT evaluates σ̂ and Δ̂ under the boosted-LT model on the
+// cached profile pool for (graph, seed set), building or extending the
+// pool exactly like a mode:"lt" boost query would — so estimates issued
+// after a boost query (or vice versa) hit the same warm pool, and both
+// legs of Δ̂ share possible worlds (coupled, low-variance).
+func (e *Engine) estimateLT(req EstimateRequest) (EstimateResult, error) {
+	g, err := e.Graph(req.GraphID)
+	if err != nil {
+		return EstimateResult{}, err
+	}
+	seeds := canonicalSeeds(req.Seeds)
+	if err := validateLTSeeds(g, seeds); err != nil {
+		return EstimateResult{}, err
+	}
+	for _, v := range req.Boost {
+		if v < 0 || int(v) >= g.N() {
+			return EstimateResult{}, fmt.Errorf("engine: boost node %d out of range [0,%d)", v, g.N())
+		}
+	}
+	e.count(func(st *Stats) {
+		st.EstimateQueries++
+		st.LTEstimateQueries++
+	})
+	ent, hit, _, err := e.ltAcquire(BoostRequest{
+		GraphID: req.GraphID, Seeds: seeds,
+		Sims: req.Sims, Seed: req.Seed, Workers: req.Workers,
+	}, g, seeds)
+	if err != nil {
+		return EstimateResult{}, err
+	}
+	defer ent.mu.RUnlock()
+	spread, err := ent.lt.EstimateSpread(req.Boost)
+	if err != nil {
+		return EstimateResult{}, err
+	}
+	out := EstimateResult{Spread: spread, CacheHit: hit}
+	if len(req.Boost) > 0 {
+		// Differenced on the pool's integer activation sums, so it agrees
+		// bit-for-bit with the Δ̂ a boost query reports for the same set.
+		boost, err := ent.lt.EstimateBoost(req.Boost)
 		if err != nil {
 			return EstimateResult{}, err
 		}

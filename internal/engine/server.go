@@ -27,10 +27,14 @@ func (o ServerOptions) withDefaults() ServerOptions {
 
 // Server is the HTTP front end of an Engine. It serves:
 //
-//	POST /v1/boost    — run PRR-Boost / PRR-Boost-LB (cached pools)
+//	POST /v1/boost    — run PRR-Boost / PRR-Boost-LB / boosted-LT
+//	                    greedy (mode "full", "lb" or "lt"; cached pools)
 //	POST /v1/seeds    — classic IMM seed selection
-//	POST /v1/estimate — Monte-Carlo spread / boost estimation
-//	GET  /v1/stats    — engine counters and uptime
+//	POST /v1/estimate — spread / boost estimation (mode "ic" runs fresh
+//	                    Monte-Carlo; mode "lt" evaluates on the cached
+//	                    LT profile pool and reports cache_hit)
+//	GET  /v1/stats    — engine counters (incl. the lt_* family) and
+//	                    uptime
 //
 // All request and response bodies are JSON. Errors are reported as
 // {"error": "..."} with a matching status code: 400 for malformed or

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -128,6 +129,125 @@ func TestSeedsAndEstimateEndpoints(t *testing.T) {
 	}
 	if spread, _ := est["spread"].(float64); spread < 2 {
 		t.Errorf("spread %v below seed count", est["spread"])
+	}
+}
+
+func TestLTBoostEndpointRoundTrip(t *testing.T) {
+	srv := newTestServer(t)
+	body := `{"graph":"g","seeds":[0,20,40],"k":3,"mode":"lt","seed":11,"sims":1500}`
+
+	resp, cold := postJSON(t, srv.URL+"/v1/boost", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold lt boost: status %d, body %v", resp.StatusCode, cold)
+	}
+	set, ok := cold["boost_set"].([]any)
+	if !ok || len(set) != 3 {
+		t.Fatalf("boost_set = %v, want 3 nodes", cold["boost_set"])
+	}
+	if cold["cache_hit"] != false {
+		t.Error("cold lt query reported cache_hit=true")
+	}
+	if cold["new_prr_graphs"] != float64(1500) {
+		t.Errorf("cold lt query reported %v new samples, want 1500 profiles", cold["new_prr_graphs"])
+	}
+
+	resp, warm := postJSON(t, srv.URL+"/v1/boost", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm lt boost: status %d", resp.StatusCode)
+	}
+	if warm["cache_hit"] != true || warm["result_cached"] != true {
+		t.Errorf("warm lt query: cache_hit=%v result_cached=%v, want both true", warm["cache_hit"], warm["result_cached"])
+	}
+	if warm["new_prr_graphs"] != float64(0) {
+		t.Errorf("warm lt query generated %v profiles, want 0", warm["new_prr_graphs"])
+	}
+	if fmt.Sprint(warm["boost_set"]) != fmt.Sprint(cold["boost_set"]) {
+		t.Errorf("warm lt boost set %v != cold %v", warm["boost_set"], cold["boost_set"])
+	}
+}
+
+func TestLTBoostEndpointBadMode(t *testing.T) {
+	srv := newTestServer(t)
+	resp, decoded := postJSON(t, srv.URL+"/v1/boost", `{"graph":"g","seeds":[0],"k":1,"mode":"turbo"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad mode: status %d, want 400", resp.StatusCode)
+	}
+	if msg, _ := decoded["error"].(string); !strings.Contains(msg, "turbo") || !strings.Contains(msg, "lt") {
+		t.Errorf("error %q should name the bad mode and list \"lt\"", msg)
+	}
+	resp, decoded = postJSON(t, srv.URL+"/v1/estimate", `{"graph":"g","seeds":[0],"mode":"turbo"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad estimate mode: status %d, want 400; body %v", resp.StatusCode, decoded)
+	}
+}
+
+// TestLTBoostEndpointWorkerClamping: a request demanding more workers
+// than the server cap must be clamped, not rejected — and because LT
+// pool results are worker-count invariant, the clamped response must
+// match a plain one bit-for-bit.
+func TestLTBoostEndpointWorkerClamping(t *testing.T) {
+	srv := newTestServer(t) // MaxWorkers: 2
+	plain := `{"graph":"g","seeds":[0,20,40],"k":2,"mode":"lt","sims":1000}`
+	greedy := `{"graph":"g","seeds":[0,20,40],"k":2,"mode":"lt","sims":1000,"workers":64}`
+	resp, a := postJSON(t, srv.URL+"/v1/boost", plain)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plain: status %d, body %v", resp.StatusCode, a)
+	}
+	resp, b := postJSON(t, srv.URL+"/v1/boost", greedy)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("clamped: status %d, body %v", resp.StatusCode, b)
+	}
+	if fmt.Sprint(a["boost_set"]) != fmt.Sprint(b["boost_set"]) || a["est_boost"] != b["est_boost"] {
+		t.Errorf("clamped request diverged: %v/%v vs %v/%v", b["boost_set"], b["est_boost"], a["boost_set"], a["est_boost"])
+	}
+}
+
+func TestLTEstimateEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	if resp, body := postJSON(t, srv.URL+"/v1/boost",
+		`{"graph":"g","seeds":[0,20,40],"k":2,"mode":"lt","sims":1200}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("lt boost: status %d, body %v", resp.StatusCode, body)
+	}
+	resp, est := postJSON(t, srv.URL+"/v1/estimate",
+		`{"graph":"g","seeds":[0,20,40],"boost":[7],"mode":"lt","sims":1200}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("lt estimate: status %d, body %v", resp.StatusCode, est)
+	}
+	if est["cache_hit"] != true {
+		t.Error("lt estimate after lt boost did not report the warm pool")
+	}
+	if spread, _ := est["spread"].(float64); spread < 3 {
+		t.Errorf("spread %v below seed count", est["spread"])
+	}
+}
+
+func TestLTStatsCounters(t *testing.T) {
+	srv := newTestServer(t)
+	if _, decoded := postJSON(t, srv.URL+"/v1/boost",
+		`{"graph":"g","seeds":[0,20,40],"k":2,"mode":"lt","sims":900}`); decoded["error"] != nil {
+		t.Fatalf("lt boost failed: %v", decoded["error"])
+	}
+	if _, decoded := postJSON(t, srv.URL+"/v1/boost",
+		`{"graph":"g","seeds":[0,20,40],"k":2,"mode":"lt","sims":900}`); decoded["error"] != nil {
+		t.Fatalf("warm lt boost failed: %v", decoded["error"])
+	}
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.LTBoostQueries != 2 || st.LTPoolMisses != 1 || st.LTPoolHits != 1 || st.LTResultHits != 1 {
+		t.Errorf("lt counters = %+v, want 2 queries / 1 miss / 1 hit / 1 result hit", st.Stats)
+	}
+	if st.LTProfiles != 900 {
+		t.Errorf("lt_profiles = %d, want 900", st.LTProfiles)
+	}
+	if st.Pools != 1 || st.PoolBytes <= 0 {
+		t.Errorf("pools=%d pool_bytes=%d, want the LT pool accounted", st.Pools, st.PoolBytes)
 	}
 }
 

@@ -135,6 +135,172 @@ func TestGreedyBoostPicksUseful(t *testing.T) {
 	}
 }
 
+// TestTwoNodeExactPooled is the pooled-estimator counterpart of
+// TestTwoNodeExact: on a single-edge graph the LT activation
+// probability equals the edge weight, so the pooled estimate must land
+// on the closed form within Monte-Carlo tolerance — and the boost-on-
+// seed and empty-boost edge cases must be *exact*, because they
+// evaluate the same threshold profiles.
+func TestTwoNodeExactPooled(t *testing.T) {
+	b := graph.NewBuilder(2)
+	b.MustAddEdge(0, 1, 0.3, 0.6)
+	g := b.MustBuild()
+	pool, err := NewPool(g, []int32{0}, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Extend(200000)
+	// norm(1) = max(1, 0.6) = 1, so w = 0.3 plain and 0.6 boosted.
+	if got := pool.BaseSpread(); math.Abs(got-1.3) > 0.01 {
+		t.Fatalf("base spread %v, want 1.3", got)
+	}
+	boosted, err := pool.EstimateSpread([]int32{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(boosted-1.6) > 0.01 {
+		t.Fatalf("boosted spread %v, want 1.6", boosted)
+	}
+	// Boosting a seed cannot change anything: same profiles, so the
+	// equality is exact, not statistical.
+	onSeed, err := pool.EstimateSpread([]int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onSeed != pool.BaseSpread() {
+		t.Fatalf("boost-on-seed spread %v != base %v", onSeed, pool.BaseSpread())
+	}
+	// Same for the empty boost set, via EstimateBoost: exactly zero.
+	zero, err := pool.EstimateBoost(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero != 0 {
+		t.Fatalf("empty-boost Δ̂ = %v, want exactly 0", zero)
+	}
+}
+
+// TestChainExactPooled checks the pooled estimator against the closed
+// form on the paper's Figure 1 chain, where normalized LT weights make
+// the boosted-LT spread coincide with the IC ground truth: σ(∅)=1.22,
+// σ({v0})=1.44, σ({v1})=1.24, σ({v0,v1})=1.48.
+func TestChainExactPooled(t *testing.T) {
+	g, seeds := testutil.Fig1()
+	pool, err := NewPool(g, seeds, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Extend(200000)
+	for _, tc := range []struct {
+		boost []int32
+		want  float64
+	}{
+		{nil, 1.22},
+		{[]int32{1}, 1.44},
+		{[]int32{2}, 1.24},
+		{[]int32{1, 2}, 1.48},
+	} {
+		got, err := pool.EstimateSpread(tc.boost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tc.want) > 0.01 {
+			t.Fatalf("boost %v: spread %v, want %v", tc.boost, got, tc.want)
+		}
+	}
+}
+
+// TestDiamondExactPooled exercises the genuinely-LT case (a node with
+// two in-neighbors, where thresholds couple the two incoming weights
+// instead of IC's independent coin flips) on a 4-node diamond
+// 0→1, 0→2, 1→3, 2→3.
+func TestDiamondExactPooled(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.MustAddEdge(0, 1, 0.5, 0.8)
+	b.MustAddEdge(0, 2, 0.4, 0.7)
+	b.MustAddEdge(1, 3, 0.3, 0.5)
+	b.MustAddEdge(2, 3, 0.2, 0.4)
+	g := b.MustBuild()
+	// All norms are 1 (boosted in-weights sum to ≤ 0.9). With node 3
+	// boosted: P(1)=0.5, P(2)=0.4 (independent thresholds), and
+	// P(3) = P(1)P(2)(w13+w23) + P(1)(1−P(2))w13 + (1−P(1))P(2)w23.
+	exact := func(w01, w02, w13, w23 float64) float64 {
+		p3 := w01*w02*math.Min(1, w13+w23) + w01*(1-w02)*w13 + (1-w01)*w02*w23
+		return 1 + w01 + w02 + p3
+	}
+	pool, err := NewPool(g, []int32{0}, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Extend(300000)
+	if got, want := pool.BaseSpread(), exact(0.5, 0.4, 0.3, 0.2); math.Abs(got-want) > 0.01 {
+		t.Fatalf("base spread %v, want %v", got, want)
+	}
+	got, err := pool.EstimateSpread([]int32{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := exact(0.5, 0.4, 0.5, 0.4); math.Abs(got-want) > 0.01 {
+		t.Fatalf("boost {3}: spread %v, want %v", got, want)
+	}
+	got, err = pool.EstimateSpread([]int32{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := exact(0.8, 0.4, 0.5, 0.4); math.Abs(got-want) > 0.01 {
+		t.Fatalf("boost {1,3}: spread %v, want %v", got, want)
+	}
+}
+
+// TestPoolGreedyPicksUseful mirrors TestGreedyBoostPicksUseful on the
+// pooled greedy: boosting the chain's gate node must win.
+func TestPoolGreedyPicksUseful(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.MustAddEdge(0, 1, 0.2, 0.9)
+	b.MustAddEdge(1, 2, 0.2, 0.9)
+	g := b.MustBuild()
+	pool, err := NewPool(g, []int32{0}, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Extend(40000)
+	chosen, boost, err := pool.GreedyBoost(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chosen) != 1 || chosen[0] != 1 {
+		t.Fatalf("pooled greedy chose %v, want [1]", chosen)
+	}
+	if boost <= 0 {
+		t.Fatalf("reported boost %v", boost)
+	}
+}
+
+// TestGreedyBoostSimBudget is the regression test for the hoisted base
+// spread: GreedyBoost must estimate σ̂_S(∅) exactly once, not once per
+// candidate evaluation. It counts Monte-Carlo simulations through the
+// package counter and pins the exact budget.
+func TestGreedyBoostSimBudget(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.MustAddEdge(0, 1, 0.2, 0.8)
+	b.MustAddEdge(1, 2, 0.2, 0.8)
+	b.MustAddEdge(2, 3, 0.2, 0.8)
+	g := b.MustBuild()
+	const sims = 2000
+	start := mcSims.Load()
+	if _, _, err := GreedyBoost(g, []int32{0}, 2, 3, Options{Sims: sims, Seed: 9}); err != nil {
+		t.Fatal(err)
+	}
+	got := mcSims.Load() - start
+	// 3 candidates, k=2 rounds: 3 + 2 candidate evaluations plus ONE
+	// base-spread estimate. The pre-fix code ran the base estimate
+	// inside every evaluation (2 sims runs each): 10 × sims.
+	const evals = 3 + 2
+	if want := int64(sims * (evals + 1)); got != want {
+		t.Fatalf("GreedyBoost ran %d simulations, want %d (base spread must be estimated once)", got, want)
+	}
+}
+
 func TestDeterminism(t *testing.T) {
 	r := rng.New(8)
 	g := testutil.RandomGraph(r, 20, 50, 0.5)

@@ -1,0 +1,594 @@
+package lt
+
+// This file is the pooled Monte-Carlo evaluation subsystem for the
+// boosted-LT model: the LT analogue of internal/prr's PRR-graph pools.
+// A Pool holds R pre-sampled "threshold profiles" — possible worlds of
+// the LT diffusion, each defined by a deterministic per-node threshold
+// draw θ(i,v) — together with the cached fixed point of every profile
+// under the empty boost set. Because LT activation with fixed
+// thresholds is monotone in the edge weights, and boosting only raises
+// weights, a boosted world's active set always contains the base
+// world's; warm queries therefore evaluate boost sets *incrementally*
+// from the cached base fixed point instead of re-running the cascade
+// from scratch, and the pool can be grown in place and reused across
+// queries exactly like a PRR pool.
+//
+// Thresholds are a pure hash of (profile seed, node id) rather than a
+// lazily consumed RNG stream, so θ(i,v) does not depend on cascade
+// order or on the boost set under evaluation — the property that makes
+// profile reuse across boost sets well-defined (common random numbers)
+// and makes every pool estimate bit-exact regardless of worker count.
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/kboost/kboost/internal/graph"
+	"github.com/kboost/kboost/internal/rng"
+)
+
+// Pool is a growable collection of boosted-LT threshold profiles for a
+// fixed (graph, seed set). Profiles are independent of the boost budget
+// k, so one pool serves every query against its seed set. Mutation
+// (Extend) must be externally serialized against everything else;
+// estimation and selection only read the pool and may run concurrently
+// with each other.
+type Pool struct {
+	m        *Model
+	g        *graph.Graph
+	seeds    []int32 // sorted, deduplicated
+	seedMask []bool
+	workers  int
+	root     *rng.Source
+
+	// profileSeed[i] seeds the threshold hash of profile i. Seeds are
+	// drawn serially from root, so pool contents are independent of the
+	// worker count.
+	profileSeed []uint64
+
+	// Base-world state per profile, stored flat (CSR-style): the active
+	// set at quiescence under B = ∅, and the frontier — touched but
+	// inactive nodes — with their accumulated in-weight. Both node lists
+	// are sorted per profile so membership tests are binary searches.
+	// Offsets are int32 like prr's deltaIndex: 2^31 items would mean a
+	// pool ≥ 8 GiB, far past the engine's byte budget (eviction kicks in
+	// long before the offsets could wrap).
+	activeStart []int32
+	activeItems []int32
+	frontStart  []int32
+	frontItems  []int32
+	frontW      []float64
+
+	// baseSum is Σ_i |active_i|: the base spread numerator.
+	baseSum int64
+
+	// idxStart/idxItems: node -> profiles whose base frontier contains
+	// it (the inverted index driving warm greedy re-evaluation).
+	idxStart []int32
+	idxItems []int32
+
+	// generation counts Extend calls that added profiles; estimates and
+	// selections are pure functions of the pool contents, so callers may
+	// cache results keyed by (generation, query) and invalidate on change.
+	generation uint64
+
+	scratch sync.Pool // of *evalScratch
+}
+
+// NewPool creates an empty pool for (g, seeds). seed determines every
+// profile the pool will ever contain; workers <= 0 means GOMAXPROCS.
+// Unlike PRR pools, pool contents do not depend on workers.
+func NewPool(g *graph.Graph, seeds []int32, seed uint64, workers int) (*Pool, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	for _, v := range seeds {
+		if v < 0 || int(v) >= g.N() {
+			return nil, fmt.Errorf("lt: seed %d out of range [0,%d)", v, g.N())
+		}
+	}
+	p := &Pool{
+		m:           New(g),
+		g:           g,
+		seedMask:    make([]bool, g.N()),
+		workers:     workers,
+		root:        rng.New(seed),
+		activeStart: []int32{0},
+		frontStart:  []int32{0},
+		idxStart:    make([]int32, g.N()+1),
+	}
+	for _, v := range seeds {
+		if !p.seedMask[v] {
+			p.seedMask[v] = true
+			p.seeds = append(p.seeds, v)
+		}
+	}
+	sort.Slice(p.seeds, func(i, j int) bool { return p.seeds[i] < p.seeds[j] })
+	p.scratch.New = func() interface{} { return newEvalScratch(g.N()) }
+	return p, nil
+}
+
+// NumProfiles returns the number of sampled threshold profiles.
+func (p *Pool) NumProfiles() int { return len(p.profileSeed) }
+
+// Graph returns the influence graph the pool samples from.
+func (p *Pool) Graph() *graph.Graph { return p.g }
+
+// Seeds returns the pool's (sorted, deduplicated) seed set. The slice
+// is owned by the pool; callers must not modify it.
+func (p *Pool) Seeds() []int32 { return p.seeds }
+
+// Generation identifies the pool's contents: it increments on every
+// Extend call that adds profiles.
+func (p *Pool) Generation() uint64 { return p.generation }
+
+// BaseSpread returns the pooled estimate of the unboosted LT spread
+// σ̂(∅), cached from the base fixed points.
+func (p *Pool) BaseSpread() float64 {
+	if len(p.profileSeed) == 0 {
+		return 0
+	}
+	return float64(p.baseSum) / float64(len(p.profileSeed))
+}
+
+// MemoryEstimate approximates the pool's resident bytes (active and
+// frontier CSRs, frontier weights, the inverted index and the profile
+// seeds). It is the engine's eviction weight; exactness is not
+// required, proportionality across pools is.
+func (p *Pool) MemoryEstimate() int64 {
+	bytes := int64(len(p.activeItems)+len(p.frontItems)+len(p.idxItems)) * 4
+	bytes += int64(len(p.frontW)) * 8
+	bytes += int64(len(p.profileSeed)) * 8
+	bytes += int64(len(p.activeStart)+len(p.frontStart)) * 4
+	return bytes
+}
+
+// theta returns θ(i,v) ∈ (0,1): the threshold of node v in the profile
+// seeded by ps, as a splitmix64-style hash so the draw is independent
+// of evaluation order. A zero threshold would auto-activate any touched
+// node, so the (measure-zero) 0 output is clamped away.
+func theta(ps uint64, v int32) float64 {
+	x := ps ^ (uint64(uint32(v))+1)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	t := float64(x>>11) * (1.0 / (1 << 53))
+	if t == 0 {
+		t = 1e-18
+	}
+	return t
+}
+
+// evalScratch is the reusable per-worker state for profile evaluation:
+// dense arrays addressed by node id, cleaned after each profile via the
+// load and modification logs so reuse is O(touched), not O(n).
+type evalScratch struct {
+	wIn    []float64
+	active []bool
+	queue  []int32
+
+	loadedAct []int32 // nodes whose active flag was set by loadState
+	loadedW   []int32 // nodes whose wIn was set by loadState
+
+	pushNode []int32   // every push target, in order
+	pushPrev []float64 // wIn value before that push
+	actNode  []int32   // every activation, in order
+
+	tstamp []int32 // touch-collection / dedup stamps
+	tepoch int32
+}
+
+func newEvalScratch(n int) *evalScratch {
+	return &evalScratch{
+		wIn:    make([]float64, n),
+		active: make([]bool, n),
+		tstamp: make([]int32, n),
+	}
+}
+
+func (p *Pool) getScratch() *evalScratch  { return p.scratch.Get().(*evalScratch) }
+func (p *Pool) putScratch(s *evalScratch) { p.scratch.Put(s) }
+
+// reset clears every node the scratch touched since the last reset.
+func (s *evalScratch) reset() {
+	for _, v := range s.loadedAct {
+		s.active[v] = false
+	}
+	for _, v := range s.loadedW {
+		s.wIn[v] = 0
+	}
+	for _, v := range s.pushNode {
+		s.wIn[v] = 0
+	}
+	for _, v := range s.actNode {
+		s.active[v] = false
+	}
+	s.loadedAct = s.loadedAct[:0]
+	s.loadedW = s.loadedW[:0]
+	s.pushNode = s.pushNode[:0]
+	s.pushPrev = s.pushPrev[:0]
+	s.actNode = s.actNode[:0]
+	s.queue = s.queue[:0]
+}
+
+// loadState installs a profile state (active set + frontier weights)
+// into the scratch arrays.
+func (s *evalScratch) loadState(active, front []int32, frontW []float64) {
+	for _, u := range active {
+		s.active[u] = true
+	}
+	s.loadedAct = append(s.loadedAct, active...)
+	for j, v := range front {
+		s.wIn[v] = frontW[j]
+	}
+	s.loadedW = append(s.loadedW, front...)
+}
+
+// runCascade drains s.queue, pushing each newly active node's out-edge
+// weights into inactive neighbors and activating those whose
+// accumulated in-weight reaches their threshold. Edges into node t use
+// the boosted probability when inB[t] (inB may be nil; a tentatively
+// evaluated candidate is already active when the cascade starts, so
+// pushes into it never occur and it needs no mask entry). Every push
+// and activation is logged so the caller can either roll back
+// (tentative evaluation) or commit and reset. Returns the number of
+// activations (excluding nodes queued by the caller).
+func (p *Pool) runCascade(ps uint64, inB []bool, s *evalScratch) int {
+	g := p.g
+	activated := 0
+	for qi := 0; qi < len(s.queue); qi++ {
+		u := s.queue[qi]
+		to := g.OutTo(u)
+		pp := g.OutP(u)
+		pb := g.OutPBoost(u)
+		for i, t := range to {
+			if s.active[t] {
+				continue
+			}
+			w := pp[i]
+			if inB != nil && inB[t] {
+				w = pb[i]
+			}
+			s.pushNode = append(s.pushNode, t)
+			s.pushPrev = append(s.pushPrev, s.wIn[t])
+			s.wIn[t] += w / p.m.norm[t]
+			if s.wIn[t] >= theta(ps, t) {
+				s.active[t] = true
+				s.actNode = append(s.actNode, t)
+				s.queue = append(s.queue, t)
+				activated++
+			}
+		}
+	}
+	s.queue = s.queue[:0]
+	return activated
+}
+
+// rollback undoes pushes and activations past the given log marks,
+// restoring the state that was loaded (or committed) before them.
+func (s *evalScratch) rollback(pushMark, actMark int) {
+	for i := len(s.pushNode) - 1; i >= pushMark; i-- {
+		s.wIn[s.pushNode[i]] = s.pushPrev[i]
+	}
+	for _, v := range s.actNode[actMark:] {
+		s.active[v] = false
+	}
+	s.pushNode = s.pushNode[:pushMark]
+	s.pushPrev = s.pushPrev[:pushMark]
+	s.actNode = s.actNode[:actMark]
+}
+
+// simulate runs one full fixed point from an empty scratch: seeds
+// activate unconditionally, then the cascade runs under boost mask inB.
+// It returns the active count and leaves the final state in s (caller
+// extracts what it needs, then resets).
+func (p *Pool) simulate(ps uint64, inB []bool, s *evalScratch) int {
+	for _, v := range p.seeds {
+		s.active[v] = true
+		s.actNode = append(s.actNode, v)
+		s.queue = append(s.queue, v)
+	}
+	return len(p.seeds) + p.runCascade(ps, inB, s)
+}
+
+// boostedInWeight recomputes node v's accumulated in-weight from the
+// currently active in-neighbors using the boosted probabilities — the
+// value v's frontier weight takes when v joins the boost set.
+func (p *Pool) boostedInWeight(v int32, s *evalScratch) float64 {
+	var w float64
+	in := p.g.InFrom(v)
+	pb := p.g.InPBoost(v)
+	for j, u := range in {
+		if s.active[u] {
+			w += pb[j]
+		}
+	}
+	return w / p.m.norm[v]
+}
+
+// baseActive / baseFront / baseFrontW / baseCount are CSR views of one
+// profile's cached base-world state.
+func (p *Pool) baseActive(pi int) []int32 {
+	return p.activeItems[p.activeStart[pi]:p.activeStart[pi+1]]
+}
+func (p *Pool) baseFront(pi int) []int32 {
+	return p.frontItems[p.frontStart[pi]:p.frontStart[pi+1]]
+}
+func (p *Pool) baseFrontW(pi int) []float64 {
+	return p.frontW[p.frontStart[pi]:p.frontStart[pi+1]]
+}
+func (p *Pool) baseCount(pi int) int32 {
+	return p.activeStart[pi+1] - p.activeStart[pi]
+}
+
+// frontierProfiles returns the profiles whose base frontier contains v.
+func (p *Pool) frontierProfiles(v int32) []int32 {
+	return p.idxItems[p.idxStart[v]:p.idxStart[v+1]]
+}
+
+// baseResult is one freshly simulated profile awaiting CSR append.
+type baseResult struct {
+	active []int32
+	front  []int32
+	frontW []float64
+}
+
+// Extend grows the pool to at least target profiles. Growth is
+// incremental: existing profiles and their cached fixed points are
+// untouched, only the shortfall is simulated (sharded across the
+// pool's workers), and the frontier index is merged in one pass.
+func (p *Pool) Extend(target int) {
+	need := target - len(p.profileSeed)
+	if need <= 0 {
+		return
+	}
+	from := len(p.profileSeed)
+	for i := 0; i < need; i++ {
+		p.profileSeed = append(p.profileSeed, p.root.Uint64())
+	}
+	results := make([]baseResult, need)
+	var wg sync.WaitGroup
+	chunk := (need + p.workers - 1) / p.workers
+	for w := 0; w < p.workers; w++ {
+		lo := w * chunk
+		if lo >= need {
+			break
+		}
+		hi := lo + chunk
+		if hi > need {
+			hi = need
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			s := p.getScratch()
+			defer p.putScratch(s)
+			for i := lo; i < hi; i++ {
+				results[i] = p.simulateBase(p.profileSeed[from+i], s)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	// Append the new profiles to the flat state.
+	for i := range results {
+		res := &results[i]
+		p.activeItems = append(p.activeItems, res.active...)
+		p.activeStart = append(p.activeStart, int32(len(p.activeItems)))
+		p.frontItems = append(p.frontItems, res.front...)
+		p.frontW = append(p.frontW, res.frontW...)
+		p.frontStart = append(p.frontStart, int32(len(p.frontItems)))
+		p.baseSum += int64(len(res.active))
+	}
+
+	// Merge the frontier index: count the batch contribution per node,
+	// then interleave old and new posting lists in one O(old+new) pass.
+	n := p.g.N()
+	counts := make([]int32, n)
+	for i := range results {
+		for _, v := range results[i].front {
+			counts[v]++
+		}
+	}
+	newStart := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		newStart[v+1] = newStart[v] + (p.idxStart[v+1] - p.idxStart[v]) + counts[v]
+	}
+	newItems := make([]int32, newStart[n])
+	next := counts // reuse as per-node write cursors
+	for v := 0; v < n; v++ {
+		old := p.idxItems[p.idxStart[v]:p.idxStart[v+1]]
+		copy(newItems[newStart[v]:], old)
+		next[v] = newStart[v] + int32(len(old))
+	}
+	for i := range results {
+		pi := int32(from + i)
+		for _, v := range results[i].front {
+			newItems[next[v]] = pi
+			next[v]++
+		}
+	}
+	p.idxStart, p.idxItems = newStart, newItems
+	p.generation++
+}
+
+// simulateBase runs one profile's base-world (B = ∅) fixed point and
+// extracts its cached state: sorted active set, sorted frontier with
+// accumulated base in-weights.
+func (p *Pool) simulateBase(ps uint64, s *evalScratch) baseResult {
+	p.simulate(ps, nil, s)
+	res := baseResult{active: append([]int32(nil), s.actNode...)}
+	sort.Slice(res.active, func(i, j int) bool { return res.active[i] < res.active[j] })
+	// Frontier: unique push targets that did not activate.
+	s.tepoch++
+	for _, v := range s.pushNode {
+		if s.active[v] || s.tstamp[v] == s.tepoch {
+			continue
+		}
+		s.tstamp[v] = s.tepoch
+		res.front = append(res.front, v)
+	}
+	sort.Slice(res.front, func(i, j int) bool { return res.front[i] < res.front[j] })
+	res.frontW = make([]float64, len(res.front))
+	for j, v := range res.front {
+		res.frontW[j] = s.wIn[v]
+	}
+	s.reset()
+	return res
+}
+
+// estimateParallelMin is the minimum number of profiles before batch
+// estimation fans out to the pool's workers; a variable so tests can
+// force the parallel path on small pools.
+var estimateParallelMin = 256
+
+// EstimateSpread returns the pooled estimate of the boosted-LT spread
+// σ̂(B) by incrementally evaluating boost from every profile's cached
+// base fixed point. It is deterministic for a fixed pool generation,
+// bit-exact across worker counts, and shares its possible worlds with
+// every other estimate from the same pool (common random numbers).
+func (p *Pool) EstimateSpread(boost []int32) (float64, error) {
+	total, err := p.estimateCount(boost)
+	if err != nil {
+		return 0, err
+	}
+	return float64(total) / float64(len(p.profileSeed)), nil
+}
+
+// estimateCount returns Σ_i |active_i(B)|, the integer numerator of
+// the pooled spread estimate.
+func (p *Pool) estimateCount(boost []int32) (int64, error) {
+	R := len(p.profileSeed)
+	if R == 0 {
+		return 0, fmt.Errorf("lt: estimate on an empty pool (call Extend first)")
+	}
+	mask := make([]bool, p.g.N())
+	for _, v := range boost {
+		if v < 0 || int(v) >= p.g.N() {
+			return 0, fmt.Errorf("lt: boost node %d out of range [0,%d)", v, p.g.N())
+		}
+		mask[v] = true
+	}
+	// Dense boost list (deduplicated, sorted) for the per-profile pass.
+	var bset []int32
+	for v := int32(0); int(v) < p.g.N(); v++ {
+		if mask[v] {
+			bset = append(bset, v)
+		}
+	}
+
+	evalChunk := func(lo, hi int, s *evalScratch) int64 {
+		var sum int64
+		for pi := lo; pi < hi; pi++ {
+			sum += int64(p.baseCount(pi)) + int64(p.evalBoostSet(pi, bset, mask, s))
+		}
+		return sum
+	}
+	if R < estimateParallelMin || p.workers <= 1 {
+		s := p.getScratch()
+		defer p.putScratch(s)
+		return evalChunk(0, R, s), nil
+	}
+	sums := make([]int64, p.workers)
+	var wg sync.WaitGroup
+	chunk := (R + p.workers - 1) / p.workers
+	for w := 0; w < p.workers; w++ {
+		lo := w * chunk
+		if lo >= R {
+			break
+		}
+		hi := lo + chunk
+		if hi > R {
+			hi = R
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			s := p.getScratch()
+			defer p.putScratch(s)
+			sums[w] = evalChunk(lo, hi, s)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var total int64
+	for _, v := range sums {
+		total += v
+	}
+	return total, nil
+}
+
+// EstimateBoost returns the pooled estimate of the LT boost
+// Δ̂_S(B) = σ̂(B) − σ̂(∅). Both terms are evaluated on the same
+// threshold profiles, so the difference is coupled (far lower variance
+// than differencing two independent Monte-Carlo runs), exactly zero for
+// an empty or ineffective boost set, and — because the activation sums
+// are differenced as integers before dividing — bit-identical to the
+// estimate GreedyBoost reports for the same boost set.
+func (p *Pool) EstimateBoost(boost []int32) (float64, error) {
+	total, err := p.estimateCount(boost)
+	if err != nil {
+		return 0, err
+	}
+	return float64(total-p.baseSum) / float64(len(p.profileSeed)), nil
+}
+
+// evalBoostSet computes the marginal activations of boosting bset on
+// profile pi, starting from the cached base fixed point. The scratch is
+// left clean.
+func (p *Pool) evalBoostSet(pi int, bset []int32, mask []bool, s *evalScratch) int {
+	ps := p.profileSeed[pi]
+	s.loadState(p.baseActive(pi), p.baseFront(pi), p.baseFrontW(pi))
+	// Phase 1: recompute every inactive boosted node's in-weight with
+	// the boosted probabilities, against the *base* active set only —
+	// interleaving with activation would double-count cascade pushes.
+	type bw struct {
+		v int32
+		w float64
+	}
+	var pend []bw
+	for _, b := range bset {
+		if s.active[b] {
+			continue
+		}
+		pend = append(pend, bw{b, p.boostedInWeight(b, s)})
+	}
+	// Phase 2: install the recomputed weights, activate those at
+	// threshold, then run the cascade under the boost mask.
+	delta := 0
+	for _, e := range pend {
+		s.pushNode = append(s.pushNode, e.v)
+		s.pushPrev = append(s.pushPrev, s.wIn[e.v])
+		s.wIn[e.v] = e.w
+		if e.w >= theta(ps, e.v) {
+			s.active[e.v] = true
+			s.actNode = append(s.actNode, e.v)
+			s.queue = append(s.queue, e.v)
+			delta++
+		}
+	}
+	delta += p.runCascade(ps, mask, s)
+	s.reset()
+	return delta
+}
+
+// estimateSpreadNaive re-simulates every profile from scratch under the
+// boost mask — the retained reference implementation the property tests
+// hold EstimateSpread to.
+func (p *Pool) estimateSpreadNaive(boost []int32) float64 {
+	mask := make([]bool, p.g.N())
+	for _, v := range boost {
+		mask[v] = true
+	}
+	s := p.getScratch()
+	defer p.putScratch(s)
+	var sum int64
+	for pi := range p.profileSeed {
+		sum += int64(p.simulate(p.profileSeed[pi], mask, s))
+		s.reset()
+	}
+	return float64(sum) / float64(len(p.profileSeed))
+}

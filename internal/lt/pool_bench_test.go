@@ -1,0 +1,79 @@
+package lt
+
+import (
+	"testing"
+
+	"github.com/kboost/kboost/internal/dataset"
+)
+
+// The pooled-LT benchmarks run on the same flixster stand-in the PRR
+// selection benchmarks use, so their ns/op track the serving path's
+// warm-query numbers. `make bench` emits them into BENCH_select.json;
+// CI smoke-runs them in short mode.
+
+func benchLTPool(b *testing.B) *Pool {
+	b.Helper()
+	scale, profiles := 0.01, 10000
+	if testing.Short() {
+		scale, profiles = 0.004, 1000
+	}
+	spec, err := dataset.ByName("flixster")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := spec.Generate(scale, 2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seeds := dataset.InfluentialSeeds(g, 20)
+	pool, err := NewPool(g, seeds, 7, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool.Extend(profiles)
+	return pool
+}
+
+// BenchmarkLTSelectWarm measures repeat-query selection on an
+// already-built profile pool: the incremental CELF GreedyBoost against
+// the retained full-rescan naive reference (which re-simulates every
+// profile for every candidate each round — the O(cands·k·R) loop the
+// pooled greedy replaces).
+func BenchmarkLTSelectWarm(b *testing.B) {
+	const k = 10
+	pool := benchLTPool(b)
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := pool.GreedyBoost(k, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := pool.greedyBoostNaive(k, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkLTEstimateWarm measures the incremental batch estimator
+// against the from-scratch re-simulation reference on the same pool.
+func BenchmarkLTEstimateWarm(b *testing.B) {
+	pool := benchLTPool(b)
+	boost := pool.g.N()
+	set := []int32{int32(boost / 3), int32(boost / 2), int32(2 * boost / 3)}
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := pool.EstimateSpread(set); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pool.estimateSpreadNaive(set)
+		}
+	})
+}

@@ -68,6 +68,12 @@
 //	})
 //	fmt.Println(warm.CacheHit, warm.NewSamples) // true 0
 //
+// The Engine also serves the boosted Linear Threshold extension: a
+// boost query with Mode "lt" runs the pooled Monte-Carlo greedy over a
+// cached pool of LT threshold profiles (see LTPool), reusing sampled
+// worlds across queries the same way PRR pools are reused — with the
+// caveat that boosted LT carries no approximation guarantee.
+//
 // cmd/kboostd wraps the same Engine in an HTTP JSON API (POST
 // /v1/boost, /v1/seeds, /v1/estimate, GET /v1/stats); NewEngineServer
 // exposes that handler for embedding.

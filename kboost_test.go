@@ -1,6 +1,7 @@
 package kboost
 
 import (
+	"fmt"
 	"math"
 	"os"
 	"path/filepath"
@@ -39,6 +40,59 @@ func TestPublicPipeline(t *testing.T) {
 				t.Fatalf("negative boost %v", boost)
 			}
 		})
+	}
+}
+
+// TestLTServingPipeline drives the boosted-LT extension end to end
+// through the public API: pooled selection and estimation via LTPool,
+// and the same query served warm through the Engine with mode "lt".
+func TestLTServingPipeline(t *testing.T) {
+	g, err := GenerateDataset("digg", 0.002, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := InfluentialSeeds(g, 5)
+
+	pool, err := NewLTPool(g, seeds, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Extend(1500)
+	set, est, err := pool.GreedyBoost(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) == 0 || est < 0 {
+		t.Fatalf("pooled greedy returned %v / %v", set, est)
+	}
+	spread, err := pool.EstimateSpread(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spread < float64(len(seeds)) {
+		t.Fatalf("spread %v below seed count", spread)
+	}
+
+	eng := NewEngine(EngineOptions{})
+	if err := eng.RegisterGraph("g", g); err != nil {
+		t.Fatal(err)
+	}
+	req := EngineBoostRequest{GraphID: "g", Seeds: seeds, K: 4, Mode: "lt", Seed: 3, Sims: 1500}
+	cold, err := eng.Boost(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The engine pool is built with the same (graph, seeds, seed, sims):
+	// identical profiles, so its selection must match the direct pool's.
+	if got, want := fmt.Sprint(cold.BoostSet), fmt.Sprint(set); got != want || cold.EstBoost != est {
+		t.Fatalf("engine lt boost %s/%v != pooled %s/%v", got, cold.EstBoost, want, est)
+	}
+	warm, err := eng.Boost(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.CacheHit || !warm.ResultCached || warm.NewSamples != 0 {
+		t.Fatalf("warm lt query not served from cache: %+v", warm)
 	}
 }
 
