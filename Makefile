@@ -5,7 +5,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: all build test race bench bench-short
+.PHONY: all build test race bench bench-short fuzz-short
 
 all: build test
 
@@ -17,6 +17,13 @@ test:
 
 race:
 	$(GO) test -race ./internal/prr ./internal/diffusion ./internal/engine ./internal/lt
+
+# fuzz-short smoke-fuzzes the graph codecs (the untrusted-input surface
+# of the upload endpoint); go only accepts one fuzz target per run.
+FUZZTIME ?= 20s
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz '^FuzzReadEdgeList$$' -fuzztime $(FUZZTIME) ./internal/graph
+	$(GO) test -run '^$$' -fuzz '^FuzzReadBinary$$' -fuzztime $(FUZZTIME) ./internal/graph
 
 # bench runs the selection-path benchmarks (warm SelectDelta vs the
 # naive reference, incremental Extend, warm Engine queries — for both

@@ -1,19 +1,31 @@
-// Command kboostd serves boosting queries over HTTP: it loads one or
-// more graph snapshots at startup, keeps PRR-graph pools cached across
-// queries, and exposes the engine as a JSON API.
+// Command kboostd serves boosting queries over HTTP: it loads graph
+// snapshots at startup (and accepts live uploads when an auth token is
+// configured), keeps PRR-graph pools cached across queries, and exposes
+// the engine as a JSON API.
 //
 // Usage:
 //
 //	kboostd -addr :8090 -graph prod=digg.txt
 //	kboostd -graph a=g1.txt -graph b=g2.bin -max-pool-mb 2048 -max-workers 8
 //	kboostd -dataset demo=digg:0.01:2:1   # synthetic stand-in, no file needed
+//	kboostd -auth-token s3cret -data-dir /var/lib/kboost  # live uploads, persisted
 //
-// Endpoints (all JSON):
+// Endpoints:
 //
 //	POST /v1/boost    {"graph":"prod","seeds":[1,2],"k":10,...}
 //	POST /v1/seeds    {"graph":"prod","k":10,...}
 //	POST /v1/estimate {"graph":"prod","seeds":[1,2],"boost":[3],...}
 //	GET  /v1/stats
+//	GET  /v1/graphs                 list snapshots (id, version, size)
+//	POST /v1/graphs/{name}          upload a snapshot (text or binary
+//	                                graph codec; requires -auth-token,
+//	                                body capped by -max-upload-mb)
+//	DELETE /v1/graphs/{name}        remove a snapshot (requires -auth-token)
+//
+// Every upload installs an immutable snapshot under a bumped version
+// and invalidates the replaced version's cached pools, so queries never
+// mix two snapshots. With -data-dir, accepted uploads are persisted as
+// <name>.kbg and reloaded on the next boot.
 //
 // Boost and estimate requests take a "mode": the default "full" and
 // "lb" run the paper's PRR-Boost algorithms under the IC model, while
@@ -60,6 +72,9 @@ func run(args []string) error {
 		maxPools     = fs.Int("max-pools", 8, "PRR pool cache capacity (LRU, entry count)")
 		maxPoolMB    = fs.Int64("max-pool-mb", 1024, "PRR pool cache budget in MiB of estimated pool memory")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain budget")
+		authToken    = fs.String("auth-token", "", "bearer token gating POST/DELETE /v1/graphs (empty = graph administration disabled)")
+		maxUploadMB  = fs.Int64("max-upload-mb", 64, "graph upload body cap in MiB")
+		dataDir      = fs.String("data-dir", "", "directory persisting uploaded snapshots as <name>.kbg, reloaded on boot")
 		graphSpecs   sliceFlag
 		datasetSpecs sliceFlag
 	)
@@ -68,8 +83,8 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if len(graphSpecs) == 0 && len(datasetSpecs) == 0 {
-		return fmt.Errorf("no graphs to serve: pass at least one -graph id=path or -dataset id=spec")
+	if len(graphSpecs) == 0 && len(datasetSpecs) == 0 && *authToken == "" && *dataDir == "" {
+		return fmt.Errorf("no graphs to serve: pass -graph id=path or -dataset id=spec (or enable live uploads with -auth-token)")
 	}
 
 	eng := kboost.NewEngine(kboost.EngineOptions{
@@ -105,8 +120,30 @@ func run(args []string) error {
 		}
 		log.Printf("graph %q: %d nodes, %d edges (synthetic %s)", id, g.N(), g.M(), rest)
 	}
+	if *dataDir != "" {
+		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
+			return fmt.Errorf("-data-dir: %w", err)
+		}
+		// Persisted uploads are the freshest state, so they replace any
+		// -graph/-dataset snapshot registered under the same id.
+		n, err := eng.LoadSnapshotDir(*dataDir)
+		if err != nil {
+			return err
+		}
+		if n > 0 {
+			log.Printf("reloaded %d persisted snapshot(s) from %s", n, *dataDir)
+		}
+	}
+	if *authToken == "" {
+		log.Printf("graph administration disabled (no -auth-token); serving startup graphs only")
+	}
 
-	handler := kboost.NewEngineServer(eng, kboost.EngineServerOptions{MaxWorkers: *maxWorkers})
+	handler := kboost.NewEngineServer(eng, kboost.EngineServerOptions{
+		MaxWorkers:     *maxWorkers,
+		AuthToken:      *authToken,
+		MaxUploadBytes: *maxUploadMB << 20,
+		SnapshotDir:    *dataDir,
+	})
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           logRequests(handler),

@@ -4,8 +4,17 @@
 // queries over the same (graph, seed set) amortize the expensive
 // sampling phase instead of regenerating it from scratch.
 //
-// Pools are cached per (graph, seed set, mode). Each cached pool
-// remembers the generation budget k it was built with; because a
+// Graphs are mutable only by whole-snapshot replacement: UploadGraph
+// installs an immutable snapshot under a monotonically increasing
+// per-id version, and every pool cache key embeds the version it was
+// built against. Replacing or deleting a snapshot atomically swaps the
+// registry entry and sweeps the replaced version's pools and result
+// caches, so a query can never mix sketches from two snapshot versions:
+// in-flight queries keep the coherent snapshot they started with, and
+// new queries only ever find pools keyed to the current version.
+//
+// Pools are cached per (graph snapshot, seed set, mode). Each cached
+// pool remembers the generation budget k it was built with; because a
 // PRR-graph generated for budget k' is valid for any query with
 // k <= k', a cached pool serves every smaller-or-equal k directly,
 // while a larger k forces a rebuild (generation-time pruning depends
@@ -37,6 +46,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/kboost/kboost/internal/core"
@@ -48,7 +58,7 @@ import (
 )
 
 // ErrUnknownGraph is returned (wrapped) when a request names a graph id
-// that was never registered.
+// that was never registered (or has been deleted).
 var ErrUnknownGraph = errors.New("unknown graph id")
 
 // Options configures an Engine.
@@ -92,6 +102,23 @@ type Stats struct {
 	// quantity MaxPoolBytes evicts on).
 	PoolBytes int64 `json:"pool_bytes"`
 
+	// GraphVersions maps each registered graph id to its current
+	// snapshot version: 1 for the first upload, bumped by every
+	// replacement. Versions are per-process; a restarted engine starts
+	// over at 1.
+	GraphVersions map[string]uint64 `json:"graph_versions,omitempty"`
+	// UploadsTotal counts accepted graph snapshots — startup
+	// registrations and live uploads alike. GraphDeletes counts
+	// successful DeleteGraph calls.
+	UploadsTotal int64 `json:"uploads_total"`
+	GraphDeletes int64 `json:"graph_deletes"`
+	// InvalidatedPools and RetiredPoolBytes account the pools swept
+	// because an upload replaced (or a delete removed) their snapshot —
+	// cumulative, so operators can see how much warm state graph churn
+	// is throwing away.
+	InvalidatedPools int64 `json:"invalidated_pools"`
+	RetiredPoolBytes int64 `json:"retired_pool_bytes"`
+
 	BoostQueries    int64 `json:"boost_queries"`
 	SeedQueries     int64 `json:"seed_queries"`
 	EstimateQueries int64 `json:"estimate_queries"`
@@ -129,18 +156,63 @@ type Stats struct {
 	LTProfiles        int64 `json:"lt_profiles"`
 }
 
+// counters is the engine's live counter set. Every field is atomic so
+// the hot path (warm queries bumping hit counters) neither contends on
+// nor races with Engine.mu; Stats() assembles a consistent-enough
+// snapshot from atomic loads.
+type counters struct {
+	uploads          atomic.Int64
+	deletes          atomic.Int64
+	invalidatedPools atomic.Int64
+	retiredPoolBytes atomic.Int64
+
+	boostQueries    atomic.Int64
+	seedQueries     atomic.Int64
+	estimateQueries atomic.Int64
+
+	poolHits       atomic.Int64
+	poolMisses     atomic.Int64
+	poolRebuilds   atomic.Int64
+	poolExtensions atomic.Int64
+	resultHits     atomic.Int64
+	evictions      atomic.Int64
+	prrGenerated   atomic.Int64
+
+	ltBoostQueries    atomic.Int64
+	ltEstimateQueries atomic.Int64
+	ltPoolHits        atomic.Int64
+	ltPoolMisses      atomic.Int64
+	ltPoolExtensions  atomic.Int64
+	ltResultHits      atomic.Int64
+	ltProfiles        atomic.Int64
+}
+
+// snapshot is one immutable registered graph plus its version.
+type snapshot struct {
+	g       *graph.Graph
+	version uint64
+}
+
 // Engine is a long-lived, concurrency-safe boosting service over a set
 // of registered graph snapshots. The zero value is not usable; create
 // one with New.
 type Engine struct {
 	opt Options
 
-	mu        sync.Mutex
-	graphs    map[string]*graph.Graph
+	mu     sync.Mutex
+	graphs map[string]*snapshot
+	// versions is the per-id version high-water mark. Unlike graphs it
+	// survives DeleteGraph: if a deleted id could restart at version 1,
+	// a pool built against the deleted snapshot by an in-flight query
+	// would pass acquireEntry's version-currency check and be cached for
+	// the unrelated new graph. Monotonicity across recreation keeps the
+	// "no query ever mixes snapshots" invariant airtight.
+	versions  map[string]uint64
 	pools     map[string]*poolEntry
 	lru       *list.List // of *poolEntry; front = most recently used
 	poolBytes int64      // summed ent.bytes of cached pools
-	stats     Stats
+
+	ctr counters
 }
 
 // poolEntry is one cached pool. entry.mu serializes pool *mutation*
@@ -150,8 +222,11 @@ type Engine struct {
 // they share an RLock: warm queries on the same pool run concurrently
 // instead of serializing behind one mutex.
 type poolEntry struct {
-	key  string
-	elem *list.Element
+	key string
+	// graphID is the registered graph the pool was built against;
+	// UploadGraph/DeleteGraph sweep entries by it.
+	graphID string
+	elem    *list.Element // nil for detached entries (see acquireEntry)
 
 	mu   sync.RWMutex
 	pool *prr.Pool // nil until the first query builds it
@@ -197,43 +272,144 @@ const maxCachedResults = 128
 // New creates an Engine.
 func New(opt Options) *Engine {
 	return &Engine{
-		opt:    opt.withDefaults(),
-		graphs: make(map[string]*graph.Graph),
-		pools:  make(map[string]*poolEntry),
-		lru:    list.New(),
+		opt:      opt.withDefaults(),
+		graphs:   make(map[string]*snapshot),
+		versions: make(map[string]uint64),
+		pools:    make(map[string]*poolEntry),
+		lru:      list.New(),
 	}
 }
 
-// RegisterGraph adds a graph snapshot under id. Graphs are immutable
-// once registered; re-registering an id is an error (evolving a graph
-// means registering a new snapshot id, which naturally invalidates
-// nothing — old pools stay keyed to the old id until evicted).
+// RegisterGraph adds a graph snapshot under id (at version 1).
+// Re-registering an id is an error; use UploadGraph to replace a live
+// snapshot.
 func (e *Engine) RegisterGraph(id string, g *graph.Graph) error {
-	if id == "" {
-		return fmt.Errorf("engine: empty graph id")
-	}
-	if g == nil {
-		return fmt.Errorf("engine: nil graph for id %q", id)
+	if err := validateUpload(id, g); err != nil {
+		return err
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if _, dup := e.graphs[id]; dup {
 		return fmt.Errorf("engine: graph id %q already registered", id)
 	}
-	e.graphs[id] = g
-	e.stats.Graphs = len(e.graphs)
+	e.graphs[id] = &snapshot{g: g, version: e.nextVersionLocked(id)}
+	e.ctr.uploads.Add(1)
 	return nil
+}
+
+// nextVersionLocked advances and returns the version high-water mark
+// for id. Callers hold e.mu.
+func (e *Engine) nextVersionLocked(id string) uint64 {
+	v := e.versions[id] + 1
+	e.versions[id] = v
+	return v
+}
+
+// UploadResult reports an accepted snapshot upload.
+type UploadResult struct {
+	// Version is the snapshot's version: 1 for a never-seen id,
+	// previous+1 otherwise — monotonic per id for the life of the
+	// process, even across DeleteGraph.
+	Version uint64
+	// Replaced is true when the upload superseded a live snapshot.
+	Replaced bool
+	// InvalidatedPools and RetiredBytes account the replaced version's
+	// swept pool cache entries.
+	InvalidatedPools int
+	RetiredBytes     int64
+}
+
+// UploadGraph installs g as the current snapshot for id, creating the
+// id or replacing the live snapshot under a bumped version. Replacement
+// atomically sweeps every cached pool (and its result cache) built
+// against the old version, so no future query can observe a stale
+// sketch; queries already in flight keep the coherent old snapshot they
+// started with.
+func (e *Engine) UploadGraph(id string, g *graph.Graph) (UploadResult, error) {
+	if err := validateUpload(id, g); err != nil {
+		return UploadResult{}, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var res UploadResult
+	if _, ok := e.graphs[id]; ok {
+		res.Replaced = true
+		res.InvalidatedPools, res.RetiredBytes = e.invalidateGraphLocked(id)
+	}
+	res.Version = e.nextVersionLocked(id)
+	e.graphs[id] = &snapshot{g: g, version: res.Version}
+	e.ctr.uploads.Add(1)
+	return res, nil
+}
+
+// DeleteGraph removes the snapshot for id and sweeps its cached pools,
+// returning how many were invalidated.
+func (e *Engine) DeleteGraph(id string) (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.graphs[id]; !ok {
+		return 0, fmt.Errorf("engine: %w: %q", ErrUnknownGraph, id)
+	}
+	delete(e.graphs, id)
+	invalidated, _ := e.invalidateGraphLocked(id)
+	e.ctr.deletes.Add(1)
+	return invalidated, nil
+}
+
+func validateUpload(id string, g *graph.Graph) error {
+	if id == "" {
+		return fmt.Errorf("engine: empty graph id")
+	}
+	if g == nil {
+		return fmt.Errorf("engine: nil graph for id %q", id)
+	}
+	return nil
+}
+
+// invalidateGraphLocked sweeps every cached pool built against id,
+// clearing their result caches and byte accounting. Callers hold e.mu.
+// An in-flight query holding an entry reference simply finishes against
+// its detached pool; nothing new can find the entry afterwards.
+func (e *Engine) invalidateGraphLocked(id string) (pools int, bytes int64) {
+	for key, ent := range e.pools {
+		if ent.graphID != id {
+			continue
+		}
+		delete(e.pools, key)
+		e.lru.Remove(ent.elem)
+		e.poolBytes -= ent.bytes
+		bytes += ent.bytes
+		pools++
+		ent.clearResults()
+	}
+	e.ctr.invalidatedPools.Add(int64(pools))
+	e.ctr.retiredPoolBytes.Add(bytes)
+	return pools, bytes
+}
+
+// snapshotFor returns the current snapshot for id. The (graph, version)
+// pair is read atomically, so a query keys its pools to exactly the
+// snapshot it computes against.
+func (e *Engine) snapshotFor(id string) (*graph.Graph, uint64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	snap, ok := e.graphs[id]
+	if !ok {
+		return nil, 0, fmt.Errorf("engine: %w: %q", ErrUnknownGraph, id)
+	}
+	return snap.g, snap.version, nil
 }
 
 // Graph returns the registered snapshot for id.
 func (e *Engine) Graph(id string) (*graph.Graph, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	g, ok := e.graphs[id]
-	if !ok {
-		return nil, fmt.Errorf("engine: %w: %q", ErrUnknownGraph, id)
-	}
-	return g, nil
+	g, _, err := e.snapshotFor(id)
+	return g, err
+}
+
+// GraphVersion returns the current snapshot version for id.
+func (e *Engine) GraphVersion(id string) (uint64, error) {
+	_, v, err := e.snapshotFor(id)
+	return v, err
 }
 
 // GraphIDs lists the registered snapshot ids, sorted.
@@ -248,13 +424,72 @@ func (e *Engine) GraphIDs() []string {
 	return ids
 }
 
-// Stats returns a snapshot of the engine's counters.
-func (e *Engine) Stats() Stats {
+// GraphInfo describes one registered snapshot.
+type GraphInfo struct {
+	ID      string `json:"graph"`
+	Version uint64 `json:"version"`
+	Nodes   int    `json:"nodes"`
+	Edges   int    `json:"edges"`
+}
+
+// GraphInfo returns the descriptor of the current snapshot for id.
+func (e *Engine) GraphInfo(id string) (GraphInfo, error) {
+	g, v, err := e.snapshotFor(id)
+	if err != nil {
+		return GraphInfo{}, err
+	}
+	return GraphInfo{ID: id, Version: v, Nodes: g.N(), Edges: g.M()}, nil
+}
+
+// GraphInfos lists the registered snapshots, sorted by id.
+func (e *Engine) GraphInfos() []GraphInfo {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	st := e.stats
+	infos := make([]GraphInfo, 0, len(e.graphs))
+	for id, snap := range e.graphs {
+		infos = append(infos, GraphInfo{ID: id, Version: snap.version, Nodes: snap.g.N(), Edges: snap.g.M()})
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
+	return infos
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	st := Stats{
+		UploadsTotal:     e.ctr.uploads.Load(),
+		GraphDeletes:     e.ctr.deletes.Load(),
+		InvalidatedPools: e.ctr.invalidatedPools.Load(),
+		RetiredPoolBytes: e.ctr.retiredPoolBytes.Load(),
+
+		BoostQueries:    e.ctr.boostQueries.Load(),
+		SeedQueries:     e.ctr.seedQueries.Load(),
+		EstimateQueries: e.ctr.estimateQueries.Load(),
+
+		PoolHits:       e.ctr.poolHits.Load(),
+		PoolMisses:     e.ctr.poolMisses.Load(),
+		PoolRebuilds:   e.ctr.poolRebuilds.Load(),
+		PoolExtensions: e.ctr.poolExtensions.Load(),
+		ResultHits:     e.ctr.resultHits.Load(),
+		Evictions:      e.ctr.evictions.Load(),
+		PRRGenerated:   e.ctr.prrGenerated.Load(),
+
+		LTBoostQueries:    e.ctr.ltBoostQueries.Load(),
+		LTEstimateQueries: e.ctr.ltEstimateQueries.Load(),
+		LTPoolHits:        e.ctr.ltPoolHits.Load(),
+		LTPoolMisses:      e.ctr.ltPoolMisses.Load(),
+		LTPoolExtensions:  e.ctr.ltPoolExtensions.Load(),
+		LTResultHits:      e.ctr.ltResultHits.Load(),
+		LTProfiles:        e.ctr.ltProfiles.Load(),
+	}
+	e.mu.Lock()
+	st.Graphs = len(e.graphs)
 	st.Pools = len(e.pools)
 	st.PoolBytes = e.poolBytes
+	st.GraphVersions = make(map[string]uint64, len(e.graphs))
+	for id, snap := range e.graphs {
+		st.GraphVersions[id] = snap.version
+	}
+	e.mu.Unlock()
 	return st
 }
 
@@ -305,6 +540,8 @@ type BoostResult struct {
 	// Always 0 for mode "lt": LT profiles are k-independent, so an LT
 	// pool has no generation budget and serves every k.
 	PoolK int
+	// GraphVersion is the snapshot version the query computed against.
+	GraphVersion uint64
 }
 
 func parseMode(s string) (prr.Mode, error) {
@@ -326,12 +563,16 @@ func canonicalSeeds(seeds []int32) []int32 {
 	return out
 }
 
-// poolKey builds a cache key from the graph id, a mode tag ("m0"/"m1"
-// for the PRR materialization modes, "lt" for LT profile pools) and the
-// canonical seed set.
-func poolKey(graphID, modeTag string, seeds []int32) string {
+// poolKey builds a cache key from the graph id and snapshot version, a
+// mode tag ("m0"/"m1" for the PRR materialization modes, "lt" for LT
+// profile pools) and the canonical seed set. Embedding the version
+// means a replaced snapshot's pools can never be found by queries
+// against the new one, even if a sweep raced an in-flight insert.
+func poolKey(graphID string, version uint64, modeTag string, seeds []int32) string {
 	var b strings.Builder
 	b.WriteString(graphID)
+	b.WriteByte('@')
+	b.WriteString(strconv.FormatUint(version, 10))
 	b.WriteByte('|')
 	b.WriteString(modeTag)
 	for _, s := range seeds {
@@ -341,10 +582,34 @@ func poolKey(graphID, modeTag string, seeds []int32) string {
 	return b.String()
 }
 
+// acquireEntry returns the cache entry for key, creating it if needed
+// and bumping it in the LRU. If the snapshot the key was derived from
+// is no longer current — an upload or delete raced this query between
+// its snapshot read and here — the entry is created detached: the query
+// still runs coherently against the snapshot it fetched, but nothing is
+// inserted into the cache for a retired version.
+func (e *Engine) acquireEntry(key, graphID string, version uint64) *poolEntry {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ent, ok := e.pools[key]; ok {
+		e.lru.MoveToFront(ent.elem)
+		e.evictLocked()
+		return ent
+	}
+	ent := &poolEntry{key: key, graphID: graphID}
+	if snap, ok := e.graphs[graphID]; ok && snap.version == version {
+		e.pools[key] = ent
+		ent.elem = e.lru.PushFront(ent)
+		e.evictLocked()
+	}
+	return ent
+}
+
 // Boost answers a boosting query, reusing a cached PRR pool when one
-// exists for the same (graph, seed set, mode) with a generation budget
-// covering req.K. Selection always runs against the current pool, so a
-// given query is deterministic for a fixed engine history.
+// exists for the same (graph snapshot, seed set, mode) with a
+// generation budget covering req.K. Selection always runs against the
+// current pool, so a given query is deterministic for a fixed engine
+// history.
 func (e *Engine) Boost(req BoostRequest) (*BoostResult, error) {
 	if req.Mode == "lt" {
 		return e.boostLT(req)
@@ -353,7 +618,7 @@ func (e *Engine) Boost(req BoostRequest) (*BoostResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	g, err := e.Graph(req.GraphID)
+	g, version, err := e.snapshotFor(req.GraphID)
 	if err != nil {
 		return nil, err
 	}
@@ -371,23 +636,13 @@ func (e *Engine) Boost(req BoostRequest) (*BoostResult, error) {
 	if err := core.Validate(g, seeds, opt); err != nil {
 		return nil, err
 	}
-	key := poolKey(req.GraphID, "m"+strconv.Itoa(int(mode)), seeds)
+	key := poolKey(req.GraphID, version, "m"+strconv.Itoa(int(mode)), seeds)
 	sizeKey := fmt.Sprintf("%d|%g|%g|%d", opt.K, opt.Epsilon, opt.Ell, opt.MaxSamples)
 
-	e.mu.Lock()
-	e.stats.BoostQueries++
-	ent, ok := e.pools[key]
-	if !ok {
-		ent = &poolEntry{key: key}
-		e.pools[key] = ent
-		ent.elem = e.lru.PushFront(ent)
-	} else {
-		e.lru.MoveToFront(ent.elem)
-	}
-	e.evictLocked()
-	e.mu.Unlock()
+	e.ctr.boostQueries.Add(1)
+	ent := e.acquireEntry(key, req.GraphID, version)
 
-	out := &BoostResult{}
+	out := &BoostResult{GraphVersion: version}
 
 	// Fast path: a fully warm entry — pool built, budget covers K, this
 	// exact sizing already applied — needs only read access. Taking the
@@ -397,7 +652,7 @@ func (e *Engine) Boost(req BoostRequest) (*BoostResult, error) {
 	if ent.pool != nil && ent.pool.K() >= req.K && ent.sized[sizeKey] {
 		defer ent.mu.RUnlock()
 		out.CacheHit = true
-		e.count(func(st *Stats) { st.PoolHits++ })
+		e.ctr.poolHits.Add(1)
 		return e.finishBoost(ent, out, opt)
 	}
 	ent.mu.RUnlock()
@@ -414,10 +669,8 @@ func (e *Engine) Boost(req BoostRequest) (*BoostResult, error) {
 		ent.pool = pool
 		ent.sized = map[string]bool{sizeKey: true}
 		out.NewSamples = pool.Size()
-		e.count(func(st *Stats) {
-			st.PoolMisses++
-			st.PRRGenerated += int64(out.NewSamples)
-		})
+		e.ctr.poolMisses.Add(1)
+		e.ctr.prrGenerated.Add(int64(out.NewSamples))
 	case ent.pool.K() < req.K:
 		// Generation-time pruning depends on k; a bigger budget needs a
 		// rebuild. The new pool serves this and every smaller k after it.
@@ -432,10 +685,8 @@ func (e *Engine) Boost(req BoostRequest) (*BoostResult, error) {
 		ent.clearResults() // a rebuilt pool may repeat generation numbers
 		out.Rebuilt = true
 		out.NewSamples = pool.Size()
-		e.count(func(st *Stats) {
-			st.PoolRebuilds++
-			st.PRRGenerated += int64(out.NewSamples)
-		})
+		e.ctr.poolRebuilds.Add(1)
+		e.ctr.prrGenerated.Add(int64(out.NewSamples))
 	default:
 		// Another query raced us here and finished the sizing between the
 		// read and write locks; or this sizing still needs a growth pass.
@@ -449,13 +700,11 @@ func (e *Engine) Boost(req BoostRequest) (*BoostResult, error) {
 		}
 		out.CacheHit = true
 		out.NewSamples = added
-		e.count(func(st *Stats) {
-			st.PoolHits++
-			if added > 0 {
-				st.PoolExtensions++
-				st.PRRGenerated += int64(added)
-			}
-		})
+		e.ctr.poolHits.Add(1)
+		if added > 0 {
+			e.ctr.poolExtensions.Add(1)
+			e.ctr.prrGenerated.Add(int64(added))
+		}
 	}
 	e.accountBytes(ent, ent.pool.MemoryEstimate())
 	// Downgrade to a read lock for selection. Another query may grow the
@@ -483,7 +732,7 @@ func (e *Engine) finishBoost(ent *poolEntry, out *BoostResult, opt core.Options)
 		out.Result = copyResult(cached)
 		out.ResultCached = true
 		out.PoolK = pool.K()
-		e.count(func(st *Stats) { st.ResultHits++ })
+		e.ctr.resultHits.Add(1)
 		return out, nil
 	}
 
@@ -516,7 +765,8 @@ func copyResult(res *core.Result) core.Result {
 }
 
 // clearResults empties the result cache; called on rebuild while the
-// caller holds ent.mu for writing.
+// caller holds ent.mu for writing, and on snapshot invalidation under
+// Engine.mu.
 func (ent *poolEntry) clearResults() {
 	ent.resMu.Lock()
 	ent.results, ent.resultsGen = nil, 0
@@ -557,17 +807,17 @@ func validateLTSeeds(g *graph.Graph, seeds []int32) error {
 }
 
 // boostLT answers a mode:"lt" boosting query from the cached profile
-// pool for (graph, seed set): warm queries reuse (and, when the request
-// asks for more simulations, extend in place) the pool's pre-sampled
-// threshold profiles, and identical repeat queries are answered from
-// the generation-keyed result cache without running selection at all.
-// LT pools have no generation budget — profiles are k-independent — so
-// unlike the PRR path there is no rebuild case. The profile RNG seed is
-// fixed at pool construction; a later query's Seed does not re-sample a
-// cached pool (register a new query with different seeds, or rely on
-// eviction, to draw fresh worlds).
+// pool for (graph snapshot, seed set): warm queries reuse (and, when
+// the request asks for more simulations, extend in place) the pool's
+// pre-sampled threshold profiles, and identical repeat queries are
+// answered from the generation-keyed result cache without running
+// selection at all. LT pools have no generation budget — profiles are
+// k-independent — so unlike the PRR path there is no rebuild case. The
+// profile RNG seed is fixed at pool construction; a later query's Seed
+// does not re-sample a cached pool (register a new query with different
+// seeds, or rely on eviction, to draw fresh worlds).
 func (e *Engine) boostLT(req BoostRequest) (*BoostResult, error) {
-	g, err := e.Graph(req.GraphID)
+	g, version, err := e.snapshotFor(req.GraphID)
 	if err != nil {
 		return nil, err
 	}
@@ -575,59 +825,48 @@ func (e *Engine) boostLT(req BoostRequest) (*BoostResult, error) {
 	if err := validateLT(g, seeds, req.K); err != nil {
 		return nil, err
 	}
-	e.count(func(st *Stats) {
-		st.BoostQueries++
-		st.LTBoostQueries++
-	})
+	e.ctr.boostQueries.Add(1)
+	e.ctr.ltBoostQueries.Add(1)
 	// A boost query's simulation budget is a quality floor, so an
 	// omitted Sims means the full default — unlike estimates, which
 	// reuse a cached pool lazily at whatever size it has.
 	if req.Sims <= 0 {
 		req.Sims = defaultLTSims
 	}
-	ent, hit, added, err := e.ltAcquire(req, g, seeds)
+	ent, hit, added, err := e.ltAcquire(req, g, version, seeds)
 	if err != nil {
 		return nil, err
 	}
 	defer ent.mu.RUnlock()
-	out := &BoostResult{CacheHit: hit, NewSamples: added}
+	out := &BoostResult{CacheHit: hit, NewSamples: added, GraphVersion: version}
 	return e.finishBoostLT(ent, out, req.K, lt.CandidateCap(req.K, req.CandCap))
 }
 
-// ltAcquire returns the pool entry for (graph, "lt", seeds) with its
-// profile pool built or extended to at least the requested simulation
-// count, holding ent.mu for reading on success (the caller must
-// RUnlock). sims <= 0 is lazy: an existing pool is reused at whatever
-// size it has (a read must not silently trigger an expensive
+// ltAcquire returns the pool entry for (graph snapshot, "lt", seeds)
+// with its profile pool built or extended to at least the requested
+// simulation count, holding ent.mu for reading on success (the caller
+// must RUnlock). sims <= 0 is lazy: an existing pool is reused at
+// whatever size it has (a read must not silently trigger an expensive
 // extension), and only a cold build falls back to defaultLTSims. hit
 // reports whether a cached pool served the query (true even when it
 // was extended in place); added is the number of freshly generated
 // profiles.
-func (e *Engine) ltAcquire(req BoostRequest, g *graph.Graph, seeds []int32) (ent *poolEntry, hit bool, added int, err error) {
+func (e *Engine) ltAcquire(req BoostRequest, g *graph.Graph, version uint64, seeds []int32) (ent *poolEntry, hit bool, added int, err error) {
 	sims := req.Sims
 	seed := req.Seed
 	if seed == 0 {
 		seed = 1
 	}
-	key := poolKey(req.GraphID, "lt", seeds)
+	key := poolKey(req.GraphID, version, "lt", seeds)
 
-	e.mu.Lock()
-	ent, ok := e.pools[key]
-	if !ok {
-		ent = &poolEntry{key: key}
-		e.pools[key] = ent
-		ent.elem = e.lru.PushFront(ent)
-	} else {
-		e.lru.MoveToFront(ent.elem)
-	}
-	e.evictLocked()
-	e.mu.Unlock()
+	ent = e.acquireEntry(key, req.GraphID, version)
 
 	// Fast path: the pool exists and already holds enough profiles —
 	// concurrent warm queries share the read lock and run in parallel.
 	ent.mu.RLock()
 	if ent.lt != nil && ent.lt.NumProfiles() >= sims {
-		e.count(func(st *Stats) { st.PoolHits++; st.LTPoolHits++ })
+		e.ctr.poolHits.Add(1)
+		e.ctr.ltPoolHits.Add(1)
 		return ent, true, 0, nil
 	}
 	ent.mu.RUnlock()
@@ -637,7 +876,8 @@ func (e *Engine) ltAcquire(req BoostRequest, g *graph.Graph, seeds []int32) (ent
 	case ent.lt != nil && sims <= 0:
 		// Lazy request racing a concurrent build: reuse whatever exists.
 		hit = true
-		e.count(func(st *Stats) { st.PoolHits++; st.LTPoolHits++ })
+		e.ctr.poolHits.Add(1)
+		e.ctr.ltPoolHits.Add(1)
 	case ent.lt == nil:
 		if sims <= 0 {
 			sims = defaultLTSims
@@ -651,27 +891,24 @@ func (e *Engine) ltAcquire(req BoostRequest, g *graph.Graph, seeds []int32) (ent
 		pool.Extend(sims)
 		ent.lt = pool
 		added = sims
-		e.count(func(st *Stats) {
-			st.PoolMisses++
-			st.LTPoolMisses++
-			st.LTProfiles += int64(added)
-		})
+		e.ctr.poolMisses.Add(1)
+		e.ctr.ltPoolMisses.Add(1)
+		e.ctr.ltProfiles.Add(int64(added))
 	case ent.lt.NumProfiles() < sims:
 		added = sims - ent.lt.NumProfiles()
 		ent.lt.Extend(sims)
 		hit = true
-		e.count(func(st *Stats) {
-			st.PoolHits++
-			st.LTPoolHits++
-			st.PoolExtensions++
-			st.LTPoolExtensions++
-			st.LTProfiles += int64(added)
-		})
+		e.ctr.poolHits.Add(1)
+		e.ctr.ltPoolHits.Add(1)
+		e.ctr.poolExtensions.Add(1)
+		e.ctr.ltPoolExtensions.Add(1)
+		e.ctr.ltProfiles.Add(int64(added))
 	default:
 		// Another query raced us here and finished the extension between
 		// the read and write locks.
 		hit = true
-		e.count(func(st *Stats) { st.PoolHits++; st.LTPoolHits++ })
+		e.ctr.poolHits.Add(1)
+		e.ctr.ltPoolHits.Add(1)
 	}
 	e.accountBytes(ent, ent.lt.MemoryEstimate())
 	ent.mu.Unlock()
@@ -695,7 +932,8 @@ func (e *Engine) finishBoostLT(ent *poolEntry, out *BoostResult, k, candCap int)
 	if cached != nil {
 		out.Result = copyResult(cached)
 		out.ResultCached = true
-		e.count(func(st *Stats) { st.ResultHits++; st.LTResultHits++ })
+		e.ctr.resultHits.Add(1)
+		e.ctr.ltResultHits.Add(1)
 		return out, nil
 	}
 
@@ -725,10 +963,10 @@ func (e *Engine) finishBoostLT(ent *poolEntry, out *BoostResult, k, candCap int)
 
 // accountBytes records a pool's current memory estimate into the
 // engine-wide total and trims the cache if the byte budget is now
-// exceeded. An entry evicted mid-build is skipped — it is no longer in
-// the cache, so crediting it would inflate poolBytes with bytes nothing
-// can ever subtract. Safe to call while holding ent.mu: eviction never
-// takes entry locks.
+// exceeded. An entry evicted or invalidated mid-build is skipped — it
+// is no longer in the cache, so crediting it would inflate poolBytes
+// with bytes nothing can ever subtract. Safe to call while holding
+// ent.mu: eviction never takes entry locks.
 func (e *Engine) accountBytes(ent *poolEntry, bytes int64) {
 	e.mu.Lock()
 	if cur, ok := e.pools[ent.key]; ok && cur == ent {
@@ -746,13 +984,6 @@ func (e *Engine) workersFor(requested int) int {
 		return requested
 	}
 	return e.opt.Workers
-}
-
-// count applies a mutation to the stats under the engine lock.
-func (e *Engine) count(f func(*Stats)) {
-	e.mu.Lock()
-	f(&e.stats)
-	e.mu.Unlock()
 }
 
 // dropEntry removes a failed entry from the cache so the next query
@@ -784,7 +1015,7 @@ func (e *Engine) evictLocked() {
 		e.lru.Remove(back)
 		delete(e.pools, ent.key)
 		e.poolBytes -= ent.bytes
-		e.stats.Evictions++
+		e.ctr.evictions.Add(1)
 	}
 }
 
@@ -807,7 +1038,7 @@ func (e *Engine) SelectSeeds(req SeedsRequest) (rrset.Result, error) {
 	if err != nil {
 		return rrset.Result{}, err
 	}
-	e.count(func(st *Stats) { st.SeedQueries++ })
+	e.ctr.seedQueries.Add(1)
 	return rrset.SelectSeeds(g, req.K, rrset.Options{
 		Epsilon:    req.Epsilon,
 		Ell:        req.Ell,
@@ -861,7 +1092,7 @@ func (e *Engine) Estimate(req EstimateRequest) (EstimateResult, error) {
 	if err != nil {
 		return EstimateResult{}, err
 	}
-	e.count(func(st *Stats) { st.EstimateQueries++ })
+	e.ctr.estimateQueries.Add(1)
 	opt := diffusion.Options{
 		Sims:    req.Sims,
 		Seed:    req.Seed,
@@ -883,12 +1114,13 @@ func (e *Engine) Estimate(req EstimateRequest) (EstimateResult, error) {
 }
 
 // estimateLT evaluates σ̂ and Δ̂ under the boosted-LT model on the
-// cached profile pool for (graph, seed set), building or extending the
-// pool exactly like a mode:"lt" boost query would — so estimates issued
-// after a boost query (or vice versa) hit the same warm pool, and both
-// legs of Δ̂ share possible worlds (coupled, low-variance).
+// cached profile pool for (graph snapshot, seed set), building or
+// extending the pool exactly like a mode:"lt" boost query would — so
+// estimates issued after a boost query (or vice versa) hit the same
+// warm pool, and both legs of Δ̂ share possible worlds (coupled,
+// low-variance).
 func (e *Engine) estimateLT(req EstimateRequest) (EstimateResult, error) {
-	g, err := e.Graph(req.GraphID)
+	g, version, err := e.snapshotFor(req.GraphID)
 	if err != nil {
 		return EstimateResult{}, err
 	}
@@ -901,14 +1133,12 @@ func (e *Engine) estimateLT(req EstimateRequest) (EstimateResult, error) {
 			return EstimateResult{}, fmt.Errorf("engine: boost node %d out of range [0,%d)", v, g.N())
 		}
 	}
-	e.count(func(st *Stats) {
-		st.EstimateQueries++
-		st.LTEstimateQueries++
-	})
+	e.ctr.estimateQueries.Add(1)
+	e.ctr.ltEstimateQueries.Add(1)
 	ent, hit, _, err := e.ltAcquire(BoostRequest{
 		GraphID: req.GraphID, Seeds: seeds,
 		Sims: req.Sims, Seed: req.Seed, Workers: req.Workers,
-	}, g, seeds)
+	}, g, version, seeds)
 	if err != nil {
 		return EstimateResult{}, err
 	}

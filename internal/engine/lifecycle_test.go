@@ -1,0 +1,322 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/kboost/kboost/internal/graph"
+)
+
+// smallGraph builds a deterministic ring-with-chords graph on n nodes,
+// with probabilities p/pb. Distinct (n, p) values give snapshots whose
+// boosting answers are distinguishable.
+func smallGraph(tb testing.TB, n int, p, pb float64) *graph.Graph {
+	tb.Helper()
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.MustAddEdge(int32(i), int32((i+1)%n), p, pb)
+		b.MustAddEdge(int32(i), int32((i+2)%n), p, pb)
+	}
+	return b.MustBuild()
+}
+
+// TestUploadInvalidatesCachesAcrossVersions pins the cache-invalidation
+// semantics of a snapshot replacement: a warm repeat after a re-upload
+// must recompute against the new snapshot — no stale pool, no stale
+// cached result. The v2 graph is deliberately smaller than v1, so a
+// stale v1 answer would contain out-of-range nodes and fail loudly
+// here; before version-keyed pools this test would have served the v1
+// result cache.
+func TestUploadInvalidatesCachesAcrossVersions(t *testing.T) {
+	for _, mode := range []string{"full", "lt"} {
+		t.Run(mode, func(t *testing.T) {
+			e := New(Options{})
+			v1 := smallGraph(t, 40, 0.15, 0.35)
+			v2 := smallGraph(t, 8, 0.2, 0.5)
+			if err := e.RegisterGraph("g", v1); err != nil {
+				t.Fatal(err)
+			}
+			req := BoostRequest{
+				GraphID: "g", Seeds: []int32{0, 2, 4}, K: 2, Mode: mode,
+				Seed: 9, Workers: 2, MaxSamples: 2000, Sims: 800,
+			}
+			if mode == "full" {
+				req.Mode = ""
+			}
+			cold, err := e.Boost(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cold.GraphVersion != 1 {
+				t.Errorf("cold query ran against version %d, want 1", cold.GraphVersion)
+			}
+			warm, err := e.Boost(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !warm.ResultCached {
+				t.Fatal("warm repeat on an unchanged snapshot should hit the result cache")
+			}
+
+			up, err := e.UploadGraph("g", v2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if up.Version != 2 || !up.Replaced {
+				t.Fatalf("upload = %+v, want version 2 replacing version 1", up)
+			}
+			if up.InvalidatedPools != 1 || up.RetiredBytes <= 0 {
+				t.Errorf("upload invalidated %d pools / %d bytes, want the v1 pool swept",
+					up.InvalidatedPools, up.RetiredBytes)
+			}
+
+			fresh, err := e.Boost(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fresh.CacheHit || fresh.ResultCached {
+				t.Errorf("post-upload repeat was served stale state: CacheHit=%v ResultCached=%v",
+					fresh.CacheHit, fresh.ResultCached)
+			}
+			if fresh.GraphVersion != 2 {
+				t.Errorf("post-upload query ran against version %d, want 2", fresh.GraphVersion)
+			}
+			if fresh.NewSamples == 0 {
+				t.Error("post-upload query generated no samples; it must rebuild for the new snapshot")
+			}
+			for _, v := range fresh.BoostSet {
+				if int(v) >= v2.N() {
+					t.Errorf("boost set %v contains node %d, out of range for the v2 snapshot (n=%d) — a stale v1 result leaked",
+						fresh.BoostSet, v, v2.N())
+				}
+			}
+			st := e.Stats()
+			if st.UploadsTotal != 2 {
+				t.Errorf("UploadsTotal=%d, want 2 (register + upload)", st.UploadsTotal)
+			}
+			if st.InvalidatedPools != 1 || st.RetiredPoolBytes <= 0 {
+				t.Errorf("stats invalidated=%d retired=%d, want the swept v1 pool accounted",
+					st.InvalidatedPools, st.RetiredPoolBytes)
+			}
+			if got := st.GraphVersions["g"]; got != 2 {
+				t.Errorf("GraphVersions[g]=%d, want 2", got)
+			}
+		})
+	}
+}
+
+// TestUploadInvalidatesEstimatePools: mode "lt" estimates share the
+// boost pools, so they must also recompute after a re-upload.
+func TestUploadInvalidatesEstimatePools(t *testing.T) {
+	e := New(Options{})
+	if err := e.RegisterGraph("g", smallGraph(t, 20, 0.15, 0.4)); err != nil {
+		t.Fatal(err)
+	}
+	req := EstimateRequest{GraphID: "g", Seeds: []int32{0, 5}, Boost: []int32{2}, Mode: "lt", Sims: 600, Seed: 3, Workers: 1}
+	if _, err := e.Estimate(req); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := e.Estimate(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.CacheHit {
+		t.Fatal("repeat lt estimate should reuse the pool")
+	}
+	if _, err := e.UploadGraph("g", smallGraph(t, 20, 0.05, 0.6)); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := e.Estimate(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.CacheHit {
+		t.Error("lt estimate after a re-upload reused a stale profile pool")
+	}
+}
+
+func TestDeleteGraphSweepsPools(t *testing.T) {
+	e := New(Options{})
+	if err := e.RegisterGraph("g", smallGraph(t, 30, 0.15, 0.35)); err != nil {
+		t.Fatal(err)
+	}
+	req := BoostRequest{GraphID: "g", Seeds: []int32{0, 3}, K: 2, Seed: 7, Workers: 2, MaxSamples: 1500}
+	if _, err := e.Boost(req); err != nil {
+		t.Fatal(err)
+	}
+	invalidated, err := e.DeleteGraph("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if invalidated != 1 {
+		t.Errorf("delete invalidated %d pools, want 1", invalidated)
+	}
+	st := e.Stats()
+	if st.Graphs != 0 || st.Pools != 0 || st.PoolBytes != 0 {
+		t.Errorf("after delete: graphs=%d pools=%d bytes=%d, want all zero", st.Graphs, st.Pools, st.PoolBytes)
+	}
+	if st.GraphDeletes != 1 {
+		t.Errorf("GraphDeletes=%d, want 1", st.GraphDeletes)
+	}
+	if _, err := e.Boost(req); !errors.Is(err, ErrUnknownGraph) {
+		t.Errorf("boost after delete: got %v, want ErrUnknownGraph", err)
+	}
+	if _, err := e.DeleteGraph("g"); !errors.Is(err, ErrUnknownGraph) {
+		t.Errorf("double delete: got %v, want ErrUnknownGraph", err)
+	}
+}
+
+func TestGraphInfosAndVersions(t *testing.T) {
+	e := New(Options{})
+	ga := smallGraph(t, 10, 0.1, 0.2)
+	gb := smallGraph(t, 6, 0.1, 0.2)
+	if err := e.RegisterGraph("b", gb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.UploadGraph("a", ga); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.UploadGraph("a", ga); err != nil {
+		t.Fatal(err)
+	}
+	infos := e.GraphInfos()
+	if len(infos) != 2 || infos[0].ID != "a" || infos[1].ID != "b" {
+		t.Fatalf("GraphInfos = %+v, want [a b] sorted", infos)
+	}
+	if infos[0].Version != 2 || infos[0].Nodes != 10 || infos[0].Edges != ga.M() {
+		t.Errorf("info a = %+v, want version 2, 10 nodes", infos[0])
+	}
+	if v, err := e.GraphVersion("b"); err != nil || v != 1 {
+		t.Errorf("GraphVersion(b) = %d, %v; want 1", v, err)
+	}
+	if _, err := e.GraphInfo("nope"); !errors.Is(err, ErrUnknownGraph) {
+		t.Errorf("GraphInfo(nope): got %v, want ErrUnknownGraph", err)
+	}
+}
+
+// TestStatsConcurrentWithQueriesAndUploads hammers the engine's
+// counters from every direction at once — warm boosts bumping hit
+// counters, Stats() snapshots, and uploads sweeping pools — so the race
+// detector can catch any unsynchronized counter access in the hot path.
+func TestStatsConcurrentWithQueriesAndUploads(t *testing.T) {
+	e := New(Options{})
+	ga := smallGraph(t, 16, 0.15, 0.35)
+	gb := smallGraph(t, 12, 0.2, 0.4)
+	if err := e.RegisterGraph("g", ga); err != nil {
+		t.Fatal(err)
+	}
+	req := BoostRequest{GraphID: "g", Seeds: []int32{0, 2}, K: 1, Mode: "lt", Seed: 5, Workers: 1, Sims: 300}
+	if _, err := e.Boost(req); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				if _, err := e.Boost(req); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 30; i++ {
+			st := e.Stats()
+			if st.BoostQueries < 0 || st.PoolBytes < 0 {
+				t.Errorf("implausible stats snapshot: %+v", st)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 6; i++ {
+			g := ga
+			if i%2 == 0 {
+				g = gb
+			}
+			if _, err := e.UploadGraph("g", g); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	st := e.Stats()
+	if st.BoostQueries != 121 {
+		t.Errorf("BoostQueries=%d, want 121", st.BoostQueries)
+	}
+	if st.UploadsTotal != 7 || st.GraphVersions["g"] != 7 {
+		t.Errorf("uploads=%d version=%d, want 7/7", st.UploadsTotal, st.GraphVersions["g"])
+	}
+}
+
+// TestDeleteThenReuploadContinuesVersions pins that a graph id's
+// version sequence is monotonic for the life of the process, even
+// across deletion. If a re-created id restarted at version 1, a pool
+// built against the deleted snapshot by an in-flight query would carry
+// a "current-looking" version and could be cached for the unrelated new
+// graph.
+func TestDeleteThenReuploadContinuesVersions(t *testing.T) {
+	e := New(Options{})
+	if err := e.RegisterGraph("g", smallGraph(t, 20, 0.15, 0.35)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.DeleteGraph("g"); err != nil {
+		t.Fatal(err)
+	}
+	up, err := e.UploadGraph("g", smallGraph(t, 8, 0.2, 0.4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.Version != 2 || up.Replaced {
+		t.Errorf("re-upload after delete = %+v, want version 2 (continuing the sequence) without Replaced", up)
+	}
+	res, err := e.Boost(BoostRequest{GraphID: "g", Seeds: []int32{0, 2}, K: 1, Seed: 3, Workers: 1, MaxSamples: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GraphVersion != 2 {
+		t.Errorf("boost ran against version %d, want 2", res.GraphVersion)
+	}
+}
+
+// TestUploadValidation mirrors RegisterGraph's argument checks.
+func TestUploadValidation(t *testing.T) {
+	e := New(Options{})
+	if _, err := e.UploadGraph("", smallGraph(t, 4, 0.1, 0.2)); err == nil {
+		t.Error("empty id accepted")
+	}
+	if _, err := e.UploadGraph("g", nil); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if up, err := e.UploadGraph("g", smallGraph(t, 4, 0.1, 0.2)); err != nil || up.Version != 1 || up.Replaced {
+		t.Errorf("first upload = %+v, %v; want fresh version 1", up, err)
+	}
+	if err := e.RegisterGraph("g", smallGraph(t, 4, 0.1, 0.2)); err == nil {
+		t.Error("RegisterGraph over a live uploaded graph should still be a duplicate error")
+	}
+}
+
+func ExampleEngine_UploadGraph() {
+	e := New(Options{})
+	b := graph.NewBuilder(3)
+	b.MustAddEdge(0, 1, 0.2, 0.6)
+	b.MustAddEdge(1, 2, 0.2, 0.6)
+	g := b.MustBuild()
+	up, _ := e.UploadGraph("prod", g)
+	fmt.Println(up.Version, up.Replaced)
+	up, _ = e.UploadGraph("prod", g)
+	fmt.Println(up.Version, up.Replaced)
+	// Output:
+	// 1 false
+	// 2 true
+}

@@ -1,11 +1,17 @@
 package engine
 
 import (
+	"bufio"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
+	"sync"
 	"time"
+
+	"github.com/kboost/kboost/internal/graph"
 )
 
 // ServerOptions configures the HTTP front end.
@@ -13,37 +19,77 @@ type ServerOptions struct {
 	// MaxWorkers caps the per-request worker budget; requests asking for
 	// more are clamped (0 = no cap beyond the engine default).
 	MaxWorkers int
-	// MaxBodyBytes bounds request bodies (default 8 MiB — seed and boost
-	// lists can be large, graphs are never uploaded through this API).
+	// MaxBodyBytes bounds the JSON query request bodies (default 8 MiB —
+	// seed and boost lists can be large; graph uploads have their own
+	// MaxUploadBytes cap).
 	MaxBodyBytes int64
+	// AuthToken, when non-empty, enables the mutating graph-lifecycle
+	// endpoints (POST/PUT/DELETE /v1/graphs/{name}); clients must send
+	// it as "Authorization: Bearer <token>". When empty, those
+	// endpoints answer 403 — a daemon is never mutable by accident.
+	AuthToken string
+	// MaxUploadBytes bounds graph upload bodies (default 64 MiB);
+	// larger uploads are rejected with 413.
+	MaxUploadBytes int64
+	// MaxGraphNodes caps the declared node count of uploaded snapshots
+	// (default 1<<24), bounding the CSR allocation a hostile header can
+	// demand. The edge cap follows from MaxUploadBytes (every edge
+	// costs at least 8 input bytes in either codec).
+	MaxGraphNodes int
+	// SnapshotDir, when non-empty, persists every accepted upload as
+	// <dir>/<name>.kbg (binary codec, atomic rename) and removes the
+	// file on DELETE, so a restarted daemon can reload its live graphs
+	// with Engine.LoadSnapshotDir.
+	SnapshotDir string
 }
 
 func (o ServerOptions) withDefaults() ServerOptions {
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 8 << 20
 	}
+	if o.MaxUploadBytes <= 0 {
+		o.MaxUploadBytes = 64 << 20
+	}
+	if o.MaxGraphNodes <= 0 {
+		o.MaxGraphNodes = 1 << 24
+	}
 	return o
 }
 
 // Server is the HTTP front end of an Engine. It serves:
 //
-//	POST /v1/boost    — run PRR-Boost / PRR-Boost-LB / boosted-LT
-//	                    greedy (mode "full", "lb" or "lt"; cached pools)
-//	POST /v1/seeds    — classic IMM seed selection
-//	POST /v1/estimate — spread / boost estimation (mode "ic" runs fresh
-//	                    Monte-Carlo; mode "lt" evaluates on the cached
-//	                    LT profile pool and reports cache_hit)
-//	GET  /v1/stats    — engine counters (incl. the lt_* family) and
-//	                    uptime
+//	POST /v1/boost           — run PRR-Boost / PRR-Boost-LB / boosted-LT
+//	                           greedy (mode "full", "lb" or "lt")
+//	POST /v1/seeds           — classic IMM seed selection
+//	POST /v1/estimate        — spread / boost estimation (mode "ic" runs
+//	                           fresh Monte-Carlo; mode "lt" evaluates on
+//	                           the cached LT profile pool)
+//	GET  /v1/stats           — engine counters and uptime
+//	GET  /v1/graphs          — list registered snapshots (id, version,
+//	                           size)
+//	GET  /v1/graphs/{name}   — one snapshot's descriptor
+//	POST /v1/graphs/{name}   — upload a snapshot (text or binary graph
+//	                           codec, auto-detected; bearer auth; PUT is
+//	                           accepted as an alias)
+//	DELETE /v1/graphs/{name} — remove a snapshot (bearer auth)
 //
-// All request and response bodies are JSON. Errors are reported as
-// {"error": "..."} with a matching status code: 400 for malformed or
-// invalid requests, 404 for unknown graph ids, 405 for wrong methods.
+// Query request and response bodies are JSON; upload bodies are the
+// graph codecs themselves, decoded in a streaming pass. Errors are
+// reported as {"error": "..."} with a matching status code: 400 for
+// malformed or invalid requests, 401 for missing/bad auth, 403 when
+// graph administration is disabled, 404 for unknown graph ids, 405 for
+// wrong methods, 413 for oversized bodies.
 type Server struct {
 	engine *Engine
 	opt    ServerOptions
 	mux    *http.ServeMux
 	start  time.Time
+	// adminMu serializes the persist+install (and delete+remove) pair of
+	// the mutating graph endpoints: without it, two concurrent uploads of
+	// one name could interleave so that the snapshot on disk and the one
+	// the registry serves are different — and a restart would silently
+	// revive the loser. Admin traffic is rare; one mutex is plenty.
+	adminMu sync.Mutex
 }
 
 // NewServer wraps an Engine in the HTTP front end.
@@ -53,6 +99,8 @@ func NewServer(e *Engine, opt ServerOptions) *Server {
 	s.mux.HandleFunc("/v1/seeds", s.handleSeeds)
 	s.mux.HandleFunc("/v1/estimate", s.handleEstimate)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/graphs", s.handleGraphList)
+	s.mux.HandleFunc("/v1/graphs/", s.handleGraph)
 	return s
 }
 
@@ -73,8 +121,12 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
-	if errors.Is(err, ErrUnknownGraph) {
+	var tooBig *http.MaxBytesError
+	switch {
+	case errors.Is(err, ErrUnknownGraph):
 		status = http.StatusNotFound
+	case errors.As(err, &tooBig):
+		status = http.StatusRequestEntityTooLarge
 	}
 	s.writeJSON(w, status, errorResponse{Error: err.Error()})
 }
@@ -130,6 +182,9 @@ type boostResponse struct {
 	Boostable int     `json:"boostable_prr_graphs"`
 	SampleMS  float64 `json:"sampling_ms"`
 	SelectMS  float64 `json:"selection_ms"`
+	// GraphVersion is the snapshot version the query computed against;
+	// it bumps whenever the graph is re-uploaded.
+	GraphVersion uint64 `json:"graph_version"`
 }
 
 func (s *Server) handleBoost(w http.ResponseWriter, r *http.Request) {
@@ -161,6 +216,8 @@ func (s *Server) handleBoost(w http.ResponseWriter, r *http.Request) {
 		Boostable: res.PoolStats.Boostable,
 		SampleMS:  float64(res.SamplingTime.Microseconds()) / 1e3,
 		SelectMS:  float64(res.SelectionTime.Microseconds()) / 1e3,
+
+		GraphVersion: res.GraphVersion,
 	})
 }
 
@@ -208,6 +265,184 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJSON(w, http.StatusOK, res)
+}
+
+// --- the graph lifecycle endpoints ---
+
+// validGraphName restricts uploadable graph names to a path- and
+// key-safe charset: letters, digits, '.', '_', '-', at most 64 bytes,
+// and no leading dot — a dot-led name would persist as a hidden file,
+// collide with path navigation, and could match the orphaned-temp-file
+// sweep in LoadSnapshotDir.
+func validGraphName(name string) bool {
+	if name == "" || len(name) > 64 || name[0] == '.' {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// authorize gates the mutating graph endpoints behind the configured
+// bearer token (constant-time comparison). Without a configured token
+// the endpoints are disabled outright: 403, not an open server.
+func (s *Server) authorize(w http.ResponseWriter, r *http.Request) bool {
+	if s.opt.AuthToken == "" {
+		s.writeJSON(w, http.StatusForbidden,
+			errorResponse{Error: "graph administration disabled: server has no auth token"})
+		return false
+	}
+	const prefix = "Bearer "
+	auth := r.Header.Get("Authorization")
+	if len(auth) < len(prefix) || !strings.EqualFold(auth[:len(prefix)], prefix) ||
+		subtle.ConstantTimeCompare([]byte(auth[len(prefix):]), []byte(s.opt.AuthToken)) != 1 {
+		w.Header().Set("WWW-Authenticate", `Bearer realm="kboost"`)
+		s.writeJSON(w, http.StatusUnauthorized, errorResponse{Error: "missing or invalid bearer token"})
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleGraphList(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		s.writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use GET"})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, struct {
+		Graphs []GraphInfo `json:"graphs"`
+	}{Graphs: s.engine.GraphInfos()})
+}
+
+func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/v1/graphs/")
+	if !validGraphName(name) {
+		s.writeJSON(w, http.StatusBadRequest,
+			errorResponse{Error: fmt.Sprintf("invalid graph name %q (want 1-64 of [A-Za-z0-9._-])", name)})
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		info, err := s.engine.GraphInfo(name)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, info)
+	case http.MethodPost, http.MethodPut:
+		if s.authorize(w, r) {
+			s.uploadGraph(w, r, name)
+		}
+	case http.MethodDelete:
+		if s.authorize(w, r) {
+			s.deleteGraph(w, name)
+		}
+	default:
+		w.Header().Set("Allow", "GET, POST, PUT, DELETE")
+		s.writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use GET, POST, PUT or DELETE"})
+	}
+}
+
+// decodeGraphUpload reads a graph off the (size-capped) request body in
+// one streaming pass, sniffing the binary magic to pick the codec.
+func (s *Server) decodeGraphUpload(w http.ResponseWriter, r *http.Request) (*graph.Graph, error) {
+	br := bufio.NewReader(http.MaxBytesReader(w, r.Body, s.opt.MaxUploadBytes))
+	lim := graph.ReadLimits{
+		MaxNodes: s.opt.MaxGraphNodes,
+		// Every edge costs >= 8 body bytes in the text codec (24 in the
+		// binary one), so this cap never rejects an upload that fits the
+		// body budget — it only fails absurd headers early.
+		MaxEdges: int(s.opt.MaxUploadBytes/8) + 1,
+	}
+	if magic, _ := br.Peek(4); string(magic) == "KBG1" {
+		return graph.ReadBinaryLimited(br, lim)
+	}
+	return graph.ReadTextLimited(br, lim)
+}
+
+type graphUploadResponse struct {
+	GraphInfo
+	Replaced bool `json:"replaced"`
+	// InvalidatedPools counts the replaced snapshot's cached pools that
+	// were swept by this upload.
+	InvalidatedPools int `json:"invalidated_pools"`
+}
+
+func (s *Server) uploadGraph(w http.ResponseWriter, r *http.Request, name string) {
+	g, err := s.decodeGraphUpload(w, r)
+	if err != nil {
+		s.writeError(w, fmt.Errorf("decoding graph upload: %w", err))
+		return
+	}
+	s.adminMu.Lock()
+	defer s.adminMu.Unlock()
+	if s.opt.SnapshotDir != "" {
+		clash, err := SnapshotCaseClash(s.opt.SnapshotDir, name)
+		if err != nil {
+			s.writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+			return
+		}
+		if clash != "" {
+			// On a case-insensitive filesystem the two ids would share one
+			// snapshot file, and a restart would silently drop one graph.
+			s.writeJSON(w, http.StatusConflict, errorResponse{
+				Error: fmt.Sprintf("graph name %q collides with persisted snapshot %q (names must differ beyond letter case)", name, clash)})
+			return
+		}
+		if err := SaveSnapshot(s.opt.SnapshotDir, name, g); err != nil {
+			s.writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+			return
+		}
+	}
+	res, err := s.engine.UploadGraph(name, g)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	status := http.StatusCreated
+	if res.Replaced {
+		status = http.StatusOK
+	}
+	s.writeJSON(w, status, graphUploadResponse{
+		GraphInfo:        GraphInfo{ID: name, Version: res.Version, Nodes: g.N(), Edges: g.M()},
+		Replaced:         res.Replaced,
+		InvalidatedPools: res.InvalidatedPools,
+	})
+}
+
+type graphDeleteResponse struct {
+	Graph            string `json:"graph"`
+	Deleted          bool   `json:"deleted"`
+	InvalidatedPools int    `json:"invalidated_pools"`
+}
+
+func (s *Server) deleteGraph(w http.ResponseWriter, name string) {
+	s.adminMu.Lock()
+	defer s.adminMu.Unlock()
+	invalidated, err := s.engine.DeleteGraph(name)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if s.opt.SnapshotDir != "" {
+		if err := RemoveSnapshot(s.opt.SnapshotDir, name); err != nil {
+			// The snapshot is gone from the engine but its file remains;
+			// be loud so the operator reconciles before the next boot.
+			s.writeJSON(w, http.StatusInternalServerError,
+				errorResponse{Error: fmt.Sprintf("graph %q deleted, but removing its persisted snapshot failed: %v", name, err)})
+			return
+		}
+	}
+	s.writeJSON(w, http.StatusOK, graphDeleteResponse{
+		Graph: name, Deleted: true, InvalidatedPools: invalidated,
+	})
 }
 
 type statsResponse struct {

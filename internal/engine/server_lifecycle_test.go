@@ -1,0 +1,405 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/kboost/kboost/internal/graph"
+)
+
+const testToken = "sekrit-token"
+
+func newLifecycleServer(t *testing.T, opt ServerOptions) *httptest.Server {
+	t.Helper()
+	if opt.AuthToken == "" {
+		opt.AuthToken = testToken
+	}
+	srv := httptest.NewServer(NewServer(New(Options{}), opt))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// doGraphReq issues a /v1/graphs request; token "" sends no
+// Authorization header.
+func doGraphReq(t *testing.T, method, url, token string, body []byte) (*http.Response, map[string]any) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded := map[string]any{}
+	if len(raw) > 0 {
+		if err := json.Unmarshal(raw, &decoded); err != nil {
+			t.Fatalf("%s %s: non-JSON response %q", method, url, raw)
+		}
+	}
+	return resp, decoded
+}
+
+func graphText(t *testing.T, g *graph.Graph) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := g.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func graphBinary(t *testing.T, g *graph.Graph) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGraphLifecycleEndToEnd is the acceptance walk: upload, boost in
+// both modes, re-upload a modified graph, prove the warm repeat
+// recomputes against the new snapshot, delete, 404.
+func TestGraphLifecycleEndToEnd(t *testing.T) {
+	srv := newLifecycleServer(t, ServerOptions{})
+	v1 := smallGraph(t, 24, 0.15, 0.35)
+	v2 := smallGraph(t, 10, 0.25, 0.55)
+
+	resp, up := doGraphReq(t, http.MethodPost, srv.URL+"/v1/graphs/live", testToken, graphText(t, v1))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload: status %d, body %v", resp.StatusCode, up)
+	}
+	if up["version"] != float64(1) || up["replaced"] != false || up["nodes"] != float64(24) {
+		t.Fatalf("upload response %v, want fresh version 1 with 24 nodes", up)
+	}
+
+	resp, info := doGraphReq(t, http.MethodGet, srv.URL+"/v1/graphs/live", "", nil)
+	if resp.StatusCode != http.StatusOK || info["version"] != float64(1) || info["edges"] != float64(v1.M()) {
+		t.Fatalf("info: status %d body %v", resp.StatusCode, info)
+	}
+
+	boostBodies := map[string]string{
+		"prr": `{"graph":"live","seeds":[0,2,4],"k":2,"seed":9,"workers":1,"max_samples":1500}`,
+		"lt":  `{"graph":"live","seeds":[0,2,4],"k":2,"mode":"lt","seed":9,"workers":1,"sims":600}`,
+	}
+	for name, body := range boostBodies {
+		resp, res := postJSON(t, srv.URL+"/v1/boost", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s boost on uploaded graph: status %d, body %v", name, resp.StatusCode, res)
+		}
+		if res["graph_version"] != float64(1) {
+			t.Errorf("%s boost ran against graph_version %v, want 1", name, res["graph_version"])
+		}
+	}
+
+	// Replace the snapshot (binary codec this time) and prove the warm
+	// repeats recompute: new version, no result-cache hit, and answers
+	// in the new (smaller) node range.
+	resp, up = doGraphReq(t, http.MethodPost, srv.URL+"/v1/graphs/live", testToken, graphBinary(t, v2))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-upload: status %d, body %v", resp.StatusCode, up)
+	}
+	if up["version"] != float64(2) || up["replaced"] != true || up["invalidated_pools"] != float64(2) {
+		t.Fatalf("re-upload response %v, want version 2 replacing and sweeping both pools", up)
+	}
+	for name, body := range boostBodies {
+		resp, res := postJSON(t, srv.URL+"/v1/boost", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s boost after re-upload: status %d, body %v", name, resp.StatusCode, res)
+		}
+		if res["graph_version"] != float64(2) {
+			t.Errorf("%s boost after re-upload: graph_version %v, want 2", name, res["graph_version"])
+		}
+		if res["result_cached"] == true || res["cache_hit"] == true {
+			t.Errorf("%s boost after re-upload served stale cache state: %v", name, res)
+		}
+		for _, v := range res["boost_set"].([]any) {
+			if int(v.(float64)) >= v2.N() {
+				t.Errorf("%s boost set %v contains a node outside the v2 snapshot (n=%d)",
+					name, res["boost_set"], v2.N())
+			}
+		}
+	}
+
+	var st statsResponse
+	resp2, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if err := json.NewDecoder(resp2.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.UploadsTotal != 2 || st.GraphVersions["live"] != 2 || st.InvalidatedPools != 2 {
+		t.Errorf("stats uploads=%d versions=%v invalidated=%d, want 2 / live:2 / 2",
+			st.UploadsTotal, st.GraphVersions, st.InvalidatedPools)
+	}
+
+	resp, del := doGraphReq(t, http.MethodDelete, srv.URL+"/v1/graphs/live", testToken, nil)
+	if resp.StatusCode != http.StatusOK || del["deleted"] != true {
+		t.Fatalf("delete: status %d, body %v", resp.StatusCode, del)
+	}
+	if resp, res := postJSON(t, srv.URL+"/v1/boost", boostBodies["prr"]); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("boost after delete: status %d body %v, want 404", resp.StatusCode, res)
+	}
+	if resp, _ := doGraphReq(t, http.MethodGet, srv.URL+"/v1/graphs/live", "", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("info after delete: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestGraphUploadAuth(t *testing.T) {
+	srv := newLifecycleServer(t, ServerOptions{})
+	body := graphText(t, smallGraph(t, 6, 0.1, 0.2))
+
+	for name, token := range map[string]string{"missing": "", "wrong": "not-the-token"} {
+		resp, decoded := doGraphReq(t, http.MethodPost, srv.URL+"/v1/graphs/g", token, body)
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Errorf("%s token: status %d, want 401 (body %v)", name, resp.StatusCode, decoded)
+		}
+		if resp.Header.Get("WWW-Authenticate") == "" {
+			t.Errorf("%s token: missing WWW-Authenticate challenge", name)
+		}
+		if resp, _ := doGraphReq(t, http.MethodDelete, srv.URL+"/v1/graphs/g", token, nil); resp.StatusCode != http.StatusUnauthorized {
+			t.Errorf("%s token DELETE: status %d, want 401", name, resp.StatusCode)
+		}
+	}
+
+	// Reads stay open; only mutation needs the token.
+	if resp, _ := doGraphReq(t, http.MethodGet, srv.URL+"/v1/graphs", "", nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("unauthenticated list: status %d, want 200", resp.StatusCode)
+	}
+
+	// A server configured without a token refuses administration
+	// outright, even with some bearer token attached.
+	open := httptest.NewServer(NewServer(New(Options{}), ServerOptions{}))
+	defer open.Close()
+	resp, decoded := doGraphReq(t, http.MethodPost, open.URL+"/v1/graphs/g", "anything", body)
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("tokenless server: status %d, want 403 (body %v)", resp.StatusCode, decoded)
+	}
+}
+
+func TestGraphUploadTooLarge(t *testing.T) {
+	srv := newLifecycleServer(t, ServerOptions{MaxUploadBytes: 1 << 10})
+	// Long-printing probabilities keep the declared edge count under the
+	// derived cap while the body itself blows the byte budget, so this
+	// exercises the MaxBytesReader path (413), not the header check (400).
+	big := graphText(t, smallGraph(t, 40, 1.0/3, 2.0/3)) // 80 edges, ~45 B/line
+	if len(big) <= 1<<10 {
+		t.Fatalf("test graph only %d bytes; grow it", len(big))
+	}
+	resp, decoded := doGraphReq(t, http.MethodPost, srv.URL+"/v1/graphs/big", testToken, big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized upload: status %d, want 413 (body %v)", resp.StatusCode, decoded)
+	}
+	if msg, _ := decoded["error"].(string); msg == "" {
+		t.Error("413 without an error message")
+	}
+}
+
+func TestGraphUploadBadRequests(t *testing.T) {
+	srv := newLifecycleServer(t, ServerOptions{})
+	for name, body := range map[string][]byte{
+		"garbage":        []byte("not a graph at all"),
+		"empty":          nil,
+		"hostile header": []byte("2000000000 0\n"),
+		"truncated text": []byte("4 2\n0 1 0.1 0.2\n"),
+		"bad magic-ish":  []byte("KBG2xxxxxxxxxxxx"),
+		"truncated bin":  graphBinary(t, smallGraph(t, 6, 0.1, 0.2))[:15],
+	} {
+		resp, decoded := doGraphReq(t, http.MethodPost, srv.URL+"/v1/graphs/g", testToken, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (body %v)", name, resp.StatusCode, decoded)
+		}
+		if msg, _ := decoded["error"].(string); msg == "" {
+			t.Errorf("%s: missing error message", name)
+		}
+	}
+	// A failed upload must not register anything.
+	if resp, _ := doGraphReq(t, http.MethodGet, srv.URL+"/v1/graphs/g", "", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("graph registered despite failed uploads: status %d, want 404", resp.StatusCode)
+	}
+
+	for _, bad := range []string{"a%20b", "a|b", "...", ".hidden", ".tmp-x", strings.Repeat("x", 65)} {
+		resp, _ := doGraphReq(t, http.MethodPost, srv.URL+"/v1/graphs/"+bad, testToken, graphText(t, smallGraph(t, 4, 0.1, 0.2)))
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("name %q: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+
+	resp, _ := doGraphReq(t, http.MethodPatch, srv.URL+"/v1/graphs/g", testToken, nil)
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("PATCH: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestConcurrentUploadWhileBoosting stress-tests snapshot swapping
+// under live traffic: with workers pinned to 1 every answer is a pure
+// function of the snapshot version it reports, so each response must
+// bit-match the answer an isolated engine gives for that version's
+// graph — proof that queries see either the old or the new snapshot,
+// never a mix of the two.
+func TestConcurrentUploadWhileBoosting(t *testing.T) {
+	ga := smallGraph(t, 24, 0.15, 0.35) // odd versions
+	gb := smallGraph(t, 8, 0.2, 0.4)    // even versions
+	req := BoostRequest{GraphID: "live", Seeds: []int32{0, 2, 4}, K: 2, Seed: 9, Workers: 1, MaxSamples: 800}
+	ltReq := req
+	ltReq.Mode, ltReq.Sims = "lt", 400
+
+	// Ground truth per snapshot, from isolated engines.
+	type answer struct{ set, est string }
+	expect := func(g *graph.Graph, r BoostRequest) answer {
+		e := New(Options{})
+		if err := e.RegisterGraph("live", g); err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Boost(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return answer{set: fmt.Sprint(res.BoostSet), est: fmt.Sprint(res.EstBoost)}
+	}
+	want := map[string]map[bool]answer{ // mode -> odd version? -> answer
+		"prr": {true: expect(ga, req), false: expect(gb, req)},
+		"lt":  {true: expect(ga, ltReq), false: expect(gb, ltReq)},
+	}
+
+	srv := newLifecycleServer(t, ServerOptions{})
+	if resp, up := doGraphReq(t, http.MethodPost, srv.URL+"/v1/graphs/live", testToken, graphText(t, ga)); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("initial upload: status %d body %v", resp.StatusCode, up)
+	}
+
+	bodies := map[string]string{
+		"prr": `{"graph":"live","seeds":[0,2,4],"k":2,"seed":9,"workers":1,"max_samples":800}`,
+		"lt":  `{"graph":"live","seeds":[0,2,4],"k":2,"mode":"lt","seed":9,"workers":1,"sims":400}`,
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mode := "prr"
+			if w%2 == 1 {
+				mode = "lt"
+			}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, res := postJSON(t, srv.URL+"/v1/boost", bodies[mode])
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("%s query: status %d, body %v", mode, resp.StatusCode, res)
+					return
+				}
+				version := uint64(res["graph_version"].(float64))
+				if version < 1 || version > 16 {
+					t.Errorf("implausible graph_version %d", version)
+					return
+				}
+				exp := want[mode][version%2 == 1]
+				got := answer{set: fmt.Sprint(jsonInt32s(res["boost_set"])), est: fmt.Sprint(res["est_boost"].(float64))}
+				if got != exp {
+					t.Errorf("%s query against version %d returned %+v, want %+v — snapshot state mixed",
+						mode, version, got, exp)
+					return
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 8; i++ {
+		g := gb
+		if i%2 == 1 {
+			g = ga
+		}
+		if resp, up := doGraphReq(t, http.MethodPost, srv.URL+"/v1/graphs/live", testToken, graphText(t, g)); resp.StatusCode != http.StatusOK {
+			t.Errorf("re-upload %d: status %d body %v", i, resp.StatusCode, up)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// jsonInt32s renders a decoded JSON number array like fmt.Sprint of an
+// []int32 does, so ground-truth and HTTP answers compare directly.
+func jsonInt32s(v any) []int32 {
+	arr, _ := v.([]any)
+	out := make([]int32, len(arr))
+	for i, x := range arr {
+		out[i] = int32(x.(float64))
+	}
+	return out
+}
+
+func TestSnapshotPersistenceAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	srv := newLifecycleServer(t, ServerOptions{SnapshotDir: dir})
+	g := smallGraph(t, 12, 0.1, 0.3)
+
+	if resp, up := doGraphReq(t, http.MethodPost, srv.URL+"/v1/graphs/persisted", testToken, graphText(t, g)); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload: status %d body %v", resp.StatusCode, up)
+	}
+	if _, err := os.Stat(SnapshotPath(dir, "persisted")); err != nil {
+		t.Fatalf("snapshot file not written: %v", err)
+	}
+
+	// A name differing only in letter case would share the snapshot file
+	// on case-insensitive filesystems; the upload must refuse it.
+	if resp, body := doGraphReq(t, http.MethodPost, srv.URL+"/v1/graphs/PERSISTED", testToken, graphText(t, g)); resp.StatusCode != http.StatusConflict {
+		t.Errorf("case-folding name clash: status %d body %v, want 409", resp.StatusCode, body)
+	}
+
+	// Simulate a crash mid-upload: an orphaned temp file that boot must
+	// sweep instead of accumulating.
+	orphan := dir + "/.persisted.tmp-123"
+	if err := os.WriteFile(orphan, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh engine reloads the directory.
+	e2 := New(Options{})
+	n, err := e2.LoadSnapshotDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("reloaded %d snapshots, want 1", n)
+	}
+	info, err := e2.GraphInfo("persisted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Nodes != g.N() || info.Edges != g.M() || info.Version != 1 {
+		t.Errorf("reloaded info %+v, want %d nodes / %d edges at version 1", info, g.N(), g.M())
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Errorf("orphaned temp file survived the boot sweep (err=%v)", err)
+	}
+
+	if resp, del := doGraphReq(t, http.MethodDelete, srv.URL+"/v1/graphs/persisted", testToken, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: status %d body %v", resp.StatusCode, del)
+	}
+	if _, err := os.Stat(SnapshotPath(dir, "persisted")); !os.IsNotExist(err) {
+		t.Errorf("snapshot file still present after DELETE (err=%v)", err)
+	}
+}

@@ -5,9 +5,43 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
+
+// ReadLimits bounds what the codecs will ingest before any
+// size-proportional allocation happens. Both formats announce their node
+// and edge counts in a fixed-size header, so without a bound a tiny
+// malicious input ("2000000000 0", or 12 bytes of binary header) can
+// demand a multi-gigabyte CSR allocation. Zero fields are unlimited
+// beyond the formats' inherent int32 layout bounds; ingestion paths that
+// accept untrusted input (graph uploads, fuzzing) should always set
+// both.
+type ReadLimits struct {
+	// MaxNodes caps the declared node count n (0 = unlimited).
+	MaxNodes int
+	// MaxEdges caps the declared edge count m (0 = unlimited).
+	MaxEdges int
+}
+
+// check takes int64 so callers can validate raw header values before
+// narrowing them to int — on 32-bit platforms a uint32 count would
+// otherwise wrap negative and dodge every bound.
+func (lim ReadLimits) check(n, m int64) error {
+	// CSR offsets are int32; anything larger cannot be represented and
+	// would only trip makeslice panics or offset overflow downstream.
+	if n > math.MaxInt32-1 || m > math.MaxInt32 {
+		return fmt.Errorf("graph: declared size %d nodes / %d edges exceeds the int32 layout", n, m)
+	}
+	if lim.MaxNodes > 0 && n > int64(lim.MaxNodes) {
+		return fmt.Errorf("graph: declared node count %d exceeds limit %d", n, lim.MaxNodes)
+	}
+	if lim.MaxEdges > 0 && m > int64(lim.MaxEdges) {
+		return fmt.Errorf("graph: declared edge count %d exceeds limit %d", m, lim.MaxEdges)
+	}
+	return nil
+}
 
 // Text format
 //
@@ -38,8 +72,15 @@ func (g *Graph) WriteText(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadText parses a graph in the text format.
+// ReadText parses a graph in the text format with no size limits; use
+// ReadTextLimited for untrusted input.
 func ReadText(r io.Reader) (*Graph, error) {
+	return ReadTextLimited(r, ReadLimits{})
+}
+
+// ReadTextLimited parses a graph in the text format, rejecting headers
+// that exceed lim before allocating anything size-proportional.
+func ReadTextLimited(r io.Reader, lim ReadLimits) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
 
@@ -53,6 +94,9 @@ func ReadText(r io.Reader) (*Graph, error) {
 	}
 	if n < 0 || m < 0 {
 		return nil, fmt.Errorf("graph: negative size in header %q", line)
+	}
+	if err := lim.check(int64(n), int64(m)); err != nil {
+		return nil, err
 	}
 	b := NewBuilder(n)
 	for i := 0; i < m; i++ {
@@ -137,8 +181,15 @@ func (g *Graph) WriteBinary(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadBinary parses a graph in the binary format.
+// ReadBinary parses a graph in the binary format with no size limits;
+// use ReadBinaryLimited for untrusted input.
 func ReadBinary(r io.Reader) (*Graph, error) {
+	return ReadBinaryLimited(r, ReadLimits{})
+}
+
+// ReadBinaryLimited parses a graph in the binary format, rejecting
+// headers that exceed lim before allocating anything size-proportional.
+func ReadBinaryLimited(r io.Reader, lim ReadLimits) (*Graph, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, 4)
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -151,8 +202,14 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	if _, err := io.ReadFull(br, hdr); err != nil {
 		return nil, fmt.Errorf("graph: reading header: %w", err)
 	}
-	n := int(binary.LittleEndian.Uint32(hdr[0:4]))
-	m := int(binary.LittleEndian.Uint32(hdr[4:8]))
+	// Validate at 64-bit width before narrowing: int(uint32) wraps
+	// negative on 32-bit platforms and would slip past the bounds.
+	n64 := int64(binary.LittleEndian.Uint32(hdr[0:4]))
+	m64 := int64(binary.LittleEndian.Uint32(hdr[4:8]))
+	if err := lim.check(n64, m64); err != nil {
+		return nil, err
+	}
+	n, m := int(n64), int(m64)
 	b := NewBuilder(n)
 	rec := make([]byte, 24)
 	for i := 0; i < m; i++ {

@@ -1,0 +1,117 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+)
+
+// fuzzLimits caps what a fuzz input may ask the codecs to allocate —
+// the same defense the serving layer uses against hostile upload
+// headers, at a scale the fuzzing engine can exercise quickly.
+var fuzzLimits = ReadLimits{MaxNodes: 1 << 12, MaxEdges: 1 << 14}
+
+// fuzzSeedGraph is a small valid graph used to seed both corpora.
+func fuzzSeedGraph(tb testing.TB) *Graph {
+	tb.Helper()
+	b := NewBuilder(5)
+	b.MustAddEdge(0, 1, 0.25, 0.5)
+	b.MustAddEdge(1, 2, 0.1, 0.1)
+	b.MustAddEdge(2, 0, 0, 1)
+	b.MustAddEdge(3, 4, 0.125, 0.625)
+	return b.MustBuild()
+}
+
+// checkParsedGraph asserts the invariants every successfully decoded
+// graph must satisfy: within limits, structurally valid, and exactly
+// re-encodable (both codecs round-trip losslessly — text floats print
+// with %g, the shortest uniquely-decoding form).
+func checkParsedGraph(t *testing.T, g *Graph, lim ReadLimits) {
+	t.Helper()
+	if g.N() > lim.MaxNodes || g.M() > lim.MaxEdges {
+		t.Fatalf("decoded graph (%d nodes, %d edges) exceeds limits %+v", g.N(), g.M(), lim)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("decoded graph fails Validate: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := g.WriteText(&buf); err != nil {
+		t.Fatalf("re-encoding decoded graph: %v", err)
+	}
+	g2, err := ReadTextLimited(&buf, lim)
+	if err != nil {
+		t.Fatalf("re-decoding re-encoded graph: %v", err)
+	}
+	if g2.N() != g.N() || !reflect.DeepEqual(g2.Edges(), g.Edges()) {
+		t.Fatalf("text round-trip changed the graph: %d/%d nodes, edges %v vs %v",
+			g.N(), g2.N(), g.Edges(), g2.Edges())
+	}
+}
+
+// FuzzReadEdgeList fuzzes the text edge-list codec: arbitrary input
+// must either decode into a valid in-limits graph or return an error —
+// never panic, and never allocate beyond the declared limits (a hostile
+// header like "2000000000 0" must be rejected before its CSR arrays
+// are).
+func FuzzReadEdgeList(f *testing.F) {
+	var valid bytes.Buffer
+	if err := fuzzSeedGraph(f).WriteText(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:valid.Len()/2]) // truncated mid-edge
+	f.Add([]byte("# comment only\n"))
+	f.Add([]byte("3 1\n0 1 0.5 0.75\n"))
+	f.Add([]byte("3 5\n0 1 0.5 0.75\n")) // claims more edges than present
+	f.Add([]byte("2000000000 0\n"))      // hostile header: huge n
+	f.Add([]byte("-1 -1\n"))
+	f.Add([]byte("9999999999999999999 1\n")) // overflows int64
+	f.Add([]byte("2 1\n0 1 NaN 1\n"))
+	f.Add([]byte("2 1\n0 1 0.9 0.1\n")) // pBoost < p
+	f.Add([]byte("2 1\n1 1 0.1 0.2\n")) // self loop
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadTextLimited(bytes.NewReader(data), fuzzLimits)
+		if err != nil {
+			return
+		}
+		checkParsedGraph(t, g, fuzzLimits)
+	})
+}
+
+// FuzzReadBinary fuzzes the binary codec under the same contract as
+// FuzzReadEdgeList.
+func FuzzReadBinary(f *testing.F) {
+	var valid bytes.Buffer
+	if err := fuzzSeedGraph(f).WriteBinary(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:valid.Len()-7]) // truncated mid-record
+	f.Add(valid.Bytes()[:10])            // truncated header
+	f.Add([]byte("KBG1"))
+	f.Add([]byte("nope"))
+	hostile := make([]byte, 12) // header demanding 4B nodes with no edges
+	copy(hostile, "KBG1")
+	binary.LittleEndian.PutUint32(hostile[4:8], 0xFFFFFFFF)
+	f.Add(hostile)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadBinaryLimited(bytes.NewReader(data), fuzzLimits)
+		if err != nil {
+			return
+		}
+		checkParsedGraph(t, g, fuzzLimits)
+		// The binary codec must round-trip through itself as well.
+		var buf bytes.Buffer
+		if err := g.WriteBinary(&buf); err != nil {
+			t.Fatalf("re-encoding decoded graph: %v", err)
+		}
+		g2, err := ReadBinaryLimited(&buf, fuzzLimits)
+		if err != nil {
+			t.Fatalf("re-decoding re-encoded graph: %v", err)
+		}
+		if !reflect.DeepEqual(g2.Edges(), g.Edges()) {
+			t.Fatalf("binary round-trip changed the edges: %v vs %v", g2.Edges(), g.Edges())
+		}
+	})
+}

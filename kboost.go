@@ -74,8 +74,17 @@
 // worlds across queries the same way PRR pools are reused — with the
 // caveat that boosted LT carries no approximation guarantee.
 //
+// Graphs served by an Engine are live: UploadGraph installs an
+// immutable snapshot under a monotonically increasing version
+// (replacing any previous snapshot of the same id), DeleteGraph removes
+// one, and every cached pool and result is keyed to the snapshot
+// version it was computed against — a replacement atomically
+// invalidates the replaced version's warm state, so no query ever mixes
+// two snapshots.
+//
 // cmd/kboostd wraps the same Engine in an HTTP JSON API (POST
-// /v1/boost, /v1/seeds, /v1/estimate, GET /v1/stats); NewEngineServer
+// /v1/boost, /v1/seeds, /v1/estimate, GET /v1/stats, plus the
+// bearer-token-gated graph lifecycle under /v1/graphs); NewEngineServer
 // exposes that handler for embedding.
 package kboost
 
@@ -121,6 +130,23 @@ func ReadGraphText(r io.Reader) (*Graph, error) { return graph.ReadText(r) }
 
 // ReadGraphBinary parses the compact binary format.
 func ReadGraphBinary(r io.Reader) (*Graph, error) { return graph.ReadBinary(r) }
+
+// GraphReadLimits bounds what the graph codecs will ingest before any
+// size-proportional allocation happens; always set both fields when
+// parsing untrusted input.
+type GraphReadLimits = graph.ReadLimits
+
+// ReadGraphTextLimited is ReadGraphText with ingestion limits enforced
+// before allocation.
+func ReadGraphTextLimited(r io.Reader, lim GraphReadLimits) (*Graph, error) {
+	return graph.ReadTextLimited(r, lim)
+}
+
+// ReadGraphBinaryLimited is ReadGraphBinary with ingestion limits
+// enforced before allocation.
+func ReadGraphBinaryLimited(r io.Reader, lim GraphReadLimits) (*Graph, error) {
+	return graph.ReadBinaryLimited(r, lim)
+}
 
 // LoadGraph opens path and parses it, choosing the codec by a ".bin"
 // suffix sniff on the magic bytes.
@@ -277,6 +303,15 @@ type EngineEstimateRequest = engine.EstimateRequest
 // EngineEstimateResult reports them.
 type EngineEstimateResult = engine.EstimateResult
 
+// EngineGraphInfo describes one registered snapshot (id, version,
+// size), as listed by Engine.GraphInfos and GET /v1/graphs.
+type EngineGraphInfo = engine.GraphInfo
+
+// EngineUploadResult reports an accepted Engine.UploadGraph snapshot:
+// its new version, whether it replaced a live snapshot, and how much
+// warm pool state the replacement invalidated.
+type EngineUploadResult = engine.UploadResult
+
 // ErrUnknownGraph is returned (wrapped) by Engine methods when a
 // request names a graph id that was never registered.
 var ErrUnknownGraph = engine.ErrUnknownGraph
@@ -286,7 +321,9 @@ func NewEngine(opt EngineOptions) *Engine { return engine.New(opt) }
 
 // EngineServer is the HTTP front end used by cmd/kboostd: POST
 // /v1/boost, /v1/seeds, /v1/estimate and GET /v1/stats with JSON
-// bodies. It implements http.Handler.
+// bodies, plus the graph lifecycle endpoints (GET /v1/graphs,
+// GET/POST/PUT/DELETE /v1/graphs/{name}; mutation requires the
+// configured bearer token). It implements http.Handler.
 type EngineServer = engine.Server
 
 // EngineServerOptions configures NewEngineServer.
