@@ -5,7 +5,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: all build test race bench bench-short fuzz-short
+.PHONY: all build test race bench bench-short bench-gate fuzz-short
 
 all: build test
 
@@ -25,19 +25,30 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadEdgeList$$' -fuzztime $(FUZZTIME) ./internal/graph
 	$(GO) test -run '^$$' -fuzz '^FuzzReadBinary$$' -fuzztime $(FUZZTIME) ./internal/graph
 
-# bench runs the selection-path benchmarks (warm SelectDelta vs the
-# naive reference, incremental Extend, warm Engine queries — for both
-# the PRR and boosted-LT pool families) and emits machine-readable
-# BENCH_select.json alongside the usual text output.
+# bench runs the selection- and cold-path benchmarks (warm SelectDelta
+# vs the naive reference, incremental Extend, cold pool builds, Eval
+# sweeps, warm Engine queries — for both the PRR and boosted-LT pool
+# families) with -benchmem, and emits machine-readable BENCH_select.json
+# (ns/op, bytes_per_op, allocs_per_op) alongside the usual text output.
 bench:
-	{ $(GO) test -run '^$$' -bench 'BenchmarkSelectDeltaWarm|BenchmarkExtendIncremental' -count=1 ./internal/prr && \
-	  $(GO) test -run '^$$' -bench 'BenchmarkLTSelectWarm|BenchmarkLTEstimateWarm' -count=1 ./internal/lt && \
-	  $(GO) test -run '^$$' -bench 'BenchmarkEngineWarmBoost|BenchmarkLTWarmBoost|BenchmarkLTPoolExtend' -count=1 . ; } | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_select.json
+	{ $(GO) test -run '^$$' -bench 'BenchmarkSelectDeltaWarm|BenchmarkExtendIncremental|BenchmarkPoolBuildCold|BenchmarkPRREval' -benchmem -count=1 ./internal/prr && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkLTSelectWarm|BenchmarkLTEstimateWarm' -benchmem -count=1 ./internal/lt && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkEngineWarmBoost|BenchmarkLTWarmBoost|BenchmarkLTPoolExtend' -benchmem -count=1 . ; } | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_select.json
 	@echo "wrote BENCH_select.json"
 
 # bench-short is the CI smoke variant: tiny graphs, one iteration each,
 # just proving the benchmarks still build and run.
 bench-short:
-	$(GO) test -run '^$$' -bench 'BenchmarkSelectDeltaWarm|BenchmarkExtendIncremental' -benchtime 1x -short -count=1 ./internal/prr
-	$(GO) test -run '^$$' -bench 'BenchmarkLTSelectWarm|BenchmarkLTEstimateWarm' -benchtime 1x -short -count=1 ./internal/lt
-	$(GO) test -run '^$$' -bench 'BenchmarkEngineWarmBoost|BenchmarkLTWarmBoost|BenchmarkLTPoolExtend' -benchtime 1x -short -count=1 .
+	$(GO) test -run '^$$' -bench 'BenchmarkSelectDeltaWarm|BenchmarkExtendIncremental|BenchmarkPoolBuildCold|BenchmarkPRREval' -benchmem -benchtime 1x -short -count=1 ./internal/prr
+	$(GO) test -run '^$$' -bench 'BenchmarkLTSelectWarm|BenchmarkLTEstimateWarm' -benchmem -benchtime 1x -short -count=1 ./internal/lt
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineWarmBoost|BenchmarkLTWarmBoost|BenchmarkLTPoolExtend' -benchmem -benchtime 1x -short -count=1 .
+
+# bench-gate re-runs the cheap warm-path benchmarks at full size, emits
+# BENCH_fresh.json, and fails on a >25% ns/op regression against the
+# committed BENCH_select.json baseline (warm benchmarks only — cold
+# ns/op varies too much across runners to gate on). The comparator
+# lives in cmd/benchjson.
+bench-gate:
+	{ $(GO) test -run '^$$' -bench 'BenchmarkSelectDeltaWarm' -benchmem -count=1 ./internal/prr && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkEngineWarmBoost' -benchmem -count=1 . ; } | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_fresh.json
+	$(GO) run ./cmd/benchjson -baseline BENCH_select.json -current BENCH_fresh.json -filter Warm -max-regress 0.25

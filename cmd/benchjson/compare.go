@@ -1,0 +1,117 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// compare is the bench-gate: it loads two benchjson outputs and fails
+// (returns an error) when any benchmark present in both files — and
+// matching the filter substring — regressed in ns/op by more than
+// maxRegress. Benchmarks present on only one side are reported but
+// never fail the gate, so new benchmarks cannot break CI before a
+// baseline lands. The committed baseline is recorded on whatever
+// machine last ran `make bench`, so cross-machine comparisons carry
+// hardware skew: the gate is restricted to cheap warm-path benchmarks
+// (CI runners are at least as parallel as the baseline machines, so
+// skew shows up as headroom, not false failures) and the regression
+// budget absorbs the rest. Re-run `make bench` to re-baseline after an
+// intentional change.
+//
+// Benchmark names carry a -GOMAXPROCS suffix (e.g. "/incremental-8")
+// that varies across machines; names are normalized before matching so
+// a laptop baseline still gates a CI runner.
+func compare(baselinePath, currentPath, filter string, maxRegress float64, w io.Writer) error {
+	if currentPath == "" {
+		return fmt.Errorf("compare mode needs -current")
+	}
+	base, err := loadResults(baselinePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	cur, err := loadResults(currentPath)
+	if err != nil {
+		return fmt.Errorf("current: %w", err)
+	}
+
+	var regressions []string
+	compared := 0
+	for name, c := range cur {
+		if filter != "" && !strings.Contains(name, filter) {
+			continue
+		}
+		b, ok := base[name]
+		if !ok {
+			fmt.Fprintf(w, "benchjson: %s: no baseline entry, skipping\n", name)
+			continue
+		}
+		if b.NsPerOp <= 0 {
+			continue
+		}
+		compared++
+		ratio := c.NsPerOp / b.NsPerOp
+		status := "ok"
+		if ratio > 1+maxRegress {
+			status = "REGRESSION"
+			regressions = append(regressions, fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%)",
+				name, b.NsPerOp, c.NsPerOp, (ratio-1)*100))
+		}
+		fmt.Fprintf(w, "benchjson: %-50s %12.0f -> %12.0f ns/op  %+7.1f%%  %s\n",
+			name, b.NsPerOp, c.NsPerOp, (ratio-1)*100, status)
+	}
+	if compared == 0 {
+		return fmt.Errorf("no benchmarks matched filter %q in both files", filter)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("ns/op regression beyond %.0f%% on:\n  %s",
+			maxRegress*100, strings.Join(regressions, "\n  "))
+	}
+	fmt.Fprintf(w, "benchjson: %d benchmark(s) within the %.0f%% gate\n", compared, maxRegress*100)
+	return nil
+}
+
+// loadResults reads a benchjson output file into a map keyed by the
+// normalized benchmark name. Repeated entries (go test -count=N) keep
+// the minimum ns/op: the fastest run is the least-noisy estimate of a
+// benchmark's true cost, which keeps scheduler hiccups on shared
+// runners from reading as regressions.
+func loadResults(path string) (map[string]result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var results []result
+	if err := json.Unmarshal(data, &results); err != nil {
+		return nil, err
+	}
+	out := make(map[string]result, len(results))
+	for _, r := range results {
+		name := normalizeName(r.Name)
+		if prev, ok := out[name]; ok && prev.NsPerOp <= r.NsPerOp {
+			continue
+		}
+		out[name] = r
+	}
+	return out, nil
+}
+
+// normalizeName strips the trailing -GOMAXPROCS suffix go test appends
+// to benchmark names ("BenchmarkFoo/sub-8" -> "BenchmarkFoo/sub").
+func normalizeName(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	if i+1 == len(name) {
+		return name
+	}
+	return name[:i]
+}

@@ -1,15 +1,23 @@
 // Command benchjson converts `go test -bench` text output on stdin
 // into a JSON array on stdout, one object per benchmark result with the
-// parsed ns/op and any extra ReportMetric pairs. The Makefile's bench
+// parsed ns/op, the -benchmem allocation columns (bytes_per_op,
+// allocs_per_op) and any extra ReportMetric pairs. The Makefile's bench
 // target uses it to emit BENCH_select.json so selection-performance
 // regressions are diffable across commits.
 //
-//	go test -run '^$' -bench SelectDeltaWarm ./internal/prr | benchjson
+//	go test -run '^$' -bench SelectDeltaWarm -benchmem ./internal/prr | benchjson
+//
+// With -baseline it instead compares a fresh JSON file against a
+// committed baseline and fails on ns/op regressions — the CI gate:
+//
+//	benchjson -baseline BENCH_select.json -current BENCH_fresh.json \
+//	          -filter Warm -max-regress 0.25
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -18,14 +26,34 @@ import (
 
 // result is one parsed benchmark line.
 type result struct {
-	Name       string             `json:"name"`
-	Iterations int64              `json:"iterations"`
-	NsPerOp    float64            `json:"ns_per_op"`
-	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are the -benchmem columns; zero when a
+	// benchmark was run without it.
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 func main() {
-	if err := run(); err != nil {
+	fs := flag.NewFlagSet("benchjson", flag.ExitOnError)
+	var (
+		baseline   = fs.String("baseline", "", "committed baseline JSON; switches to compare mode")
+		current    = fs.String("current", "", "fresh JSON to compare against -baseline")
+		filter     = fs.String("filter", "", "substring selecting which benchmarks the compare gate covers")
+		maxRegress = fs.Float64("max-regress", 0.25, "maximum tolerated fractional ns/op regression")
+	)
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	var err error
+	if *baseline != "" {
+		err = compare(*baseline, *current, *filter, *maxRegress, os.Stdout)
+	} else {
+		err = run()
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
@@ -57,7 +85,7 @@ func run() error {
 
 // parseLine parses one benchmark result line:
 //
-//	BenchmarkName/sub-8   1114   1048074 ns/op   12.5 extra/op
+//	BenchmarkName/sub-8   1114   1048074 ns/op   2048 B/op   12 allocs/op   12.5 extra/op
 func parseLine(line string) (result, bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 {
@@ -75,16 +103,20 @@ func parseLine(line string) (result, bool) {
 		if err != nil {
 			return result{}, false
 		}
-		unit := fields[i+1]
-		if unit == "ns/op" {
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
 			res.NsPerOp = v
 			sawNs = true
-			continue
+		case "B/op":
+			res.BytesPerOp = v
+		case "allocs/op":
+			res.AllocsPerOp = v
+		default:
+			if res.Metrics == nil {
+				res.Metrics = make(map[string]float64)
+			}
+			res.Metrics[unit] = v
 		}
-		if res.Metrics == nil {
-			res.Metrics = make(map[string]float64)
-		}
-		res.Metrics[unit] = v
 	}
 	return res, sawNs
 }

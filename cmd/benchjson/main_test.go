@@ -1,0 +1,117 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseLineBenchmem(t *testing.T) {
+	res, ok := parseLine("BenchmarkExtendIncremental/oneshot-8   25   44009638 ns/op   1710227 B/op   1509 allocs/op")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if res.Name != "BenchmarkExtendIncremental/oneshot-8" || res.Iterations != 25 {
+		t.Fatalf("bad header: %+v", res)
+	}
+	if res.NsPerOp != 44009638 || res.BytesPerOp != 1710227 || res.AllocsPerOp != 1509 {
+		t.Fatalf("bad columns: %+v", res)
+	}
+	if len(res.Metrics) != 0 {
+		t.Fatalf("benchmem columns leaked into metrics: %+v", res.Metrics)
+	}
+}
+
+func TestParseLineExtraMetric(t *testing.T) {
+	res, ok := parseLine("BenchmarkPRREval   100   26491 ns/op   479.0 graphs/op")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if res.Metrics["graphs/op"] != 479 {
+		t.Fatalf("metrics = %+v", res.Metrics)
+	}
+}
+
+func TestNormalizeName(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFoo/sub-8":    "BenchmarkFoo/sub",
+		"BenchmarkFoo-16":       "BenchmarkFoo",
+		"BenchmarkFoo":          "BenchmarkFoo",
+		"BenchmarkFoo/warm-k20": "BenchmarkFoo/warm-k20", // non-numeric suffix kept
+		"BenchmarkFoo-":         "BenchmarkFoo-",
+	}
+	for in, want := range cases {
+		if got := normalizeName(in); got != want {
+			t.Errorf("normalizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func writeJSON(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareGate(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", `[
+		{"name": "BenchmarkWarmA-8", "iterations": 10, "ns_per_op": 1000},
+		{"name": "BenchmarkWarmB-8", "iterations": 10, "ns_per_op": 2000},
+		{"name": "BenchmarkColdC-8", "iterations": 10, "ns_per_op": 50}
+	]`)
+
+	// Within the gate: 20% slower on a 25% budget, different GOMAXPROCS
+	// suffix, and a new benchmark with no baseline.
+	cur := writeJSON(t, dir, "ok.json", `[
+		{"name": "BenchmarkWarmA-16", "iterations": 10, "ns_per_op": 1200},
+		{"name": "BenchmarkWarmB-16", "iterations": 10, "ns_per_op": 1500},
+		{"name": "BenchmarkWarmNew-16", "iterations": 10, "ns_per_op": 9999}
+	]`)
+	if err := compare(base, cur, "Warm", 0.25, &strings.Builder{}); err != nil {
+		t.Fatalf("within-gate compare failed: %v", err)
+	}
+
+	// Beyond the gate: 50% slower must fail, and the failure must name
+	// the offender.
+	bad := writeJSON(t, dir, "bad.json", `[
+		{"name": "BenchmarkWarmA-16", "iterations": 10, "ns_per_op": 1500},
+		{"name": "BenchmarkColdC-16", "iterations": 10, "ns_per_op": 500}
+	]`)
+	err := compare(base, bad, "Warm", 0.25, &strings.Builder{})
+	if err == nil {
+		t.Fatal("regression passed the gate")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkWarmA") {
+		t.Fatalf("error does not name the regression: %v", err)
+	}
+	// The filter must exclude the (also regressed) cold benchmark.
+	if strings.Contains(err.Error(), "ColdC") {
+		t.Fatalf("filter leaked cold benchmarks into the gate: %v", err)
+	}
+
+	// No overlap at all is an error, not a silent pass.
+	if err := compare(base, cur, "NoSuchBench", 0.25, &strings.Builder{}); err == nil {
+		t.Fatal("empty comparison passed the gate")
+	}
+}
+
+func TestLoadResultsKeepsMinimum(t *testing.T) {
+	dir := t.TempDir()
+	path := writeJSON(t, dir, "multi.json", `[
+		{"name": "BenchmarkWarmA-8", "iterations": 10, "ns_per_op": 1500},
+		{"name": "BenchmarkWarmA-8", "iterations": 10, "ns_per_op": 900},
+		{"name": "BenchmarkWarmA-8", "iterations": 10, "ns_per_op": 1100}
+	]`)
+	res, err := loadResults(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res["BenchmarkWarmA"].NsPerOp; got != 900 {
+		t.Fatalf("kept %v ns/op, want the 900 minimum", got)
+	}
+}

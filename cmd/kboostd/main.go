@@ -9,6 +9,7 @@
 //	kboostd -graph a=g1.txt -graph b=g2.bin -max-pool-mb 2048 -max-workers 8
 //	kboostd -dataset demo=digg:0.01:2:1   # synthetic stand-in, no file needed
 //	kboostd -auth-token s3cret -data-dir /var/lib/kboost  # live uploads, persisted
+//	kboostd -graph prod=digg.txt -prewarm prod:seeds.txt:20:10000  # warm at boot
 //
 // Endpoints:
 //
@@ -77,9 +78,11 @@ func run(args []string) error {
 		dataDir      = fs.String("data-dir", "", "directory persisting uploaded snapshots as <name>.kbg, reloaded on boot")
 		graphSpecs   sliceFlag
 		datasetSpecs sliceFlag
+		prewarmSpecs sliceFlag
 	)
 	fs.Var(&graphSpecs, "graph", "id=path graph file to serve (repeatable)")
 	fs.Var(&datasetSpecs, "dataset", "id=name:scale:beta:seed synthetic stand-in to serve (repeatable)")
+	fs.Var(&prewarmSpecs, "prewarm", "graph:seeds-file:k:sims pool to build at startup, before serving (repeatable; sims 0 skips the LT pool)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -137,6 +140,19 @@ func run(args []string) error {
 	if *authToken == "" {
 		log.Printf("graph administration disabled (no -auth-token); serving startup graphs only")
 	}
+	// Pre-warm named pools before the listener opens: the builds run on
+	// the startup path, so the first user queries against these
+	// (graph, seeds) pairs land on a warm cache instead of paying the
+	// cold PRR sampling cost.
+	for _, spec := range prewarmSpecs {
+		pw, err := parsePrewarm(spec)
+		if err != nil {
+			return fmt.Errorf("-prewarm %q: %w", spec, err)
+		}
+		if err := prewarmEngine(eng, pw); err != nil {
+			return fmt.Errorf("-prewarm %q: %w", spec, err)
+		}
+	}
 
 	handler := kboost.NewEngineServer(eng, kboost.EngineServerOptions{
 		MaxWorkers:     *maxWorkers,
@@ -188,6 +204,88 @@ func splitSpec(spec string) (id, rest string, err error) {
 		return "", "", fmt.Errorf("want id=value")
 	}
 	return id, rest, nil
+}
+
+// prewarmSpec is one parsed -prewarm flag.
+type prewarmSpec struct {
+	graphID   string
+	seedsPath string
+	k         int
+	sims      int
+}
+
+// parsePrewarm parses "graph:seeds-file:k:sims". sims is optional and
+// defaults to 0 (PRR pool only; a positive value also builds the
+// boosted-LT profile pool for the same seed set).
+func parsePrewarm(spec string) (prewarmSpec, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) < 3 || len(parts) > 4 {
+		return prewarmSpec{}, fmt.Errorf("want graph:seeds-file:k:sims")
+	}
+	pw := prewarmSpec{graphID: parts[0], seedsPath: parts[1]}
+	if pw.graphID == "" || pw.seedsPath == "" {
+		return prewarmSpec{}, fmt.Errorf("empty graph id or seeds file")
+	}
+	k, err := strconv.Atoi(parts[2])
+	if err != nil || k < 1 {
+		return prewarmSpec{}, fmt.Errorf("bad k %q (want a positive integer)", parts[2])
+	}
+	pw.k = k
+	if len(parts) == 4 {
+		sims, err := strconv.Atoi(parts[3])
+		if err != nil || sims < 0 {
+			return prewarmSpec{}, fmt.Errorf("bad sims %q (want a non-negative integer)", parts[3])
+		}
+		pw.sims = sims
+	}
+	return pw, nil
+}
+
+// readSeedsFile loads a whitespace-separated list of node ids.
+func readSeedsFile(path string) ([]int32, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var seeds []int32
+	for _, f := range strings.Fields(string(data)) {
+		v, err := strconv.ParseInt(f, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q: %w", f, err)
+		}
+		seeds = append(seeds, int32(v))
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("no seeds in %s", path)
+	}
+	return seeds, nil
+}
+
+// prewarmEngine builds the pools named by pw through the ordinary boost
+// path, so the cache entries (and their result caches) are exactly what
+// live queries will hit.
+func prewarmEngine(eng *kboost.Engine, pw prewarmSpec) error {
+	seeds, err := readSeedsFile(pw.seedsPath)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	res, err := eng.Boost(kboost.EngineBoostRequest{GraphID: pw.graphID, Seeds: seeds, K: pw.k})
+	if err != nil {
+		return err
+	}
+	log.Printf("prewarmed PRR pool %s (|seeds|=%d k=%d): %d samples in %s",
+		pw.graphID, len(seeds), pw.k, res.Samples, time.Since(start).Round(time.Millisecond))
+	if pw.sims > 0 {
+		start = time.Now()
+		ltRes, err := eng.Boost(kboost.EngineBoostRequest{GraphID: pw.graphID, Seeds: seeds, K: pw.k, Mode: "lt", Sims: pw.sims})
+		if err != nil {
+			return err
+		}
+		log.Printf("prewarmed LT pool %s (|seeds|=%d sims=%d): %d profiles in %s",
+			pw.graphID, len(seeds), pw.sims, ltRes.Samples, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
 }
 
 // generateDataset parses "name:scale:beta:seed" (trailing fields

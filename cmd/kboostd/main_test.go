@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	kboost "github.com/kboost/kboost"
+)
+
+func TestParsePrewarm(t *testing.T) {
+	pw, err := parsePrewarm("prod:seeds.txt:20:10000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pw.graphID != "prod" || pw.seedsPath != "seeds.txt" || pw.k != 20 || pw.sims != 10000 {
+		t.Fatalf("parsed %+v", pw)
+	}
+	pw, err = parsePrewarm("prod:seeds.txt:5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pw.sims != 0 {
+		t.Fatalf("omitted sims = %d, want 0", pw.sims)
+	}
+	for _, bad := range []string{"", "prod", "prod:seeds.txt", "prod:seeds.txt:0", "prod:seeds.txt:x", "prod:seeds.txt:3:-1", "prod:seeds.txt:3:1:extra", ":seeds.txt:3"} {
+		if _, err := parsePrewarm(bad); err == nil {
+			t.Errorf("parsePrewarm(%q) accepted", bad)
+		}
+	}
+}
+
+func TestReadSeedsFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seeds.txt")
+	if err := os.WriteFile(path, []byte("3 1\n 7\t9\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	seeds, err := readSeedsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != 4 || seeds[0] != 3 || seeds[3] != 9 {
+		t.Fatalf("seeds = %v", seeds)
+	}
+	if err := os.WriteFile(path, []byte("  \n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readSeedsFile(path); err == nil {
+		t.Fatal("empty seeds file accepted")
+	}
+}
+
+// TestPrewarmEngineWarmsCache proves the point of the flag: after
+// prewarmEngine, the first "user" query for the same (graph, seeds, k)
+// is served entirely from cache — pool and selection result alike.
+func TestPrewarmEngineWarmsCache(t *testing.T) {
+	g, err := kboost.GenerateDataset("digg", 0.004, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := kboost.NewEngine(kboost.EngineOptions{})
+	if err := eng.RegisterGraph("prod", g); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "seeds.txt")
+	if err := os.WriteFile(path, []byte("0 1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pw, err := parsePrewarm("prod:" + path + ":3:200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prewarmEngine(eng, pw); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Boost(kboost.EngineBoostRequest{GraphID: "prod", Seeds: []int32{0, 1, 2}, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CacheHit || !res.ResultCached || res.NewSamples != 0 {
+		t.Fatalf("first PRR query after prewarm not fully warm: %+v", res)
+	}
+	ltRes, err := eng.Boost(kboost.EngineBoostRequest{GraphID: "prod", Seeds: []int32{0, 1, 2}, K: 3, Mode: "lt", Sims: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ltRes.CacheHit || !ltRes.ResultCached || ltRes.NewSamples != 0 {
+		t.Fatalf("first LT query after prewarm not fully warm: %+v", ltRes)
+	}
+}

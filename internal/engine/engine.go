@@ -66,12 +66,15 @@ type Options struct {
 	// MaxPools bounds the PRR-pool LRU cache by entry count (default 8,
 	// minimum 1).
 	MaxPools int
-	// MaxPoolBytes bounds the cache by estimated resident bytes
-	// (prr.Pool.MemoryEstimate: boostable graphs × compressed edges plus
-	// the selection index), the engine's main memory knob now that pool
-	// sizes vary by orders of magnitude across graphs. Default 1 GiB.
-	// The most recently used pool is always retained, even when it alone
-	// exceeds the budget.
+	// MaxPoolBytes bounds the cache by resident pool bytes, the
+	// engine's main memory knob now that pool sizes vary by orders of
+	// magnitude across graphs. Pool storage is arena-backed, so
+	// MemoryEstimate is exact (backing-array lengths × element sizes:
+	// graph arena + coverage index + selection index for PRR pools, flat
+	// profile state + frontier index for LT pools) and pool_bytes /
+	// retired_pool_bytes report real memory, not a per-edge guess.
+	// Default 1 GiB. The most recently used pool is always retained,
+	// even when it alone exceeds the budget.
 	MaxPoolBytes int64
 	// Workers is the worker budget used for pool construction and for
 	// requests that do not set their own (default GOMAXPROCS). A pool's
@@ -98,8 +101,10 @@ func (o Options) withDefaults() Options {
 type Stats struct {
 	Graphs int `json:"graphs"` // registered graph snapshots
 	Pools  int `json:"pools"`  // currently cached PRR pools
-	// PoolBytes is the summed memory estimate of the cached pools (the
-	// quantity MaxPoolBytes evicts on).
+	// PoolBytes is the summed resident size of the cached pools (the
+	// quantity MaxPoolBytes evicts on) — exact arena byte counts since
+	// pool storage went flat, so operators can size MaxPoolBytes against
+	// real memory.
 	PoolBytes int64 `json:"pool_bytes"`
 
 	// GraphVersions maps each registered graph id to its current

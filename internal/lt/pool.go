@@ -21,8 +21,9 @@ package lt
 
 import (
 	"fmt"
+	"math"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 
 	"github.com/kboost/kboost/internal/graph"
@@ -105,7 +106,7 @@ func NewPool(g *graph.Graph, seeds []int32, seed uint64, workers int) (*Pool, er
 			p.seeds = append(p.seeds, v)
 		}
 	}
-	sort.Slice(p.seeds, func(i, j int) bool { return p.seeds[i] < p.seeds[j] })
+	slices.Sort(p.seeds)
 	p.scratch.New = func() interface{} { return newEvalScratch(g.N()) }
 	return p, nil
 }
@@ -133,15 +134,16 @@ func (p *Pool) BaseSpread() float64 {
 	return float64(p.baseSum) / float64(len(p.profileSeed))
 }
 
-// MemoryEstimate approximates the pool's resident bytes (active and
-// frontier CSRs, frontier weights, the inverted index and the profile
-// seeds). It is the engine's eviction weight; exactness is not
-// required, proportionality across pools is.
+// MemoryEstimate returns the pool's resident bytes: the flat profile
+// state (active and frontier CSRs, frontier weights), the inverted
+// index and the profile seeds — exact array lengths × element sizes,
+// matching the arena accounting prr.Pool reports, so the engine's
+// byte-based eviction compares the two pool families fairly.
 func (p *Pool) MemoryEstimate() int64 {
 	bytes := int64(len(p.activeItems)+len(p.frontItems)+len(p.idxItems)) * 4
 	bytes += int64(len(p.frontW)) * 8
 	bytes += int64(len(p.profileSeed)) * 8
-	bytes += int64(len(p.activeStart)+len(p.frontStart)) * 4
+	bytes += int64(len(p.activeStart)+len(p.frontStart)+len(p.idxStart)) * 4
 	return bytes
 }
 
@@ -180,6 +182,16 @@ type evalScratch struct {
 
 	tstamp []int32 // touch-collection / dedup stamps
 	tepoch int32
+}
+
+// bumpTouchEpoch advances the touch stamp, clearing the stamp array
+// when the int32 epoch wraps so stale stamps can never read as current.
+func (s *evalScratch) bumpTouchEpoch() {
+	if s.tepoch == math.MaxInt32 {
+		clear(s.tstamp)
+		s.tepoch = 0
+	}
+	s.tepoch++
 }
 
 func newEvalScratch(n int) *evalScratch {
@@ -330,17 +342,25 @@ func (p *Pool) frontierProfiles(v int32) []int32 {
 	return p.idxItems[p.idxStart[v]:p.idxStart[v+1]]
 }
 
-// baseResult is one freshly simulated profile awaiting CSR append.
-type baseResult struct {
-	active []int32
-	front  []int32
-	frontW []float64
+// ltShard is one worker's private Extend output: the base-world state
+// of a contiguous run of profiles, stored flat exactly like the pool's
+// arrays (local CSR offsets starting at 0). Shards cover ascending
+// profile ranges and are merged in range order with bulk appends, so
+// pool contents stay independent of scheduling and a shard costs O(1)
+// allocations instead of O(profiles × 3).
+type ltShard struct {
+	activeStart []int32 // len = profiles+1
+	activeItems []int32
+	frontStart  []int32 // len = profiles+1
+	frontItems  []int32
+	frontW      []float64
 }
 
 // Extend grows the pool to at least target profiles. Growth is
 // incremental: existing profiles and their cached fixed points are
 // untouched, only the shortfall is simulated (sharded across the
-// pool's workers), and the frontier index is merged in one pass.
+// pool's workers into per-shard arenas, merged in profile order), and
+// the frontier index is merged in one pass.
 func (p *Pool) Extend(target int) {
 	need := target - len(p.profileSeed)
 	if need <= 0 {
@@ -350,7 +370,7 @@ func (p *Pool) Extend(target int) {
 	for i := 0; i < need; i++ {
 		p.profileSeed = append(p.profileSeed, p.root.Uint64())
 	}
-	results := make([]baseResult, need)
+	shards := make([]ltShard, p.workers)
 	var wg sync.WaitGroup
 	chunk := (need + p.workers - 1) / p.workers
 	for w := 0; w < p.workers; w++ {
@@ -363,34 +383,49 @@ func (p *Pool) Extend(target int) {
 			hi = need
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
 			s := p.getScratch()
 			defer p.putScratch(s)
+			sh := &shards[w]
+			sh.activeStart = append(sh.activeStart, 0)
+			sh.frontStart = append(sh.frontStart, 0)
 			for i := lo; i < hi; i++ {
-				results[i] = p.simulateBase(p.profileSeed[from+i], s)
+				p.simulateBaseInto(p.profileSeed[from+i], sh, s)
 			}
-		}(lo, hi)
+		}(w, lo, hi)
 	}
 	wg.Wait()
 
-	// Append the new profiles to the flat state.
-	for i := range results {
-		res := &results[i]
-		p.activeItems = append(p.activeItems, res.active...)
-		p.activeStart = append(p.activeStart, int32(len(p.activeItems)))
-		p.frontItems = append(p.frontItems, res.front...)
-		p.frontW = append(p.frontW, res.frontW...)
-		p.frontStart = append(p.frontStart, int32(len(p.frontItems)))
-		p.baseSum += int64(len(res.active))
+	// Merge the shards in profile order: bulk-append the flat state,
+	// shifting the local CSR offsets. Trailing workers get no profiles
+	// when need is smaller than their chunk offset; their shards stay
+	// zero-valued and are skipped.
+	for w := range shards {
+		sh := &shards[w]
+		if len(sh.activeStart) == 0 {
+			continue
+		}
+		activeBase := int32(len(p.activeItems))
+		frontBase := int32(len(p.frontItems))
+		p.activeItems = append(p.activeItems, sh.activeItems...)
+		p.frontItems = append(p.frontItems, sh.frontItems...)
+		p.frontW = append(p.frontW, sh.frontW...)
+		for _, end := range sh.activeStart[1:] {
+			p.activeStart = append(p.activeStart, activeBase+end)
+		}
+		for _, end := range sh.frontStart[1:] {
+			p.frontStart = append(p.frontStart, frontBase+end)
+		}
+		p.baseSum += int64(len(sh.activeItems))
 	}
 
 	// Merge the frontier index: count the batch contribution per node,
 	// then interleave old and new posting lists in one O(old+new) pass.
 	n := p.g.N()
 	counts := make([]int32, n)
-	for i := range results {
-		for _, v := range results[i].front {
+	for w := range shards {
+		for _, v := range shards[w].frontItems {
 			counts[v]++
 		}
 	}
@@ -405,10 +440,9 @@ func (p *Pool) Extend(target int) {
 		copy(newItems[newStart[v]:], old)
 		next[v] = newStart[v] + int32(len(old))
 	}
-	for i := range results {
-		pi := int32(from + i)
-		for _, v := range results[i].front {
-			newItems[next[v]] = pi
+	for pi := from; pi < len(p.profileSeed); pi++ {
+		for _, v := range p.baseFront(pi) {
+			newItems[next[v]] = int32(pi)
 			next[v]++
 		}
 	}
@@ -416,29 +450,33 @@ func (p *Pool) Extend(target int) {
 	p.generation++
 }
 
-// simulateBase runs one profile's base-world (B = ∅) fixed point and
-// extracts its cached state: sorted active set, sorted frontier with
-// accumulated base in-weights.
-func (p *Pool) simulateBase(ps uint64, s *evalScratch) baseResult {
+// simulateBaseInto runs one profile's base-world (B = ∅) fixed point
+// and appends its cached state to sh: sorted active set, sorted
+// frontier with accumulated base in-weights.
+func (p *Pool) simulateBaseInto(ps uint64, sh *ltShard, s *evalScratch) {
 	p.simulate(ps, nil, s)
-	res := baseResult{active: append([]int32(nil), s.actNode...)}
-	sort.Slice(res.active, func(i, j int) bool { return res.active[i] < res.active[j] })
+	activeOff := len(sh.activeItems)
+	sh.activeItems = append(sh.activeItems, s.actNode...)
+	active := sh.activeItems[activeOff:]
+	slices.Sort(active)
+	sh.activeStart = append(sh.activeStart, int32(len(sh.activeItems)))
 	// Frontier: unique push targets that did not activate.
-	s.tepoch++
+	s.bumpTouchEpoch()
+	frontOff := len(sh.frontItems)
 	for _, v := range s.pushNode {
 		if s.active[v] || s.tstamp[v] == s.tepoch {
 			continue
 		}
 		s.tstamp[v] = s.tepoch
-		res.front = append(res.front, v)
+		sh.frontItems = append(sh.frontItems, v)
 	}
-	sort.Slice(res.front, func(i, j int) bool { return res.front[i] < res.front[j] })
-	res.frontW = make([]float64, len(res.front))
-	for j, v := range res.front {
-		res.frontW[j] = s.wIn[v]
+	front := sh.frontItems[frontOff:]
+	slices.Sort(front)
+	for _, v := range front {
+		sh.frontW = append(sh.frontW, s.wIn[v])
 	}
+	sh.frontStart = append(sh.frontStart, int32(len(sh.frontItems)))
 	s.reset()
-	return res
 }
 
 // estimateParallelMin is the minimum number of profiles before batch

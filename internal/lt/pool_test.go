@@ -310,3 +310,44 @@ func TestPoolValidation(t *testing.T) {
 		t.Fatal("k=0 accepted")
 	}
 }
+
+// TestPoolExtendTinyIncrement pins the idle-shard merge: growing a pool
+// by fewer profiles than there are workers leaves trailing workers with
+// no chunk (their shards stay zero-valued), which must be skipped by
+// the merge — and the resulting pool must be bit-identical to a
+// single-worker build, since profile seeds are drawn serially.
+func TestPoolExtendTinyIncrement(t *testing.T) {
+	r := rng.New(71)
+	g := testutil.RandomGraph(r, 25, 90, 0.5)
+	many, err := NewPool(g, []int32{0, 1}, 9, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tiny first build, then warm in-place growth smaller than the
+	// worker count — the engine's Sims-extension pattern.
+	many.Extend(3)
+	many.Extend(5)
+	many.Extend(6)
+	one, err := NewPool(g, []int32{0, 1}, 9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one.Extend(6)
+	if many.NumProfiles() != 6 || one.NumProfiles() != 6 {
+		t.Fatalf("profiles %d/%d, want 6", many.NumProfiles(), one.NumProfiles())
+	}
+	if many.BaseSpread() != one.BaseSpread() {
+		t.Fatalf("BaseSpread %v != single-worker %v", many.BaseSpread(), one.BaseSpread())
+	}
+	wantEst, err := one.EstimateSpread([]int32{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotEst, err := many.EstimateSpread([]int32{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotEst != wantEst {
+		t.Fatalf("EstimateSpread %v != single-worker %v", gotEst, wantEst)
+	}
+}

@@ -339,7 +339,7 @@ func (p *Pool) evalProfile(pi int, st *queryState, pick int32, chosenMask, candM
 
 	// Candidate gains over the (possibly rebuilt) frontier, collecting
 	// the union of nodes the tentative cascades touch.
-	s.tepoch++
+	s.bumpTouchEpoch()
 	for _, v := range st.front {
 		if !candMask[v] || chosenMask[v] || s.active[v] {
 			continue
@@ -401,7 +401,7 @@ func (p *Pool) commitState(st *queryState, ev *profEval, s *evalScratch) {
 
 	// New frontier: old frontier members plus push targets, minus
 	// activations, with weights read off the scratch.
-	s.tepoch++
+	s.bumpTouchEpoch()
 	oldFront := st.front
 	var front []int32
 	for _, v := range oldFront {

@@ -8,16 +8,29 @@
 // approximation bound.
 package maxcover
 
-import "sync"
+import (
+	"math"
+	"sync"
+)
 
 // Coverage is an incremental max-coverage instance. Add sketches with
-// AddSet, then call Select (repeatedly, as the pool grows). AddSet must
-// be externally serialized against every other method; CoverageOf and
-// Select are safe to call concurrently with each other.
+// AddSet (or AddSortedSet), then call Select (repeatedly, as the pool
+// grows). Adds must be externally serialized against every other
+// method; CoverageOf and Select are safe to call concurrently with each
+// other.
+//
+// Sketch item lists are stored flat (CSR-style): one offset array plus
+// one item array, so steady-state adds cost zero allocations beyond
+// amortized array growth — the layout the PRR pool arenas feed
+// shard-by-shard on every Extend.
 type Coverage struct {
 	numItems int
-	sets     [][]int32 // sketch id -> item list (deduplicated per sketch)
+	setStart []int32   // sketch id -> offset into setItems; len = NumSets()+1
+	setItems []int32   // concatenated deduplicated item lists
 	postings [][]int32 // item -> sketch ids containing it
+	// postingsLen tracks the summed posting-list lengths so MemoryBytes
+	// is O(1) instead of a scan over the item universe.
+	postingsLen int64
 
 	// seen is an epoch-stamped per-item array reused across AddSet calls
 	// so deduplication is O(len(items)) instead of O(len(items)^2).
@@ -35,6 +48,7 @@ type Coverage struct {
 func New(numItems int) *Coverage {
 	return &Coverage{
 		numItems: numItems,
+		setStart: []int32{0},
 		postings: make([][]int32, numItems),
 		seen:     make([]int32, numItems),
 	}
@@ -44,18 +58,40 @@ func New(numItems int) *Coverage {
 func (c *Coverage) NumItems() int { return c.numItems }
 
 // NumSets returns the number of sketches added.
-func (c *Coverage) NumSets() int { return len(c.sets) }
+func (c *Coverage) NumSets() int { return len(c.setStart) - 1 }
 
-// Sets exposes the stored sketches; the result aliases internal storage.
-func (c *Coverage) Sets() [][]int32 { return c.sets }
+// Set returns sketch id's deduplicated item list; the result aliases
+// internal storage.
+func (c *Coverage) Set(id int) []int32 {
+	return c.setItems[c.setStart[id]:c.setStart[id+1]]
+}
+
+// Sets materializes the stored sketches as a slice of views into
+// internal storage (the items alias; the outer slice is fresh).
+func (c *Coverage) Sets() [][]int32 {
+	out := make([][]int32, c.NumSets())
+	for i := range out {
+		out[i] = c.Set(i)
+	}
+	return out
+}
+
+// bumpSeenEpoch advances the dedup stamp, clearing the stamp array when
+// the int32 epoch wraps so ancient stamps can never read as current.
+func (c *Coverage) bumpSeenEpoch() {
+	if c.seenEpoch == math.MaxInt32 {
+		clear(c.seen)
+		c.seenEpoch = 0
+	}
+	c.seenEpoch++
+}
 
 // AddSet records one sketch. Items outside [0,numItems) are ignored;
 // duplicates within one sketch are deduplicated. Empty sketches are
 // allowed (they can never be covered) and count toward NumSets.
 func (c *Coverage) AddSet(items []int32) {
-	id := int32(len(c.sets))
-	c.seenEpoch++
-	clean := make([]int32, 0, len(items))
+	id := int32(c.NumSets())
+	c.bumpSeenEpoch()
 	for _, v := range items {
 		if v < 0 || int(v) >= c.numItems {
 			continue
@@ -64,12 +100,26 @@ func (c *Coverage) AddSet(items []int32) {
 			continue
 		}
 		c.seen[v] = c.seenEpoch
-		clean = append(clean, v)
+		c.setItems = append(c.setItems, v)
+		c.postings[v] = append(c.postings[v], id)
+		c.postingsLen++
 	}
-	c.sets = append(c.sets, clean)
-	for _, v := range clean {
+	c.setStart = append(c.setStart, int32(len(c.setItems)))
+}
+
+// AddSortedSet records one sketch whose items the caller guarantees are
+// already sorted, duplicate-free and inside [0,numItems) — the shape
+// PRR-graph critical sets leave generation with. It skips the dedup
+// stamping pass, so merging per-worker shard arenas into the coverage
+// index is a straight append.
+func (c *Coverage) AddSortedSet(items []int32) {
+	id := int32(c.NumSets())
+	c.setItems = append(c.setItems, items...)
+	c.setStart = append(c.setStart, int32(len(c.setItems)))
+	for _, v := range items {
 		c.postings[v] = append(c.postings[v], id)
 	}
+	c.postingsLen += int64(len(items))
 }
 
 // CoverageOf returns how many sketches contain at least one item of
@@ -77,8 +127,12 @@ func (c *Coverage) AddSet(items []int32) {
 func (c *Coverage) CoverageOf(chosen []int32) int {
 	c.covMu.Lock()
 	defer c.covMu.Unlock()
-	if len(c.covSeen) < len(c.sets) {
-		c.covSeen = make([]int32, len(c.sets))
+	if len(c.covSeen) < c.NumSets() {
+		c.covSeen = make([]int32, c.NumSets())
+		c.covEpoch = 0
+	}
+	if c.covEpoch == math.MaxInt32 {
+		clear(c.covSeen)
 		c.covEpoch = 0
 	}
 	c.covEpoch++
@@ -97,6 +151,17 @@ func (c *Coverage) CoverageOf(chosen []int32) int {
 	return covered
 }
 
+// MemoryBytes returns the resident size of the index's backing arrays
+// (sets CSR, postings, and the stamp arrays) — the coverage share of a
+// pool's MemoryEstimate. O(1): posting lengths are tracked as they
+// grow, so byte accounting never scans the item universe.
+func (c *Coverage) MemoryBytes() int64 {
+	bytes := int64(cap(c.setStart)+cap(c.setItems)+len(c.seen)+len(c.covSeen)) * 4
+	bytes += c.postingsLen * 4
+	bytes += int64(len(c.postings)) * 24 // slice headers
+	return bytes
+}
+
 // Select greedily picks up to k items maximizing sketch coverage, using
 // lazy evaluation. banned items (may be nil) are never picked;
 // preCovered sketches (by the items in pre) count as already covered and
@@ -108,7 +173,7 @@ func (c *Coverage) Select(k int, banned []bool, pre []int32) (chosen []int32, co
 	if k <= 0 {
 		return nil, 0
 	}
-	coveredSet := make([]bool, len(c.sets))
+	coveredSet := make([]bool, c.NumSets())
 	for _, v := range pre {
 		if v < 0 || int(v) >= c.numItems {
 			continue

@@ -2,6 +2,7 @@ package maxcover
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -292,5 +293,55 @@ func TestHeapDeterministicOrder(t *testing.T) {
 		if e.Item != wantItems[i] {
 			t.Fatalf("pop %d = item %d, want %d (full order %v)", i, e.Item, wantItems[i], a)
 		}
+	}
+}
+
+// TestAddSetSeenEpochWrap forces the AddSet dedup stamp to wrap: after
+// 2³¹ adds the int32 epoch would revisit stamps still stored in seen[],
+// making fresh items look like duplicates. The wrap must clear the
+// stamps instead.
+func TestAddSetSeenEpochWrap(t *testing.T) {
+	c := New(4)
+	c.AddSet([]int32{0, 1}) // leaves seen[0] = seen[1] = 1
+	c.seenEpoch = math.MaxInt32 - 1
+	c.AddSet([]int32{1, 2, 2}) // epoch MaxInt32: normal dedup
+	if got := c.Set(1); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("set 1 = %v, want [1 2]", got)
+	}
+	// Next add wraps: epoch restarts at 1, the value stamped on items 0
+	// and 1 by the very first AddSet. Without clearing, 0 and 1 would be
+	// silently dropped as "already seen".
+	c.AddSet([]int32{0, 1, 3})
+	if got := c.Set(2); len(got) != 3 {
+		t.Fatalf("post-wrap set = %v, want [0 1 3]", got)
+	}
+	if c.seenEpoch != 1 {
+		t.Fatalf("seenEpoch = %d after wrap, want 1", c.seenEpoch)
+	}
+	if got := c.CoverageOf([]int32{0}); got != 2 {
+		t.Fatalf("CoverageOf(0) = %d, want 2", got)
+	}
+}
+
+// TestCoverageOfEpochWrap forces the CoverageOf stamp to wrap and
+// checks counts stay exact across it.
+func TestCoverageOfEpochWrap(t *testing.T) {
+	c := New(3)
+	c.AddSet([]int32{0, 1})
+	c.AddSet([]int32{1, 2})
+	if got := c.CoverageOf([]int32{1}); got != 2 {
+		t.Fatalf("warmup CoverageOf = %d, want 2", got)
+	}
+	c.covEpoch = math.MaxInt32 - 1
+	for rep := 0; rep < 4; rep++ {
+		if got := c.CoverageOf([]int32{1}); got != 2 {
+			t.Fatalf("rep %d: CoverageOf = %d across wrap, want 2", rep, got)
+		}
+		if got := c.CoverageOf([]int32{0, 2}); got != 2 {
+			t.Fatalf("rep %d: CoverageOf = %d across wrap, want 2", rep, got)
+		}
+	}
+	if c.covEpoch >= math.MaxInt32-1 {
+		t.Fatalf("covEpoch did not wrap: %d", c.covEpoch)
 	}
 }

@@ -1,0 +1,170 @@
+package prr
+
+// This file is the arena layout for pooled PRR-graph storage. A pool
+// used to hold `graphs []*PRR`, each owning ~9 tiny heap slices; at
+// tens of thousands of sketches per pool that is hundreds of thousands
+// of allocations per build and a pointer-chasing walk for every
+// selection re-evaluation. An arena instead concatenates every graph's
+// node table, CSR offsets, edge arrays and critical set into shared
+// backing arrays, with one fixed-size prrRef record locating each
+// graph. Pool growth is O(1) allocations per backing array (amortized),
+// Eval and Candidates walk contiguous memory, byte accounting is exact,
+// and per-worker shard arenas merge into the pool arena with bulk
+// copies in deterministic worker order.
+
+// prrRef locates one compressed PRR-graph inside an arena. All offsets
+// are into the arena's shared backing arrays; CSR offset values inside
+// the outStart/inStart segments stay graph-local (0..numEdges), so a
+// view sliced out of the arena is bit-identical to the standalone PRR
+// the generator used to allocate.
+type prrRef struct {
+	root     int32 // local id of the root node
+	nodeOff  int32 // into orig; numNodes entries
+	numNodes int32
+	startOff int32 // into outStart/inStart; numNodes+1 entries each
+	edgeOff  int32 // into outTo/outBoost/inFrom/inBoost; numEdges entries each
+	numEdges int32
+	critOff  int32 // into critical; numCrit entries
+	numCrit  int32
+}
+
+// arena is flat backing storage for compressed PRR-graphs. In ModeLB
+// only the critical segments are populated (refs carry zero nodes and
+// edges) — the lower-bound pool never materializes graph structure.
+type arena struct {
+	refs     []prrRef
+	orig     []int32
+	outStart []int32
+	inStart  []int32
+	outTo    []int32
+	outBoost []uint8
+	inFrom   []int32
+	inBoost  []uint8
+	critical []int32
+}
+
+// numGraphs returns the number of stored graphs.
+func (a *arena) numGraphs() int { return len(a.refs) }
+
+// view materializes ref as a PRR aliasing the arena's storage. The
+// result is a value; take its address to call PRR methods. It stays
+// valid across appends (slices keep pointing at the old backing array
+// if one grows) but callers inside the pool only build views under the
+// pool's usual read/extend discipline.
+func (a *arena) view(ref *prrRef) PRR {
+	return PRR{
+		root:     ref.root,
+		orig:     a.orig[ref.nodeOff : ref.nodeOff+ref.numNodes],
+		outStart: a.outStart[ref.startOff : ref.startOff+ref.numNodes+1],
+		outTo:    a.outTo[ref.edgeOff : ref.edgeOff+ref.numEdges],
+		outBoost: a.outBoost[ref.edgeOff : ref.edgeOff+ref.numEdges],
+		inStart:  a.inStart[ref.startOff : ref.startOff+ref.numNodes+1],
+		inFrom:   a.inFrom[ref.edgeOff : ref.edgeOff+ref.numEdges],
+		inBoost:  a.inBoost[ref.edgeOff : ref.edgeOff+ref.numEdges],
+		critical: a.critical[ref.critOff : ref.critOff+ref.numCrit],
+	}
+}
+
+// at materializes graph i as a PRR view (see view).
+func (a *arena) at(i int) PRR { return a.view(&a.refs[i]) }
+
+// critAt returns graph i's critical node set (sorted original ids),
+// aliasing the arena.
+func (a *arena) critAt(i int) []int32 {
+	ref := &a.refs[i]
+	return a.critical[ref.critOff : ref.critOff+ref.numCrit]
+}
+
+// reset truncates the arena for reuse (shards are recycled across
+// Extend calls), keeping the backing arrays.
+func (a *arena) reset() {
+	a.refs = a.refs[:0]
+	a.orig = a.orig[:0]
+	a.outStart = a.outStart[:0]
+	a.inStart = a.inStart[:0]
+	a.outTo = a.outTo[:0]
+	a.outBoost = a.outBoost[:0]
+	a.inFrom = a.inFrom[:0]
+	a.inBoost = a.inBoost[:0]
+	a.critical = a.critical[:0]
+}
+
+// appendArena bulk-appends o's graphs onto a, shifting offsets. This is
+// the shard merge: a handful of memmoves regardless of graph count.
+func (a *arena) appendArena(o *arena) {
+	nodeBase := int32(len(a.orig))
+	startBase := int32(len(a.outStart))
+	edgeBase := int32(len(a.outTo))
+	critBase := int32(len(a.critical))
+	a.orig = append(a.orig, o.orig...)
+	a.outStart = append(a.outStart, o.outStart...)
+	a.inStart = append(a.inStart, o.inStart...)
+	a.outTo = append(a.outTo, o.outTo...)
+	a.outBoost = append(a.outBoost, o.outBoost...)
+	a.inFrom = append(a.inFrom, o.inFrom...)
+	a.inBoost = append(a.inBoost, o.inBoost...)
+	a.critical = append(a.critical, o.critical...)
+	for _, ref := range o.refs {
+		ref.nodeOff += nodeBase
+		ref.startOff += startBase
+		ref.edgeOff += edgeBase
+		ref.critOff += critBase
+		a.refs = append(a.refs, ref)
+	}
+}
+
+// bytes returns the resident size of the arena's backing arrays,
+// counted by capacity: append-doubling slack and truncated-but-reused
+// shard buffers are real memory, so they belong in the eviction weight.
+func (a *arena) bytes() int64 {
+	b := int64(cap(a.orig)+cap(a.outStart)+cap(a.inStart)+cap(a.outTo)+cap(a.inFrom)+cap(a.critical)) * 4
+	b += int64(cap(a.outBoost) + cap(a.inBoost))
+	b += int64(cap(a.refs)) * 32 // 8 × int32 per ref
+	return b
+}
+
+// grown returns s extended by n elements, zeroing the new tail. It
+// doubles capacity on growth so repeated per-graph extensions amortize
+// to O(1) allocations.
+func grown[T int32 | uint8 | bool](s []T, n int) []T {
+	need := len(s) + n
+	if cap(s) < need {
+		grow := 2 * cap(s)
+		if grow < need {
+			grow = need
+		}
+		ns := make([]T, len(s), grow)
+		copy(ns, s)
+		s = ns
+	}
+	s = s[:need]
+	clear(s[need-n:])
+	return s
+}
+
+// sized returns a scratch buffer of length n backed by *buf, growing
+// the backing array when needed. Contents are zeroed.
+func sized[T int32 | uint8 | bool](buf *[]T, n int) []T {
+	s := *buf
+	if cap(s) < n {
+		s = make([]T, n)
+	} else {
+		s = s[:n]
+		clear(s)
+	}
+	*buf = s
+	return s
+}
+
+// sizedDirty is sized without the zeroing, for buffers the caller fully
+// overwrites before reading.
+func sizedDirty[T int32 | uint8 | uint64 | bool](buf *[]T, n int) []T {
+	s := *buf
+	if cap(s) < n {
+		s = make([]T, n)
+	} else {
+		s = s[:n]
+	}
+	*buf = s
+	return s
+}

@@ -1,0 +1,76 @@
+package prr
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"github.com/kboost/kboost/internal/rng"
+	"github.com/kboost/kboost/internal/testutil"
+)
+
+// TestScratchEpochWrap forces the int32 epoch stamp to wrap and checks
+// that evaluation stays correct across the wrap: before the fix, the
+// epoch restarted at values still present in mark[], so stale entries
+// read as "marked" and BFS results silently went stale.
+func TestScratchEpochWrap(t *testing.T) {
+	r := rng.New(17)
+	g := testutil.RandomGraph(r, 15, 40, 0.5)
+	seeds := testutil.RandomSeedSet(r, g.N(), 2)
+	gen, err := NewGenerator(g, seeds, 3, ModeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Collect a few boostable graphs to evaluate.
+	var graphs []*PRR
+	for i := 0; i < 200 && len(graphs) < 5; i++ {
+		res := gen.Generate(r)
+		if res.Kind == KindBoostable {
+			graphs = append(graphs, res.Graph)
+		}
+	}
+	if len(graphs) == 0 {
+		t.Skip("no boostable graphs on this instance")
+	}
+
+	// Reference results from a fresh scratch per call (epoch far from
+	// wrapping).
+	mask := make([]bool, g.N())
+	for v := 0; v < g.N(); v += 2 {
+		mask[v] = true
+	}
+	type ref struct {
+		eval    bool
+		covered bool
+		cands   string
+	}
+	refs := make([]ref, len(graphs))
+	for i, R := range graphs {
+		s := NewScratch()
+		refs[i].eval = R.Eval(mask, s)
+		covered, cands := R.Candidates(mask, NewScratch())
+		refs[i].covered = covered
+		refs[i].cands = fmt.Sprint(cands)
+	}
+
+	// One shared scratch, pushed to the brink of the wrap, then used
+	// across it. Eval resets with n and Candidates with 2n, so the
+	// wrap-triggering reset is exercised for both mark layouts.
+	s := NewScratch()
+	for i, R := range graphs {
+		s.epoch = math.MaxInt32 - 1 // next reset lands on MaxInt32, then wraps
+		for rep := 0; rep < 4; rep++ {
+			if got := R.Eval(mask, s); got != refs[i].eval {
+				t.Fatalf("graph %d rep %d: Eval=%v across wrap, want %v (epoch=%d)", i, rep, got, refs[i].eval, s.epoch)
+			}
+			covered, cands := R.Candidates(mask, s)
+			if covered != refs[i].covered || fmt.Sprint(cands) != refs[i].cands {
+				t.Fatalf("graph %d rep %d: Candidates=(%v,%v) across wrap, want (%v,%s)",
+					i, rep, covered, cands, refs[i].covered, refs[i].cands)
+			}
+		}
+		if s.epoch >= math.MaxInt32-1 {
+			t.Fatalf("epoch did not wrap: %d", s.epoch)
+		}
+	}
+}

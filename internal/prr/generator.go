@@ -2,7 +2,7 @@ package prr
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"github.com/kboost/kboost/internal/graph"
 	"github.com/kboost/kboost/internal/rng"
@@ -39,32 +39,42 @@ type rawEdge struct {
 	boost    uint8
 }
 
+// sEdge is a stage-2 (post-contraction) edge in stage-local ids.
+type sEdge struct {
+	from, to int32
+	boost    uint8
+}
+
 // Result reports one generated PRR-graph.
 type Result struct {
 	Kind     Kind
 	Root     int32
-	Graph    *PRR    // compressed graph; nil unless Kind==Boostable and ModeFull
-	Critical []int32 // critical node ids; nil unless Kind==Boostable
+	Graph    *PRR    // compressed graph; nil unless Kind==Boostable and ModeFull via GenerateFrom
+	Critical []int32 // critical node ids; nil unless Kind==Boostable via GenerateFrom
 	// RawEdges is the number of non-blocked edges recorded before
 	// compression (the "uncompressed" size of Tables 2-3).
 	RawEdges int
 	// CompressedEdges is the edge count after compression (ModeFull).
 	CompressedEdges int
+	// NumCritical is the size of the critical node set C_R (set on the
+	// pooled GenerateInto path, where Critical itself stays in the
+	// arena).
+	NumCritical int
 	// EdgesExamined counts edge lookups during generation: the empirical
 	// analogue of EPT in the running-time analysis.
 	EdgesExamined int
 }
 
 // Generator produces random PRR-graphs for a fixed (graph, seeds, k).
-// It owns large scratch buffers; create one per goroutine.
+// It owns large scratch buffers; create one per goroutine. All scratch
+// — including the compression working set — is reused across
+// generations, so pooled generation (GenerateInto) performs no
+// steady-state allocations beyond amortized arena growth.
 type Generator struct {
 	g        *graph.Graph
 	seedMask []bool
 	k        int
 	mode     Mode
-
-	status  []uint8 // per global in-edge: sampled status
-	touched []int32 // in-edge indices to reset
 
 	dr       []int32 // phase 1: node -> #boost-edges to root (inf if unseen)
 	expanded []bool
@@ -78,6 +88,34 @@ type Generator struct {
 
 	emptyMask []bool // all-false mask for critical extraction
 	scratch   *Scratch
+
+	// rawAdj scratch: CSR over the raw edges in raw-local ids, with the
+	// edge payloads (endpoint local id, boost flag) materialized in CSR
+	// order so the compression BFS passes read contiguous memory instead
+	// of chasing edge indices through rawEdges.
+	adjOutStart, adjInStart []int32
+	adjOutTo, adjInFrom     []int32
+	adjOutBoost, adjInBoost []uint8
+	adjOutPos, adjInPos     []int32
+
+	// compress scratch, all sized by the raw or stage node count.
+	dS, dpr             []int32
+	inX                 []bool
+	keepID              []int32
+	stageOrig           []int32
+	sEdges              []sEdge
+	sOutStart, sInStart []int32
+	sOutTo, sInFrom     []int32
+	fwd, bwd            []bool
+	finalID             []int32
+	finalOrig           []int32
+	outPosF, inPosF     []int32
+	sortKeys            []uint64
+	q                   []int32
+
+	// own is the single-graph emission buffer behind the standalone
+	// GenerateFrom path (tests, examples, reference implementations).
+	own arena
 }
 
 // NewGenerator returns a Generator. seeds must be valid node ids; k>=1.
@@ -100,7 +138,6 @@ func NewGenerator(g *graph.Graph, seeds []int32, k int, mode Mode) (*Generator, 
 		seedMask:  seedMask,
 		k:         k,
 		mode:      mode,
-		status:    make([]uint8, g.M()),
 		dr:        make([]int32, g.N()),
 		expanded:  make([]bool, g.N()),
 		localOf:   make([]int32, g.N()),
@@ -123,10 +160,6 @@ func (gen *Generator) genBudget() int32 {
 
 // cleanup resets all per-generation scratch state.
 func (gen *Generator) cleanup() {
-	for _, e := range gen.touched {
-		gen.status[e] = esUnsampled
-	}
-	gen.touched = gen.touched[:0]
 	for _, v := range gen.rawNodes {
 		gen.dr[v] = inf
 		gen.expanded[v] = false
@@ -137,14 +170,62 @@ func (gen *Generator) cleanup() {
 	gen.next = gen.next[:0]
 }
 
-// Generate produces one PRR-graph for a uniformly random root.
+// Generate produces one PRR-graph for a uniformly random root,
+// returning a standalone Result (see GenerateFrom).
 func (gen *Generator) Generate(r *rng.Source) Result {
 	root := int32(r.Intn(gen.g.N()))
 	return gen.GenerateFrom(root, r)
 }
 
-// GenerateFrom produces one PRR-graph rooted at root (Algorithm 1).
+// GenerateFrom produces one PRR-graph rooted at root (Algorithm 1) as a
+// standalone Result: Graph and Critical own their memory and outlive
+// the Generator. Pool construction uses GenerateInto instead, which
+// appends the same bits to a shared arena without the copies.
 func (gen *Generator) GenerateFrom(root int32, r *rng.Source) Result {
+	gen.own.reset()
+	res := gen.generateInto(&gen.own, root, r)
+	if res.Kind != KindBoostable {
+		return res
+	}
+	if gen.mode == ModeFull {
+		view := gen.own.at(0)
+		res.Graph = clonePRR(&view)
+		res.Critical = res.Graph.critical
+	} else {
+		res.Critical = append([]int32(nil), gen.own.critAt(0)...)
+	}
+	return res
+}
+
+// GenerateInto produces one PRR-graph for a uniformly random root,
+// appending any boostable payload (compressed graph in ModeFull,
+// critical set in both modes) to a. The Result carries kind and size
+// statistics only; Graph and Critical stay nil.
+func (gen *Generator) GenerateInto(a *arena, r *rng.Source) Result {
+	root := int32(r.Intn(gen.g.N()))
+	return gen.generateInto(a, root, r)
+}
+
+// clonePRR deep-copies a (possibly arena-backed) PRR view into a
+// standalone graph owning its storage.
+func clonePRR(v *PRR) *PRR {
+	return &PRR{
+		root:     v.root,
+		orig:     append([]int32(nil), v.orig...),
+		outStart: append([]int32(nil), v.outStart...),
+		outTo:    append([]int32(nil), v.outTo...),
+		outBoost: append([]uint8(nil), v.outBoost...),
+		inStart:  append([]int32(nil), v.inStart...),
+		inFrom:   append([]int32(nil), v.inFrom...),
+		inBoost:  append([]uint8(nil), v.inBoost...),
+		critical: append([]int32(nil), v.critical...),
+	}
+}
+
+// generateInto is the shared generation core (Algorithm 1): phase-1
+// backward sampling, then — for boostable roots — compression (ModeFull)
+// or direct critical extraction (ModeLB) emitted into a.
+func (gen *Generator) generateInto(a *arena, root int32, r *rng.Source) Result {
 	defer gen.cleanup()
 	res := Result{Root: root}
 	if gen.seedMask[root] {
@@ -173,15 +254,12 @@ func (gen *Generator) GenerateFrom(root int32, r *rng.Source) Result {
 			from := g.InFrom(u)
 			pArr := g.InP(u)
 			pbArr := g.InPBoost(u)
-			offs := g.InOffset(u)
 			for i, v := range from {
-				e := offs + int32(i)
-				st := gen.status[e]
-				if st == esUnsampled {
-					st = sampleEdge(pArr[i], pbArr[i], r)
-					gen.status[e] = st
-					gen.touched = append(gen.touched, e)
-				}
+				// Every node is expanded at most once and edge (v,u) lives
+				// only in u's in-edge list, so each edge of the possible
+				// world is sampled exactly once per generation — no status
+				// cache is needed for consistency.
+				st := sampleEdge(pArr[i], pbArr[i], r)
 				res.EdgesExamined++
 				if st == esBlocked {
 					continue
@@ -228,19 +306,18 @@ func (gen *Generator) GenerateFrom(root int32, r *rng.Source) Result {
 	res.RawEdges = len(gen.rawEdges)
 
 	if gen.mode == ModeLB {
-		res.Critical = gen.criticalFromRaw(root)
+		res.NumCritical = gen.criticalFromRawInto(a, root)
 		return res
 	}
 
-	prr, err := gen.compress(root)
+	numCrit, compressed, err := gen.compressInto(a, root)
 	if err != nil {
 		// Compression failing indicates an internal invariant violation;
 		// surface it loudly rather than silently skewing estimates.
 		panic(fmt.Sprintf("prr: compression failed: %v", err))
 	}
-	res.Graph = prr
-	res.Critical = prr.critical
-	res.CompressedEdges = prr.NumEdges()
+	res.NumCritical = numCrit
+	res.CompressedEdges = compressed
 	return res
 }
 
@@ -257,14 +334,17 @@ func sampleEdge(p, pb float64, r *rng.Source) uint8 {
 }
 
 // rawAdj builds forward and backward adjacency over the raw edges in
-// local indices. Returns CSR-style arrays.
-func (gen *Generator) rawAdj() (cnt int, outStart, outIdx, inStart, inIdx []int32) {
+// local indices, reusing the Generator's CSR scratch. Edge payloads are
+// materialized in CSR order — outTo/outBoost indexed by outStart (the
+// target local id and boost flag of each out-edge), inFrom/inBoost by
+// inStart — so downstream BFS passes stream through contiguous arrays.
+func (gen *Generator) rawAdj() (cnt int, outStart, outTo, inStart, inFrom []int32, outBoost, inBoost []uint8) {
 	cnt = len(gen.rawNodes)
 	for i, orig := range gen.rawNodes {
 		gen.localOf[orig] = int32(i)
 	}
-	outStart = make([]int32, cnt+1)
-	inStart = make([]int32, cnt+1)
+	outStart = sized(&gen.adjOutStart, cnt+1)
+	inStart = sized(&gen.adjInStart, cnt+1)
 	for _, e := range gen.rawEdges {
 		outStart[gen.localOf[e.from]+1]++
 		inStart[gen.localOf[e.to]+1]++
@@ -273,30 +353,38 @@ func (gen *Generator) rawAdj() (cnt int, outStart, outIdx, inStart, inIdx []int3
 		outStart[i+1] += outStart[i]
 		inStart[i+1] += inStart[i]
 	}
-	outIdx = make([]int32, len(gen.rawEdges)) // edge indices into rawEdges
-	inIdx = make([]int32, len(gen.rawEdges))
-	outPos := append([]int32(nil), outStart[:cnt]...)
-	inPos := append([]int32(nil), inStart[:cnt]...)
-	for ei, e := range gen.rawEdges {
+	m := len(gen.rawEdges)
+	outTo = sizedDirty(&gen.adjOutTo, m)
+	inFrom = sizedDirty(&gen.adjInFrom, m)
+	outBoost = sizedDirty(&gen.adjOutBoost, m)
+	inBoost = sizedDirty(&gen.adjInBoost, m)
+	outPos := sizedDirty(&gen.adjOutPos, cnt)
+	inPos := sizedDirty(&gen.adjInPos, cnt)
+	copy(outPos, outStart[:cnt])
+	copy(inPos, inStart[:cnt])
+	for _, e := range gen.rawEdges {
 		f := gen.localOf[e.from]
 		t := gen.localOf[e.to]
-		outIdx[outPos[f]] = int32(ei)
+		outTo[outPos[f]] = t
+		outBoost[outPos[f]] = e.boost
 		outPos[f]++
-		inIdx[inPos[t]] = int32(ei)
+		inFrom[inPos[t]] = f
+		inBoost[inPos[t]] = e.boost
 		inPos[t]++
 	}
-	return cnt, outStart, outIdx, inStart, inIdx
+	return cnt, outStart, outTo, inStart, inFrom, outBoost, inBoost
 }
 
-// criticalFromRaw computes C_R directly on the raw structure:
+// criticalFromRawInto computes C_R directly on the raw structure and
+// appends it (sorted) to a:
 // X = nodes live-reachable from seeds, Z = nodes live-reaching the root;
 // v is critical iff v ∉ X, v ∈ Z, and some live-upon-boost edge (u,v)
-// has u ∈ X.
-func (gen *Generator) criticalFromRaw(root int32) []int32 {
-	cnt, outStart, outIdx, inStart, inIdx := gen.rawAdj()
+// has u ∈ X. Returns |C_R|.
+func (gen *Generator) criticalFromRawInto(a *arena, root int32) int {
+	cnt, outStart, outTo, inStart, inFrom, outBoost, inBoost := gen.rawAdj()
 
-	inX := make([]bool, cnt)
-	queue := make([]int32, 0, cnt)
+	inX := sized(&gen.inX, cnt)
+	queue := gen.q[:0]
 	for i, orig := range gen.rawNodes {
 		if gen.seedMask[orig] {
 			inX[i] = true
@@ -306,11 +394,10 @@ func (gen *Generator) criticalFromRaw(root int32) []int32 {
 	for qi := 0; qi < len(queue); qi++ {
 		u := queue[qi]
 		for j := outStart[u]; j < outStart[u+1]; j++ {
-			e := gen.rawEdges[outIdx[j]]
-			if e.boost == 1 {
+			if outBoost[j] == 1 {
 				continue
 			}
-			t := gen.localOf[e.to]
+			t := outTo[j]
 			if !inX[t] {
 				inX[t] = true
 				queue = append(queue, t)
@@ -318,58 +405,64 @@ func (gen *Generator) criticalFromRaw(root int32) []int32 {
 		}
 	}
 
-	inZ := make([]bool, cnt)
+	inZ := sized(&gen.fwd, cnt) // reuse fwd scratch as the Z mask
 	rl := gen.localOf[root]
 	inZ[rl] = true
 	queue = append(queue[:0], rl)
 	for qi := 0; qi < len(queue); qi++ {
 		v := queue[qi]
 		for j := inStart[v]; j < inStart[v+1]; j++ {
-			e := gen.rawEdges[inIdx[j]]
-			if e.boost == 1 {
+			if inBoost[j] == 1 {
 				continue
 			}
-			f := gen.localOf[e.from]
+			f := inFrom[j]
 			if !inZ[f] {
 				inZ[f] = true
 				queue = append(queue, f)
 			}
 		}
 	}
+	gen.q = queue[:0]
 
-	var critical []int32
+	critOff := int32(len(a.critical))
 	for i, orig := range gen.rawNodes {
 		if inX[i] || !inZ[i] {
 			continue
 		}
 		for j := inStart[i]; j < inStart[int32(i)+1]; j++ {
-			e := gen.rawEdges[inIdx[j]]
-			if e.boost == 1 && inX[gen.localOf[e.from]] {
-				critical = append(critical, orig)
+			if inBoost[j] == 1 && inX[inFrom[j]] {
+				a.critical = append(a.critical, orig)
 				break
 			}
 		}
 	}
-	sort.Slice(critical, func(i, j int) bool { return critical[i] < critical[j] })
-	return critical
+	crit := a.critical[critOff:]
+	slices.Sort(crit)
+	a.refs = append(a.refs, prrRef{
+		nodeOff: int32(len(a.orig)), startOff: int32(len(a.outStart)),
+		edgeOff: int32(len(a.outTo)),
+		critOff: critOff, numCrit: int32(len(crit)),
+	})
+	return len(crit)
 }
 
-// compress implements phase 2 of Algorithm 1 (Section V-A): merge the
-// live-reachable region into a super-seed, drop nodes that cannot lie on
-// a <=k-boost seed→root path, shortcut live paths to the root, and keep
-// only nodes on super-seed→root paths. The result preserves f_R(B) and
-// f−_R(B) for all |B| <= k.
-func (gen *Generator) compress(root int32) (*PRR, error) {
-	cnt, outStart, outIdx, inStart, inIdx := gen.rawAdj()
+// compressInto implements phase 2 of Algorithm 1 (Section V-A): merge
+// the live-reachable region into a super-seed, drop nodes that cannot
+// lie on a <=k-boost seed→root path, shortcut live paths to the root,
+// and keep only nodes on super-seed→root paths. The compressed graph
+// and its critical set are appended to a. The result preserves f_R(B)
+// and f−_R(B) for all |B| <= k.
+func (gen *Generator) compressInto(a *arena, root int32) (numCrit, compressedEdges int, err error) {
+	cnt, outStart, outTo, inStart, inFrom, outBoost, inBoost := gen.rawAdj()
 	rl := gen.localOf[root]
 
 	// dS: 0-1 BFS from seeds over raw edges (forward). Weight 1 on
 	// live-upon-boost edges.
-	dS := make([]int32, cnt)
+	dS := sizedDirty(&gen.dS, cnt)
 	for i := range dS {
 		dS[i] = inf
 	}
-	var cur, next []int32
+	cur, next := gen.q[:0], gen.next[:0]
 	for i, orig := range gen.rawNodes {
 		if gen.seedMask[orig] {
 			dS[i] = 0
@@ -383,9 +476,8 @@ func (gen *Generator) compress(root int32) (*PRR, error) {
 				continue
 			}
 			for j := outStart[u]; j < outStart[u+1]; j++ {
-				e := gen.rawEdges[outIdx[j]]
-				t := gen.localOf[e.to]
-				nd := d + int32(e.boost)
+				t := outTo[j]
+				nd := d + int32(outBoost[j])
 				if nd < dS[t] {
 					dS[t] = nd
 					if nd == d {
@@ -399,16 +491,13 @@ func (gen *Generator) compress(root int32) (*PRR, error) {
 		cur, next = next, cur[:0]
 	}
 
-	inX := make([]bool, cnt)
-	for i := range inX {
-		inX[i] = dS[i] == 0
-	}
-	if inX[rl] {
-		return nil, fmt.Errorf("root is live-reachable in a boostable PRR-graph")
+	// X is the live-reachable region: exactly the nodes with dS == 0.
+	if dS[rl] == 0 {
+		return 0, 0, fmt.Errorf("root is live-reachable in a boostable PRR-graph")
 	}
 
 	// d'r: 0-1 BFS backward from the root, not passing through X.
-	dpr := make([]int32, cnt)
+	dpr := sizedDirty(&gen.dpr, cnt)
 	for i := range dpr {
 		dpr[i] = inf
 	}
@@ -422,12 +511,11 @@ func (gen *Generator) compress(root int32) (*PRR, error) {
 				continue
 			}
 			for j := inStart[v]; j < inStart[v+1]; j++ {
-				e := gen.rawEdges[inIdx[j]]
-				f := gen.localOf[e.from]
-				if inX[f] {
+				f := inFrom[j]
+				if dS[f] == 0 {
 					continue // paths may start at the super-seed but not cross it
 				}
-				nd := d + int32(e.boost)
+				nd := d + int32(inBoost[j])
 				if nd < dpr[f] {
 					dpr[f] = nd
 					if nd == d {
@@ -440,14 +528,14 @@ func (gen *Generator) compress(root int32) (*PRR, error) {
 		}
 		cur, next = next, cur[:0]
 	}
+	gen.q, gen.next = cur[:0], next[:0]
 
 	// Stage-2 ids: 0 = super-seed; kept non-X nodes renumbered 1..
-	keepID := make([]int32, cnt)
-	var stageOrig []int32 // stage id -> original id (stage 0 = -1)
-	stageOrig = append(stageOrig, -1)
+	keepID := sizedDirty(&gen.keepID, cnt)
+	stageOrig := append(gen.stageOrig[:0], -1) // stage id -> original id (stage 0 = -1)
 	for i := 0; i < cnt; i++ {
 		switch {
-		case inX[i]:
+		case dS[i] == 0:
 			keepID[i] = 0
 		case dS[i] < inf && dpr[i] < inf && dS[i]+dpr[i] <= int32(gen.k):
 			keepID[i] = int32(len(stageOrig))
@@ -456,17 +544,14 @@ func (gen *Generator) compress(root int32) (*PRR, error) {
 			keepID[i] = -1
 		}
 	}
+	gen.stageOrig = stageOrig
 	rootStage := keepID[rl]
 	if rootStage <= 0 {
-		return nil, fmt.Errorf("root dropped during compression")
+		return 0, 0, fmt.Errorf("root dropped during compression")
 	}
 
 	// Stage-2 edge list with super-seed contraction and root shortcuts.
-	type sEdge struct {
-		from, to int32
-		boost    uint8
-	}
-	var edges []sEdge
+	edges := gen.sEdges[:0]
 	for i := 0; i < cnt; i++ {
 		si := keepID[i]
 		if si < 0 {
@@ -478,15 +563,14 @@ func (gen *Generator) compress(root int32) (*PRR, error) {
 			continue
 		}
 		for j := outStart[i]; j < outStart[int32(i)+1]; j++ {
-			e := gen.rawEdges[outIdx[j]]
-			t := keepID[gen.localOf[e.to]]
+			t := keepID[outTo[j]]
 			if t <= 0 {
 				continue // dropped, or edge into the super-seed
 			}
 			if si == 0 && t == 0 {
 				continue
 			}
-			edges = append(edges, sEdge{from: si, to: t, boost: e.boost})
+			edges = append(edges, sEdge{from: si, to: t, boost: outBoost[j]})
 		}
 	}
 	for i := 0; i < cnt; i++ {
@@ -497,42 +581,59 @@ func (gen *Generator) compress(root int32) (*PRR, error) {
 	}
 
 	// Dedup parallel edges (contraction can create them), preferring live
-	// over live-upon-boost.
-	sort.Slice(edges, func(a, b int) bool {
-		if edges[a].from != edges[b].from {
-			return edges[a].from < edges[b].from
-		}
-		if edges[a].to != edges[b].to {
-			return edges[a].to < edges[b].to
-		}
-		return edges[a].boost < edges[b].boost
-	})
-	dedup := edges[:0]
+	// over live-upon-boost: sort packed (from, to, boost) keys — a total
+	// order, so the unstable sort is deterministic — and keep the first
+	// key of each (from, to) pair.
+	keys := sizedDirty(&gen.sortKeys, len(edges))
 	for i, e := range edges {
-		if i > 0 && e.from == dedup[len(dedup)-1].from && e.to == dedup[len(dedup)-1].to {
+		keys[i] = uint64(e.from)<<33 | uint64(e.to)<<1 | uint64(e.boost)
+	}
+	slices.Sort(keys)
+	edges = edges[:0]
+	for i, k := range keys {
+		if i > 0 && k>>1 == keys[i-1]>>1 {
 			continue
 		}
-		dedup = append(dedup, e)
+		edges = append(edges, sEdge{from: int32(k >> 33), to: int32(k >> 1 & 0xffffffff), boost: uint8(k & 1)})
 	}
-	edges = dedup
+	gen.sEdges = edges
 
 	// Keep only nodes on some super-seed→root chain: forward-reachable
 	// from the super-seed and backward-reachable from the root, over all
-	// (live + live-upon-boost) edges.
+	// (live + live-upon-boost) edges. Stage adjacency is a CSR over the
+	// deduplicated edge list.
 	ns := len(stageOrig)
-	fwd := make([]bool, ns)
-	bwd := make([]bool, ns)
-	outAdj := make([][]int32, ns) // stage node -> edge indices
-	inAdj := make([][]int32, ns)
-	for ei, e := range edges {
-		outAdj[e.from] = append(outAdj[e.from], int32(ei))
-		inAdj[e.to] = append(inAdj[e.to], int32(ei))
+	sOutStart := sized(&gen.sOutStart, ns+1)
+	sInStart := sized(&gen.sInStart, ns+1)
+	for _, e := range edges {
+		sOutStart[e.from+1]++
+		sInStart[e.to+1]++
 	}
-	q := append([]int32(nil), 0)
+	for i := 0; i < ns; i++ {
+		sOutStart[i+1] += sOutStart[i]
+		sInStart[i+1] += sInStart[i]
+	}
+	sOutTo := sizedDirty(&gen.sOutTo, len(edges))
+	sInFrom := sizedDirty(&gen.sInFrom, len(edges))
+	outPos := sizedDirty(&gen.outPosF, ns)
+	inPos := sizedDirty(&gen.inPosF, ns)
+	copy(outPos, sOutStart[:ns])
+	copy(inPos, sInStart[:ns])
+	for _, e := range edges {
+		sOutTo[outPos[e.from]] = e.to
+		outPos[e.from]++
+		sInFrom[inPos[e.to]] = e.from
+		inPos[e.to]++
+	}
+
+	fwd := sized(&gen.fwd, ns)
+	bwd := sized(&gen.bwd, ns)
+	q := append(gen.q[:0], 0)
 	fwd[0] = true
 	for qi := 0; qi < len(q); qi++ {
-		for _, ei := range outAdj[q[qi]] {
-			t := edges[ei].to
+		u := q[qi]
+		for j := sOutStart[u]; j < sOutStart[u+1]; j++ {
+			t := sOutTo[j]
 			if !fwd[t] {
 				fwd[t] = true
 				q = append(q, t)
@@ -540,24 +641,27 @@ func (gen *Generator) compress(root int32) (*PRR, error) {
 		}
 	}
 	if !fwd[rootStage] {
-		return nil, fmt.Errorf("root unreachable from super-seed after contraction")
+		gen.q = q[:0]
+		return 0, 0, fmt.Errorf("root unreachable from super-seed after contraction")
 	}
 	q = append(q[:0], rootStage)
 	bwd[rootStage] = true
 	for qi := 0; qi < len(q); qi++ {
-		for _, ei := range inAdj[q[qi]] {
-			f := edges[ei].from
+		v := q[qi]
+		for j := sInStart[v]; j < sInStart[v+1]; j++ {
+			f := sInFrom[j]
 			if !bwd[f] {
 				bwd[f] = true
 				q = append(q, f)
 			}
 		}
 	}
+	gen.q = q[:0]
 
 	// Final renumbering.
-	finalID := make([]int32, ns)
+	finalID := sizedDirty(&gen.finalID, ns)
 	finalID[0] = 0
-	finalOrig := []int32{-1}
+	finalOrig := append(gen.finalOrig[:0], -1)
 	for s := 1; s < ns; s++ {
 		if fwd[s] && bwd[s] {
 			finalID[s] = int32(len(finalOrig))
@@ -566,53 +670,72 @@ func (gen *Generator) compress(root int32) (*PRR, error) {
 			finalID[s] = -1
 		}
 	}
+	gen.finalOrig = finalOrig
 	n := int32(len(finalOrig))
-	R := &PRR{
-		root: finalID[rootStage],
-		orig: finalOrig,
-	}
 
-	// Final CSR (both directions).
-	R.outStart = make([]int32, n+1)
-	R.inStart = make([]int32, n+1)
+	// Final CSR (both directions), emitted straight into the arena.
+	ref := prrRef{
+		root:     finalID[rootStage],
+		nodeOff:  int32(len(a.orig)),
+		numNodes: n,
+		startOff: int32(len(a.outStart)),
+		edgeOff:  int32(len(a.outTo)),
+	}
+	a.orig = append(a.orig, finalOrig...)
+	a.outStart = grown(a.outStart, int(n)+1)
+	a.inStart = grown(a.inStart, int(n)+1)
+	rOutStart := a.outStart[ref.startOff:]
+	rInStart := a.inStart[ref.startOff:]
 	kept := 0
 	for _, e := range edges {
 		if finalID[e.from] >= 0 && finalID[e.to] >= 0 {
-			R.outStart[finalID[e.from]+1]++
-			R.inStart[finalID[e.to]+1]++
+			rOutStart[finalID[e.from]+1]++
+			rInStart[finalID[e.to]+1]++
 			kept++
 		}
 	}
 	for i := int32(0); i < n; i++ {
-		R.outStart[i+1] += R.outStart[i]
-		R.inStart[i+1] += R.inStart[i]
+		rOutStart[i+1] += rOutStart[i]
+		rInStart[i+1] += rInStart[i]
 	}
-	R.outTo = make([]int32, kept)
-	R.outBoost = make([]uint8, kept)
-	R.inFrom = make([]int32, kept)
-	R.inBoost = make([]uint8, kept)
-	outPos := append([]int32(nil), R.outStart[:n]...)
-	inPos := append([]int32(nil), R.inStart[:n]...)
+	ref.numEdges = int32(kept)
+	a.outTo = grown(a.outTo, kept)
+	a.outBoost = grown(a.outBoost, kept)
+	a.inFrom = grown(a.inFrom, kept)
+	a.inBoost = grown(a.inBoost, kept)
+	rOutTo := a.outTo[ref.edgeOff:]
+	rOutBoost := a.outBoost[ref.edgeOff:]
+	rInFrom := a.inFrom[ref.edgeOff:]
+	rInBoost := a.inBoost[ref.edgeOff:]
+	outPosF := outPos[:n]
+	inPosF := inPos[:n]
+	copy(outPosF, rOutStart[:n])
+	copy(inPosF, rInStart[:n])
 	for _, e := range edges {
 		f, t := finalID[e.from], finalID[e.to]
 		if f < 0 || t < 0 {
 			continue
 		}
-		R.outTo[outPos[f]] = t
-		R.outBoost[outPos[f]] = e.boost
-		outPos[f]++
-		R.inFrom[inPos[t]] = f
-		R.inBoost[inPos[t]] = e.boost
-		inPos[t]++
+		rOutTo[outPosF[f]] = t
+		rOutBoost[outPosF[f]] = e.boost
+		outPosF[f]++
+		rInFrom[inPosF[t]] = f
+		rInBoost[inPosF[t]] = e.boost
+		inPosF[t]++
 	}
 
+	R := a.view(&ref)
 	if err := R.validate(); err != nil {
-		return nil, err
+		return 0, 0, err
 	}
 
 	// Critical nodes from the compressed structure.
 	_, cands := R.Candidates(gen.emptyMask, gen.scratch)
-	R.critical = append([]int32(nil), cands...)
-	sort.Slice(R.critical, func(i, j int) bool { return R.critical[i] < R.critical[j] })
-	return R, nil
+	ref.critOff = int32(len(a.critical))
+	a.critical = append(a.critical, cands...)
+	crit := a.critical[ref.critOff:]
+	slices.Sort(crit)
+	ref.numCrit = int32(len(crit))
+	a.refs = append(a.refs, ref)
+	return len(crit), kept, nil
 }

@@ -16,6 +16,11 @@ import (
 // node sets (the μ lower bound), and — in ModeFull — supports greedy
 // selection and estimation of the true boost objective Δ̂.
 //
+// Storage is arena-backed (see arena.go): all boostable graphs live in
+// shared flat arrays, so growing the pool costs O(1) allocations per
+// backing array instead of O(graphs × 9), selection re-evaluation walks
+// contiguous memory, and MemoryEstimate is exact.
+//
 // Estimates are normalized by the total number of generated PRR-graphs,
 // including activated and hopeless ones (they contribute f_R ≡ 0).
 type Pool struct {
@@ -27,10 +32,11 @@ type Pool struct {
 	workers  int
 	streams  []*rng.Source
 	gens     []*Generator
+	shards   []*extendShard // per-worker emission buffers, reused across Extends
 
-	cov    *maxcover.Coverage // critical sets of boostable graphs
-	graphs []*PRR             // ModeFull: compressed boostable graphs
-	sel    *deltaIndex        // ModeFull: persistent Δ̂ selection index
+	cov   *maxcover.Coverage // critical sets of boostable graphs
+	arena arena              // flat storage of the boostable graphs (ModeFull: full structure; ModeLB: critical sets only)
+	sel   *deltaIndex        // ModeFull: persistent Δ̂ selection index
 
 	// zeroMask is a shared all-false boost mask (read-only) used when
 	// computing initial candidate sets.
@@ -48,6 +54,24 @@ type Pool struct {
 	sumCompressed int64
 	sumExamined   int64
 	sumCritical   int64
+}
+
+// extendShard is one worker's private output for an Extend call: an
+// arena of freshly generated boostable graphs plus the batch
+// statistics. Shards are merged into the pool in worker order, so pool
+// contents are bit-identical to the serial merge for any fixed
+// (seed, workers) pair.
+type extendShard struct {
+	arena arena
+
+	total, activated, hopeless, boostable int
+	sumRaw, sumCompressed, sumExamined    int64
+}
+
+func (sh *extendShard) reset() {
+	sh.arena.reset()
+	sh.total, sh.activated, sh.hopeless, sh.boostable = 0, 0, 0, 0
+	sh.sumRaw, sh.sumCompressed, sh.sumExamined = 0, 0, 0
 }
 
 // NewPool creates an empty pool. workers <= 0 means GOMAXPROCS.
@@ -76,6 +100,7 @@ func NewPool(g *graph.Graph, seeds []int32, k int, mode Mode, seed uint64, worke
 		}
 		p.gens = append(p.gens, gen)
 		p.streams = append(p.streams, root.Split())
+		p.shards = append(p.shards, &extendShard{})
 	}
 	for _, s := range seeds {
 		p.seedMask[s] = true
@@ -101,7 +126,15 @@ func (p *Pool) K() int { return p.k }
 // Mode returns the materialization mode the pool generates with.
 func (p *Pool) Mode() Mode { return p.mode }
 
-// Extend grows the pool to at least target total PRR-graphs.
+// NumBoostable returns the number of boostable PRR-graphs stored.
+func (p *Pool) NumBoostable() int { return p.numBoostable }
+
+// Extend grows the pool to at least target total PRR-graphs. Workers
+// generate concurrently into per-shard arenas — including each
+// boostable graph's initial candidate set, computed while the graph is
+// cache-hot — and the shards are merged in deterministic worker order,
+// so pool contents and every downstream selection are bit-identical to
+// a serial merge for the pool's fixed (seed, workers) pair.
 func (p *Pool) Extend(target int) {
 	need := target - p.total
 	if need <= 0 {
@@ -115,7 +148,6 @@ func (p *Pool) Extend(target int) {
 			counts[w]++
 		}
 	}
-	batches := make([][]Result, p.workers)
 	var wg sync.WaitGroup
 	for w := 0; w < p.workers; w++ {
 		if counts[w] == 0 {
@@ -126,38 +158,51 @@ func (p *Pool) Extend(target int) {
 			defer wg.Done()
 			r := p.streams[w]
 			gen := p.gens[w]
-			batch := make([]Result, 0, counts[w])
+			sh := p.shards[w]
+			sh.reset()
 			for i := 0; i < counts[w]; i++ {
-				batch = append(batch, gen.Generate(r))
+				res := gen.GenerateInto(&sh.arena, r)
+				sh.total++
+				sh.sumExamined += int64(res.EdgesExamined)
+				switch res.Kind {
+				case KindActivated:
+					sh.activated++
+				case KindHopeless:
+					sh.hopeless++
+				case KindBoostable:
+					sh.boostable++
+					sh.sumRaw += int64(res.RawEdges)
+					sh.sumCompressed += int64(res.CompressedEdges)
+				}
 			}
-			batches[w] = batch
 		}(w)
 	}
 	wg.Wait()
-	indexedGraphs := len(p.graphs)
-	for _, batch := range batches {
-		for _, res := range batch {
-			p.total++
-			p.sumExamined += int64(res.EdgesExamined)
-			switch res.Kind {
-			case KindActivated:
-				p.numActivated++
-			case KindHopeless:
-				p.numHopeless++
-			case KindBoostable:
-				p.numBoostable++
-				p.sumRaw += int64(res.RawEdges)
-				p.sumCompressed += int64(res.CompressedEdges)
-				p.sumCritical += int64(len(res.Critical))
-				p.cov.AddSet(res.Critical)
-				if p.mode == ModeFull {
-					p.graphs = append(p.graphs, res.Graph)
-				}
-			}
+
+	// Deterministic merge in worker order.
+	from := p.arena.numGraphs()
+	for w := 0; w < p.workers; w++ {
+		if counts[w] == 0 {
+			continue
+		}
+		sh := p.shards[w]
+		p.total += sh.total
+		p.numActivated += sh.activated
+		p.numHopeless += sh.hopeless
+		p.numBoostable += sh.boostable
+		p.sumRaw += sh.sumRaw
+		p.sumCompressed += sh.sumCompressed
+		p.sumExamined += sh.sumExamined
+		base := p.arena.numGraphs()
+		p.arena.appendArena(&sh.arena)
+		for i := base; i < p.arena.numGraphs(); i++ {
+			crit := p.arena.critAt(i)
+			p.sumCritical += int64(len(crit))
+			p.cov.AddSortedSet(crit)
 		}
 	}
 	if p.sel != nil {
-		p.sel.extend(p.graphs, indexedGraphs, p.zeroMask, p.workers)
+		p.sel.extend(&p.arena, from)
 	}
 	p.generation++
 }
@@ -205,24 +250,27 @@ func (p *Pool) EstimateDelta(b []int32) (float64, error) {
 		}
 		mask[v] = true
 	}
+	numGraphs := p.arena.numGraphs()
 	counts := make([]int, p.workers)
 	var wg sync.WaitGroup
-	chunk := (len(p.graphs) + p.workers - 1) / p.workers
+	chunk := (numGraphs + p.workers - 1) / p.workers
 	for w := 0; w < p.workers; w++ {
 		lo := w * chunk
-		if lo >= len(p.graphs) {
+		if lo >= numGraphs {
 			break
 		}
 		hi := lo + chunk
-		if hi > len(p.graphs) {
-			hi = len(p.graphs)
+		if hi > numGraphs {
+			hi = numGraphs
 		}
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			s := NewScratch()
+			s := getScratch()
+			defer putScratch(s)
 			c := 0
-			for _, R := range p.graphs[lo:hi] {
+			for i := lo; i < hi; i++ {
+				R := p.arena.at(i)
 				if R.Eval(mask, s) {
 					c++
 				}
@@ -243,19 +291,20 @@ func (p *Pool) EstimateDelta(b []int32) (float64, error) {
 // contents, so results may be cached keyed by Generation).
 func (p *Pool) Generation() uint64 { return p.generation }
 
-// MemoryEstimate approximates the pool's resident bytes: compressed
-// edges, node tables and critical sets of the boostable graphs, plus
-// the selection index. It is the engine's eviction weight; exactness is
-// not required, proportionality across pools is.
+// MemoryEstimate returns the pool's resident bytes: the graph arena,
+// the retained per-worker shard arenas (kept for allocation-free
+// re-extension — their capacity is real memory even while empty), the
+// coverage index, and the selection index. Counted from backing-array
+// capacities, so the engine's byte-based eviction tracks real memory
+// instead of a per-edge approximation.
 func (p *Pool) MemoryEstimate() int64 {
-	// Per compressed edge: outTo+outBoost+inFrom+inBoost ≈ 10 bytes.
-	bytes := p.sumCompressed * 10
-	// Per boostable graph: orig/outStart/inStart tables and the critical
-	// set, dominated by node count ≈ critical size + constant slack.
-	bytes += int64(p.numBoostable) * 64
-	bytes += p.sumCritical * 4
+	bytes := p.arena.bytes()
+	for _, sh := range p.shards {
+		bytes += sh.arena.bytes()
+	}
+	bytes += p.cov.MemoryBytes()
 	if p.sel != nil {
-		bytes += int64(len(p.sel.postItems)+len(p.sel.candItems)+len(p.sel.postStart)+len(p.sel.candStart)) * 4
+		bytes += int64(cap(p.sel.postItems)+cap(p.sel.candItems)+cap(p.sel.postStart)+cap(p.sel.candStart)+cap(p.sel.gain0)) * 4
 	}
 	return bytes
 }

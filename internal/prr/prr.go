@@ -21,7 +21,10 @@
 // a direct live edge to it.
 package prr
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Kind classifies a generated PRR-graph.
 type Kind uint8
@@ -102,6 +105,13 @@ func NewScratch() *Scratch { return &Scratch{} }
 func (s *Scratch) reset(n int) {
 	if len(s.mark) < n {
 		s.mark = make([]int32, n)
+		s.epoch = 0
+	}
+	// The epoch stamp must never repeat a value still present in mark:
+	// after 2³¹ resets the int32 would wrap back over live stamps and
+	// stale entries would read as "marked", so clear and restart instead.
+	if s.epoch == math.MaxInt32 {
+		clear(s.mark)
 		s.epoch = 0
 	}
 	s.epoch++

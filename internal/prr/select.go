@@ -64,48 +64,25 @@ func (x *deltaIndex) initialCands(gi int) []int32 {
 	return x.candItems[x.candStart[gi]:x.candStart[gi+1]]
 }
 
-// extend indexes graphs[from:]: initial candidate sets are computed in
-// parallel (workers goroutines, one Scratch each), then the posting CSR
-// is rebuilt by merging the old lists with the batch in one O(old+new)
-// pass. Extend calls grow the pool geometrically, so the merge
-// amortizes to O(total postings × log(growth steps)) over the pool's
-// lifetime — versus O(total postings) per *query* for the naive path.
-func (x *deltaIndex) extend(graphs []*PRR, from int, zeroMask []bool, workers int) {
-	batch := graphs[from:]
-	if len(batch) == 0 {
+// extend indexes a.refs[from:]. A graph's initial candidate set — the
+// nodes v with f_R({v}) = 1 under B = ∅ — is by definition its critical
+// set C_R, which the generation workers already extracted into the
+// arena while each graph was cache-hot; extending the index is
+// therefore pure merging: candidate rows are copied out of the arena
+// and the posting CSR is rebuilt by interleaving the old lists with the
+// batch in one O(old+new) pass. Extend calls grow the pool
+// geometrically, so the merge amortizes to
+// O(total postings × log(growth steps)) over the pool's lifetime —
+// versus O(total postings) per *query* for the naive path.
+func (x *deltaIndex) extend(a *arena, from int) {
+	batch := a.numGraphs() - from
+	if batch == 0 {
 		return
 	}
 
-	// Initial candidates per new graph, in parallel.
-	cands := make([][]int32, len(batch))
-	var wg sync.WaitGroup
-	chunk := (len(batch) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		if lo >= len(batch) {
-			break
-		}
-		hi := lo + chunk
-		if hi > len(batch) {
-			hi = len(batch)
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			s := getScratch()
-			defer putScratch(s)
-			for i := lo; i < hi; i++ {
-				// covered cannot be true: a boostable graph's root is
-				// never active under B = ∅.
-				_, cs := batch[i].Candidates(zeroMask, s)
-				cands[i] = append([]int32(nil), cs...)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-
-	// Candidate CSR and first-pick gains: append-only.
-	for _, cs := range cands {
+	// Candidate CSR and first-pick gains: append-only, in arena order.
+	for i := from; i < a.numGraphs(); i++ {
+		cs := a.critAt(i)
 		x.candItems = append(x.candItems, cs...)
 		x.candStart = append(x.candStart, int32(len(x.candItems)))
 		for _, v := range cs {
@@ -115,7 +92,8 @@ func (x *deltaIndex) extend(graphs []*PRR, from int, zeroMask []bool, workers in
 
 	// Posting CSR: count the batch contribution per node, then merge.
 	counts := make([]int32, x.n)
-	for _, R := range batch {
+	for i := from; i < a.numGraphs(); i++ {
+		R := a.at(i)
 		for _, v := range R.Nodes() {
 			counts[v]++
 		}
@@ -132,10 +110,10 @@ func (x *deltaIndex) extend(graphs []*PRR, from int, zeroMask []bool, workers in
 		copy(newItems[newStart[v]:], old)
 		next[v] = newStart[v] + int32(len(old))
 	}
-	for i, R := range batch {
-		gi := int32(from + i)
+	for i := from; i < a.numGraphs(); i++ {
+		R := a.at(i)
 		for _, v := range R.Nodes() {
-			newItems[next[v]] = gi
+			newItems[next[v]] = int32(i)
 			next[v]++
 		}
 	}
@@ -179,7 +157,7 @@ func (p *Pool) SelectDelta(k int) ([]int32, int, error) {
 	}
 	x := p.sel
 	n := p.g.N()
-	numGraphs := len(p.graphs)
+	numGraphs := p.arena.numGraphs()
 
 	// Per-query mutable state. cands[gi] starts as a view into the
 	// index; owned[gi] flips when the graph gets its own re-evaluated
@@ -250,7 +228,8 @@ func (p *Pool) SelectDelta(k int) ([]int32, int, error) {
 				if covered[gi] {
 					continue
 				}
-				cov, cs := p.graphs[gi].Candidates(mask, scratch)
+				R := p.arena.at(int(gi))
+				cov, cs := R.Candidates(mask, scratch)
 				evals[i] = reEval{covered: cov, cands: append(evals[i].cands[:0], cs...)}
 			}
 		}
@@ -319,7 +298,8 @@ func (p *Pool) reEvalParallel(affected []int32, mask, covered []bool, evals []re
 				if covered[gi] {
 					continue
 				}
-				cov, cs := p.graphs[gi].Candidates(mask, s)
+				R := p.arena.at(int(gi))
+				cov, cs := R.Candidates(mask, s)
 				evals[i] = reEval{covered: cov, cands: append(evals[i].cands[:0], cs...)}
 			}
 		}(lo, hi)
@@ -347,14 +327,16 @@ func (p *Pool) selectDeltaNaive(k int) ([]int32, int, error) {
 		return nil, 0, fmt.Errorf("prr: SelectDelta requires ModeFull")
 	}
 	n := p.g.N()
+	numGraphs := p.arena.numGraphs()
 	mask := make([]bool, n)
-	covered := make([]bool, len(p.graphs))
+	covered := make([]bool, numGraphs)
 	gain := make([]int32, n)
-	cands := make([][]int32, len(p.graphs))
+	cands := make([][]int32, numGraphs)
 
 	// Inverted index: original node -> PRR-graphs containing it.
 	postings := make([][]int32, n)
-	for gi, R := range p.graphs {
+	for gi := 0; gi < numGraphs; gi++ {
+		R := p.arena.at(gi)
 		for _, v := range R.Nodes() {
 			postings[v] = append(postings[v], int32(gi))
 		}
@@ -362,22 +344,23 @@ func (p *Pool) selectDeltaNaive(k int) ([]int32, int, error) {
 
 	// Initial candidate sets, computed in parallel.
 	var wg sync.WaitGroup
-	chunk := (len(p.graphs) + p.workers - 1) / p.workers
+	chunk := (numGraphs + p.workers - 1) / p.workers
 	for w := 0; w < p.workers; w++ {
 		lo := w * chunk
-		if lo >= len(p.graphs) {
+		if lo >= numGraphs {
 			break
 		}
 		hi := lo + chunk
-		if hi > len(p.graphs) {
-			hi = len(p.graphs)
+		if hi > numGraphs {
+			hi = numGraphs
 		}
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
 			s := NewScratch()
 			for gi := lo; gi < hi; gi++ {
-				cov, cs := p.graphs[gi].Candidates(mask, s)
+				R := p.arena.at(gi)
+				cov, cs := R.Candidates(mask, s)
 				if cov {
 					covered[gi] = true // cannot happen for boostable graphs with B=∅
 					continue
@@ -388,7 +371,7 @@ func (p *Pool) selectDeltaNaive(k int) ([]int32, int, error) {
 	}
 	wg.Wait()
 	coveredCount := 0
-	for gi := range p.graphs {
+	for gi := 0; gi < numGraphs; gi++ {
 		if covered[gi] {
 			coveredCount++
 		}
@@ -422,7 +405,8 @@ func (p *Pool) selectDeltaNaive(k int) ([]int32, int, error) {
 			for _, v := range cands[gi] {
 				gain[v]--
 			}
-			cov, cs := p.graphs[gi].Candidates(mask, scratch)
+			R := p.arena.at(int(gi))
+			cov, cs := R.Candidates(mask, scratch)
 			if cov {
 				covered[gi] = true
 				coveredCount++

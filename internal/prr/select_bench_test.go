@@ -95,3 +95,67 @@ func BenchmarkExtendIncremental(b *testing.B) {
 	b.Run("oneshot", func(b *testing.B) { run(b, 1) })
 	b.Run("staged10", func(b *testing.B) { run(b, 10) })
 }
+
+// BenchmarkPoolBuildCold is the cold-path gate: the full first-query
+// cost of a boost request that misses the pool cache — NewPool plus a
+// one-shot Extend to the sample budget, including arena emission, the
+// coverage index and the selection index. This is what pre-warming and
+// the arena layout exist to amortize.
+func BenchmarkPoolBuildCold(b *testing.B) {
+	scale, samples := 0.01, 10000
+	if testing.Short() {
+		scale, samples = 0.004, 2000
+	}
+	spec, err := dataset.ByName("flixster")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := spec.Generate(scale, 2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seeds := dataset.InfluentialSeeds(g, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool, err := NewPool(g, seeds, 20, ModeFull, 7, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pool.Extend(samples)
+	}
+}
+
+// BenchmarkPRREval measures a full Δ̂ evaluation sweep over the pool:
+// one Eval BFS per boostable graph against a fixed boost set. With
+// arena-backed storage the sweep walks contiguous memory; before the
+// refactor every graph was a separate heap object. Reported per sweep,
+// with graphs/op recording the sweep width.
+func BenchmarkPRREval(b *testing.B) {
+	pool := benchPool(b, 20)
+	chosen, _, err := pool.SelectDelta(20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(chosen) == 0 {
+		b.Fatal("empty selection")
+	}
+	mask := make([]bool, pool.Graph().N())
+	for _, v := range chosen {
+		mask[v] = true
+	}
+	s := NewScratch()
+	covered := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for gi := 0; gi < pool.arena.numGraphs(); gi++ {
+			R := pool.arena.at(gi)
+			if R.Eval(mask, s) {
+				covered++
+			}
+		}
+	}
+	if covered == 0 {
+		b.Fatal("boost set covered nothing")
+	}
+	b.ReportMetric(float64(pool.arena.numGraphs()), "graphs/op")
+}

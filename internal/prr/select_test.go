@@ -2,6 +2,7 @@ package prr
 
 import (
 	"fmt"
+	"slices"
 	"testing"
 
 	"github.com/kboost/kboost/internal/rng"
@@ -127,8 +128,21 @@ func TestDeltaIndexMatchesRebuild(t *testing.T) {
 	}
 	for _, target := range []int{500, 1300, 2600} {
 		pool.Extend(target)
+		// From-scratch rebuild over the full arena. Independently verify
+		// the candidate contract first: each graph's indexed candidate set
+		// must equal its Candidates(∅) output (sorted — the critical set).
+		s := NewScratch()
+		for i := 0; i < pool.arena.numGraphs(); i++ {
+			R := pool.arena.at(i)
+			_, cs := R.Candidates(pool.zeroMask, s)
+			sorted := append([]int32(nil), cs...)
+			slices.Sort(sorted)
+			if fmt.Sprint(sorted) != fmt.Sprint(pool.sel.initialCands(i)) {
+				t.Fatalf("graph %d: indexed candidates %v != Candidates(∅) %v", i, pool.sel.initialCands(i), sorted)
+			}
+		}
 		want := newDeltaIndex(g.N())
-		want.extend(pool.graphs, 0, pool.zeroMask, 1)
+		want.extend(&pool.arena, 0)
 		got := pool.sel
 		if fmt.Sprint(got.postStart) != fmt.Sprint(want.postStart) ||
 			fmt.Sprint(got.postItems) != fmt.Sprint(want.postItems) {

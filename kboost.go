@@ -50,13 +50,18 @@
 // that issue many what-if queries over a fixed network — different k,
 // different seed sets, tighter ε — the Engine amortizes that cost: it
 // holds registered graph snapshots and an LRU cache of PRR pools
-// (bounded by entry count and by estimated pool bytes), deduplicates
+// (bounded by entry count and by exact resident pool bytes — pool
+// storage is arena-backed, flat arrays rather than per-sketch heap
+// objects, so the byte accounting matches real memory), deduplicates
 // concurrent identical queries, and grows a cached pool in place when a
-// later query needs more samples. Warm selection is incremental too:
-// each pool maintains a persistent Δ̂ selection index, concurrent warm
-// queries on one pool select in parallel, and a per-pool result cache
-// keyed by (pool generation, k) lets an identical repeat query skip
-// selection entirely (ResultCached reports this).
+// later query needs more samples. Pool growth itself is sharded: each
+// worker samples into a private arena, merged in deterministic worker
+// order, so a pool's contents are bit-identical for any fixed
+// (seed, workers) pair regardless of scheduling. Warm selection is
+// incremental too: each pool maintains a persistent Δ̂ selection index,
+// concurrent warm queries on one pool select in parallel, and a
+// per-pool result cache keyed by (pool generation, k) lets an identical
+// repeat query skip selection entirely (ResultCached reports this).
 //
 //	eng := kboost.NewEngine(kboost.EngineOptions{})
 //	_ = eng.RegisterGraph("prod", g)
