@@ -5,7 +5,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: all build test race bench bench-short bench-gate fuzz-short
+.PHONY: all build test race lint bench bench-short bench-gate fuzz-short
 
 all: build test
 
@@ -15,8 +15,29 @@ build:
 test:
 	$(GO) test ./...
 
+# maxcover (CoverageOf/MemoryBytes run concurrently with each other) and
+# graph (shared immutable CSR read from every worker) joined the race
+# matrix alongside the original four concurrent hot paths.
 race:
-	$(GO) test -race ./internal/prr ./internal/diffusion ./internal/engine ./internal/lt
+	$(GO) test -race ./internal/prr ./internal/diffusion ./internal/engine ./internal/lt ./internal/maxcover ./internal/graph
+
+# lint runs the project's own invariant analyzers (cmd/kboostvet: see
+# internal/analysis) plus staticcheck and govulncheck when they are on
+# PATH. CI installs pinned versions; locally the extra tools are
+# optional so the target works on a bare toolchain.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/kboostvet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+	  staticcheck ./... ; \
+	else \
+	  echo "lint: staticcheck not installed, skipping (CI runs it pinned)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+	  govulncheck ./... ; \
+	else \
+	  echo "lint: govulncheck not installed, skipping (CI runs it pinned)"; \
+	fi
 
 # fuzz-short smoke-fuzzes the graph codecs (the untrusted-input surface
 # of the upload endpoint); go only accepts one fuzz target per run.
@@ -44,11 +65,13 @@ bench-short:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngineWarmBoost|BenchmarkLTWarmBoost|BenchmarkLTPoolExtend' -benchmem -benchtime 1x -short -count=1 .
 
 # bench-gate re-runs the cheap warm-path benchmarks at full size, emits
-# BENCH_fresh.json, and fails on a >25% ns/op regression against the
-# committed BENCH_select.json baseline (warm benchmarks only — cold
-# ns/op varies too much across runners to gate on). The comparator
-# lives in cmd/benchjson.
+# BENCH_fresh.json, and fails on a >25% ns/op or allocs_per_op
+# regression against the committed BENCH_select.json baseline (warm
+# benchmarks only — cold ns/op varies too much across runners to gate
+# on; alloc counts are exact, so the alloc gate catches an accidental
+# per-call allocation on the warm path even when the runner is noisy).
+# The comparator lives in cmd/benchjson.
 bench-gate:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkSelectDeltaWarm' -benchmem -count=1 ./internal/prr && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkEngineWarmBoost' -benchmem -count=1 . ; } | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_fresh.json
-	$(GO) run ./cmd/benchjson -baseline BENCH_select.json -current BENCH_fresh.json -filter Warm -max-regress 0.25
+	$(GO) run ./cmd/benchjson -baseline BENCH_select.json -current BENCH_fresh.json -filter Warm -max-regress 0.25 -max-alloc-regress 0.25

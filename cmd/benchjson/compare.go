@@ -11,20 +11,28 @@ import (
 // compare is the bench-gate: it loads two benchjson outputs and fails
 // (returns an error) when any benchmark present in both files — and
 // matching the filter substring — regressed in ns/op by more than
-// maxRegress. Benchmarks present on only one side are reported but
-// never fail the gate, so new benchmarks cannot break CI before a
-// baseline lands. The committed baseline is recorded on whatever
-// machine last ran `make bench`, so cross-machine comparisons carry
-// hardware skew: the gate is restricted to cheap warm-path benchmarks
-// (CI runners are at least as parallel as the baseline machines, so
-// skew shows up as headroom, not false failures) and the regression
-// budget absorbs the rest. Re-run `make bench` to re-baseline after an
-// intentional change.
+// maxRegress, or in allocs_per_op by more than maxAllocRegress.
+// Benchmarks present on only one side are reported but never fail the
+// gate, so new benchmarks cannot break CI before a baseline lands. The
+// committed baseline is recorded on whatever machine last ran `make
+// bench`, so cross-machine comparisons carry hardware skew: the gate is
+// restricted to cheap warm-path benchmarks (CI runners are at least as
+// parallel as the baseline machines, so skew shows up as headroom, not
+// false failures) and the regression budget absorbs the rest. Re-run
+// `make bench` to re-baseline after an intentional change.
+//
+// The alloc gate complements the ns/op gate: allocation counts are
+// exact, not timing-noise-dependent, so it catches an accidental
+// per-call allocation on a warm path even on a noisy runner. A
+// benchmark whose baseline reports zero allocs/op must stay at zero
+// (the bench target always records with -benchmem, so zero means
+// zero-alloc, not unmeasured); with maxAllocRegress < 0 the alloc gate
+// is disabled entirely.
 //
 // Benchmark names carry a -GOMAXPROCS suffix (e.g. "/incremental-8")
 // that varies across machines; names are normalized before matching so
 // a laptop baseline still gates a CI runner.
-func compare(baselinePath, currentPath, filter string, maxRegress float64, w io.Writer) error {
+func compare(baselinePath, currentPath, filter string, maxRegress, maxAllocRegress float64, w io.Writer) error {
 	if currentPath == "" {
 		return fmt.Errorf("compare mode needs -current")
 	}
@@ -59,15 +67,27 @@ func compare(baselinePath, currentPath, filter string, maxRegress float64, w io.
 			regressions = append(regressions, fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%)",
 				name, b.NsPerOp, c.NsPerOp, (ratio-1)*100))
 		}
-		fmt.Fprintf(w, "benchjson: %-50s %12.0f -> %12.0f ns/op  %+7.1f%%  %s\n",
-			name, b.NsPerOp, c.NsPerOp, (ratio-1)*100, status)
+		if maxAllocRegress >= 0 {
+			switch {
+			case b.AllocsPerOp == 0 && c.AllocsPerOp > 0:
+				status = "REGRESSION"
+				regressions = append(regressions, fmt.Sprintf("%s: 0 -> %.0f allocs/op (was alloc-free)",
+					name, c.AllocsPerOp))
+			case b.AllocsPerOp > 0 && c.AllocsPerOp/b.AllocsPerOp > 1+maxAllocRegress:
+				status = "REGRESSION"
+				regressions = append(regressions, fmt.Sprintf("%s: %.0f -> %.0f allocs/op (%+.1f%%)",
+					name, b.AllocsPerOp, c.AllocsPerOp, (c.AllocsPerOp/b.AllocsPerOp-1)*100))
+			}
+		}
+		fmt.Fprintf(w, "benchjson: %-50s %12.0f -> %12.0f ns/op  %+7.1f%%  %4.0f -> %4.0f allocs/op  %s\n",
+			name, b.NsPerOp, c.NsPerOp, (ratio-1)*100, b.AllocsPerOp, c.AllocsPerOp, status)
 	}
 	if compared == 0 {
 		return fmt.Errorf("no benchmarks matched filter %q in both files", filter)
 	}
 	if len(regressions) > 0 {
-		return fmt.Errorf("ns/op regression beyond %.0f%% on:\n  %s",
-			maxRegress*100, strings.Join(regressions, "\n  "))
+		return fmt.Errorf("regression beyond the gate (%.0f%% ns/op, %.0f%% allocs/op) on:\n  %s",
+			maxRegress*100, maxAllocRegress*100, strings.Join(regressions, "\n  "))
 	}
 	fmt.Fprintf(w, "benchjson: %d benchmark(s) within the %.0f%% gate\n", compared, maxRegress*100)
 	return nil

@@ -8,10 +8,11 @@
 //	go test -run '^$' -bench SelectDeltaWarm -benchmem ./internal/prr | benchjson
 //
 // With -baseline it instead compares a fresh JSON file against a
-// committed baseline and fails on ns/op regressions — the CI gate:
+// committed baseline and fails on ns/op or allocs/op regressions — the
+// CI gate:
 //
 //	benchjson -baseline BENCH_select.json -current BENCH_fresh.json \
-//	          -filter Warm -max-regress 0.25
+//	          -filter Warm -max-regress 0.25 -max-alloc-regress 0.25
 package main
 
 import (
@@ -39,17 +40,18 @@ type result struct {
 func main() {
 	fs := flag.NewFlagSet("benchjson", flag.ExitOnError)
 	var (
-		baseline   = fs.String("baseline", "", "committed baseline JSON; switches to compare mode")
-		current    = fs.String("current", "", "fresh JSON to compare against -baseline")
-		filter     = fs.String("filter", "", "substring selecting which benchmarks the compare gate covers")
-		maxRegress = fs.Float64("max-regress", 0.25, "maximum tolerated fractional ns/op regression")
+		baseline        = fs.String("baseline", "", "committed baseline JSON; switches to compare mode")
+		current         = fs.String("current", "", "fresh JSON to compare against -baseline")
+		filter          = fs.String("filter", "", "substring selecting which benchmarks the compare gate covers")
+		maxRegress      = fs.Float64("max-regress", 0.25, "maximum tolerated fractional ns/op regression")
+		maxAllocRegress = fs.Float64("max-alloc-regress", 0.25, "maximum tolerated fractional allocs/op regression (negative disables the alloc gate)")
 	)
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
 	var err error
 	if *baseline != "" {
-		err = compare(*baseline, *current, *filter, *maxRegress, os.Stdout)
+		err = compare(*baseline, *current, *filter, *maxRegress, *maxAllocRegress, os.Stdout)
 	} else {
 		err = run()
 	}

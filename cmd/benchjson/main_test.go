@@ -72,7 +72,7 @@ func TestCompareGate(t *testing.T) {
 		{"name": "BenchmarkWarmB-16", "iterations": 10, "ns_per_op": 1500},
 		{"name": "BenchmarkWarmNew-16", "iterations": 10, "ns_per_op": 9999}
 	]`)
-	if err := compare(base, cur, "Warm", 0.25, &strings.Builder{}); err != nil {
+	if err := compare(base, cur, "Warm", 0.25, 0.25, &strings.Builder{}); err != nil {
 		t.Fatalf("within-gate compare failed: %v", err)
 	}
 
@@ -82,7 +82,7 @@ func TestCompareGate(t *testing.T) {
 		{"name": "BenchmarkWarmA-16", "iterations": 10, "ns_per_op": 1500},
 		{"name": "BenchmarkColdC-16", "iterations": 10, "ns_per_op": 500}
 	]`)
-	err := compare(base, bad, "Warm", 0.25, &strings.Builder{})
+	err := compare(base, bad, "Warm", 0.25, 0.25, &strings.Builder{})
 	if err == nil {
 		t.Fatal("regression passed the gate")
 	}
@@ -95,8 +95,50 @@ func TestCompareGate(t *testing.T) {
 	}
 
 	// No overlap at all is an error, not a silent pass.
-	if err := compare(base, cur, "NoSuchBench", 0.25, &strings.Builder{}); err == nil {
+	if err := compare(base, cur, "NoSuchBench", 0.25, 0.25, &strings.Builder{}); err == nil {
 		t.Fatal("empty comparison passed the gate")
+	}
+}
+
+func TestCompareAllocGate(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", `[
+		{"name": "BenchmarkWarmA-8", "iterations": 10, "ns_per_op": 1000, "allocs_per_op": 8},
+		{"name": "BenchmarkWarmB-8", "iterations": 10, "ns_per_op": 1000}
+	]`)
+
+	// Allocs within the 25% budget (8 -> 10), zero-alloc stays zero.
+	ok := writeJSON(t, dir, "ok.json", `[
+		{"name": "BenchmarkWarmA-16", "iterations": 10, "ns_per_op": 1000, "allocs_per_op": 10},
+		{"name": "BenchmarkWarmB-16", "iterations": 10, "ns_per_op": 1000}
+	]`)
+	if err := compare(base, ok, "Warm", 0.25, 0.25, &strings.Builder{}); err != nil {
+		t.Fatalf("within-gate alloc compare failed: %v", err)
+	}
+
+	// 8 -> 12 allocs/op is +50%: beyond the gate even with flat ns/op.
+	grew := writeJSON(t, dir, "grew.json", `[
+		{"name": "BenchmarkWarmA-16", "iterations": 10, "ns_per_op": 1000, "allocs_per_op": 12}
+	]`)
+	err := compare(base, grew, "Warm", 0.25, 0.25, &strings.Builder{})
+	if err == nil {
+		t.Fatal("alloc regression passed the gate")
+	}
+	if !strings.Contains(err.Error(), "allocs/op") {
+		t.Fatalf("error does not mention allocs: %v", err)
+	}
+
+	// A formerly alloc-free benchmark picking up any allocation fails.
+	leaked := writeJSON(t, dir, "leaked.json", `[
+		{"name": "BenchmarkWarmB-16", "iterations": 10, "ns_per_op": 1000, "allocs_per_op": 1}
+	]`)
+	if err := compare(base, leaked, "Warm", 0.25, 0.25, &strings.Builder{}); err == nil {
+		t.Fatal("alloc-free benchmark grew an allocation and passed the gate")
+	}
+
+	// Negative budget disables the alloc gate entirely.
+	if err := compare(base, grew, "Warm", 0.25, -1, &strings.Builder{}); err != nil {
+		t.Fatalf("disabled alloc gate still failed: %v", err)
 	}
 }
 

@@ -1,0 +1,61 @@
+// Command kboostvet runs the project's invariant analyzers — detrand,
+// guardedby, epochstamp and arenaview (see internal/analysis) — over
+// the module and exits nonzero on any diagnostic. It is the static
+// half of the hardening kit: the property tests and -race runs verify
+// the concurrency and determinism invariants dynamically, kboostvet
+// verifies the code patterns that protect them on every build.
+//
+// Usage:
+//
+//	go run ./cmd/kboostvet ./...
+//	kboostvet -C /path/to/repo ./internal/prr
+//
+// Package patterns are vet-style and restrict which packages are
+// analyzed; with none (or "./..."), the whole module is. detrand is
+// additionally restricted to the determinism-critical packages listed
+// in internal/analysis/detrand.DefaultScope.
+//
+// The suite is built on internal/analysis/framework, a stdlib-only
+// stand-in for golang.org/x/tools/go/analysis (this repository vendors
+// no dependencies), so kboostvet is a standalone command rather than a
+// `go vet -vettool` plugin; `make lint` wires it into the same seat.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/kboost/kboost/internal/analysis"
+)
+
+func main() {
+	fs := flag.NewFlagSet("kboostvet", flag.ExitOnError)
+	dir := fs.String("C", ".", "module directory to analyze")
+	list := fs.Bool("help-analyzers", false, "print the analyzer suite and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: kboostvet [-C dir] [package patterns]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	if *list {
+		for _, a := range analysis.Suite() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	diags, err := analysis.RunModule(*dir, fs.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kboostvet:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "kboostvet: %d issue(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

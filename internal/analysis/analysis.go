@@ -1,0 +1,64 @@
+// Package analysis aggregates the kboostvet analyzer suite: the four
+// project-specific passes that enforce the engine's concurrency and
+// determinism invariants at compile time (see the per-analyzer package
+// docs), plus the driver logic shared by cmd/kboostvet and the
+// self-clean test.
+//
+// The suite runs over the module with RunModule: detrand is restricted
+// to the determinism-critical packages (detrand.DefaultScope), the
+// other three run everywhere annotations can appear.
+package analysis
+
+import (
+	"github.com/kboost/kboost/internal/analysis/arenaview"
+	"github.com/kboost/kboost/internal/analysis/detrand"
+	"github.com/kboost/kboost/internal/analysis/epochstamp"
+	"github.com/kboost/kboost/internal/analysis/framework"
+	"github.com/kboost/kboost/internal/analysis/guardedby"
+)
+
+// ModulePath is the import path prefix that scope lists are relative
+// to.
+const ModulePath = "github.com/kboost/kboost"
+
+// Suite returns the kboostvet analyzers in reporting order.
+func Suite() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		detrand.Analyzer,
+		guardedby.Analyzer,
+		epochstamp.Analyzer,
+		arenaview.Analyzer,
+	}
+}
+
+// RunModule loads the module rooted at dir (restricted to the given
+// vet-style patterns, or everything when none are given) and applies
+// the whole suite, returning the combined diagnostics in file order.
+func RunModule(dir string, patterns ...string) ([]framework.Diagnostic, error) {
+	prog, err := framework.LoadModule(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var all []framework.Diagnostic
+	for _, a := range Suite() {
+		pkgs := prog.Packages
+		if a == detrand.Analyzer {
+			pkgs = nil
+			for _, pkg := range prog.Packages {
+				if detrand.InScope(framework.RelPath(ModulePath, pkg.PkgPath)) {
+					pkgs = append(pkgs, pkg)
+				}
+			}
+			if len(pkgs) == 0 {
+				continue
+			}
+		}
+		diags, err := prog.Run(a, pkgs...)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, diags...)
+	}
+	framework.SortDiagnostics(all)
+	return all, nil
+}

@@ -1,0 +1,125 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against `// want "regexp"` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest (which this repository
+// cannot depend on). Fixtures live under <analyzer>/testdata/src/<pkg>
+// and may import only the standard library.
+//
+// A want comment expects one diagnostic on its line whose message
+// matches the quoted regexp; several quoted regexps expect several
+// diagnostics. Lines without a want comment must produce no
+// diagnostics, so every fixture doubles as a negative (no-false-
+// positive) case.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"testing"
+
+	"github.com/kboost/kboost/internal/analysis/framework"
+)
+
+// wantRE extracts the quoted regexps of a want comment. Both quote
+// styles of the upstream analysistest are accepted: double quotes and
+// backticks (the latter spare escaping in regexps full of dots).
+var wantRE = regexp.MustCompile("want((?:\\s+(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`))+)")
+
+var quotedRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// Run applies a to each fixture package under testdata/src and reports
+// mismatches against the fixtures' want comments through t.
+func Run(t *testing.T, testdata string, a *framework.Analyzer, pkgs ...string) {
+	t.Helper()
+	modRoot := moduleRoot(t)
+	for _, pkg := range pkgs {
+		dir := filepath.Join(testdata, "src", pkg)
+		prog, err := framework.LoadFixture(modRoot, dir, pkg)
+		if err != nil {
+			t.Errorf("%s: loading fixture %s: %v", a.Name, pkg, err)
+			continue
+		}
+		diags, err := prog.Run(a)
+		if err != nil {
+			t.Errorf("%s: running on %s: %v", a.Name, pkg, err)
+			continue
+		}
+		checkWants(t, prog, a, diags)
+	}
+}
+
+// checkWants matches diagnostics against want comments line by line.
+func checkWants(t *testing.T, prog *framework.Program, a *framework.Analyzer, diags []framework.Diagnostic) {
+	t.Helper()
+	type lineKey struct {
+		file string
+		line int
+	}
+	wants := make(map[lineKey][]*regexp.Regexp)
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					key := lineKey{pos.Filename, pos.Line}
+					for _, q := range quotedRE.FindAllStringSubmatch(m[1], -1) {
+						pat := q[1]
+						if q[2] != "" {
+							pat = q[2]
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Errorf("%s: bad want regexp %q: %v", pos, pat, err)
+							continue
+						}
+						wants[key] = append(wants[key], re)
+					}
+				}
+			}
+		}
+	}
+	matched := make(map[lineKey]int)
+	for _, d := range diags {
+		key := lineKey{d.Pos.Filename, d.Pos.Line}
+		res := wants[key]
+		ok := false
+		for _, re := range res {
+			if re.MatchString(d.Message) {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s", a.Name, d)
+			continue
+		}
+		matched[key]++
+	}
+	for key, res := range wants {
+		if matched[key] < len(res) {
+			t.Errorf("%s: %s:%d: want %d diagnostic(s), got %d",
+				a.Name, key.file, key.line, len(res), matched[key])
+		}
+	}
+}
+
+// moduleRoot locates the repository root (the directory holding go.mod)
+// from the caller's source position, so fixtures resolve their standard
+// library imports through the module's go tool context.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("analysistest: cannot locate caller")
+	}
+	// .../internal/analysis/analysistest/analysistest.go -> module root.
+	root := filepath.Dir(filepath.Dir(filepath.Dir(filepath.Dir(file))))
+	if _, err := filepath.Abs(root); err != nil {
+		t.Fatal(fmt.Errorf("analysistest: %w", err))
+	}
+	return root
+}

@@ -1,0 +1,217 @@
+// Package arenaview enforces the aliasing discipline of arena-backed
+// slice views. Accessors annotated `kboost:aliased-view` return slices
+// that alias shared flat storage (the PR 5 arena layout: a PRR-graph's
+// critical set, a coverage index's item list, a pool's seed set). Such
+// a view must be treated as read-only and transient:
+//
+//   - appending to it either clobbers the arena's slack (corrupting the
+//     next graph's segment) or silently reallocates, depending on cap —
+//     both wrong;
+//   - reslicing it beyond its length (v[:cap(v)], v[a:b:c]) exposes
+//     neighboring segments of the arena;
+//   - storing it into a struct field outlives the pool's read/extend
+//     discipline: a later Extend may grow the backing array and leave
+//     the stored view pointing at dead memory.
+//
+// The analyzer taints local variables assigned from annotated calls
+// (including through plain copies and subslicing) with simple
+// function-local dataflow, then reports append, cap-growing reslice,
+// and escape-to-struct-field on tainted values. Copying out
+// (append([]T(nil), view...), copy(dst, view)) and read-only iteration
+// are, deliberately, not findings.
+package arenaview
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/kboost/kboost/internal/analysis/framework"
+)
+
+// Analyzer is the arenaview pass.
+var Analyzer = &framework.Analyzer{
+	Name: "arenaview",
+	Doc: "flag append, cap-growing reslice, and escape-to-struct-field " +
+		"of slices returned by kboost:aliased-view accessors",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+// isViewCall reports whether e is a call to a kboost:aliased-view
+// annotated function or method.
+func isViewCall(pass *framework.Pass, e ast.Expr) (string, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[fun.Sel]
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[fun]
+	default:
+		return "", false
+	}
+	if obj == nil {
+		return "", false
+	}
+	for _, ann := range pass.Program.FuncAnnotations(obj) {
+		if ann.Key == "aliased-view" {
+			return obj.Name(), true
+		}
+	}
+	return "", false
+}
+
+func checkFunc(pass *framework.Pass, fn *ast.FuncDecl) {
+	// tainted maps local variable objects to the accessor that produced
+	// their aliased view. Two passes make ordering irrelevant for the
+	// common straight-line flows while staying O(ast).
+	tainted := make(map[types.Object]string)
+
+	// taintSource returns the accessor name when e evaluates to an
+	// aliased view: a direct annotated call, a subslice of one, or a
+	// variable already tainted.
+	var taintSource func(e ast.Expr) (string, bool)
+	taintSource = func(e ast.Expr) (string, bool) {
+		e = ast.Unparen(e)
+		if name, ok := isViewCall(pass, e); ok {
+			return name, true
+		}
+		switch e := e.(type) {
+		case *ast.Ident:
+			if name, ok := tainted[pass.TypesInfo.ObjectOf(e)]; ok {
+				return name, true
+			}
+		case *ast.SliceExpr:
+			return taintSource(e.X)
+		}
+		return "", false
+	}
+
+	for pass2 := 0; pass2 < 2; pass2++ {
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			asg, ok := n.(*ast.AssignStmt)
+			if !ok || len(asg.Lhs) != len(asg.Rhs) {
+				return true
+			}
+			for i, lhs := range asg.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				if name, ok := taintSource(asg.Rhs[i]); ok {
+					if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+						tainted[obj] = name
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// append(view, ...): growing an aliased view in place.
+			if id, ok := n.Fun.(*ast.Ident); ok && len(n.Args) >= 1 {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+					if name, ok := taintSource(n.Args[0]); ok {
+						pass.Reportf(n.Pos(),
+							"append to aliased view from %s (kboost:aliased-view): it shares arena backing storage; copy it first (append([]T(nil), v...))",
+							name)
+					}
+				}
+			}
+		case *ast.SliceExpr:
+			// v[:cap(v)] or any 3-index slice raising Max: exposes arena
+			// slack beyond the view's segment.
+			if name, ok := taintSource(n.X); ok {
+				if n.Max != nil || mentionsCap(pass, n.High) {
+					pass.Reportf(n.Pos(),
+						"cap-growing reslice of aliased view from %s (kboost:aliased-view): bytes past len belong to neighboring arena segments",
+						name)
+				}
+			}
+		case *ast.AssignStmt:
+			// field = view: the view escapes the local read scope.
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				sel, ok := lhs.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				s := pass.TypesInfo.Selections[sel]
+				if s == nil || s.Kind() != types.FieldVal {
+					continue
+				}
+				if name, ok := taintSource(n.Rhs[i]); ok {
+					pass.Reportf(n.Pos(),
+						"aliased view from %s (kboost:aliased-view) stored into field %s: it outlives the pool's read/extend discipline; copy it instead",
+						name, s.Obj().Name())
+				}
+			}
+		case *ast.CompositeLit:
+			// T{f: view}: same escape through a literal.
+			for _, elt := range n.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if _, isStruct := structLitType(pass, n); !isStruct {
+					continue
+				}
+				if name, ok := taintSource(kv.Value); ok {
+					pass.Reportf(kv.Pos(),
+						"aliased view from %s (kboost:aliased-view) stored into struct literal field %s: it outlives the pool's read/extend discipline; copy it instead",
+						name, framework.ExprString(kv.Key))
+				}
+			}
+		}
+		return true
+	})
+}
+
+func mentionsCap(pass *framework.Pass, e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "cap" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func structLitType(pass *framework.Pass, lit *ast.CompositeLit) (*types.Struct, bool) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok || tv.Type == nil {
+		return nil, false
+	}
+	st, ok := tv.Type.Underlying().(*types.Struct)
+	return st, ok
+}

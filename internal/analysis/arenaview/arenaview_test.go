@@ -1,0 +1,12 @@
+package arenaview_test
+
+import (
+	"testing"
+
+	"github.com/kboost/kboost/internal/analysis/analysistest"
+	"github.com/kboost/kboost/internal/analysis/arenaview"
+)
+
+func TestArenaView(t *testing.T) {
+	analysistest.Run(t, "testdata", arenaview.Analyzer, "a")
+}

@@ -1,0 +1,25 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"github.com/kboost/kboost/internal/analysis/analysistest"
+	"github.com/kboost/kboost/internal/analysis/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, "testdata", detrand.Analyzer, "a")
+}
+
+func TestInScope(t *testing.T) {
+	for _, rel := range detrand.DefaultScope {
+		if !detrand.InScope(rel) {
+			t.Errorf("InScope(%q) = false, want true", rel)
+		}
+	}
+	for _, rel := range []string{"internal/engine", "cmd/kboostd", ""} {
+		if detrand.InScope(rel) {
+			t.Errorf("InScope(%q) = true, want false", rel)
+		}
+	}
+}

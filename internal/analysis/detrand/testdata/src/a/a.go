@@ -1,0 +1,74 @@
+// Fixture for the detrand analyzer: seeded violations carry want
+// comments; everything else must stay silent.
+package a
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func globalRand() int {
+	return rand.Intn(10) // want `global math/rand\.Intn`
+}
+
+func globalFloat() float64 {
+	f := rand.Float64 // want `global math/rand\.Float64`
+	return f()
+}
+
+func seededLocal() int {
+	r := rand.New(rand.NewSource(42)) // constructors are allowed
+	return r.Intn(10)
+}
+
+func wallClock() time.Time {
+	return time.Now() // want `wall-clock read time\.Now`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `wall-clock read time\.Since`
+}
+
+func parseOK() (time.Duration, error) {
+	return time.ParseDuration("1s") // other time funcs are fine
+}
+
+func mapOrderedAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append of a map-iteration value`
+	}
+	return out
+}
+
+func mapIndexedStore(m map[int]int, out []int) {
+	for k, v := range m {
+		out[k] = v // want `indexed store of a map-iteration value`
+	}
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // collect-then-sort is the blessed pattern
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func loopLocal(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		vals := []int{}
+		vals = append(vals, v) // loop-local slice: order never escapes
+		n += vals[0]
+	}
+	return n
+}
+
+func mapStoreIsFine(m map[string]int, dst map[string]int) {
+	for k, v := range m {
+		dst[k] = v // map target: order-free
+	}
+}

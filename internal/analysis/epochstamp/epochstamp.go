@@ -1,0 +1,187 @@
+// Package epochstamp pins the int32 epoch-stamp wrap discipline: a
+// stamp array paired with an int32 epoch counter ("mark[v] == epoch
+// means v is marked this round") must never increment the epoch past
+// math.MaxInt32, or the wrapped counter collides with stamps still in
+// the array and stale entries silently read as current — the exact bug
+// class PR 5 fixed across prr, lt and maxcover.
+//
+// Discipline, as an annotation grammar:
+//
+//	epoch int32 // kboost:epoch
+//
+//	// bumpEpoch advances the stamp... kboost:epoch-helper
+//	func (s *scratch) bumpEpoch() {
+//		if s.epoch == math.MaxInt32 { clear(s.mark); s.epoch = 0 }
+//		s.epoch++
+//	}
+//
+// The analyzer reports (1) any ++ / += / x = x + n on an annotated
+// field outside a function annotated kboost:epoch-helper, and (2) any
+// epoch-helper that increments an annotated field without a
+// math.MaxInt32 wrap guard on that field in the same body. Plain
+// resets (x = 0) are allowed anywhere: restarting an epoch at zero is
+// how the wrap guard and the reallocation path work.
+package epochstamp
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"math"
+
+	"github.com/kboost/kboost/internal/analysis/framework"
+)
+
+// Analyzer is the epochstamp pass.
+var Analyzer = &framework.Analyzer{
+	Name: "epochstamp",
+	Doc: "flag increments of kboost:epoch annotated fields outside their " +
+		"wrap-safe kboost:epoch-helper, and helpers missing the wrap guard",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *framework.Pass, fn *ast.FuncDecl) {
+	isHelper := false
+	if obj := pass.TypesInfo.Defs[fn.Name]; obj != nil {
+		for _, ann := range pass.Program.FuncAnnotations(obj) {
+			if ann.Key == "epoch-helper" {
+				isHelper = true
+			}
+		}
+	}
+
+	// incremented collects the annotated epoch fields this function
+	// bumps, so a helper can be checked for wrap guards afterwards.
+	incremented := make(map[types.Object]token.Pos)
+
+	record := func(sel *ast.SelectorExpr, pos token.Pos) {
+		obj := epochField(pass, sel)
+		if obj == nil {
+			return
+		}
+		if !isHelper {
+			pass.Reportf(pos,
+				"epoch field %s (kboost:epoch) incremented outside its wrap-safe helper; route the bump through the kboost:epoch-helper function so the math.MaxInt32 wrap guard always runs",
+				obj.Name())
+			return
+		}
+		if _, ok := incremented[obj]; !ok {
+			incremented[obj] = pos
+		}
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IncDecStmt:
+			if sel, ok := n.X.(*ast.SelectorExpr); ok {
+				record(sel, n.Pos())
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+				return true
+			}
+			sel, ok := n.Lhs[0].(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch n.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN:
+				record(sel, n.Pos())
+			case token.ASSIGN:
+				// x.epoch = x.epoch + 1 (spelled-out increment). Plain
+				// resets to a constant are fine.
+				if rhsMentions(pass, n.Rhs[0], epochField(pass, sel)) {
+					record(sel, n.Pos())
+				}
+			}
+		}
+		return true
+	})
+
+	for obj, pos := range incremented {
+		if !hasWrapGuard(pass, fn.Body, obj) {
+			pass.Reportf(pos,
+				"epoch helper %s increments %s without a wrap guard; compare against math.MaxInt32 and clear the stamp array before wrapping to zero",
+				fn.Name.Name, obj.Name())
+		}
+	}
+}
+
+// epochField resolves sel to a kboost:epoch annotated field object, or
+// nil.
+func epochField(pass *framework.Pass, sel *ast.SelectorExpr) types.Object {
+	selection := pass.TypesInfo.Selections[sel]
+	if selection == nil || selection.Kind() != types.FieldVal {
+		return nil
+	}
+	obj := selection.Obj()
+	for _, ann := range pass.Program.FieldAnnotations(obj) {
+		if ann.Key == "epoch" {
+			return obj
+		}
+	}
+	return nil
+}
+
+// rhsMentions reports whether expr reads the given field (making an
+// assignment an increment rather than a reset).
+func rhsMentions(pass *framework.Pass, expr ast.Expr, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if s := pass.TypesInfo.Selections[sel]; s != nil && s.Obj() == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// hasWrapGuard reports whether body compares the field against
+// math.MaxInt32 (either spelling: the constant, or an expression whose
+// constant value equals 1<<31 - 1).
+func hasWrapGuard(pass *framework.Pass, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.GEQ) {
+			return !found
+		}
+		sides := [2]ast.Expr{be.X, be.Y}
+		for i, side := range sides {
+			sel, ok := side.(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			if s := pass.TypesInfo.Selections[sel]; s == nil || s.Obj() != obj {
+				continue
+			}
+			other := sides[1-i]
+			if tv, ok := pass.TypesInfo.Types[other]; ok && tv.Value != nil {
+				if v, exact := constant.Int64Val(tv.Value); exact && v == math.MaxInt32 {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

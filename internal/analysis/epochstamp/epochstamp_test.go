@@ -1,0 +1,12 @@
+package epochstamp_test
+
+import (
+	"testing"
+
+	"github.com/kboost/kboost/internal/analysis/analysistest"
+	"github.com/kboost/kboost/internal/analysis/epochstamp"
+)
+
+func TestEpochStamp(t *testing.T) {
+	analysistest.Run(t, "testdata", epochstamp.Analyzer, "a")
+}

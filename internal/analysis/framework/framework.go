@@ -1,0 +1,272 @@
+// Package framework is a self-contained, dependency-free analysis
+// driver modeled on golang.org/x/tools/go/analysis. The container this
+// repository grows in cannot add module dependencies, so instead of the
+// real x/tools framework it provides the same working surface —
+// Analyzer / Pass / Diagnostic, a loader that typechecks the module,
+// and an analysistest-style fixture runner (see the sibling
+// analysistest package) — built only on the standard library.
+//
+// Type information comes from `go list -deps -export`: the go tool
+// compiles (or reuses from the build cache) every dependency and
+// reports its export-data file, which go/importer's "gc" mode loads
+// through a lookup function. Module packages are then typechecked from
+// source against that export data. This is the same shape as
+// unitchecker's fact/export pipeline, minus the vet-tool protocol.
+//
+// On top of plain type info the loader indexes the repository's
+// machine-readable invariant annotations (the `kboost:` comment
+// grammar) so analyzers can consume them uniformly:
+//
+//	// kboost:guarded-by mu        on a struct field: reads/writes
+//	//                             require <receiver>.mu held
+//	// kboost:guarded-by Engine.mu on a struct field: guarded by the
+//	//                             mu field of another struct
+//	// kboost:epoch                on an int32 epoch-stamp field:
+//	//                             increments only inside the wrap-safe
+//	//                             helper
+//	// kboost:epoch-helper         on the designated wrap-safe bump
+//	//                             helper for annotated epoch fields
+//	// kboost:aliased-view         on an accessor returning a slice that
+//	//                             aliases shared arena storage
+//	// kboost:holds mu             on a function whose contract is that
+//	//                             the caller already holds the lock
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics (lowercase, no spaces).
+	Name string
+	// Doc is the one-paragraph description printed by kboostvet -help.
+	Doc string
+	// Run applies the analyzer to one package and reports diagnostics
+	// through the pass.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one reported finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// A Pass provides one analyzer run over one package: its syntax, type
+// information, and the program-wide annotation index.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Program   *Program
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Package is one loaded, typechecked module package.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// An Annotation is one parsed `kboost:<key> [arg]` comment marker.
+type Annotation struct {
+	Key string // e.g. "guarded-by", "epoch", "aliased-view", "holds"
+	Arg string // e.g. "mu", "Engine.mu"; empty for bare markers
+	Pos token.Pos
+}
+
+// A Program is a loaded set of packages plus the annotation index that
+// the kboost analyzers share.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package
+
+	// fieldAnn keys annotations by the field's types.Var. All annotated
+	// fields in this repository are unexported, so every access resolves
+	// within the defining package and object identity is stable.
+	fieldAnn map[types.Object][]Annotation
+	// funcAnn keys annotations by a package-path-qualified name (see
+	// funcKey): annotated accessors may be called from other packages,
+	// where the callee resolves to an export-data object with a
+	// different identity than the source-checked one.
+	funcAnn map[string][]Annotation
+}
+
+// FieldAnnotations returns the kboost annotations on a struct field
+// object, or nil.
+func (prog *Program) FieldAnnotations(obj types.Object) []Annotation {
+	return prog.fieldAnn[obj]
+}
+
+// FuncAnnotations returns the kboost annotations on a function or
+// method object, or nil. It resolves through export data: the object
+// may come from a package other than the one that declared it.
+func (prog *Program) FuncAnnotations(obj types.Object) []Annotation {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	return prog.funcAnn[funcKey(fn)]
+}
+
+// Run applies one analyzer to every loaded package and returns its
+// diagnostics in file/line order.
+func (prog *Program) Run(a *Analyzer, pkgs ...*Package) ([]Diagnostic, error) {
+	if pkgs == nil {
+		pkgs = prog.Packages
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      prog.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Program:   prog,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+		}
+	}
+	SortDiagnostics(diags)
+	return diags, nil
+}
+
+// SortDiagnostics orders diagnostics by file, line, column, analyzer.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// funcKey builds the cross-package-stable key for a function object:
+// "pkgpath.Recv.Name" for methods, "pkgpath..Name" for functions.
+func funcKey(fn *types.Func) string {
+	path := ""
+	if fn.Pkg() != nil {
+		path = fn.Pkg().Path()
+	}
+	recv := ""
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			recv = named.Obj().Name()
+		}
+	}
+	return path + "." + recv + "." + fn.Name()
+}
+
+// annRE matches one kboost annotation inside a comment line.
+var annRE = regexp.MustCompile(`kboost:([a-z-]+)(?:[ \t]+([A-Za-z_][A-Za-z0-9_.]*))?`)
+
+// parseAnnotations extracts every kboost marker from a comment group.
+func parseAnnotations(groups ...*ast.CommentGroup) []Annotation {
+	var anns []Annotation
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			for _, m := range annRE.FindAllStringSubmatch(c.Text, -1) {
+				anns = append(anns, Annotation{Key: m[1], Arg: m[2], Pos: c.Pos()})
+			}
+		}
+	}
+	return anns
+}
+
+// indexAnnotations scans a typechecked package for kboost markers on
+// struct fields and function declarations and records them in the
+// program's index.
+func (prog *Program) indexAnnotations(pkg *Package) {
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				anns := parseAnnotations(d.Doc)
+				if len(anns) == 0 {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[d.Name].(*types.Func); ok {
+					prog.funcAnn[funcKey(fn)] = append(prog.funcAnn[funcKey(fn)], anns...)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, field := range st.Fields.List {
+						anns := parseAnnotations(field.Doc, field.Comment)
+						if len(anns) == 0 {
+							continue
+						}
+						for _, name := range field.Names {
+							if obj := pkg.Info.Defs[name]; obj != nil {
+								prog.fieldAnn[obj] = append(prog.fieldAnn[obj], anns...)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// ExprString renders an expression for diagnostics.
+func ExprString(e ast.Expr) string { return types.ExprString(e) }
+
+// RelPath strips the module path prefix from an import path, so scope
+// lists can be written module-relative ("internal/prr").
+func RelPath(modPath, pkgPath string) string {
+	if pkgPath == modPath {
+		return "."
+	}
+	return strings.TrimPrefix(pkgPath, modPath+"/")
+}

@@ -1,0 +1,229 @@
+package framework
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Export     string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+	Module     *struct{ Path, Dir string }
+}
+
+// goList runs `go list -deps -export -json` for the given patterns in
+// dir and returns the decoded package stream. -export makes the go tool
+// compile (or reuse from the build cache) each package and report its
+// export-data file, which is how the loader gets type information for
+// dependencies without typechecking the world from source.
+func goList(dir string, patterns ...string) ([]listPackage, error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Export,Dir,GoFiles,Standard,Module",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportLookup adapts an import-path -> export-file map to the lookup
+// function go/importer's "gc" mode wants.
+func exportLookup(exports map[string]string) func(string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+}
+
+// newProgram assembles an empty program around a fileset.
+func newProgram(fset *token.FileSet) *Program {
+	return &Program{
+		Fset:     fset,
+		fieldAnn: make(map[types.Object][]Annotation),
+		funcAnn:  make(map[string][]Annotation),
+	}
+}
+
+// typecheck parses and checks one package directory's files against the
+// export data of its dependencies, appending the result to the program.
+func (prog *Program) typecheck(pkgPath, dir string, goFiles []string, imp types.Importer) error {
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(prog.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkgPath, prog.Fset, files, info)
+	if err != nil {
+		return fmt.Errorf("typecheck %s: %w", pkgPath, err)
+	}
+	pkg := &Package{PkgPath: pkgPath, Dir: dir, Files: files, Types: tpkg, Info: info}
+	prog.Packages = append(prog.Packages, pkg)
+	prog.indexAnnotations(pkg)
+	return nil
+}
+
+// LoadModule loads and typechecks every package of the module rooted at
+// dir (excluding test files — the invariants under check live in
+// production code, and test files routinely use time and math/rand
+// legitimately). patterns restricts the set of packages *analyzed*;
+// nil, empty, "./..." or "all" means everything. Patterns are matched
+// as module-relative path prefixes, so "./internal/prr" and
+// "./internal/..." both work.
+func LoadModule(dir string, patterns ...string) (*Program, error) {
+	listed, err := goList(dir, "./...")
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	var modPkgs []listPackage
+	modPath := ""
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.Standard && p.Module != nil {
+			modPkgs = append(modPkgs, p)
+			modPath = p.Module.Path
+		}
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", exportLookup(exports))
+	prog := newProgram(fset)
+	for _, p := range modPkgs {
+		if !matchesPatterns(RelPath(modPath, p.ImportPath), patterns) {
+			continue
+		}
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		if err := prog.typecheck(p.ImportPath, p.Dir, p.GoFiles, imp); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}
+
+// matchesPatterns reports whether a module-relative package path is
+// selected by vet-style patterns ("./...", "./internal/prr",
+// "./internal/...").
+func matchesPatterns(rel string, patterns []string) bool {
+	if len(patterns) == 0 {
+		return true
+	}
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(pat, "./")
+		if pat == "..." || pat == "all" || pat == "" || pat == rel {
+			return true
+		}
+		if prefix, ok := strings.CutSuffix(pat, "/..."); ok {
+			if rel == prefix || strings.HasPrefix(rel, prefix+"/") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// LoadFixture loads one analysistest fixture package: the directory's
+// .go files typechecked as import path pkgPath. Fixtures may import
+// only the standard library; export data for those imports is resolved
+// through the go tool (run from moduleDir so it sees a module context).
+func LoadFixture(moduleDir, dir, pkgPath string) (*Program, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var goFiles []string
+	var files []*ast.File
+	importSet := make(map[string]bool)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		goFiles = append(goFiles, e.Name())
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, spec := range f.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err == nil && path != "unsafe" {
+				importSet[path] = true
+			}
+		}
+	}
+	if len(goFiles) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	exports := make(map[string]string)
+	if len(importSet) > 0 {
+		var imports []string
+		for path := range importSet {
+			imports = append(imports, path)
+		}
+		listed, err := goList(moduleDir, imports...)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	imp := importer.ForCompiler(fset, "gc", exportLookup(exports))
+	prog := newProgram(fset)
+	if err := prog.typecheck(pkgPath, dir, goFiles, imp); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}

@@ -1,0 +1,243 @@
+// Package guardedby is a lightweight lock checker driven by the
+// repository's `kboost:guarded-by` field annotations. The engine's
+// concurrency design splits state into mutex-guarded structure (the
+// registry, the pool cache, per-entry pools) and lock-free atomics (the
+// counters); this analyzer makes the guarded half machine-checked: a
+// read or write of an annotated field from a function that does not
+// acquire the named mutex is a diagnostic.
+//
+// Annotation grammar, on a struct field:
+//
+//	mu sync.Mutex
+//	graphs map[string]*snapshot // kboost:guarded-by mu
+//	bytes  int64                // kboost:guarded-by Engine.mu
+//
+// The bare form names a sibling mutex field: accesses to x.graphs
+// require a preceding x.mu.Lock() (or RLock for reads) in the same
+// function, on the same base x. The qualified form names the mutex
+// field of another struct in the same package: accesses require a
+// preceding <expr>.mu.Lock() where <expr> has that type.
+//
+// Two escape hatches express caller-holds-the-lock contracts:
+//
+//   - a function whose name ends in "Locked" (the repository's
+//     convention for callee-runs-under-callers-lock helpers), or
+//   - a function annotated `// kboost:holds mu` (or `Engine.mu`),
+//     naming the lock its callers are contractually holding.
+//
+// The check is positional, not path-sensitive: an access is considered
+// guarded when a matching Lock call appears earlier in the function
+// body. That catches the dangerous class — fields touched with no
+// locking discipline at all — while staying O(ast) and false-positive
+// free on real code; it does not model unlock windows or conditional
+// acquisition.
+package guardedby
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/kboost/kboost/internal/analysis/framework"
+)
+
+// Analyzer is the guardedby pass.
+var Analyzer = &framework.Analyzer{
+	Name: "guardedby",
+	Doc: "flag accesses to kboost:guarded-by annotated fields from " +
+		"functions that do not acquire the named mutex",
+	Run: run,
+}
+
+// guardSpec is one parsed guarded-by argument.
+type guardSpec struct {
+	typeName string // optional: owning struct of the mutex ("Engine")
+	muName   string // mutex field name ("mu", "resMu")
+}
+
+func parseSpec(arg string) guardSpec {
+	if i := strings.LastIndexByte(arg, '.'); i >= 0 {
+		return guardSpec{typeName: arg[:i], muName: arg[i+1:]}
+	}
+	return guardSpec{muName: arg}
+}
+
+// lockEvent is one mu.Lock()/mu.RLock() call site inside a function.
+type lockEvent struct {
+	muName   string
+	baseObj  types.Object // object of the receiver expr, if an identifier
+	baseType string       // named type of the receiver expr, pointer-stripped
+	rlock    bool
+	pos      token.Pos
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *framework.Pass, fn *ast.FuncDecl) {
+	// Caller-holds contracts silence matching specs for the whole body.
+	holdsAll := strings.HasSuffix(fn.Name.Name, "Locked")
+	holds := make(map[string]bool)
+	if obj := pass.TypesInfo.Defs[fn.Name]; obj != nil {
+		for _, ann := range pass.Program.FuncAnnotations(obj) {
+			if ann.Key == "holds" && ann.Arg != "" {
+				holds[ann.Arg] = true
+			}
+		}
+	}
+
+	var locks []lockEvent
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		kind := sel.Sel.Name
+		if kind != "Lock" && kind != "RLock" {
+			return true
+		}
+		mu, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		ev := lockEvent{muName: mu.Sel.Name, rlock: kind == "RLock", pos: call.Pos()}
+		if id, ok := mu.X.(*ast.Ident); ok {
+			ev.baseObj = pass.TypesInfo.ObjectOf(id)
+		}
+		ev.baseType = namedTypeOf(pass, mu.X)
+		locks = append(locks, ev)
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection := pass.TypesInfo.Selections[sel]
+		if selection == nil || selection.Kind() != types.FieldVal {
+			return true
+		}
+		fieldObj := selection.Obj()
+		for _, ann := range pass.Program.FieldAnnotations(fieldObj) {
+			if ann.Key != "guarded-by" || ann.Arg == "" {
+				continue
+			}
+			if holdsAll || holds[ann.Arg] {
+				continue
+			}
+			spec := parseSpec(ann.Arg)
+			write := isWriteTarget(fn.Body, sel)
+			if guarded(pass, locks, spec, sel, write) {
+				continue
+			}
+			verb := "read"
+			if write {
+				verb = "written"
+			}
+			need := spec.muName + ".Lock()"
+			if !write {
+				need = spec.muName + ".Lock() or " + spec.muName + ".RLock()"
+			}
+			pass.Reportf(sel.Pos(),
+				"field %s (kboost:guarded-by %s) %s without a preceding %s in %s; lock it, or annotate the function kboost:holds %s if callers hold the lock",
+				fieldObj.Name(), ann.Arg, verb, need, fn.Name.Name, ann.Arg)
+		}
+		return true
+	})
+}
+
+// guarded reports whether a matching lock acquisition precedes the
+// access. Writes require a write lock; reads accept RLock too.
+func guarded(pass *framework.Pass, locks []lockEvent, spec guardSpec, access *ast.SelectorExpr, write bool) bool {
+	var accessBaseObj types.Object
+	if id, ok := access.X.(*ast.Ident); ok {
+		accessBaseObj = pass.TypesInfo.ObjectOf(id)
+	}
+	accessBaseType := namedTypeOf(pass, access.X)
+	for _, ev := range locks {
+		if ev.pos >= access.Pos() || ev.muName != spec.muName {
+			continue
+		}
+		if write && ev.rlock {
+			continue
+		}
+		if spec.typeName != "" {
+			// Qualified spec: the lock's receiver must have the named type.
+			if ev.baseType == spec.typeName {
+				return true
+			}
+			continue
+		}
+		// Sibling spec: the lock must be taken on the same base as the
+		// access (by object when both are simple identifiers, by type as
+		// a fallback for chained expressions).
+		if ev.baseObj != nil && ev.baseObj == accessBaseObj {
+			return true
+		}
+		if ev.baseObj == nil && accessBaseObj == nil &&
+			ev.baseType != "" && ev.baseType == accessBaseType {
+			return true
+		}
+	}
+	return false
+}
+
+// isWriteTarget reports whether sel is assigned to (plain, compound, or
+// inc/dec) anywhere in body. Positional matching keeps this O(ast):
+// the selector node itself is compared by identity.
+func isWriteTarget(body *ast.BlockStmt, sel *ast.SelectorExpr) bool {
+	write := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if lhs == ast.Expr(sel) {
+					write = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if n.X == ast.Expr(sel) {
+				write = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND && n.X == ast.Expr(sel) {
+				write = true // address taken: treat as a potential write
+			}
+		}
+		return !write
+	})
+	return write
+}
+
+// namedTypeOf returns the name of an expression's named type with
+// pointers stripped, or "".
+func namedTypeOf(pass *framework.Pass, e ast.Expr) string {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}

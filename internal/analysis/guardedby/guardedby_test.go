@@ -1,0 +1,12 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"github.com/kboost/kboost/internal/analysis/analysistest"
+	"github.com/kboost/kboost/internal/analysis/guardedby"
+)
+
+func TestGuardedBy(t *testing.T) {
+	analysistest.Run(t, "testdata", guardedby.Analyzer, "a")
+}

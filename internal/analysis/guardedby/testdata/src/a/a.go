@@ -1,0 +1,75 @@
+// Fixture for the guardedby analyzer: seeded violations carry want
+// comments; everything else must stay silent.
+package a
+
+import "sync"
+
+type counterBox struct {
+	mu sync.RWMutex
+	n  int // kboost:guarded-by mu
+}
+
+func (b *counterBox) badRead() int {
+	return b.n // want `field n \(kboost:guarded-by mu\) read without a preceding mu\.Lock`
+}
+
+func (b *counterBox) badWrite(v int) {
+	b.n = v // want `field n \(kboost:guarded-by mu\) written without a preceding mu\.Lock`
+}
+
+func (b *counterBox) writeUnderRLock(v int) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	b.n = v // want `field n \(kboost:guarded-by mu\) written without a preceding mu\.Lock`
+}
+
+func (b *counterBox) goodRead() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.n
+}
+
+func (b *counterBox) goodWrite(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n = v
+}
+
+func (b *counterBox) goodIncrement() {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+// applyLocked runs under the caller's lock; the "Locked" suffix is the
+// repository convention for that contract.
+func (b *counterBox) applyLocked(f func(int) int) {
+	b.n = f(b.n)
+}
+
+// peek relies on the caller holding the lock.
+// kboost:holds mu
+func (b *counterBox) peek() int {
+	return b.n
+}
+
+type registry struct {
+	mu    sync.Mutex
+	slots map[string]*slot // kboost:guarded-by mu
+}
+
+type slot struct {
+	refs int // kboost:guarded-by registry.mu
+}
+
+func (r *registry) badSlotTouch(name string) {
+	s := r.slots[name] // want `field slots \(kboost:guarded-by mu\) read without a preceding mu\.Lock`
+	s.refs++           // want `field refs \(kboost:guarded-by registry\.mu\) written without a preceding mu\.Lock`
+}
+
+func (r *registry) goodSlotTouch(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.slots[name]
+	s.refs++
+}

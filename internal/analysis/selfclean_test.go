@@ -1,0 +1,31 @@
+package analysis
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// TestRepoSelfClean runs the full kboostvet suite over this repository
+// and requires zero diagnostics: the annotations in internal/engine,
+// internal/prr, internal/lt and internal/maxcover must all check out.
+// A failure here is a real invariant violation (or an annotation that
+// needs a kboost:holds contract) — fix the code, don't delete the
+// annotation.
+func TestRepoSelfClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping module-wide analysis in -short mode")
+	}
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate source file")
+	}
+	root := filepath.Dir(filepath.Dir(filepath.Dir(file)))
+	diags, err := RunModule(root, "./...")
+	if err != nil {
+		t.Fatalf("RunModule: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

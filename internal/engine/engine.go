@@ -205,17 +205,17 @@ type Engine struct {
 	opt Options
 
 	mu     sync.Mutex
-	graphs map[string]*snapshot
+	graphs map[string]*snapshot // kboost:guarded-by mu
 	// versions is the per-id version high-water mark. Unlike graphs it
 	// survives DeleteGraph: if a deleted id could restart at version 1,
 	// a pool built against the deleted snapshot by an in-flight query
 	// would pass acquireEntry's version-currency check and be cached for
 	// the unrelated new graph. Monotonicity across recreation keeps the
 	// "no query ever mixes snapshots" invariant airtight.
-	versions  map[string]uint64
-	pools     map[string]*poolEntry
-	lru       *list.List // of *poolEntry; front = most recently used
-	poolBytes int64      // summed ent.bytes of cached pools
+	versions  map[string]uint64     // kboost:guarded-by mu
+	pools     map[string]*poolEntry // kboost:guarded-by mu
+	lru       *list.List            // of *poolEntry; front = most recently used // kboost:guarded-by mu
+	poolBytes int64                 // summed ent.bytes of cached pools // kboost:guarded-by mu
 
 	ctr counters
 }
@@ -231,25 +231,26 @@ type poolEntry struct {
 	// graphID is the registered graph the pool was built against;
 	// UploadGraph/DeleteGraph sweep entries by it.
 	graphID string
-	elem    *list.Element // nil for detached entries (see acquireEntry)
+	// elem is nil for detached entries (see acquireEntry).
+	elem *list.Element // kboost:guarded-by Engine.mu
 
 	mu   sync.RWMutex
-	pool *prr.Pool // nil until the first query builds it
+	pool *prr.Pool // nil until the first query builds it // kboost:guarded-by mu
 	// lt is the boosted-LT profile pool for mode "lt" entries (an entry
 	// is either a PRR pool or an LT pool, never both — the families live
 	// under distinct keys but share the LRU, byte accounting and result
 	// cache machinery).
-	lt *lt.Pool
+	lt *lt.Pool // kboost:guarded-by mu
 	// sized records the (K, ε, ℓ, MaxSamples) sizings already applied to
 	// the current pool. Re-running the IMM sizing re-derives its OPT
 	// lower bound from the now-larger pool and can land on a slightly
 	// larger sample target, so without this memo a literally identical
 	// repeat query would still generate a few samples. Reset on rebuild.
-	sized map[string]bool
+	sized map[string]bool // kboost:guarded-by mu
 
 	// bytes is the pool's last MemoryEstimate, accounted into
 	// Engine.poolBytes; guarded by Engine.mu, not entry.mu.
-	bytes int64
+	bytes int64 // kboost:guarded-by Engine.mu
 
 	// results caches final selection results keyed by (pool generation,
 	// k): selection is a pure function of the pool contents, so an
@@ -257,8 +258,8 @@ type poolEntry struct {
 	// generation the map is valid for; growth or rebuild invalidates by
 	// generation mismatch / explicit clear.
 	resMu      sync.Mutex
-	results    map[resultKey]*core.Result
-	resultsGen uint64
+	results    map[resultKey]*core.Result // kboost:guarded-by resMu
+	resultsGen uint64                     // kboost:guarded-by resMu
 }
 
 // resultKey identifies one cached selection result. cand is the
@@ -723,6 +724,7 @@ func (e *Engine) Boost(req BoostRequest) (*BoostResult, error) {
 
 // finishBoost runs (or recalls) the selection phase for a ready pool.
 // Callers hold ent.mu.RLock; ent.pool is immutable for the duration.
+// kboost:holds mu
 func (e *Engine) finishBoost(ent *poolEntry, out *BoostResult, opt core.Options) (*BoostResult, error) {
 	pool := ent.pool
 	key := resultKey{gen: pool.Generation(), k: opt.K}
@@ -924,6 +926,7 @@ func (e *Engine) ltAcquire(req BoostRequest, g *graph.Graph, version uint64, see
 // finishBoostLT runs (or recalls) the pooled LT greedy for a ready
 // pool. Callers hold ent.mu.RLock; ent.lt is immutable for the
 // duration.
+// kboost:holds mu
 func (e *Engine) finishBoostLT(ent *poolEntry, out *BoostResult, k, candCap int) (*BoostResult, error) {
 	pool := ent.lt
 	key := resultKey{gen: pool.Generation(), k: k, cand: candCap}
@@ -1123,7 +1126,9 @@ func (e *Engine) Estimate(req EstimateRequest) (EstimateResult, error) {
 // extending the pool exactly like a mode:"lt" boost query would — so
 // estimates issued after a boost query (or vice versa) hit the same
 // warm pool, and both legs of Δ̂ share possible worlds (coupled,
-// low-variance).
+// low-variance — and ltAcquire returns holding ent.mu.RLock, which
+// covers the ent.lt reads below.
+// kboost:holds mu
 func (e *Engine) estimateLT(req EstimateRequest) (EstimateResult, error) {
 	g, version, err := e.snapshotFor(req.GraphID)
 	if err != nil {

@@ -118,7 +118,8 @@ func (p *Pool) NumProfiles() int { return len(p.profileSeed) }
 func (p *Pool) Graph() *graph.Graph { return p.g }
 
 // Seeds returns the pool's (sorted, deduplicated) seed set. The slice
-// is owned by the pool; callers must not modify it.
+// is owned by the pool (kboost:aliased-view); callers must not modify
+// it.
 func (p *Pool) Seeds() []int32 { return p.seeds }
 
 // Generation identifies the pool's contents: it increments on every
@@ -181,11 +182,12 @@ type evalScratch struct {
 	actNode  []int32   // every activation, in order
 
 	tstamp []int32 // touch-collection / dedup stamps
-	tepoch int32
+	tepoch int32   // kboost:epoch
 }
 
 // bumpTouchEpoch advances the touch stamp, clearing the stamp array
 // when the int32 epoch wraps so stale stamps can never read as current.
+// kboost:epoch-helper
 func (s *evalScratch) bumpTouchEpoch() {
 	if s.tepoch == math.MaxInt32 {
 		clear(s.tstamp)

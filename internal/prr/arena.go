@@ -69,7 +69,7 @@ func (a *arena) view(ref *prrRef) PRR {
 func (a *arena) at(i int) PRR { return a.view(&a.refs[i]) }
 
 // critAt returns graph i's critical node set (sorted original ids),
-// aliasing the arena.
+// aliasing the arena (kboost:aliased-view).
 func (a *arena) critAt(i int) []int32 {
 	ref := &a.refs[i]
 	return a.critical[ref.critOff : ref.critOff+ref.numCrit]

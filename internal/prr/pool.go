@@ -115,7 +115,8 @@ func (p *Pool) Size() int { return p.total }
 func (p *Pool) Graph() *graph.Graph { return p.g }
 
 // Seeds returns the seed set the pool was built for. The returned slice
-// is owned by the pool; callers must not modify it.
+// is owned by the pool (kboost:aliased-view); callers must not modify
+// it.
 func (p *Pool) Seeds() []int32 { return p.seeds }
 
 // K returns the generation budget: PRR-graphs were classified and

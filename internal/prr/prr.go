@@ -82,19 +82,20 @@ func (R *PRR) NumEdges() int { return len(R.outTo) }
 func (R *PRR) Root() int32 { return R.orig[R.root] }
 
 // Critical returns the original ids of the critical nodes C_R. The
-// slice aliases internal storage.
+// slice aliases internal storage (kboost:aliased-view): treat it as
+// read-only and copy it before growing or retaining it.
 func (R *PRR) Critical() []int32 { return R.critical }
 
 // Nodes returns the original ids of all boostable local nodes (every
 // node except the super-seed). The result aliases internal storage
-// starting at index 1.
+// starting at index 1 (kboost:aliased-view).
 func (R *PRR) Nodes() []int32 { return R.orig[1:] }
 
 // Scratch holds reusable BFS state for PRR evaluation. One Scratch may
 // be shared across many PRR graphs but not across goroutines.
 type Scratch struct {
 	mark  []int32
-	epoch int32
+	epoch int32 // kboost:epoch
 	queue []int32
 	cand  []int32
 }
@@ -102,6 +103,9 @@ type Scratch struct {
 // NewScratch returns an empty Scratch.
 func NewScratch() *Scratch { return &Scratch{} }
 
+// reset prepares the scratch for one evaluation over n local nodes:
+// it is the wrap-safe epoch bump (kboost:epoch-helper), so every other
+// increment of s.epoch is an analyzer error by construction.
 func (s *Scratch) reset(n int) {
 	if len(s.mark) < n {
 		s.mark = make([]int32, n)
