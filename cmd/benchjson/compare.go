@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
+	"sort"
 	"strings"
 )
 
 // compare is the bench-gate: it loads two benchjson outputs and fails
 // (returns an error) when any benchmark present in both files — and
-// matching the filter substring — regressed in ns/op by more than
+// matching the filter regexp — regressed in ns/op by more than
 // maxRegress, or in allocs_per_op by more than maxAllocRegress.
 // Benchmarks present on only one side are reported but never fail the
 // gate, so new benchmarks cannot break CI before a baseline lands. The
@@ -36,19 +38,23 @@ func compare(baselinePath, currentPath, filter string, maxRegress, maxAllocRegre
 	if currentPath == "" {
 		return fmt.Errorf("compare mode needs -current")
 	}
-	base, err := loadResults(baselinePath)
+	base, err := loadResults(baselinePath, pickMedian)
 	if err != nil {
 		return fmt.Errorf("baseline: %w", err)
 	}
-	cur, err := loadResults(currentPath)
+	cur, err := loadResults(currentPath, pickMin)
 	if err != nil {
 		return fmt.Errorf("current: %w", err)
+	}
+	keep, err := regexp.Compile(filter) // "" matches everything
+	if err != nil {
+		return fmt.Errorf("filter: %w", err)
 	}
 
 	var regressions []string
 	compared := 0
 	for name, c := range cur {
-		if filter != "" && !strings.Contains(name, filter) {
+		if !keep.MatchString(name) {
 			continue
 		}
 		b, ok := base[name]
@@ -94,11 +100,16 @@ func compare(baselinePath, currentPath, filter string, maxRegress, maxAllocRegre
 }
 
 // loadResults reads a benchjson output file into a map keyed by the
-// normalized benchmark name. Repeated entries (go test -count=N) keep
-// the minimum ns/op: the fastest run is the least-noisy estimate of a
-// benchmark's true cost, which keeps scheduler hiccups on shared
-// runners from reading as regressions.
-func loadResults(path string) (map[string]result, error) {
+// normalized benchmark name, collapsing repeated entries (go test
+// -count=N) with pick. The two sides of the gate aggregate
+// differently: the current side keeps the minimum ns/op (the fastest
+// run is the least-noisy estimate of a benchmark's true cost, so a
+// scheduler hiccup in one run cannot read as a regression), while the
+// baseline keeps the median (a lucky baseline run would silently
+// tighten the gate for every later commit — the comparison is "is even
+// the fastest fresh run more than the budget slower than a typical
+// baseline run?").
+func loadResults(path string, pick func([]result) result) (map[string]result, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -107,15 +118,35 @@ func loadResults(path string) (map[string]result, error) {
 	if err := json.Unmarshal(data, &results); err != nil {
 		return nil, err
 	}
-	out := make(map[string]result, len(results))
+	byName := make(map[string][]result, len(results))
 	for _, r := range results {
 		name := normalizeName(r.Name)
-		if prev, ok := out[name]; ok && prev.NsPerOp <= r.NsPerOp {
-			continue
-		}
-		out[name] = r
+		byName[name] = append(byName[name], r)
+	}
+	out := make(map[string]result, len(byName))
+	for name, rs := range byName {
+		out[name] = pick(rs)
 	}
 	return out, nil
+}
+
+// pickMin returns the entry with the lowest ns/op.
+func pickMin(rs []result) result {
+	best := rs[0]
+	for _, r := range rs[1:] {
+		if r.NsPerOp < best.NsPerOp {
+			best = r
+		}
+	}
+	return best
+}
+
+// pickMedian returns the entry with the median ns/op (lower-middle for
+// an even count, so a 2-entry file behaves like pickMin).
+func pickMedian(rs []result) result {
+	sorted := append([]result(nil), rs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].NsPerOp < sorted[j].NsPerOp })
+	return sorted[(len(sorted)-1)/2]
 }
 
 // normalizeName strips the trailing -GOMAXPROCS suffix go test appends

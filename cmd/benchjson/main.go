@@ -12,7 +12,7 @@
 // CI gate:
 //
 //	benchjson -baseline BENCH_select.json -current BENCH_fresh.json \
-//	          -filter Warm -max-regress 0.25 -max-alloc-regress 0.25
+//	          -filter 'Warm|PatchRepair' -max-regress 0.25 -max-alloc-regress 0.25
 package main
 
 import (
@@ -42,7 +42,7 @@ func main() {
 	var (
 		baseline        = fs.String("baseline", "", "committed baseline JSON; switches to compare mode")
 		current         = fs.String("current", "", "fresh JSON to compare against -baseline")
-		filter          = fs.String("filter", "", "substring selecting which benchmarks the compare gate covers")
+		filter          = fs.String("filter", "", "regexp selecting which benchmarks the compare gate covers")
 		maxRegress      = fs.Float64("max-regress", 0.25, "maximum tolerated fractional ns/op regression")
 		maxAllocRegress = fs.Float64("max-alloc-regress", 0.25, "maximum tolerated fractional allocs/op regression (negative disables the alloc gate)")
 	)

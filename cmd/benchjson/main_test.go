@@ -98,6 +98,17 @@ func TestCompareGate(t *testing.T) {
 	if err := compare(base, cur, "NoSuchBench", 0.25, 0.25, &strings.Builder{}); err == nil {
 		t.Fatal("empty comparison passed the gate")
 	}
+
+	// The filter is a regexp: an alternation covers disjoint benchmark
+	// families (the Makefile gates on 'Warm|PatchRepair'), and a bad
+	// pattern is an error rather than a match-nothing pass.
+	err = compare(base, bad, "Warm|ColdC", 0.25, 0.25, &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "ColdC") {
+		t.Fatalf("alternation filter did not gate both families: %v", err)
+	}
+	if err := compare(base, bad, "Warm|(", 0.25, 0.25, &strings.Builder{}); err == nil {
+		t.Fatal("invalid filter regexp passed the gate")
+	}
 }
 
 func TestCompareAllocGate(t *testing.T) {
@@ -142,18 +153,44 @@ func TestCompareAllocGate(t *testing.T) {
 	}
 }
 
-func TestLoadResultsKeepsMinimum(t *testing.T) {
+func TestLoadResultsAggregation(t *testing.T) {
 	dir := t.TempDir()
 	path := writeJSON(t, dir, "multi.json", `[
 		{"name": "BenchmarkWarmA-8", "iterations": 10, "ns_per_op": 1500},
 		{"name": "BenchmarkWarmA-8", "iterations": 10, "ns_per_op": 900},
 		{"name": "BenchmarkWarmA-8", "iterations": 10, "ns_per_op": 1100}
 	]`)
-	res, err := loadResults(path)
+	res, err := loadResults(path, pickMin)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := res["BenchmarkWarmA"].NsPerOp; got != 900 {
-		t.Fatalf("kept %v ns/op, want the 900 minimum", got)
+		t.Fatalf("pickMin kept %v ns/op, want the 900 minimum", got)
+	}
+	res, err = loadResults(path, pickMedian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res["BenchmarkWarmA"].NsPerOp; got != 1100 {
+		t.Fatalf("pickMedian kept %v ns/op, want the 1100 median", got)
+	}
+}
+
+// The gate compares min-of-current against median-of-baseline: one
+// lucky baseline run out of three must not tighten the gate.
+func TestCompareGateMedianBaseline(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", `[
+		{"name": "BenchmarkWarmA-8", "iterations": 10, "ns_per_op": 700},
+		{"name": "BenchmarkWarmA-8", "iterations": 10, "ns_per_op": 1000},
+		{"name": "BenchmarkWarmA-8", "iterations": 10, "ns_per_op": 1050}
+	]`)
+	// 1200 is +71% over the lucky 700 but +20% over the 1000 median.
+	cur := writeJSON(t, dir, "cur.json", `[
+		{"name": "BenchmarkWarmA-8", "iterations": 10, "ns_per_op": 1400},
+		{"name": "BenchmarkWarmA-8", "iterations": 10, "ns_per_op": 1200}
+	]`)
+	if err := compare(base, cur, "Warm", 0.25, 0.25, &strings.Builder{}); err != nil {
+		t.Fatalf("min-vs-median compare failed: %v", err)
 	}
 }

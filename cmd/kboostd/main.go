@@ -22,11 +22,18 @@
 //	                                graph codec; requires -auth-token,
 //	                                body capped by -max-upload-mb)
 //	DELETE /v1/graphs/{name}        remove a snapshot (requires -auth-token)
+//	PATCH /v1/graphs/{name}/edges   apply an edge delta (JSON or binary
+//	                                KBD1 codec; requires -auth-token)
 //
 // Every upload installs an immutable snapshot under a bumped version
 // and invalidates the replaced version's cached pools, so queries never
-// mix two snapshots. With -data-dir, accepted uploads are persisted as
-// <name>.kbg and reloaded on the next boot.
+// mix two snapshots. A PATCH also bumps the version, but *repairs* the
+// cached pools instead of invalidating them: only the sketches and
+// profiles whose sampled region touches a changed edge are resampled,
+// so warm state survives small mutations (a pool touched beyond
+// -repair-fallback-frac is dropped and rebuilt cold instead). With
+// -data-dir, accepted uploads and patches are persisted as <name>.kbg
+// and reloaded on the next boot.
 //
 // Boost and estimate requests take a "mode": the default "full" and
 // "lb" run the paper's PRR-Boost algorithms under the IC model, while
@@ -73,7 +80,8 @@ func run(args []string) error {
 		maxPools     = fs.Int("max-pools", 8, "PRR pool cache capacity (LRU, entry count)")
 		maxPoolMB    = fs.Int64("max-pool-mb", 1024, "PRR pool cache budget in MiB of estimated pool memory")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain budget")
-		authToken    = fs.String("auth-token", "", "bearer token gating POST/DELETE /v1/graphs (empty = graph administration disabled)")
+		authToken    = fs.String("auth-token", "", "bearer token gating POST/PATCH/DELETE /v1/graphs (empty = graph administration disabled)")
+		repairFrac   = fs.Float64("repair-fallback-frac", 0, "touched-fraction threshold above which a graph patch drops a cached pool instead of repairing it (0 = default 0.5, 1 = always repair)")
 		maxUploadMB  = fs.Int64("max-upload-mb", 64, "graph upload body cap in MiB")
 		dataDir      = fs.String("data-dir", "", "directory persisting uploaded snapshots as <name>.kbg, reloaded on boot")
 		graphSpecs   sliceFlag
@@ -91,9 +99,10 @@ func run(args []string) error {
 	}
 
 	eng := kboost.NewEngine(kboost.EngineOptions{
-		MaxPools:     *maxPools,
-		MaxPoolBytes: *maxPoolMB << 20,
-		Workers:      *workers,
+		MaxPools:               *maxPools,
+		MaxPoolBytes:           *maxPoolMB << 20,
+		Workers:                *workers,
+		RepairFallbackFraction: *repairFrac,
 	})
 	for _, spec := range graphSpecs {
 		id, path, err := splitSpec(spec)

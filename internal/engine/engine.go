@@ -4,14 +4,16 @@
 // queries over the same (graph, seed set) amortize the expensive
 // sampling phase instead of regenerating it from scratch.
 //
-// Graphs are mutable only by whole-snapshot replacement: UploadGraph
-// installs an immutable snapshot under a monotonically increasing
-// per-id version, and every pool cache key embeds the version it was
-// built against. Replacing or deleting a snapshot atomically swaps the
-// registry entry and sweeps the replaced version's pools and result
-// caches, so a query can never mix sketches from two snapshot versions:
-// in-flight queries keep the coherent snapshot they started with, and
-// new queries only ever find pools keyed to the current version.
+// Graphs mutate only by installing a fresh immutable snapshot under a
+// monotonically increasing per-id version, and every pool cache key
+// embeds the version it was built against. UploadGraph replaces the
+// whole snapshot and sweeps the replaced version's pools and result
+// caches; RepairGraph applies an edge delta and instead *migrates* the
+// cached pools to the new version by repairing them in place (see
+// repair.go). Either way a query can never mix sketches from two
+// snapshot versions: in-flight queries keep the coherent snapshot they
+// started with, and new queries only ever find pools keyed to the
+// current version.
 //
 // Pools are cached per (graph snapshot, seed set, mode). Each cached
 // pool remembers the generation budget k it was built with; because a
@@ -82,6 +84,14 @@ type Options struct {
 	// make sampling deterministic for a fixed (seed, workers) pair — so
 	// this, not the per-request budget, governs cached pools.
 	Workers int
+	// RepairFallbackFraction is the touched-fraction threshold for graph
+	// patches (RepairGraph): a cached pool whose fraction of sketches or
+	// profiles touched by an edge delta exceeds it is dropped instead of
+	// repaired — at high touch fractions a cold rebuild is cheaper than a
+	// repair that resamples almost everything and still rebuilds the
+	// indexes. Default 0.5; values above 1 are clamped to 1 (always
+	// repair, never fall back).
+	RepairFallbackFraction float64
 }
 
 func (o Options) withDefaults() Options {
@@ -93,6 +103,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.RepairFallbackFraction <= 0 {
+		o.RepairFallbackFraction = 0.5
+	}
+	if o.RepairFallbackFraction > 1 {
+		o.RepairFallbackFraction = 1
 	}
 	return o
 }
@@ -123,6 +139,20 @@ type Stats struct {
 	// is throwing away.
 	InvalidatedPools int64 `json:"invalidated_pools"`
 	RetiredPoolBytes int64 `json:"retired_pool_bytes"`
+
+	// GraphPatches counts accepted edge-delta patches (RepairGraph). The
+	// four repair counters below account what happened to the patched
+	// graph's cached pools: RepairSkippedRebuilds pools were repaired in
+	// place (a cold rebuild avoided), at the cost of re-deriving
+	// RepairedSketches PRR sketches and RepairedProfiles LT profiles;
+	// RepairFallbackRebuilds pools were dropped because their touched
+	// fraction exceeded RepairFallbackFraction, leaving the next query to
+	// rebuild cold.
+	GraphPatches           int64 `json:"graph_patches"`
+	RepairedSketches       int64 `json:"repaired_sketches"`
+	RepairedProfiles       int64 `json:"repaired_profiles"`
+	RepairSkippedRebuilds  int64 `json:"repair_skipped_rebuilds"`
+	RepairFallbackRebuilds int64 `json:"repair_fallback_rebuilds"`
 
 	BoostQueries    int64 `json:"boost_queries"`
 	SeedQueries     int64 `json:"seed_queries"`
@@ -170,6 +200,12 @@ type counters struct {
 	deletes          atomic.Int64
 	invalidatedPools atomic.Int64
 	retiredPoolBytes atomic.Int64
+
+	graphPatches     atomic.Int64
+	repairedSketches atomic.Int64
+	repairedProfiles atomic.Int64
+	repairSkipped    atomic.Int64
+	repairFallback   atomic.Int64
 
 	boostQueries    atomic.Int64
 	seedQueries     atomic.Int64
@@ -466,6 +502,12 @@ func (e *Engine) Stats() Stats {
 		GraphDeletes:     e.ctr.deletes.Load(),
 		InvalidatedPools: e.ctr.invalidatedPools.Load(),
 		RetiredPoolBytes: e.ctr.retiredPoolBytes.Load(),
+
+		GraphPatches:           e.ctr.graphPatches.Load(),
+		RepairedSketches:       e.ctr.repairedSketches.Load(),
+		RepairedProfiles:       e.ctr.repairedProfiles.Load(),
+		RepairSkippedRebuilds:  e.ctr.repairSkipped.Load(),
+		RepairFallbackRebuilds: e.ctr.repairFallback.Load(),
 
 		BoostQueries:    e.ctr.boostQueries.Load(),
 		SeedQueries:     e.ctr.seedQueries.Load(),

@@ -1,0 +1,386 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/kboost/kboost/internal/graph"
+)
+
+// testDelta builds a small valid delta against g: remove one existing
+// edge, reweight another, and add one edge that is not present. All
+// three stay inside a band of nodes far from the test seed set
+// {0, 20, 40} and from the seeds' out-neighbors: seeds are active in
+// every LT profile and their out-neighbors sit in almost every
+// profile's frontier, so dirtying either would push the touched
+// fraction past the default fallback threshold in tests that want a
+// repair, not a drop.
+func testDelta(t *testing.T, g *graph.Graph) *graph.EdgeDelta {
+	t.Helper()
+	safe := map[int32]bool{}
+	for _, v := range []int32{7, 8, 9, 10, 11, 13, 14, 15, 16, 17, 18, 19} {
+		safe[v] = true
+	}
+	edges := g.Edges()
+	present := make(map[[2]int32]bool, len(edges))
+	for _, e := range edges {
+		present[[2]int32{e.From, e.To}] = true
+	}
+	d := &graph.EdgeDelta{}
+	for _, e := range edges {
+		if !safe[e.From] || !safe[e.To] {
+			continue
+		}
+		if len(d.Remove) == 0 {
+			d.Remove = []graph.EdgeKey{{From: e.From, To: e.To}}
+			continue
+		}
+		e.P, e.PBoost = 0.25, 0.45
+		d.Reweight = []graph.Edge{e}
+		break
+	}
+	if len(d.Remove) == 0 || len(d.Reweight) == 0 {
+		t.Fatal("no band-internal edges left for a delta")
+	}
+	for u := range safe {
+		for v := range safe {
+			if u != v && !present[[2]int32{u, v}] {
+				d.Add = []graph.Edge{{From: u, To: v, P: 0.2, PBoost: 0.4}}
+				return d
+			}
+		}
+	}
+	t.Fatal("no absent edge to add")
+	return nil
+}
+
+// patchedTestGraph returns testGraph with testDelta applied — the
+// graph a fresh engine must be given to reproduce a patched engine.
+func patchedTestGraph(t *testing.T) (*graph.Graph, *graph.EdgeDelta) {
+	t.Helper()
+	g := testGraph(t)
+	d := testDelta(t, g)
+	g2, _, err := g.ApplyDelta(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g2, d
+}
+
+// TestRepairGraphMigratesPools: a patch must bump the version, keep the
+// cached PRR and LT pools (repaired, re-keyed), and leave follow-up
+// queries warm at the new version.
+func TestRepairGraphMigratesPools(t *testing.T) {
+	e := newTestEngine(t, Options{})
+	req := testRequest()
+	if _, err := e.Boost(req); err != nil {
+		t.Fatal(err)
+	}
+	ltReq := req
+	ltReq.Mode = "lt"
+	ltReq.Sims = 500
+	if _, err := e.Boost(ltReq); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.Pools != 2 {
+		t.Fatalf("expected 2 cached pools before patch, got %d", st.Pools)
+	}
+
+	d := testDelta(t, testGraph(t))
+	res, err := e.RepairGraph("g", d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version != 2 {
+		t.Fatalf("patched version %d, want 2", res.Version)
+	}
+	if res.Added != 1 || res.Removed != 1 || res.Reweighted != 1 {
+		t.Fatalf("delta shape %d/%d/%d, want 1/1/1", res.Added, res.Removed, res.Reweighted)
+	}
+	if res.PoolsRepaired != 2 || res.PoolsDropped != 0 {
+		t.Fatalf("repaired %d dropped %d, want 2/0", res.PoolsRepaired, res.PoolsDropped)
+	}
+	if res.RepairedSketches == 0 || res.RepairedProfiles == 0 {
+		t.Fatalf("expected nonzero resampling, got %d sketches / %d profiles",
+			res.RepairedSketches, res.RepairedProfiles)
+	}
+
+	st := e.Stats()
+	if st.GraphPatches != 1 || st.RepairSkippedRebuilds != 2 || st.RepairFallbackRebuilds != 0 {
+		t.Fatalf("patch counters: patches=%d skipped=%d fallback=%d, want 1/2/0",
+			st.GraphPatches, st.RepairSkippedRebuilds, st.RepairFallbackRebuilds)
+	}
+	if st.RepairedSketches != int64(res.RepairedSketches) || st.RepairedProfiles != int64(res.RepairedProfiles) {
+		t.Fatalf("stats resample counters %d/%d do not match result %d/%d",
+			st.RepairedSketches, st.RepairedProfiles, res.RepairedSketches, res.RepairedProfiles)
+	}
+	if st.Pools != 2 {
+		t.Fatalf("expected the 2 pools to survive the patch, got %d", st.Pools)
+	}
+	if st.InvalidatedPools != 0 {
+		t.Fatalf("a clean patch invalidated %d pools", st.InvalidatedPools)
+	}
+	if st.GraphVersions["g"] != 2 {
+		t.Fatalf("registered version %d, want 2", st.GraphVersions["g"])
+	}
+	if st.PoolBytes <= 0 {
+		t.Fatalf("pool bytes %d after migration", st.PoolBytes)
+	}
+
+	// The migrated pools must serve the new version warm: no rebuild,
+	// no fresh sampling beyond what a sizing top-up asks for.
+	out, err := e.Boost(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.CacheHit || out.Rebuilt {
+		t.Fatalf("post-patch PRR query: CacheHit=%v Rebuilt=%v, want warm", out.CacheHit, out.Rebuilt)
+	}
+	if out.GraphVersion != 2 {
+		t.Fatalf("post-patch query served version %d, want 2", out.GraphVersion)
+	}
+	ltOut, err := e.Boost(ltReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ltOut.CacheHit || ltOut.NewSamples != 0 {
+		t.Fatalf("post-patch LT query: CacheHit=%v NewSamples=%d, want warm/0", ltOut.CacheHit, ltOut.NewSamples)
+	}
+	if after := e.Stats(); after.PoolMisses != 2 {
+		t.Fatalf("post-patch queries caused %d misses, want the original 2", after.PoolMisses)
+	}
+}
+
+// TestRepairGraphLTEquivalence is the engine-level equivalence gate for
+// the LT family: boosting and estimating on a patched engine's
+// migrated pool must be bit-identical to a fresh engine handed the
+// post-delta graph, because the repaired pool is bit-identical to the
+// cold pool at the same (seed, sims).
+func TestRepairGraphLTEquivalence(t *testing.T) {
+	req := testRequest()
+	req.Mode = "lt"
+	req.Sims = 600
+
+	patched := newTestEngine(t, Options{})
+	if _, err := patched.Boost(req); err != nil {
+		t.Fatal(err)
+	}
+	g2, d := patchedTestGraph(t)
+	if _, err := patched.RepairGraph("g", d); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := New(Options{})
+	if err := fresh.RegisterGraph("g", g2); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := patched.Boost(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.Boost(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got.BoostSet) != fmt.Sprint(want.BoostSet) ||
+		got.EstBoost != want.EstBoost || got.Samples != want.Samples {
+		t.Fatalf("migrated LT pool diverges from cold engine:\n got %v Δ=%v n=%d\nwant %v Δ=%v n=%d",
+			got.BoostSet, got.EstBoost, got.Samples, want.BoostSet, want.EstBoost, want.Samples)
+	}
+
+	est := EstimateRequest{GraphID: "g", Seeds: req.Seeds, Boost: got.BoostSet, Mode: "lt"}
+	gotEst, err := patched.Estimate(est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEst, err := fresh.Estimate(est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotEst.Spread != wantEst.Spread || gotEst.Boost != wantEst.Boost {
+		t.Fatalf("migrated LT estimates diverge: got %+v want %+v", gotEst, wantEst)
+	}
+}
+
+// TestRepairGraphPRREquivalence: same property for the PRR family. The
+// sample cap pins both pools to the same total, where pool-level repair
+// equivalence guarantees identical contents, hence identical selections
+// and estimates.
+func TestRepairGraphPRREquivalence(t *testing.T) {
+	req := testRequest()
+	req.MaxSamples = 400
+
+	patched := newTestEngine(t, Options{})
+	first, err := patched.Boost(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Samples != req.MaxSamples {
+		t.Skipf("sizing stopped at %d below the %d cap; cap-pinned equivalence does not apply", first.Samples, req.MaxSamples)
+	}
+	g2, d := patchedTestGraph(t)
+	if _, err := patched.RepairGraph("g", d); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := New(Options{})
+	if err := fresh.RegisterGraph("g", g2); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := patched.Boost(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.Boost(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Samples != req.MaxSamples {
+		t.Skipf("cold sizing stopped at %d below the %d cap", want.Samples, req.MaxSamples)
+	}
+	if got.Samples != want.Samples {
+		t.Fatalf("sample totals diverge: %d vs %d", got.Samples, want.Samples)
+	}
+	if fmt.Sprint(got.BoostSet) != fmt.Sprint(want.BoostSet) || got.EstBoost != want.EstBoost {
+		t.Fatalf("migrated PRR pool diverges from cold engine:\n got %v Δ=%v\nwant %v Δ=%v",
+			got.BoostSet, got.EstBoost, want.BoostSet, want.EstBoost)
+	}
+}
+
+// TestRepairGraphFallback: with a tiny fallback threshold every touched
+// pool must be dropped, not repaired, and the next query rebuilds cold
+// at the new version.
+func TestRepairGraphFallback(t *testing.T) {
+	e := newTestEngine(t, Options{RepairFallbackFraction: 1e-9})
+	req := testRequest()
+	if _, err := e.Boost(req); err != nil {
+		t.Fatal(err)
+	}
+	d := testDelta(t, testGraph(t))
+	res, err := e.RepairGraph("g", d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PoolsRepaired != 0 || res.PoolsDropped != 1 {
+		t.Fatalf("repaired %d dropped %d, want 0/1", res.PoolsRepaired, res.PoolsDropped)
+	}
+	st := e.Stats()
+	if st.RepairFallbackRebuilds != 1 || st.Pools != 0 {
+		t.Fatalf("fallback=%d pools=%d, want 1/0", st.RepairFallbackRebuilds, st.Pools)
+	}
+	if st.InvalidatedPools != 1 || st.RetiredPoolBytes <= 0 {
+		t.Fatalf("dropped pool not accounted: invalidated=%d retired=%d",
+			st.InvalidatedPools, st.RetiredPoolBytes)
+	}
+	if st.PoolBytes != 0 {
+		t.Fatalf("pool bytes %d after dropping the only pool", st.PoolBytes)
+	}
+	out, err := e.Boost(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CacheHit || out.GraphVersion != 2 {
+		t.Fatalf("post-fallback query: CacheHit=%v version=%d, want cold rebuild at 2",
+			out.CacheHit, out.GraphVersion)
+	}
+}
+
+// TestRepairGraphErrors: unknown ids, nil deltas and invalid deltas are
+// rejected without touching the registry or the cache.
+func TestRepairGraphErrors(t *testing.T) {
+	e := newTestEngine(t, Options{})
+	req := testRequest()
+	if _, err := e.Boost(req); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RepairGraph("nope", &graph.EdgeDelta{}); !errors.Is(err, ErrUnknownGraph) {
+		t.Fatalf("unknown id: %v", err)
+	}
+	if _, err := e.RepairGraph("g", nil); err == nil {
+		t.Fatal("nil delta accepted")
+	}
+	// Removing a non-existent edge must fail validation.
+	bad := &graph.EdgeDelta{Remove: []graph.EdgeKey{{From: 0, To: 0}}}
+	if _, err := e.RepairGraph("g", bad); err == nil {
+		t.Fatal("invalid delta accepted")
+	}
+	st := e.Stats()
+	if st.GraphPatches != 0 || st.GraphVersions["g"] != 1 || st.Pools != 1 {
+		t.Fatalf("failed patches mutated state: %+v", st)
+	}
+}
+
+// TestRepairGraphConcurrentQueries races warm queries against repeated
+// patches: every query must succeed and observe a coherent snapshot.
+// Run under -race this doubles as the repair path's race gate.
+func TestRepairGraphConcurrentQueries(t *testing.T) {
+	e := newTestEngine(t, Options{})
+	req := testRequest()
+	if _, err := e.Boost(req); err != nil {
+		t.Fatal(err)
+	}
+	ltReq := req
+	ltReq.Mode = "lt"
+	ltReq.Sims = 300
+	if _, err := e.Boost(ltReq); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := req
+			if w%2 == 1 {
+				r = ltReq
+			}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := e.Boost(r); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	g := testGraph(t)
+	for i := 0; i < 4; i++ {
+		d := testDelta(t, g)
+		res, err := e.RepairGraph("g", d)
+		if err != nil {
+			t.Errorf("patch %d: %v", i, err)
+			break
+		}
+		var eff *graph.DeltaEffect
+		g, eff, err = g.ApplyDelta(d)
+		if err != nil || eff == nil {
+			t.Errorf("shadow apply %d: %v", i, err)
+			break
+		}
+		if res.Version != uint64(i+2) {
+			t.Errorf("patch %d installed version %d", i, res.Version)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	out, err := e.Boost(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.GraphVersion != e.Stats().GraphVersions["g"] {
+		t.Fatalf("final query version %d, registry %d", out.GraphVersion, e.Stats().GraphVersions["g"])
+	}
+}

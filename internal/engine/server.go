@@ -72,13 +72,21 @@ func (o ServerOptions) withDefaults() ServerOptions {
 //	                           codec, auto-detected; bearer auth; PUT is
 //	                           accepted as an alias)
 //	DELETE /v1/graphs/{name} — remove a snapshot (bearer auth)
+//	PATCH /v1/graphs/{name}/edges
+//	                         — apply an edge delta (add/remove/reweight
+//	                           batches, JSON or the KBD1 binary delta
+//	                           codec, auto-detected; bearer auth). The
+//	                           patched snapshot gets a bumped version
+//	                           and its cached pools are repaired, not
+//	                           invalidated.
 //
 // Query request and response bodies are JSON; upload bodies are the
 // graph codecs themselves, decoded in a streaming pass. Errors are
 // reported as {"error": "..."} with a matching status code: 400 for
 // malformed or invalid requests, 401 for missing/bad auth, 403 when
 // graph administration is disabled, 404 for unknown graph ids, 405 for
-// wrong methods, 413 for oversized bodies.
+// wrong methods, 409 for patches raced by a concurrent replacement,
+// 413 for oversized bodies.
 type Server struct {
 	engine *Engine
 	opt    ServerOptions
@@ -125,6 +133,8 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrUnknownGraph):
 		status = http.StatusNotFound
+	case errors.Is(err, ErrGraphChanged):
+		status = http.StatusConflict
 	case errors.As(err, &tooBig):
 		status = http.StatusRequestEntityTooLarge
 	}
@@ -323,6 +333,12 @@ func (s *Server) handleGraphList(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 	name := strings.TrimPrefix(r.URL.Path, "/v1/graphs/")
+	// The edge-delta subresource is routed before name validation so
+	// "name/edges" is never mistaken for a (slash-invalid) graph name.
+	if base, isEdges := strings.CutSuffix(name, "/edges"); isEdges {
+		s.handleGraphEdges(w, r, base)
+		return
+	}
 	if !validGraphName(name) {
 		s.writeJSON(w, http.StatusBadRequest,
 			errorResponse{Error: fmt.Sprintf("invalid graph name %q (want 1-64 of [A-Za-z0-9._-])", name)})
@@ -443,6 +459,118 @@ func (s *Server) deleteGraph(w http.ResponseWriter, name string) {
 	s.writeJSON(w, http.StatusOK, graphDeleteResponse{
 		Graph: name, Deleted: true, InvalidatedPools: invalidated,
 	})
+}
+
+// --- the edge-delta (graph patch) endpoint ---
+
+// deltaEdgeJSON / deltaKeyJSON are the JSON spellings of one delta op.
+type deltaEdgeJSON struct {
+	From   int32   `json:"from"`
+	To     int32   `json:"to"`
+	P      float64 `json:"p"`
+	PBoost float64 `json:"p_boost"`
+}
+
+type deltaKeyJSON struct {
+	From int32 `json:"from"`
+	To   int32 `json:"to"`
+}
+
+// edgeDeltaJSON is the JSON request body of PATCH
+// /v1/graphs/{name}/edges; any of the three batches may be omitted.
+type edgeDeltaJSON struct {
+	Add      []deltaEdgeJSON `json:"add,omitempty"`
+	Remove   []deltaKeyJSON  `json:"remove,omitempty"`
+	Reweight []deltaEdgeJSON `json:"reweight,omitempty"`
+}
+
+func (j *edgeDeltaJSON) toDelta() *graph.EdgeDelta {
+	d := &graph.EdgeDelta{}
+	for _, e := range j.Add {
+		d.Add = append(d.Add, graph.Edge{From: e.From, To: e.To, P: e.P, PBoost: e.PBoost})
+	}
+	for _, k := range j.Remove {
+		d.Remove = append(d.Remove, graph.EdgeKey{From: k.From, To: k.To})
+	}
+	for _, e := range j.Reweight {
+		d.Reweight = append(d.Reweight, graph.Edge{From: e.From, To: e.To, P: e.P, PBoost: e.PBoost})
+	}
+	return d
+}
+
+// decodeDeltaUpload reads an edge delta off the (size-capped) request
+// body, sniffing the KBD1 magic to pick between the binary delta codec
+// and strict JSON. Mutations share the upload body budget — deltas are
+// admin traffic, not query traffic.
+func (s *Server) decodeDeltaUpload(w http.ResponseWriter, r *http.Request) (*graph.EdgeDelta, error) {
+	body := http.MaxBytesReader(w, r.Body, s.opt.MaxUploadBytes)
+	br := bufio.NewReader(body)
+	// Every binary delta op costs >= 8 body bytes (JSON far more), so
+	// the cap only fails absurd headers early, never a body that fits.
+	maxOps := int(s.opt.MaxUploadBytes/8) + 1
+	if magic, _ := br.Peek(4); string(magic) == "KBD1" {
+		return graph.ReadEdgeDeltaLimited(br, graph.ReadLimits{MaxEdges: maxOps})
+	}
+	var j edgeDeltaJSON
+	dec := json.NewDecoder(br)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&j); err != nil {
+		return nil, fmt.Errorf("decoding edge delta: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("decoding edge delta: trailing data after JSON body")
+	}
+	d := j.toDelta()
+	if d.Ops() > maxOps {
+		return nil, fmt.Errorf("edge delta has %d ops, limit %d", d.Ops(), maxOps)
+	}
+	return d, nil
+}
+
+func (s *Server) handleGraphEdges(w http.ResponseWriter, r *http.Request, name string) {
+	if !validGraphName(name) {
+		s.writeJSON(w, http.StatusBadRequest,
+			errorResponse{Error: fmt.Sprintf("invalid graph name %q (want 1-64 of [A-Za-z0-9._-])", name)})
+		return
+	}
+	if r.Method != http.MethodPatch {
+		w.Header().Set("Allow", http.MethodPatch)
+		s.writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use PATCH"})
+		return
+	}
+	if !s.authorize(w, r) {
+		return
+	}
+	delta, err := s.decodeDeltaUpload(w, r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.adminMu.Lock()
+	defer s.adminMu.Unlock()
+	res, err := s.engine.RepairGraph(name, delta)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if s.opt.SnapshotDir != "" {
+		// Persist after the install (the patched graph only exists once
+		// the engine has accepted the delta). adminMu guarantees no other
+		// admin op interleaves between install and persist; if the write
+		// still fails, be loud so the operator reconciles before the next
+		// boot revives the pre-patch snapshot.
+		g, gerr := s.engine.Graph(name)
+		if gerr == nil {
+			gerr = SaveSnapshot(s.opt.SnapshotDir, name, g)
+		}
+		if gerr != nil {
+			s.writeJSON(w, http.StatusInternalServerError, errorResponse{
+				Error: fmt.Sprintf("graph %q patched to version %d, but persisting the snapshot failed: %v",
+					name, res.Version, gerr)})
+			return
+		}
+	}
+	s.writeJSON(w, http.StatusOK, res)
 }
 
 type statsResponse struct {

@@ -1,0 +1,137 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary edge-delta format: a compact little-endian encoding, the
+// PATCH-endpoint sibling of the KBG1 graph codec.
+//
+//	magic "KBD1" | uint32 nAdd | uint32 nRemove | uint32 nReweight
+//	nAdd records of:      uint32 from | uint32 to | float64 p | float64 pBoost
+//	nRemove records of:   uint32 from | uint32 to
+//	nReweight records of: uint32 from | uint32 to | float64 p | float64 pBoost
+const deltaMagic = "KBD1"
+
+// WriteEdgeDelta writes d in the binary delta format.
+func (d *EdgeDelta) WriteEdgeDelta(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(deltaMagic); err != nil {
+		return err
+	}
+	hdr := [12]byte{}
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(d.Add)))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(d.Remove)))
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(d.Reweight)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [24]byte
+	writeEdge := func(e Edge) error {
+		binary.LittleEndian.PutUint32(rec[0:4], uint32(e.From))
+		binary.LittleEndian.PutUint32(rec[4:8], uint32(e.To))
+		binary.LittleEndian.PutUint64(rec[8:16], mathFloat64bits(e.P))
+		binary.LittleEndian.PutUint64(rec[16:24], mathFloat64bits(e.PBoost))
+		_, err := bw.Write(rec[:24])
+		return err
+	}
+	for _, e := range d.Add {
+		if err := writeEdge(e); err != nil {
+			return err
+		}
+	}
+	for _, k := range d.Remove {
+		binary.LittleEndian.PutUint32(rec[0:4], uint32(k.From))
+		binary.LittleEndian.PutUint32(rec[4:8], uint32(k.To))
+		if _, err := bw.Write(rec[:8]); err != nil {
+			return err
+		}
+	}
+	for _, e := range d.Reweight {
+		if err := writeEdge(e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeDelta parses a binary edge delta with no size limits; use
+// ReadEdgeDeltaLimited for untrusted input.
+func ReadEdgeDelta(r io.Reader) (*EdgeDelta, error) {
+	return ReadEdgeDeltaLimited(r, ReadLimits{})
+}
+
+// ReadEdgeDeltaLimited parses a binary edge delta, rejecting headers
+// whose declared operation counts exceed lim.MaxEdges (each operation
+// names one edge) before allocating anything size-proportional. Counts
+// are validated at 64-bit width first, so a hostile uint32 header
+// cannot wrap negative on 32-bit platforms and dodge the bounds.
+//
+// The returned delta is syntactically well-formed (endpoints are plain
+// int32 values, probabilities finite pairs are NOT yet checked) —
+// semantic validation against a concrete graph happens in ApplyDelta.
+func ReadEdgeDeltaLimited(r io.Reader, lim ReadLimits) (*EdgeDelta, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("graph: reading delta magic: %w", err)
+	}
+	if string(magic) != deltaMagic {
+		return nil, fmt.Errorf("graph: bad delta magic %q (want %q)", magic, deltaMagic)
+	}
+	hdr := make([]byte, 12)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("graph: reading delta header: %w", err)
+	}
+	nAdd := int64(binary.LittleEndian.Uint32(hdr[0:4]))
+	nRemove := int64(binary.LittleEndian.Uint32(hdr[4:8]))
+	nReweight := int64(binary.LittleEndian.Uint32(hdr[8:12]))
+	total := nAdd + nRemove + nReweight // cannot overflow: 3 × MaxUint32 < MaxInt64
+	if total > math.MaxInt32 {
+		return nil, fmt.Errorf("graph: declared delta size %d operations exceeds the int32 layout", total)
+	}
+	if lim.MaxEdges > 0 && total > int64(lim.MaxEdges) {
+		return nil, fmt.Errorf("graph: declared delta size %d operations exceeds limit %d", total, lim.MaxEdges)
+	}
+	d := &EdgeDelta{}
+	rec := make([]byte, 24)
+	readEdge := func(i, n int64, what string) (Edge, error) {
+		if _, err := io.ReadFull(br, rec[:24]); err != nil {
+			return Edge{}, fmt.Errorf("graph: reading delta %s %d/%d: %w", what, i+1, n, err)
+		}
+		return Edge{
+			From:   int32(binary.LittleEndian.Uint32(rec[0:4])),
+			To:     int32(binary.LittleEndian.Uint32(rec[4:8])),
+			P:      mathFloat64frombits(binary.LittleEndian.Uint64(rec[8:16])),
+			PBoost: mathFloat64frombits(binary.LittleEndian.Uint64(rec[16:24])),
+		}, nil
+	}
+	for i := int64(0); i < nAdd; i++ {
+		e, err := readEdge(i, nAdd, "add")
+		if err != nil {
+			return nil, err
+		}
+		d.Add = append(d.Add, e)
+	}
+	for i := int64(0); i < nRemove; i++ {
+		if _, err := io.ReadFull(br, rec[:8]); err != nil {
+			return nil, fmt.Errorf("graph: reading delta remove %d/%d: %w", i+1, nRemove, err)
+		}
+		d.Remove = append(d.Remove, EdgeKey{
+			From: int32(binary.LittleEndian.Uint32(rec[0:4])),
+			To:   int32(binary.LittleEndian.Uint32(rec[4:8])),
+		})
+	}
+	for i := int64(0); i < nReweight; i++ {
+		e, err := readEdge(i, nReweight, "reweight")
+		if err != nil {
+			return nil, err
+		}
+		d.Reweight = append(d.Reweight, e)
+	}
+	return d, nil
+}

@@ -77,3 +77,73 @@ func BenchmarkLTEstimateWarm(b *testing.B) {
 		}
 	})
 }
+
+// benchLTPoolShort is the fixed small pool behind the -Short gate
+// variants. The full-size pool above puts the naive references at 1–9
+// iterations per run — too few for a regression gate to tell signal
+// from scheduler noise — so the gated variants run on a pool small
+// enough that every sub-benchmark completes ≥ 20 iterations in the
+// default benchtime. Sizes are deliberately NOT testing.Short()-gated:
+// the gate compares against a committed baseline, so the dimensions
+// must be identical on every machine that runs `make bench-gate`.
+func benchLTPoolShort(b *testing.B) *Pool {
+	b.Helper()
+	spec, err := dataset.ByName("flixster")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := spec.Generate(0.002, 2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seeds := dataset.InfluentialSeeds(g, 10)
+	pool, err := NewPool(g, seeds, 7, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool.Extend(200)
+	return pool
+}
+
+// BenchmarkLTSelectWarmShort is the gated counterpart of
+// BenchmarkLTSelectWarm: same incremental-vs-naive comparison, small
+// enough to gate on (`make bench-gate` re-runs every benchmark whose
+// name matches Warm|PatchRepair against BENCH_select.json).
+func BenchmarkLTSelectWarmShort(b *testing.B) {
+	const k = 4
+	pool := benchLTPoolShort(b)
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := pool.GreedyBoost(k, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := pool.greedyBoostNaive(k, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkLTEstimateWarmShort is the gated counterpart of
+// BenchmarkLTEstimateWarm on the same small pool.
+func BenchmarkLTEstimateWarmShort(b *testing.B) {
+	pool := benchLTPoolShort(b)
+	boost := pool.g.N()
+	set := []int32{int32(boost / 3), int32(boost / 2), int32(2 * boost / 3)}
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := pool.EstimateSpread(set); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pool.estimateSpreadNaive(set)
+		}
+	})
+}

@@ -1,0 +1,231 @@
+package lt
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/kboost/kboost/internal/graph"
+	"github.com/kboost/kboost/internal/rng"
+	"github.com/kboost/kboost/internal/testutil"
+)
+
+// randomLTDelta derives a random valid delta against g.
+func randomLTDelta(t testing.TB, r *rng.Source, g *graph.Graph, nAdd, nRemove, nReweight int) *graph.EdgeDelta {
+	t.Helper()
+	existing := g.Edges()
+	used := map[graph.EdgeKey]bool{}
+	for _, e := range existing {
+		used[graph.EdgeKey{From: e.From, To: e.To}] = false
+	}
+	d := &graph.EdgeDelta{}
+	perm := r.Perm(len(existing))
+	pi := 0
+	takeExisting := func() (graph.Edge, bool) {
+		for pi < len(perm) {
+			e := existing[perm[pi]]
+			pi++
+			k := graph.EdgeKey{From: e.From, To: e.To}
+			if !used[k] {
+				used[k] = true
+				return e, true
+			}
+		}
+		return graph.Edge{}, false
+	}
+	for i := 0; i < nRemove; i++ {
+		if e, ok := takeExisting(); ok {
+			d.Remove = append(d.Remove, graph.EdgeKey{From: e.From, To: e.To})
+		}
+	}
+	for i := 0; i < nReweight; i++ {
+		if e, ok := takeExisting(); ok {
+			p := r.Float64() * 0.5
+			e.P, e.PBoost = p, 1-(1-p)*(1-p)
+			d.Reweight = append(d.Reweight, e)
+		}
+	}
+	for tries := 0; len(d.Add) < nAdd && tries < 50*nAdd+100; tries++ {
+		u := int32(r.Intn(g.N()))
+		v := int32(r.Intn(g.N()))
+		k := graph.EdgeKey{From: u, To: v}
+		if _, present := used[k]; u == v || present {
+			continue
+		}
+		used[k] = true
+		p := r.Float64() * 0.5
+		d.Add = append(d.Add, graph.Edge{From: u, To: v, P: p, PBoost: 1 - (1-p)*(1-p)})
+	}
+	return d
+}
+
+// sameLTPoolBits asserts two pools are bit-identical: same profile
+// seeds, cached fixed points, frontier index, estimates and selections.
+// got is a repaired pool, want a cold rebuild on the same graph.
+func sameLTPoolBits(t *testing.T, label string, got, want *Pool, k int) {
+	t.Helper()
+	eq := func(what string, a, b interface{}) {
+		if fmt.Sprint(a) != fmt.Sprint(b) {
+			t.Fatalf("%s: %s differ:\n got %v\nwant %v", label, what, a, b)
+		}
+	}
+	eq("profileSeed", got.profileSeed, want.profileSeed)
+	eq("activeStart", got.activeStart, want.activeStart)
+	eq("activeItems", got.activeItems, want.activeItems)
+	eq("frontStart", got.frontStart, want.frontStart)
+	eq("frontItems", got.frontItems, want.frontItems)
+	eq("frontW", got.frontW, want.frontW)
+	eq("baseSum", got.baseSum, want.baseSum)
+	eq("idxStart", got.idxStart, want.idxStart)
+	eq("idxItems", got.idxItems, want.idxItems)
+	eq("BaseSpread", got.BaseSpread(), want.BaseSpread())
+
+	boost := []int32{int32(1 % got.g.N()), int32(5 % got.g.N())}
+	ge, err := got.EstimateSpread(boost)
+	if err != nil {
+		t.Fatalf("%s: EstimateSpread: %v", label, err)
+	}
+	we, err := want.EstimateSpread(boost)
+	if err != nil {
+		t.Fatalf("%s: EstimateSpread (cold): %v", label, err)
+	}
+	eq("EstimateSpread", ge, we)
+	// The incremental estimate must still agree with the full
+	// re-simulation reference on the repaired pool's graph.
+	eq("EstimateSpread vs naive", ge, got.estimateSpreadNaive(boost))
+
+	gb, gv, err := got.GreedyBoost(k, 0)
+	if err != nil {
+		t.Fatalf("%s: GreedyBoost: %v", label, err)
+	}
+	wb, wv, err := want.GreedyBoost(k, 0)
+	if err != nil {
+		t.Fatalf("%s: GreedyBoost (cold): %v", label, err)
+	}
+	eq("GreedyBoost", gb, wb)
+	eq("GreedyBoost value", gv, wv)
+}
+
+// TestLTRepairMatchesColdRebuild is the LT equivalence property:
+// applying staged delta sequences and repairing after each must leave
+// the pool bit-identical to a cold pool built on the final graph at the
+// same (seed, profiles), across worker counts.
+func TestLTRepairMatchesColdRebuild(t *testing.T) {
+	for trial := 0; trial < 3; trial++ {
+		for _, workers := range []int{1, 2, 7} {
+			tr := rng.New(uint64(trial)*211 + uint64(workers)*29 + 3)
+			g := testutil.RandomGraph(tr, 25+tr.Intn(20), 120+tr.Intn(80), 0.5)
+			seeds := testutil.RandomSeedSet(tr, g.N(), 1+tr.Intn(2))
+			k := 2 + tr.Intn(3)
+			seed := uint64(trial)*577 + 19
+
+			pool, err := NewPool(g, seeds, seed, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pool.Extend(500)
+
+			batches := 1 + tr.Intn(3)
+			for b := 0; b < batches; b++ {
+				d := randomLTDelta(t, tr, g, 1+tr.Intn(4), tr.Intn(4), tr.Intn(4))
+				g2, eff, err := g.ApplyDelta(d)
+				if err != nil {
+					t.Fatalf("ApplyDelta: %v", err)
+				}
+				wantGen := pool.Generation() + 1
+				touched, ok, err := pool.Repair(g2, eff.DirtyOut, eff.DirtyIn, 1.0)
+				if err != nil {
+					t.Fatalf("Repair: %v", err)
+				}
+				if !ok {
+					t.Fatalf("Repair declined at maxFrac=1.0 (touched %d)", touched)
+				}
+				if touched < 0 || touched > pool.NumProfiles() {
+					t.Fatalf("touched %d out of range [0,%d]", touched, pool.NumProfiles())
+				}
+				if pool.Generation() != wantGen {
+					t.Fatalf("generation %d after repair, want %d", pool.Generation(), wantGen)
+				}
+				if pool.Graph() != g2 {
+					t.Fatal("pool graph not swapped")
+				}
+				g = g2
+
+				cold, err := NewPool(g2, seeds, seed, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cold.Extend(500)
+				label := fmt.Sprintf("trial %d workers %d batch %d (touched %d)",
+					trial, workers, b, touched)
+				sameLTPoolBits(t, label, pool, cold, k)
+
+				// Growing a repaired pool must match growing the cold one:
+				// the root RNG state survived the repair.
+				if b == batches-1 {
+					pool.Extend(600)
+					cold.Extend(600)
+					sameLTPoolBits(t, label+" post-grow", pool, cold, k)
+				}
+			}
+		}
+	}
+}
+
+// TestLTRepairFallback: when the touched fraction exceeds maxFrac,
+// Repair must decline without mutating anything.
+func TestLTRepairFallback(t *testing.T) {
+	tr := rng.New(7)
+	g := testutil.RandomGraph(tr, 20, 100, 0.5)
+	seeds := testutil.RandomSeedSet(tr, g.N(), 2)
+	pool, err := NewPool(g, seeds, 31, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Extend(300)
+	gen := pool.Generation()
+	base := pool.BaseSpread()
+
+	dirty := make([]bool, g.N())
+	for i := range dirty {
+		dirty[i] = true
+	}
+	g2, _, err := g.ApplyDelta(&graph.EdgeDelta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	touched, ok, err := pool.Repair(g2, dirty, dirty, 0.01)
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if ok {
+		t.Fatalf("Repair accepted %d touched profiles above 1%% threshold", touched)
+	}
+	if touched == 0 {
+		t.Fatal("all-dirty repair touched no profiles")
+	}
+	if pool.Generation() != gen || pool.Graph() != g || pool.BaseSpread() != base {
+		t.Fatal("declined repair mutated the pool")
+	}
+	if _, ok, err := pool.Repair(g2, dirty, dirty, 1.0); err != nil || !ok {
+		t.Fatalf("unrestricted repair failed: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestLTRepairRejectsNodeCountChange: deltas never change the node
+// universe.
+func TestLTRepairRejectsNodeCountChange(t *testing.T) {
+	tr := rng.New(2)
+	g := testutil.RandomGraph(tr, 10, 30, 0.5)
+	g2 := testutil.RandomGraph(tr, 11, 30, 0.5)
+	pool, err := NewPool(g, []int32{0}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Extend(50)
+	if _, _, err := pool.Repair(g2, make([]bool, g2.N()), make([]bool, g2.N()), 1.0); err == nil {
+		t.Fatal("Repair accepted a node-count change")
+	}
+	if _, _, err := pool.Repair(g, make([]bool, 3), make([]bool, g.N()), 1.0); err == nil {
+		t.Fatal("Repair accepted a mis-sized dirty mask")
+	}
+}

@@ -113,6 +113,36 @@ func (a *arena) appendArena(o *arena) {
 	}
 }
 
+// appendGraph copies graph i of src onto a, shifting offsets — the
+// per-sketch sibling of appendArena, used by pool repair to carry an
+// untouched sketch into the rebuilt arena by reference to its bits. In
+// ModeLB refs carry no node/edge structure (numNodes == 0) and only the
+// critical segment is copied, matching how such refs were emitted.
+func (a *arena) appendGraph(src *arena, i int) {
+	ref := src.refs[i]
+	nref := prrRef{
+		root:     ref.root,
+		nodeOff:  int32(len(a.orig)),
+		numNodes: ref.numNodes,
+		startOff: int32(len(a.outStart)),
+		edgeOff:  int32(len(a.outTo)),
+		numEdges: ref.numEdges,
+		critOff:  int32(len(a.critical)),
+		numCrit:  ref.numCrit,
+	}
+	if ref.numNodes > 0 {
+		a.orig = append(a.orig, src.orig[ref.nodeOff:ref.nodeOff+ref.numNodes]...)
+		a.outStart = append(a.outStart, src.outStart[ref.startOff:ref.startOff+ref.numNodes+1]...)
+		a.inStart = append(a.inStart, src.inStart[ref.startOff:ref.startOff+ref.numNodes+1]...)
+		a.outTo = append(a.outTo, src.outTo[ref.edgeOff:ref.edgeOff+ref.numEdges]...)
+		a.outBoost = append(a.outBoost, src.outBoost[ref.edgeOff:ref.edgeOff+ref.numEdges]...)
+		a.inFrom = append(a.inFrom, src.inFrom[ref.edgeOff:ref.edgeOff+ref.numEdges]...)
+		a.inBoost = append(a.inBoost, src.inBoost[ref.edgeOff:ref.edgeOff+ref.numEdges]...)
+	}
+	a.critical = append(a.critical, src.critical[ref.critOff:ref.critOff+ref.numCrit]...)
+	a.refs = append(a.refs, nref)
+}
+
 // bytes returns the resident size of the arena's backing arrays,
 // counted by capacity: append-doubling slack and truncated-but-reused
 // shard buffers are real memory, so they belong in the eviction weight.

@@ -9,70 +9,48 @@ import (
 	"github.com/kboost/kboost/internal/testutil"
 )
 
-// This file pins the arena refactor to the pre-refactor pool semantics:
-// a reference pool is rebuilt from the standalone GenerateFrom path —
-// one heap-allocated PRR per boostable graph, exactly what Pool.Extend
-// used to store — with the same per-worker RNG streams, the same
-// need-splitting and the same worker-order merge the serial Extend
-// performed. The arena-backed pool must match it bit for bit: same
-// graphs in the same order with identical CSRs and critical sets, same
-// statistics, same estimates, and same selections, across worker counts
-// and staged versus one-shot growth.
+// This file pins the pool to its serial reference semantics: a
+// reference pool is rebuilt from the standalone GenerateFrom path — one
+// heap-allocated PRR per boostable graph — by replaying the per-sketch
+// stateless stream schedule serially: sketch i is always generated from
+// rng.StreamSeed(seed, i), so pool contents are a pure function of
+// (graph, seeds, k, mode, seed, total), independent of worker count and
+// of staged versus one-shot growth. The arena-backed pool must match
+// the single serial reference bit for bit — same graphs in the same
+// order with identical CSRs and critical sets, same statistics, same
+// estimates, and same selections — for every worker count and staging.
 
-// refPool replays the pre-refactor Extend schedule using standalone
-// generation.
+// refPool replays the pool's generation schedule using standalone
+// serial generation.
 type refPool struct {
-	graphs []*PRR    // boostable graphs in merge order (ModeFull)
-	crits  [][]int32 // critical sets in merge order (both modes)
+	graphs []*PRR    // boostable graphs in sketch-index order (ModeFull)
+	crits  [][]int32 // critical sets in sketch-index order (both modes)
 
 	total, activated, hopeless, boostable int
 }
 
-func buildRefPool(g *refGraphCase, mode Mode, workers int, targets []int, t *testing.T) *refPool {
+func buildRefPool(g *refGraphCase, mode Mode, total int, t *testing.T) *refPool {
 	t.Helper()
-	root := rng.New(g.seed)
-	gens := make([]*Generator, workers)
-	streams := make([]*rng.Source, workers)
-	for w := 0; w < workers; w++ {
-		gen, err := NewGenerator(g.g, g.seeds, g.k, mode)
-		if err != nil {
-			t.Fatal(err)
-		}
-		gens[w] = gen
-		streams[w] = root.Split()
+	gen, err := NewGenerator(g.g, g.seeds, g.k, mode)
+	if err != nil {
+		t.Fatal(err)
 	}
+	r := rng.New(0)
 	ref := &refPool{}
-	for _, target := range targets {
-		need := target - ref.total
-		if need <= 0 {
-			continue
-		}
-		counts := make([]int, workers)
-		base, rem := need/workers, need%workers
-		for w := range counts {
-			counts[w] = base
-			if w < rem {
-				counts[w]++
-			}
-		}
-		// Generate per worker, merge in worker order — the schedule the
-		// pre-refactor serial merge produced.
-		for w := 0; w < workers; w++ {
-			for i := 0; i < counts[w]; i++ {
-				res := gens[w].Generate(streams[w])
-				ref.total++
-				switch res.Kind {
-				case KindActivated:
-					ref.activated++
-				case KindHopeless:
-					ref.hopeless++
-				case KindBoostable:
-					ref.boostable++
-					ref.crits = append(ref.crits, res.Critical)
-					if mode == ModeFull {
-						ref.graphs = append(ref.graphs, res.Graph)
-					}
-				}
+	for i := 0; i < total; i++ {
+		r.ReseedStream(g.seed, uint64(i))
+		res := gen.Generate(r)
+		ref.total++
+		switch res.Kind {
+		case KindActivated:
+			ref.activated++
+		case KindHopeless:
+			ref.hopeless++
+		case KindBoostable:
+			ref.boostable++
+			ref.crits = append(ref.crits, res.Critical)
+			if mode == ModeFull {
+				ref.graphs = append(ref.graphs, res.Graph)
 			}
 		}
 	}
@@ -171,15 +149,14 @@ func TestArenaPoolMatchesReference(t *testing.T) {
 		c := newRefCase(t, uint64(trial)+11)
 		stages := [][]int{
 			{900},           // one-shot
-			{300, 600, 900}, // staged (same per-worker totals)
+			{300, 600, 900}, // staged
 		}
+		// One serial reference per case: per-sketch stateless streams
+		// make pool contents invariant to workers and staging, so every
+		// (workers, stage-set) pool below must equal the same reference.
+		ref := buildRefPool(c, ModeFull, 900, t)
 		for _, workers := range workerCounts {
 			for si, targets := range stages {
-				// The reference replays the exact same Extend schedule:
-				// per-stage need splitting decides how many graphs each
-				// worker stream contributes, so staged and one-shot
-				// references differ whenever need % workers != 0.
-				ref := buildRefPool(c, ModeFull, workers, targets, t)
 				pool, err := NewPool(c.g, c.seeds, c.k, ModeFull, c.seed, workers)
 				if err != nil {
 					t.Fatal(err)
@@ -276,8 +253,8 @@ func TestArenaPoolMatchesReference(t *testing.T) {
 func TestArenaPoolMatchesReferenceLB(t *testing.T) {
 	for trial := 0; trial < 4; trial++ {
 		c := newRefCase(t, uint64(trial)+31)
+		ref := buildRefPool(c, ModeLB, 800, t)
 		for _, workers := range []int{1, 2, 7} {
-			ref := buildRefPool(c, ModeLB, workers, []int{800}, t)
 			pool, err := NewPool(c.g, c.seeds, c.k, ModeLB, c.seed, workers)
 			if err != nil {
 				t.Fatal(err)

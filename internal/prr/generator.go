@@ -116,6 +116,15 @@ type Generator struct {
 	// own is the single-graph emission buffer behind the standalone
 	// GenerateFrom path (tests, examples, reference implementations).
 	own arena
+
+	// lastExpanded records the nodes expanded by the most recent
+	// generation, in discovery order. A generation's RNG draw sequence is
+	// exactly: one root draw, then one draw per in-edge of each expanded
+	// node — so a sketch is affected by a graph delta iff some expanded
+	// node's in-edge list changed. Pool repair reads this after every
+	// GenerateInto to maintain its per-sketch touched-edge index. The
+	// slice is overwritten by the next generation.
+	lastExpanded []int32
 }
 
 // NewGenerator returns a Generator. seeds must be valid node ids; k>=1.
@@ -158,11 +167,17 @@ func (gen *Generator) genBudget() int32 {
 	return int32(gen.k)
 }
 
-// cleanup resets all per-generation scratch state.
+// cleanup resets all per-generation scratch state, harvesting the
+// expanded-node set into lastExpanded on the way out (rawNodes is in
+// discovery order, so lastExpanded is too).
 func (gen *Generator) cleanup() {
+	gen.lastExpanded = gen.lastExpanded[:0]
 	for _, v := range gen.rawNodes {
 		gen.dr[v] = inf
-		gen.expanded[v] = false
+		if gen.expanded[v] {
+			gen.lastExpanded = append(gen.lastExpanded, v)
+			gen.expanded[v] = false
+		}
 	}
 	gen.rawNodes = gen.rawNodes[:0]
 	gen.rawEdges = gen.rawEdges[:0]

@@ -30,9 +30,17 @@ type Pool struct {
 	k        int
 	mode     Mode
 	workers  int
-	streams  []*rng.Source
+	seed     uint64
+	streams  []*rng.Source // per-worker scratch Sources, reseeded per sketch
 	gens     []*Generator
 	shards   []*extendShard // per-worker emission buffers, reused across Extends
+
+	// log records every generated sketch — kind, size statistics, and
+	// the expanded-node set that determines its RNG draw sequence — in
+	// global sketch-index order. It is what makes Repair possible: the
+	// expanded sets are the per-sketch touched-edge index, and the
+	// statistics let counters be recomputed after selective resampling.
+	log sketchLog
 
 	cov   *maxcover.Coverage // critical sets of boostable graphs
 	arena arena              // flat storage of the boostable graphs (ModeFull: full structure; ModeLB: critical sets only)
@@ -63,6 +71,7 @@ type Pool struct {
 // (seed, workers) pair.
 type extendShard struct {
 	arena arena
+	log   sketchLog
 
 	total, activated, hopeless, boostable int
 	sumRaw, sumCompressed, sumExamined    int64
@@ -70,8 +79,26 @@ type extendShard struct {
 
 func (sh *extendShard) reset() {
 	sh.arena.reset()
+	sh.log.reset()
 	sh.total, sh.activated, sh.hopeless, sh.boostable = 0, 0, 0, 0
 	sh.sumRaw, sh.sumCompressed, sh.sumExamined = 0, 0, 0
+}
+
+// record tallies one generation result into the shard.
+func (sh *extendShard) record(res Result, expanded []int32) {
+	sh.log.append(res, expanded)
+	sh.total++
+	sh.sumExamined += int64(res.EdgesExamined)
+	switch res.Kind {
+	case KindActivated:
+		sh.activated++
+	case KindHopeless:
+		sh.hopeless++
+	case KindBoostable:
+		sh.boostable++
+		sh.sumRaw += int64(res.RawEdges)
+		sh.sumCompressed += int64(res.CompressedEdges)
+	}
 }
 
 // NewPool creates an empty pool. workers <= 0 means GOMAXPROCS.
@@ -86,20 +113,20 @@ func NewPool(g *graph.Graph, seeds []int32, k int, mode Mode, seed uint64, worke
 		k:        k,
 		mode:     mode,
 		workers:  workers,
+		seed:     seed,
 		cov:      maxcover.New(g.N()),
 		zeroMask: make([]bool, g.N()),
 	}
 	if mode == ModeFull {
 		p.sel = newDeltaIndex(g.N())
 	}
-	root := rng.New(seed)
 	for w := 0; w < workers; w++ {
 		gen, err := NewGenerator(g, seeds, k, mode)
 		if err != nil {
 			return nil, err
 		}
 		p.gens = append(p.gens, gen)
-		p.streams = append(p.streams, root.Split())
+		p.streams = append(p.streams, rng.New(seed))
 		p.shards = append(p.shards, &extendShard{})
 	}
 	for _, s := range seeds {
@@ -130,25 +157,44 @@ func (p *Pool) Mode() Mode { return p.mode }
 // NumBoostable returns the number of boostable PRR-graphs stored.
 func (p *Pool) NumBoostable() int { return p.numBoostable }
 
-// Extend grows the pool to at least target total PRR-graphs. Workers
-// generate concurrently into per-shard arenas — including each
-// boostable graph's initial candidate set, computed while the graph is
-// cache-hot — and the shards are merged in deterministic worker order,
-// so pool contents and every downstream selection are bit-identical to
-// a serial merge for the pool's fixed (seed, workers) pair.
-func (p *Pool) Extend(target int) {
-	need := target - p.total
-	if need <= 0 {
-		return
-	}
-	counts := make([]int, p.workers)
-	base, rem := need/p.workers, need%p.workers
+// splitCounts divides need across workers (the leading workers take the
+// remainder), returning per-worker counts and their exclusive prefix
+// sums.
+func splitCounts(need, workers int) (counts, offs []int) {
+	counts = make([]int, workers)
+	offs = make([]int, workers+1)
+	base, rem := need/workers, need%workers
 	for w := range counts {
 		counts[w] = base
 		if w < rem {
 			counts[w]++
 		}
+		offs[w+1] = offs[w] + counts[w]
 	}
+	return counts, offs
+}
+
+// Extend grows the pool to at least target total PRR-graphs.
+//
+// Sketch i — globally indexed across the pool's lifetime — is always
+// generated from the stateless stream rng.StreamSeed(seed, i), and
+// workers take contiguous index ranges merged in worker order, so the
+// pool's contents are a pure function of (graph, seeds, k, mode, seed,
+// total): bit-identical across worker counts and across staged versus
+// one-shot growth. That invariance is what lets Repair regenerate
+// exactly the sketches a graph delta touched and prove the result equal
+// to a cold rebuild.
+//
+// Workers generate concurrently into per-shard arenas — including each
+// boostable graph's initial candidate set, computed while the graph is
+// cache-hot — and the shards are merged in deterministic worker order.
+func (p *Pool) Extend(target int) {
+	need := target - p.total
+	if need <= 0 {
+		return
+	}
+	start := p.total
+	counts, offs := splitCounts(need, p.workers)
 	var wg sync.WaitGroup
 	for w := 0; w < p.workers; w++ {
 		if counts[w] == 0 {
@@ -162,25 +208,15 @@ func (p *Pool) Extend(target int) {
 			sh := p.shards[w]
 			sh.reset()
 			for i := 0; i < counts[w]; i++ {
+				r.ReseedStream(p.seed, uint64(start+offs[w]+i))
 				res := gen.GenerateInto(&sh.arena, r)
-				sh.total++
-				sh.sumExamined += int64(res.EdgesExamined)
-				switch res.Kind {
-				case KindActivated:
-					sh.activated++
-				case KindHopeless:
-					sh.hopeless++
-				case KindBoostable:
-					sh.boostable++
-					sh.sumRaw += int64(res.RawEdges)
-					sh.sumCompressed += int64(res.CompressedEdges)
-				}
+				sh.record(res, gen.lastExpanded)
 			}
 		}(w)
 	}
 	wg.Wait()
 
-	// Deterministic merge in worker order.
+	// Deterministic merge in worker order (= global sketch-index order).
 	from := p.arena.numGraphs()
 	for w := 0; w < p.workers; w++ {
 		if counts[w] == 0 {
@@ -196,6 +232,7 @@ func (p *Pool) Extend(target int) {
 		p.sumExamined += sh.sumExamined
 		base := p.arena.numGraphs()
 		p.arena.appendArena(&sh.arena)
+		p.log.appendLog(&sh.log)
 		for i := base; i < p.arena.numGraphs(); i++ {
 			crit := p.arena.critAt(i)
 			p.sumCritical += int64(len(crit))
@@ -299,9 +336,9 @@ func (p *Pool) Generation() uint64 { return p.generation }
 // capacities, so the engine's byte-based eviction tracks real memory
 // instead of a per-edge approximation.
 func (p *Pool) MemoryEstimate() int64 {
-	bytes := p.arena.bytes()
+	bytes := p.arena.bytes() + p.log.bytes()
 	for _, sh := range p.shards {
-		bytes += sh.arena.bytes()
+		bytes += sh.arena.bytes() + sh.log.bytes()
 	}
 	bytes += p.cov.MemoryBytes()
 	if p.sel != nil {

@@ -68,6 +68,24 @@ func (r *Source) Split() *Source {
 	return New(r.Uint64())
 }
 
+// StreamSeed derives the seed of the index-th stream of base: a
+// stateless hash of (base, index), so stream i can be (re)constructed
+// without drawing streams 0..i-1 first. Sequentially indexed streams
+// are as independent as Split streams — both reduce to seeding xoshiro
+// from splitmix64 outputs of well-separated states.
+func StreamSeed(base, index uint64) uint64 {
+	state := base
+	mixed := splitmix64(&state)
+	state = mixed ^ (index+1)*0x9e3779b97f4a7c15
+	return splitmix64(&state)
+}
+
+// ReseedStream resets the Source to the index-th stream of base (see
+// StreamSeed), reusing the receiver's storage.
+func (r *Source) ReseedStream(base, index uint64) {
+	r.Reseed(StreamSeed(base, index))
+}
+
 // Float64 returns a uniform float64 in [0, 1).
 func (r *Source) Float64() float64 {
 	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))

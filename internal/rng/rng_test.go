@@ -246,3 +246,33 @@ func TestQuickUint64n(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// StreamSeed must be a pure function of (base, index) — the property
+// pool repair relies on to regenerate sketch i in isolation — and
+// distinct (base, index) pairs must not collide in practice.
+func TestStreamSeedStatelessAndDistinct(t *testing.T) {
+	seen := map[uint64][2]uint64{}
+	for base := uint64(0); base < 8; base++ {
+		for index := uint64(0); index < 1000; index++ {
+			s := StreamSeed(base, index)
+			if s != StreamSeed(base, index) {
+				t.Fatalf("StreamSeed(%d,%d) not deterministic", base, index)
+			}
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("StreamSeed collision: (%d,%d) and (%d,%d) -> %d",
+					base, index, prev[0], prev[1], s)
+			}
+			seen[s] = [2]uint64{base, index}
+		}
+	}
+	// ReseedStream must match a fresh New(StreamSeed(...)) source.
+	r := New(1)
+	r.Uint64()
+	r.ReseedStream(42, 7)
+	want := New(StreamSeed(42, 7))
+	for i := 0; i < 8; i++ {
+		if got, w := r.Uint64(), want.Uint64(); got != w {
+			t.Fatalf("ReseedStream output %d: got %d want %d", i, got, w)
+		}
+	}
+}

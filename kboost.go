@@ -317,9 +317,23 @@ type EngineGraphInfo = engine.GraphInfo
 // warm pool state the replacement invalidated.
 type EngineUploadResult = engine.UploadResult
 
+// EdgeDelta is a batch of edge mutations (add / remove / reweight)
+// applied to a registered snapshot by Engine.RepairGraph or PATCH
+// /v1/graphs/{name}/edges.
+type EdgeDelta = graph.EdgeDelta
+
+// EngineRepairResult reports an accepted Engine.RepairGraph patch: the
+// patched snapshot's descriptor, the delta's shape, and how the old
+// version's cached pools were migrated (repaired vs dropped).
+type EngineRepairResult = engine.RepairResult
+
 // ErrUnknownGraph is returned (wrapped) by Engine methods when a
 // request names a graph id that was never registered.
 var ErrUnknownGraph = engine.ErrUnknownGraph
+
+// ErrGraphChanged is returned (wrapped) by Engine.RepairGraph when the
+// snapshot was replaced or deleted while the delta was being applied.
+var ErrGraphChanged = engine.ErrGraphChanged
 
 // NewEngine creates an Engine.
 func NewEngine(opt EngineOptions) *Engine { return engine.New(opt) }
@@ -327,8 +341,9 @@ func NewEngine(opt EngineOptions) *Engine { return engine.New(opt) }
 // EngineServer is the HTTP front end used by cmd/kboostd: POST
 // /v1/boost, /v1/seeds, /v1/estimate and GET /v1/stats with JSON
 // bodies, plus the graph lifecycle endpoints (GET /v1/graphs,
-// GET/POST/PUT/DELETE /v1/graphs/{name}; mutation requires the
-// configured bearer token). It implements http.Handler.
+// GET/POST/PUT/DELETE /v1/graphs/{name}, PATCH
+// /v1/graphs/{name}/edges; mutation requires the configured bearer
+// token). It implements http.Handler.
 type EngineServer = engine.Server
 
 // EngineServerOptions configures NewEngineServer.
