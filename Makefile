@@ -51,7 +51,9 @@ fuzz-short:
 # bench runs the selection- and cold-path benchmarks (warm SelectDelta
 # vs the naive reference, incremental Extend, cold pool builds, Eval
 # sweeps, warm Engine queries, graph-patch repair vs cold rebuild — for
-# both the PRR and boosted-LT pool families) with -benchmem, and emits
+# both the PRR and boosted-LT pool families — plus the tiered estimate
+# serves: closed-form tier 0, small-sample tier 1, and the warm tier-2
+# baseline they undercut) with -benchmem, and emits
 # machine-readable BENCH_select.json (ns/op, bytes_per_op,
 # allocs_per_op) alongside the usual text output. -count=3 matches the
 # gate's re-runs; the comparator takes each name's *median* baseline
@@ -60,6 +62,7 @@ fuzz-short:
 bench:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkSelectDeltaWarm|BenchmarkExtendIncremental|BenchmarkPoolBuildCold|BenchmarkPRREval' -benchmem -count=3 ./internal/prr && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkLTSelectWarm|BenchmarkLTEstimateWarm' -benchmem -count=3 ./internal/lt && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkEstimateTier' -benchmem -count=3 ./internal/engine && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkEngineWarmBoost|BenchmarkLTWarmBoost|BenchmarkLTPoolExtend|BenchmarkGraphPatch' -benchmem -count=3 . ; } | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_select.json
 	@echo "wrote BENCH_select.json"
 
@@ -68,6 +71,7 @@ bench:
 bench-short:
 	$(GO) test -run '^$$' -bench 'BenchmarkSelectDeltaWarm|BenchmarkExtendIncremental|BenchmarkPoolBuildCold|BenchmarkPRREval' -benchmem -benchtime 1x -short -count=1 ./internal/prr
 	$(GO) test -run '^$$' -bench 'BenchmarkLTSelectWarm|BenchmarkLTEstimateWarm' -benchmem -benchtime 1x -short -count=1 ./internal/lt
+	$(GO) test -run '^$$' -bench 'BenchmarkEstimateTier' -benchmem -benchtime 1x -short -count=1 ./internal/engine
 	$(GO) test -run '^$$' -bench 'BenchmarkEngineWarmBoost|BenchmarkLTWarmBoost|BenchmarkLTPoolExtend|BenchmarkGraphPatch' -benchmem -benchtime 1x -short -count=1 .
 
 # bench-gate re-runs the cheap warm-path benchmarks at full size, emits
@@ -76,7 +80,9 @@ bench-short:
 # set: the warm selection/estimate paths (the *Short variants exist so
 # every gated benchmark completes >= 20 iterations — the full-size
 # naive references run 1-9 iterations, too noisy to gate) plus the
-# graph-patch repair path. Cold ns/op varies too much across runners to
+# graph-patch repair path and the tiered estimate serves (tier 0 must
+# stay closed-form cheap; the warm tier-2 baseline guards the pool
+# read path). Cold ns/op varies too much across runners to
 # gate on, so BenchmarkGraphPatchRebuild and the full-size warm benches
 # stay informational; alloc counts are exact, so the alloc gate catches
 # an accidental per-call allocation on the warm path even when the
@@ -88,5 +94,6 @@ bench-short:
 bench-gate:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkSelectDeltaWarm' -benchmem -count=3 ./internal/prr && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkLTSelectWarmShort|BenchmarkLTEstimateWarmShort' -benchmem -count=3 ./internal/lt && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkEstimateTier' -benchmem -count=3 ./internal/engine && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkEngineWarmBoost|BenchmarkLTWarmBoostShort|BenchmarkGraphPatchRepair' -benchmem -count=3 . ; } | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_fresh.json
-	$(GO) run ./cmd/benchjson -baseline BENCH_select.json -current BENCH_fresh.json -filter 'Warm|PatchRepair' -max-regress 0.25 -max-alloc-regress 0.25
+	$(GO) run ./cmd/benchjson -baseline BENCH_select.json -current BENCH_fresh.json -filter 'Warm|PatchRepair|EstimateTier' -max-regress 0.25 -max-alloc-regress 0.25

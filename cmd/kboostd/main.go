@@ -81,7 +81,7 @@ func run(args []string) error {
 		maxPoolMB    = fs.Int64("max-pool-mb", 1024, "PRR pool cache budget in MiB of estimated pool memory")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain budget")
 		authToken    = fs.String("auth-token", "", "bearer token gating POST/PATCH/DELETE /v1/graphs (empty = graph administration disabled)")
-		repairFrac   = fs.Float64("repair-fallback-frac", 0, "touched-fraction threshold above which a graph patch drops a cached pool instead of repairing it (0 = default 0.5, 1 = always repair)")
+		repairFrac   = fs.Float64("repair-fallback-frac", 0, "touched share of pool regeneration cost (expansion size) above which a graph patch drops a cached pool instead of repairing it (0 = default 0.5, 1 = always repair)")
 		maxUploadMB  = fs.Int64("max-upload-mb", 64, "graph upload body cap in MiB")
 		dataDir      = fs.String("data-dir", "", "directory persisting uploaded snapshots as <name>.kbg, reloaded on boot")
 		graphSpecs   sliceFlag

@@ -1,0 +1,248 @@
+// Package approx implements closed-form one/two-hop spread
+// approximations computed directly off the CSR adjacency, following the
+// degree-truncated estimator of Chung & Lee 2014 ("one-hop/two-hop
+// spread") extended with the influence-boosting model's dual edge
+// probabilities: every edge (u,v) contributes its boosted probability
+// when v is in the boost set and its base probability otherwise.
+//
+// These estimators walk at most the two-hop out-neighborhood of the
+// seed set — no sampling, no pool, no allocation proportional to the
+// sims budget — which makes them the tier-0 read path of the engine's
+// tiered /v1/estimate. They carry no approximation guarantee: paths
+// longer than two hops are ignored (underestimate) while overlapping
+// two-hop paths are double-counted (overestimate). On sub-critical
+// graphs with small edge probabilities the two effects are small; on
+// dense supercritical graphs the error is unbounded, which is why the
+// engine calibrates the observed error against the exact tier before
+// trusting the closed form.
+//
+// The same formulas double as boosted-LT approximations by passing the
+// model's per-node in-weight normalizers: with thresholds θ_v ~ U[0,1],
+// the probability that a single newly active in-neighbor u activates v
+// is exactly its effective weight p(u,v)/norm(v), so the norm-divided
+// probabilities play the role the IC probabilities play below.
+package approx
+
+import (
+	"sort"
+
+	"github.com/kboost/kboost/internal/graph"
+)
+
+// masks holds the per-call seed/boost membership tables. Boost is nil
+// when the boost set is empty, which keeps the unboosted pass of a
+// boost-delta evaluation allocation-light.
+type masks struct {
+	seed  []bool
+	boost []bool
+}
+
+func newMasks(g *graph.Graph, seeds, boost []int32) (masks, []int32) {
+	m := masks{seed: make([]bool, g.N())}
+	uniq := make([]int32, 0, len(seeds))
+	for _, s := range seeds {
+		if !m.seed[s] {
+			m.seed[s] = true
+			uniq = append(uniq, s)
+		}
+	}
+	if len(boost) > 0 {
+		m.boost = make([]bool, g.N())
+		for _, b := range boost {
+			m.boost[b] = true
+		}
+	}
+	return m, uniq
+}
+
+// pe returns the effective probability of the i-th out-edge of u given
+// the boost mask and the optional LT normalizer of the edge target.
+func (m *masks) pe(p, pb []float64, to []int32, i int, norm []float64) float64 {
+	v := to[i]
+	w := p[i]
+	if m.boost != nil && m.boost[v] {
+		w = pb[i]
+	}
+	if norm != nil {
+		w /= norm[v]
+	}
+	return w
+}
+
+// TwoHopSpread returns the closed-form two-hop approximation σ̂₂(S, B)
+// of the boosted spread of seed set S under boost set B. norm, when
+// non-nil, divides every edge probability into node v by norm[v] —
+// pass the boosted-LT model's normalizers to approximate that model,
+// nil for IC. Duplicate seeds are ignored; the result is clamped to
+// [|S|, N].
+//
+// The estimator is Chung & Lee's: each seed contributes itself plus its
+// one- and two-hop forward probability mass, with corrections removing
+// mass that flows straight back into the seed set (the χ term and the
+// one-hop seed-neighbor exclusion).
+func TwoHopSpread(g *graph.Graph, seeds, boost []int32, norm []float64) float64 {
+	m, uniq := newMasks(g, seeds, boost)
+	return twoHop(g, uniq, &m, norm)
+}
+
+// TwoHopBoost returns the two-hop approximations of the boosted spread
+// σ̂₂(S, B) and of the boost Δ̂ = σ̂₂(S, B) − σ̂₂(S, ∅). The delta is
+// clamped at 0: boosting never hurts under the model, but the two
+// clamped approximations can cross on supercritical graphs.
+func TwoHopBoost(g *graph.Graph, seeds, boost []int32, norm []float64) (spread, delta float64) {
+	m, uniq := newMasks(g, seeds, boost)
+	spread = twoHop(g, uniq, &m, norm)
+	if len(boost) == 0 {
+		return spread, 0
+	}
+	m.boost = nil
+	base := twoHop(g, uniq, &m, norm)
+	if delta = spread - base; delta < 0 {
+		delta = 0
+	}
+	return spread, delta
+}
+
+// twoHop evaluates the estimator over the deduplicated seed list.
+func twoHop(g *graph.Graph, seeds []int32, m *masks, norm []float64) float64 {
+	var total float64
+	for _, s := range seeds {
+		total += 1
+		sTo := g.OutTo(s)
+		sP := g.OutP(s)
+		sPB := g.OutPBoost(s)
+		for i, c := range sTo {
+			psc := m.pe(sP, sPB, sTo, i, norm)
+			if m.seed[c] {
+				continue // c already counted as a seed
+			}
+			// One pass over Out(c) yields σ₁(c)'s neighbor sum, the
+			// back-edge correction p(c,s), and the χ term removing
+			// two-hop paths that land on another seed.
+			sigma1 := 1.0
+			var pcs, chi float64
+			cTo := g.OutTo(c)
+			cP := g.OutP(c)
+			cPB := g.OutPBoost(c)
+			for j, d := range cTo {
+				w := m.pe(cP, cPB, cTo, j, norm)
+				sigma1 += w
+				if d == s {
+					pcs = w
+				} else if m.seed[d] {
+					chi += w
+				}
+			}
+			total += psc * (sigma1 - pcs - chi)
+		}
+	}
+	if lo := float64(len(seeds)); total < lo {
+		total = lo
+	}
+	if hi := float64(g.N()); total > hi {
+		total = hi
+	}
+	return total
+}
+
+// BoostCandidates returns up to c non-seed nodes ranked by a
+// closed-form estimate of their single-node boost gain, descending
+// (ties toward the smaller id). The score of v truncates the boost
+// cascade at two hops from the seed set:
+//
+//	score(v) = Σ_{u: (u,v)∈E} reach(u) · (p'(u,v) − p(u,v)) · fwd(v)
+//
+// where reach(u) is u's probability of being active within one hop of
+// the seeds (1 for seeds, min(1, Σ_s p(s,u)) otherwise) and fwd(v) =
+// 1 + Σ_{w∈Out(v)\S} p(v,w) is v's forward mass. Nodes with zero score
+// — no boostable in-edge within reach of the seeds — are omitted, so
+// the result may be shorter than c. Used as the tier-0 candidate
+// pre-filter that shrinks the CELF heaps of the PRR and LT greedy
+// paths; like every tier-0 product it is a heuristic with no guarantee.
+func BoostCandidates(g *graph.Graph, seeds []int32, c int, norm []float64) []int32 {
+	n := g.N()
+	if c <= 0 {
+		return nil
+	}
+	seedMask := make([]bool, n)
+	for _, s := range seeds {
+		seedMask[s] = true
+	}
+
+	// reach: seeds plus their out-neighbors, capped at 1.
+	reach := make([]float64, n)
+	var frontier []int32
+	for _, s := range seeds {
+		if reach[s] != 1 {
+			reach[s] = 1
+			frontier = append(frontier, s)
+		}
+	}
+	for _, s := range seeds {
+		to := g.OutTo(s)
+		p := g.OutP(s)
+		for i, u := range to {
+			if seedMask[u] {
+				continue
+			}
+			if reach[u] == 0 {
+				frontier = append(frontier, u)
+			}
+			if reach[u] += p[i]; reach[u] > 1 {
+				reach[u] = 1
+			}
+		}
+	}
+
+	// Score the out-neighbors of every reached node by boost uplift
+	// times forward mass; fwd is memoized since high-in-degree targets
+	// recur across sources.
+	score := make([]float64, n)
+	fwd := make([]float64, n)
+	fwdDone := make([]bool, n)
+	var cands []int32
+	for _, u := range frontier {
+		to := g.OutTo(u)
+		p := g.OutP(u)
+		pb := g.OutPBoost(u)
+		for i, v := range to {
+			if seedMask[v] {
+				continue
+			}
+			uplift := pb[i] - p[i]
+			if uplift == 0 {
+				continue
+			}
+			if norm != nil {
+				uplift /= norm[v]
+			}
+			if !fwdDone[v] {
+				fwdDone[v] = true
+				f := 1.0
+				vTo := g.OutTo(v)
+				vP := g.OutP(v)
+				for j, w := range vTo {
+					if !seedMask[w] {
+						f += vP[j]
+					}
+				}
+				fwd[v] = f
+			}
+			if score[v] == 0 {
+				cands = append(cands, v)
+			}
+			score[v] += reach[u] * uplift * fwd[v]
+		}
+	}
+
+	sort.Slice(cands, func(i, j int) bool {
+		if score[cands[i]] != score[cands[j]] {
+			return score[cands[i]] > score[cands[j]]
+		}
+		return cands[i] < cands[j]
+	})
+	if len(cands) > c {
+		cands = cands[:c]
+	}
+	return cands
+}

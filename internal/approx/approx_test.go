@@ -1,0 +1,144 @@
+package approx
+
+import (
+	"math"
+	"testing"
+
+	"github.com/kboost/kboost/internal/diffusion"
+	"github.com/kboost/kboost/internal/graph"
+	"github.com/kboost/kboost/internal/rng"
+	"github.com/kboost/kboost/internal/testutil"
+)
+
+// pathGraph builds 0 -> 1 -> 2 with p=0.2, p'=0.5 on every edge.
+func pathGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(3)
+	b.MustAddEdge(0, 1, 0.2, 0.5)
+	b.MustAddEdge(1, 2, 0.2, 0.5)
+	return b.MustBuild()
+}
+
+func TestTwoHopSpreadHandComputed(t *testing.T) {
+	g := pathGraph(t)
+	// σ̂₂({0}) = 1 + p01·(1 + p12) = 1 + 0.2·1.2 = 1.24 — and the chain
+	// has no paths longer than 2 hops, so this is the exact spread.
+	got := TwoHopSpread(g, []int32{0}, nil, nil)
+	if math.Abs(got-1.24) > 1e-12 {
+		t.Fatalf("σ̂₂ = %v, want 1.24", got)
+	}
+	// Boosting node 1 raises the first hop: 1 + 0.5·1.2 = 1.6.
+	got = TwoHopSpread(g, []int32{0}, []int32{1}, nil)
+	if math.Abs(got-1.6) > 1e-12 {
+		t.Fatalf("boosted σ̂₂ = %v, want 1.6", got)
+	}
+	// Boosting node 2 raises the second hop: 1 + 0.2·1.5 = 1.3.
+	spread, delta := TwoHopBoost(g, []int32{0}, []int32{2}, nil)
+	if math.Abs(spread-1.3) > 1e-12 || math.Abs(delta-0.06) > 1e-12 {
+		t.Fatalf("TwoHopBoost = (%v, %v), want (1.3, 0.06)", spread, delta)
+	}
+}
+
+func TestTwoHopSeedCorrections(t *testing.T) {
+	// Triangle 0 -> 1 -> 0 and 1 -> 2 -> 0: back-edges into the seed
+	// set must not be counted.
+	b := graph.NewBuilder(3)
+	b.MustAddEdge(0, 1, 0.5, 0.5)
+	b.MustAddEdge(1, 0, 0.5, 0.5)
+	b.MustAddEdge(1, 2, 0.5, 0.5)
+	b.MustAddEdge(2, 0, 0.5, 0.5)
+	g := b.MustBuild()
+	// Seed {0}: 1 + p01·(σ₁(1) − p10) with σ₁(1) = 1 + p10 + p12 = 2,
+	// so 1 + 0.5·1.5 = 1.75. The 2→0 back-edge is beyond two hops.
+	if got := TwoHopSpread(g, []int32{0}, nil, nil); math.Abs(got-1.75) > 1e-12 {
+		t.Fatalf("σ̂₂({0}) = %v, want 1.75", got)
+	}
+	// Seed {0,2}: node 0 contributes 1 + p01·(σ₁(1) − p10 − χ) where
+	// the χ term removes the 1→2 edge into the other seed:
+	// 1 + 0.5·(2 − 0.5 − 0.5) = 1.5. Node 2's only edge lands on seed
+	// 0, contributing 1. Total 2.5.
+	if got := TwoHopSpread(g, []int32{0, 2}, nil, nil); math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("σ̂₂({0,2}) = %v, want 2.5", got)
+	}
+	// Duplicate seeds collapse.
+	if got := TwoHopSpread(g, []int32{0, 0, 0}, nil, nil); math.Abs(got-1.75) > 1e-12 {
+		t.Fatalf("σ̂₂({0,0,0}) = %v, want 1.75", got)
+	}
+}
+
+func TestTwoHopClamped(t *testing.T) {
+	// Dense clique with p=0.9: the raw two-hop sum overshoots N and
+	// must clamp there.
+	b := graph.NewBuilder(4)
+	for u := int32(0); u < 4; u++ {
+		for v := int32(0); v < 4; v++ {
+			if u != v {
+				b.MustAddEdge(u, v, 0.9, 0.95)
+			}
+		}
+	}
+	g := b.MustBuild()
+	if got := TwoHopSpread(g, []int32{0, 1}, nil, nil); got != 4 {
+		t.Fatalf("σ̂₂ = %v, want clamp at N=4", got)
+	}
+	// Isolated seeds floor at |S|.
+	empty := graph.NewBuilder(5).MustBuild()
+	if got := TwoHopSpread(empty, []int32{1, 3}, nil, nil); got != 2 {
+		t.Fatalf("σ̂₂ on empty graph = %v, want 2", got)
+	}
+}
+
+// On sub-critical sparse graphs (where two hops carry most of the
+// cascade) the closed form must track the Monte-Carlo estimate.
+func TestTwoHopTracksMonteCarlo(t *testing.T) {
+	r := rng.New(11)
+	for trial := 0; trial < 5; trial++ {
+		g := testutil.RandomGraph(r, 60, 150, 0.08)
+		seeds := testutil.RandomSeedSet(r, 60, 3)
+		boost := testutil.RandomSeedSet(r, 60, 5)
+		mc, err := diffusion.EstimateSpread(g, seeds, boost, diffusion.Options{Sims: 40000, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := TwoHopSpread(g, seeds, boost, nil)
+		if rel := math.Abs(got-mc) / mc; rel > 0.05 {
+			t.Fatalf("trial %d: σ̂₂ = %v vs MC %v (rel %.3f)", trial, got, mc, rel)
+		}
+	}
+}
+
+func TestBoostCandidates(t *testing.T) {
+	// Star out of seed 0 with one high-uplift target (node 2).
+	b := graph.NewBuilder(5)
+	b.MustAddEdge(0, 1, 0.1, 0.15)
+	b.MustAddEdge(0, 2, 0.1, 0.9)
+	b.MustAddEdge(0, 3, 0.1, 0.2)
+	b.MustAddEdge(3, 4, 0.1, 0.1) // zero uplift: node 4 unreachable as candidate
+	g := b.MustBuild()
+	cands := BoostCandidates(g, []int32{0}, 10, nil)
+	if len(cands) != 3 || cands[0] != 2 {
+		t.Fatalf("cands = %v, want node 2 ranked first of 3", cands)
+	}
+	for _, v := range cands {
+		if v == 0 {
+			t.Fatal("seed included in candidates")
+		}
+		if v == 4 {
+			t.Fatal("zero-uplift node included in candidates")
+		}
+	}
+	// Cap respected, ranking stable.
+	top1 := BoostCandidates(g, []int32{0}, 1, nil)
+	if len(top1) != 1 || top1[0] != 2 {
+		t.Fatalf("top-1 = %v, want [2]", top1)
+	}
+	again := BoostCandidates(g, []int32{0}, 10, nil)
+	for i := range cands {
+		if cands[i] != again[i] {
+			t.Fatalf("non-deterministic ranking: %v vs %v", cands, again)
+		}
+	}
+	if got := BoostCandidates(g, []int32{0}, 0, nil); got != nil {
+		t.Fatalf("c=0 should yield nil, got %v", got)
+	}
+}

@@ -39,6 +39,13 @@ type Options struct {
 	// SSA-style stop-and-stare controller (imm.RunAdaptive): usually far
 	// fewer samples, no formal certificate. See DESIGN.md §4.2.
 	Adaptive bool
+	// Candidates, when non-nil, restricts the Δ̂ greedy (ModeFull
+	// selection) to the listed nodes — a pre-filter shortlist, typically
+	// from a cheap closed-form ranking. The lower-bound greedy B_μ and
+	// the sandwich comparison are unrestricted, so the returned set is
+	// never worse than B_μ; only the Δ̂-greedy leg is narrowed. Nil (the
+	// default) keeps the exact algorithm.
+	Candidates []int32
 }
 
 func (o Options) WithDefaults() Options {
@@ -214,7 +221,7 @@ func BoostFromPool(pool *prr.Pool, opt Options) (*Result, error) {
 		return res, nil
 	}
 
-	bDelta, covDelta, err := pool.SelectDelta(opt.K)
+	bDelta, covDelta, err := pool.SelectDeltaAmong(opt.K, opt.Candidates)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,76 @@
+package diffusion
+
+import (
+	"math"
+	"testing"
+
+	"github.com/kboost/kboost/internal/rng"
+	"github.com/kboost/kboost/internal/stats"
+	"github.com/kboost/kboost/internal/testutil"
+)
+
+// The per-sim sample vectors must be bit-identical for every worker
+// count: each simulation owns a stateless stream keyed by its index.
+func TestEstimateSamplesWorkerInvariance(t *testing.T) {
+	r := rng.New(31)
+	g := testutil.RandomGraph(r, 40, 120, 0.4)
+	seeds := []int32{0, 3}
+	boost := []int32{7, 9}
+	var ref []float64
+	var refDelta []float64
+	for _, workers := range []int{1, 2, 3, 7, 16} {
+		spread, delta, err := EstimateSamples(g, seeds, boost, Options{Sims: 101, Seed: 5, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref, refDelta = spread, delta
+			continue
+		}
+		for i := range ref {
+			if spread[i] != ref[i] || delta[i] != refDelta[i] {
+				t.Fatalf("workers=%d: sample %d diverged: (%v,%v) vs (%v,%v)",
+					workers, i, spread[i], delta[i], ref[i], refDelta[i])
+			}
+		}
+	}
+}
+
+// The sample mean must agree statistically with the mean-only
+// estimators (they share the simulator, not the streams).
+func TestEstimateSamplesMatchesEstimateSpread(t *testing.T) {
+	r := rng.New(32)
+	g := testutil.RandomGraph(r, 40, 120, 0.3)
+	seeds := []int32{1, 2}
+	boost := []int32{5, 6}
+	const sims = 20000
+	spread, delta, err := EstimateSamples(g, seeds, boost, Options{Sims: sims, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, ds := stats.Summarize(spread), stats.Summarize(delta)
+	wantSpread, err := EstimateSpread(g, seeds, boost, Options{Sims: sims, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDelta, err := EstimateBoost(g, seeds, boost, Options{Sims: sims, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ss.Mean-wantSpread) > 4*ss.CI95()+0.05 {
+		t.Fatalf("sampled spread %v vs %v (CI %v)", ss.Mean, wantSpread, ss.CI95())
+	}
+	if math.Abs(ds.Mean-wantDelta) > 4*ds.CI95()+0.05 {
+		t.Fatalf("sampled delta %v vs %v (CI %v)", ds.Mean, wantDelta, ds.CI95())
+	}
+	// Without a boost set the delta vector is identically zero.
+	_, zero, err := EstimateSamples(g, seeds, nil, Options{Sims: 50, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range zero {
+		if d != 0 {
+			t.Fatalf("delta[%d] = %v without boost set", i, d)
+		}
+	}
+}

@@ -51,6 +51,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/kboost/kboost/internal/approx"
 	"github.com/kboost/kboost/internal/core"
 	"github.com/kboost/kboost/internal/diffusion"
 	"github.com/kboost/kboost/internal/graph"
@@ -84,13 +85,17 @@ type Options struct {
 	// make sampling deterministic for a fixed (seed, workers) pair — so
 	// this, not the per-request budget, governs cached pools.
 	Workers int
-	// RepairFallbackFraction is the touched-fraction threshold for graph
-	// patches (RepairGraph): a cached pool whose fraction of sketches or
-	// profiles touched by an edge delta exceeds it is dropped instead of
-	// repaired — at high touch fractions a cold rebuild is cheaper than a
-	// repair that resamples almost everything and still rebuilds the
-	// indexes. Default 0.5; values above 1 are clamped to 1 (always
-	// repair, never fall back).
+	// RepairFallbackFraction is the touched-cost threshold for graph
+	// patches (RepairGraph): a cached pool whose touched share of total
+	// regeneration cost — Σ expansion size over touched PRR sketches, or
+	// Σ cascade size over touched LT profiles, which is what resampling
+	// time is actually proportional to — exceeds it is dropped instead
+	// of repaired; at that point a cold rebuild is cheaper than a repair
+	// that resamples almost everything and still rebuilds the indexes.
+	// (Earlier versions weighted by touched *count*, which understates
+	// the bill on dense supercritical graphs where the touched sketches
+	// are exactly the expensive ones.) Default 0.5; values above 1 are
+	// clamped to 1 (always repair, never fall back).
 	RepairFallbackFraction float64
 }
 
@@ -146,8 +151,8 @@ type Stats struct {
 	// place (a cold rebuild avoided), at the cost of re-deriving
 	// RepairedSketches PRR sketches and RepairedProfiles LT profiles;
 	// RepairFallbackRebuilds pools were dropped because their touched
-	// fraction exceeded RepairFallbackFraction, leaving the next query to
-	// rebuild cold.
+	// cost share exceeded RepairFallbackFraction, leaving the next query
+	// to rebuild cold.
 	GraphPatches           int64 `json:"graph_patches"`
 	RepairedSketches       int64 `json:"repaired_sketches"`
 	RepairedProfiles       int64 `json:"repaired_profiles"`
@@ -157,6 +162,17 @@ type Stats struct {
 	BoostQueries    int64 `json:"boost_queries"`
 	SeedQueries     int64 `json:"seed_queries"`
 	EstimateQueries int64 `json:"estimate_queries"`
+
+	// EstimateTier0/1/2 break the estimate queries down by the tier that
+	// served them: 0 = closed-form two-hop approximation, 1 =
+	// small-sample Monte-Carlo with a CI, 2 = full evaluation (knobless
+	// requests always count here). TierCalibrations counts per-snapshot
+	// calibration passes, each of which ran all three tiers once to
+	// measure the cheap tiers' error against the exact answer.
+	EstimateTier0    int64 `json:"estimate_tier0"`
+	EstimateTier1    int64 `json:"estimate_tier1"`
+	EstimateTier2    int64 `json:"estimate_tier2"`
+	TierCalibrations int64 `json:"tier_calibrations"`
 
 	// PoolHits counts pool-backed queries (PRR and LT alike) served from
 	// a cached pool (possibly after an in-place extension); PoolMisses
@@ -211,6 +227,11 @@ type counters struct {
 	seedQueries     atomic.Int64
 	estimateQueries atomic.Int64
 
+	estimateTier0    atomic.Int64
+	estimateTier1    atomic.Int64
+	estimateTier2    atomic.Int64
+	tierCalibrations atomic.Int64
+
 	poolHits       atomic.Int64
 	poolMisses     atomic.Int64
 	poolRebuilds   atomic.Int64
@@ -252,6 +273,12 @@ type Engine struct {
 	pools     map[string]*poolEntry // kboost:guarded-by mu
 	lru       *list.List            // of *poolEntry; front = most recently used // kboost:guarded-by mu
 	poolBytes int64                 // summed ent.bytes of cached pools // kboost:guarded-by mu
+
+	// cals caches per-(graph, mode) tier calibrations for the tiered
+	// estimate path (see tier.go). calMu is a leaf lock: it is never
+	// held while acquiring Engine.mu or an entry lock.
+	calMu sync.Mutex
+	cals  map[string]*calibration // kboost:guarded-by calMu
 
 	ctr counters
 }
@@ -300,11 +327,14 @@ type poolEntry struct {
 
 // resultKey identifies one cached selection result. cand is the
 // resolved candidate-pool cap for LT selections (0 for PRR, whose
-// selection has no candidate cap).
+// selection has no candidate cap); pre is the request's tier-0
+// pre-filter cap (0 when disabled). Both are part of the key because
+// they change which candidates the greedy may pick.
 type resultKey struct {
 	gen  uint64
 	k    int
 	cand int
+	pre  int
 }
 
 // maxCachedResults bounds a pool's result cache; distinct k values per
@@ -319,6 +349,7 @@ func New(opt Options) *Engine {
 		versions: make(map[string]uint64),
 		pools:    make(map[string]*poolEntry),
 		lru:      list.New(),
+		cals:     make(map[string]*calibration),
 	}
 }
 
@@ -377,6 +408,7 @@ func (e *Engine) UploadGraph(id string, g *graph.Graph) (UploadResult, error) {
 	if _, ok := e.graphs[id]; ok {
 		res.Replaced = true
 		res.InvalidatedPools, res.RetiredBytes = e.invalidateGraphLocked(id)
+		e.dropCalibrations(id)
 	}
 	res.Version = e.nextVersionLocked(id)
 	e.graphs[id] = &snapshot{g: g, version: res.Version}
@@ -394,6 +426,7 @@ func (e *Engine) DeleteGraph(id string) (int, error) {
 	}
 	delete(e.graphs, id)
 	invalidated, _ := e.invalidateGraphLocked(id)
+	e.dropCalibrations(id)
 	e.ctr.deletes.Add(1)
 	return invalidated, nil
 }
@@ -513,6 +546,11 @@ func (e *Engine) Stats() Stats {
 		SeedQueries:     e.ctr.seedQueries.Load(),
 		EstimateQueries: e.ctr.estimateQueries.Load(),
 
+		EstimateTier0:    e.ctr.estimateTier0.Load(),
+		EstimateTier1:    e.ctr.estimateTier1.Load(),
+		EstimateTier2:    e.ctr.estimateTier2.Load(),
+		TierCalibrations: e.ctr.tierCalibrations.Load(),
+
 		PoolHits:       e.ctr.poolHits.Load(),
 		PoolMisses:     e.ctr.poolMisses.Load(),
 		PoolRebuilds:   e.ctr.poolRebuilds.Load(),
@@ -564,6 +602,14 @@ type BoostRequest struct {
 	// CandCap caps the greedy candidate pool for mode "lt" (<= 0 picks
 	// the 4k default). Ignored by the PRR modes.
 	CandCap int `json:"cand_cap,omitempty"`
+	// Prefilter, when > 0, restricts the greedy to the top-Prefilter
+	// candidates of the closed-form two-hop ranking (internal/approx) —
+	// the tier-0 estimator doubling as a CELF pre-filter. Selection gets
+	// cheaper but inherits tier 0's lack of guarantees: nodes the
+	// two-hop ranking scores at zero can never be picked. 0 (the
+	// default) keeps the exact candidate handling, and results are
+	// cached separately per Prefilter value.
+	Prefilter int `json:"prefilter,omitempty"`
 }
 
 // BoostResult is a core.Result plus cache provenance.
@@ -684,6 +730,12 @@ func (e *Engine) Boost(req BoostRequest) (*BoostResult, error) {
 	if err := core.Validate(g, seeds, opt); err != nil {
 		return nil, err
 	}
+	if req.Prefilter > 0 {
+		// Tier-0 pre-filter: the Δ̂ greedy only considers the two-hop
+		// ranking's shortlist. Deterministic in (graph, seeds, cap), so
+		// the result cache can key on the cap alone.
+		opt.Candidates = approx.BoostCandidates(g, seeds, req.Prefilter, nil)
+	}
 	key := poolKey(req.GraphID, version, "m"+strconv.Itoa(int(mode)), seeds)
 	sizeKey := fmt.Sprintf("%d|%g|%g|%d", opt.K, opt.Epsilon, opt.Ell, opt.MaxSamples)
 
@@ -701,7 +753,7 @@ func (e *Engine) Boost(req BoostRequest) (*BoostResult, error) {
 		defer ent.mu.RUnlock()
 		out.CacheHit = true
 		e.ctr.poolHits.Add(1)
-		return e.finishBoost(ent, out, opt)
+		return e.finishBoost(ent, out, opt, req.Prefilter)
 	}
 	ent.mu.RUnlock()
 
@@ -761,15 +813,15 @@ func (e *Engine) Boost(req BoostRequest) (*BoostResult, error) {
 	ent.mu.Unlock()
 	ent.mu.RLock()
 	defer ent.mu.RUnlock()
-	return e.finishBoost(ent, out, opt)
+	return e.finishBoost(ent, out, opt, req.Prefilter)
 }
 
 // finishBoost runs (or recalls) the selection phase for a ready pool.
 // Callers hold ent.mu.RLock; ent.pool is immutable for the duration.
 // kboost:holds mu
-func (e *Engine) finishBoost(ent *poolEntry, out *BoostResult, opt core.Options) (*BoostResult, error) {
+func (e *Engine) finishBoost(ent *poolEntry, out *BoostResult, opt core.Options, pre int) (*BoostResult, error) {
 	pool := ent.pool
-	key := resultKey{gen: pool.Generation(), k: opt.K}
+	key := resultKey{gen: pool.Generation(), k: opt.K, pre: pre}
 
 	ent.resMu.Lock()
 	if ent.resultsGen != key.gen {
@@ -864,7 +916,9 @@ func validateLTSeeds(g *graph.Graph, seeds []int32) error {
 // k-independent — so unlike the PRR path there is no rebuild case. The
 // profile RNG seed is fixed at pool construction; a later query's Seed
 // does not re-sample a cached pool (register a new query with different
-// seeds, or rely on eviction, to draw fresh worlds).
+// seeds, or rely on eviction, to draw fresh worlds). ltAcquire returns
+// holding ent.mu.RLock, which covers the ent.lt reads below.
+// kboost:holds mu
 func (e *Engine) boostLT(req BoostRequest) (*BoostResult, error) {
 	g, version, err := e.snapshotFor(req.GraphID)
 	if err != nil {
@@ -888,7 +942,14 @@ func (e *Engine) boostLT(req BoostRequest) (*BoostResult, error) {
 	}
 	defer ent.mu.RUnlock()
 	out := &BoostResult{CacheHit: hit, NewSamples: added, GraphVersion: version}
-	return e.finishBoostLT(ent, out, req.K, lt.CandidateCap(req.K, req.CandCap))
+	if req.Prefilter > 0 {
+		// Tier-0 pre-filter: rank candidates with the closed-form two-hop
+		// score under the pool's LT normalizers instead of the in-weight
+		// default. CandCap is ignored — the shortlist IS the cap.
+		cands := approx.BoostCandidates(g, seeds, req.Prefilter, ent.lt.Norms())
+		return e.finishBoostLT(ent, out, req.K, 0, req.Prefilter, cands)
+	}
+	return e.finishBoostLT(ent, out, req.K, lt.CandidateCap(req.K, req.CandCap), 0, nil)
 }
 
 // ltAcquire returns the pool entry for (graph snapshot, "lt", seeds)
@@ -969,9 +1030,9 @@ func (e *Engine) ltAcquire(req BoostRequest, g *graph.Graph, version uint64, see
 // pool. Callers hold ent.mu.RLock; ent.lt is immutable for the
 // duration.
 // kboost:holds mu
-func (e *Engine) finishBoostLT(ent *poolEntry, out *BoostResult, k, candCap int) (*BoostResult, error) {
+func (e *Engine) finishBoostLT(ent *poolEntry, out *BoostResult, k, candCap, pre int, cands []int32) (*BoostResult, error) {
 	pool := ent.lt
-	key := resultKey{gen: pool.Generation(), k: k, cand: candCap}
+	key := resultKey{gen: pool.Generation(), k: k, cand: candCap, pre: pre}
 
 	ent.resMu.Lock()
 	if ent.resultsGen != key.gen {
@@ -988,7 +1049,14 @@ func (e *Engine) finishBoostLT(ent *poolEntry, out *BoostResult, k, candCap int)
 	}
 
 	start := time.Now()
-	chosen, est, err := pool.GreedyBoost(k, candCap)
+	var chosen []int32
+	var est float64
+	var err error
+	if pre > 0 {
+		chosen, est, err = pool.GreedyBoostAmong(k, cands)
+	} else {
+		chosen, est, err = pool.GreedyBoost(k, candCap)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -1116,6 +1184,30 @@ type EstimateRequest struct {
 	Sims    int    `json:"sims,omitempty"`
 	Seed    uint64 `json:"seed,omitempty"`
 	Workers int    `json:"workers,omitempty"`
+
+	// MaxLatencyMS and MaxError opt the request into the tiered read
+	// path (tier.go): the engine serves the cheapest tier consistent
+	// with the knobs instead of always running the full evaluation.
+	// MaxLatencyMS is a hard budget in milliseconds — tiers whose
+	// calibrated latency exceeds it are never chosen, down to the
+	// closed-form tier 0 if need be. MaxError is a best-effort relative
+	// error target, judged against a per-snapshot calibration (the first
+	// such request runs all tiers once to measure them). Both zero (the
+	// default) bypasses tiering entirely: the request runs the exact
+	// pre-tier path, bit for bit.
+	MaxLatencyMS float64 `json:"max_latency_ms,omitempty"`
+	MaxError     float64 `json:"max_error,omitempty"`
+}
+
+// EstimateCI is tier 1's uncertainty report for the headline quantity
+// (Δ when the request has a boost set, σ otherwise).
+type EstimateCI struct {
+	// Half is the 95% confidence half-width around the reported mean
+	// (normal approximation; Student-t below 30 simulations).
+	Half float64 `json:"half_width"`
+	// Median is the sample median over the Sims simulations.
+	Median float64 `json:"median"`
+	Sims   int     `json:"sims"`
 }
 
 // EstimateResult reports the two Monte-Carlo estimates.
@@ -1127,16 +1219,43 @@ type EstimateResult struct {
 	// CacheHit reports whether a mode:"lt" estimate was served from an
 	// already-built profile pool (IC estimates are never cached).
 	CacheHit bool `json:"cache_hit,omitempty"`
+	// Tier is the estimator that served the query: 0 = closed-form
+	// two-hop approximation (no error guarantee), 1 = small-sample
+	// Monte-Carlo, 2 = full evaluation. Requests without tiering knobs
+	// are always tier 2.
+	Tier int `json:"tier"`
+	// CI is tier 1's confidence report; nil for tiers 0 and 2.
+	CI *EstimateCI `json:"ci,omitempty"`
 }
 
-// Estimate runs Monte-Carlo estimation of spread and boost.
+// Estimate runs spread/boost estimation. Requests with a tiering knob
+// set (MaxLatencyMS / MaxError) are routed through the tiered read
+// path; everything else runs the full evaluation and reports tier 2.
 func (e *Engine) Estimate(req EstimateRequest) (EstimateResult, error) {
 	switch req.Mode {
-	case "", "ic":
-	case "lt":
-		return e.estimateLT(req)
+	case "", "ic", "lt":
 	default:
 		return EstimateResult{}, fmt.Errorf("engine: unknown estimate mode %q (want \"ic\" or \"lt\")", req.Mode)
+	}
+	if req.MaxLatencyMS > 0 || req.MaxError > 0 {
+		return e.estimateTiered(req)
+	}
+	out, err := e.estimateTier2(req)
+	if err != nil {
+		return out, err
+	}
+	out.Tier = 2
+	e.ctr.estimateTier2.Add(1)
+	return out, nil
+}
+
+// estimateTier2 is the full evaluation: fresh Monte-Carlo for mode
+// ""/"ic", the cached profile pool for "lt". The knobless dispatch
+// above and the tiered path both funnel here, so a tiered request that
+// lands on tier 2 answers bit-identically to a knobless one.
+func (e *Engine) estimateTier2(req EstimateRequest) (EstimateResult, error) {
+	if req.Mode == "lt" {
+		return e.estimateLT(req)
 	}
 	g, err := e.Graph(req.GraphID)
 	if err != nil {

@@ -7,7 +7,8 @@ package engine
 // them: each pool is repaired in place (prr.Pool.Repair /
 // lt.Pool.Repair resample only the sketches/profiles the delta
 // touched) and re-keyed to the new version, so the warm state survives
-// the mutation. A pool whose touched fraction exceeds
+// the mutation. A pool whose touched share of regeneration cost
+// (expansion/cascade size, not sketch count) exceeds
 // Options.RepairFallbackFraction is dropped instead — at that point a
 // cold rebuild is cheaper — and the next query rebuilds it.
 //

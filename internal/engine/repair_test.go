@@ -71,9 +71,12 @@ func patchedTestGraph(t *testing.T) (*graph.Graph, *graph.EdgeDelta) {
 
 // TestRepairGraphMigratesPools: a patch must bump the version, keep the
 // cached PRR and LT pools (repaired, re-keyed), and leave follow-up
-// queries warm at the new version.
+// queries warm at the new version. Fallback is disabled: the migration
+// mechanics are under test, not the cost-weighted threshold (the test
+// graph is dense enough that the default threshold would drop the PRR
+// pool — TestRepairGraphDenseCostFallback pins that behavior).
 func TestRepairGraphMigratesPools(t *testing.T) {
-	e := newTestEngine(t, Options{})
+	e := newTestEngine(t, Options{RepairFallbackFraction: 1})
 	req := testRequest()
 	if _, err := e.Boost(req); err != nil {
 		t.Fatal(err)
@@ -248,6 +251,62 @@ func TestRepairGraphPRREquivalence(t *testing.T) {
 	if fmt.Sprint(got.BoostSet) != fmt.Sprint(want.BoostSet) || got.EstBoost != want.EstBoost {
 		t.Fatalf("migrated PRR pool diverges from cold engine:\n got %v Δ=%v\nwant %v Δ=%v",
 			got.BoostSet, got.EstBoost, want.BoostSet, want.EstBoost)
+	}
+}
+
+// TestRepairGraphDenseCostFallback: under the *default* threshold, the
+// dense test graph's PRR pool must fall back to a cold rebuild — the
+// delta touches sketches carrying most of the pool's expansion mass
+// even though the touched count is modest, which is exactly the case
+// the cost-weighted decision exists for (a count-weighted threshold
+// repaired here at ~rebuild speed). The sparser LT profile pool stays
+// under the threshold and repairs in place.
+func TestRepairGraphDenseCostFallback(t *testing.T) {
+	e := newTestEngine(t, Options{}) // default RepairFallbackFraction
+	req := testRequest()
+	if _, err := e.Boost(req); err != nil {
+		t.Fatal(err)
+	}
+	ltReq := req
+	ltReq.Mode = "lt"
+	ltReq.Sims = 500
+	if _, err := e.Boost(ltReq); err != nil {
+		t.Fatal(err)
+	}
+	g2, d := patchedTestGraph(t)
+	res, err := e.RepairGraph("g", d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PoolsRepaired != 1 || res.PoolsDropped != 1 {
+		t.Fatalf("repaired %d dropped %d, want 1 (lt) / 1 (prr)", res.PoolsRepaired, res.PoolsDropped)
+	}
+	if res.RepairedSketches != 0 || res.RepairedProfiles == 0 {
+		t.Fatalf("resampled %d sketches / %d profiles, want 0 / >0",
+			res.RepairedSketches, res.RepairedProfiles)
+	}
+	st := e.Stats()
+	if st.RepairFallbackRebuilds != 1 || st.RepairSkippedRebuilds != 1 {
+		t.Fatalf("fallback=%d skipped=%d, want 1/1",
+			st.RepairFallbackRebuilds, st.RepairSkippedRebuilds)
+	}
+	// The dropped pool rebuilds cold at the new version and answers
+	// bit-identically to a fresh engine on the patched graph.
+	out, err := e.Boost(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := New(Options{})
+	if err := e2.RegisterGraph("g", g2); err != nil {
+		t.Fatal(err)
+	}
+	want, err := e2.Boost(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(out.BoostSet) != fmt.Sprint(want.BoostSet) || out.EstBoost != want.EstBoost {
+		t.Fatalf("post-fallback rebuild diverges: got %v Δ=%v, want %v Δ=%v",
+			out.BoostSet, out.EstBoost, want.BoostSet, want.EstBoost)
 	}
 }
 

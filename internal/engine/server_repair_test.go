@@ -17,7 +17,10 @@ func newPatchServer(t *testing.T, opt ServerOptions) (*httptest.Server, *Engine)
 	if opt.AuthToken == "" {
 		opt.AuthToken = testToken
 	}
-	e := New(Options{})
+	// Fallback disabled: these tests exercise the patch/repair plumbing
+	// end to end, and the small dense test graph would trip the
+	// cost-weighted threshold at its default.
+	e := New(Options{RepairFallbackFraction: 1})
 	srv := httptest.NewServer(NewServer(e, opt))
 	t.Cleanup(srv.Close)
 	return srv, e

@@ -1,0 +1,339 @@
+package engine
+
+// This file is the latency-tiered estimate read path. A request that
+// sets MaxLatencyMS or MaxError is served by the cheapest of three
+// estimators that satisfies its knobs:
+//
+//	tier 0 — closed-form one/two-hop approximation (internal/approx),
+//	         straight off the CSR. Microseconds, no pool, no sampling,
+//	         and no error guarantee of any kind.
+//	tier 1 — small fixed-budget Monte-Carlo (tier1Sims worker-invariant
+//	         simulations) with a normal-approximation 95% CI.
+//	tier 2 — the full evaluation (estimateTier2): fresh 10k-sim Monte-
+//	         Carlo for IC, the cached profile pool for LT.
+//
+// Tier choice needs to know how wrong the cheap tiers are *on this
+// graph*, which cannot be derived a priori — so the first MaxError
+// request against a snapshot runs a calibration pass: all three tiers
+// once, timed, with the cheap tiers' relative error measured against
+// the exact answer (inflated by a safety factor, since one operand
+// pair is only a point probe of the error surface). The profile is
+// cached per (graph id, mode) and keyed to the snapshot version, so
+// uploads and patches invalidate it by construction.
+//
+// Requests that only cap latency never calibrate: with no error target
+// there is nothing to trade off, and tier 0 is the one tier whose cost
+// is known to be negligible without measuring anything — so they are
+// served closed-form immediately, pool-free even on a cold engine.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/kboost/kboost/internal/approx"
+	"github.com/kboost/kboost/internal/diffusion"
+	"github.com/kboost/kboost/internal/graph"
+	"github.com/kboost/kboost/internal/lt"
+	"github.com/kboost/kboost/internal/stats"
+)
+
+// tier1Sims is tier 1's fixed simulation budget: large enough for a
+// meaningful CI, ~40x cheaper than the 10k-sim tier-2 default.
+const tier1Sims = 256
+
+// calSafety inflates the calibrated tier errors: the calibration pass
+// measures one (seeds, boost) operand pair, and other operands on the
+// same graph can disagree more.
+const calSafety = 2.0
+
+// calibration is one (graph snapshot, mode)'s measured tier profile.
+type calibration struct {
+	version uint64
+	// relErr[t] is tier t's observed relative error against the tier-2
+	// answer, times calSafety. Tier 2 is implicitly 0.
+	relErr [2]float64
+	// latMS[t] is tier t's measured serving latency in milliseconds.
+	latMS [3]float64
+	// ltNorm caches the LT in-weight normalizers for tier 0 (mode "lt"
+	// only), so calibrated tier-0 serves skip the O(N+M) recompute.
+	ltNorm []float64
+}
+
+// calKey builds the calibration cache key. Graph ids cannot contain
+// NUL (they arrive via URL paths / flag values), so the separator
+// cannot collide.
+func calKey(id, mode string) string { return id + "\x00" + mode }
+
+// calibrationFor returns the cached calibration for (id, mode) if it
+// matches the given snapshot version, else nil.
+func (e *Engine) calibrationFor(id, mode string, version uint64) *calibration {
+	e.calMu.Lock()
+	defer e.calMu.Unlock()
+	c := e.cals[calKey(id, mode)]
+	if c == nil || c.version != version {
+		return nil
+	}
+	return c
+}
+
+// dropCalibrations forgets both modes' calibrations for id. Stale
+// entries are never served anyway (version mismatch); this is memory
+// hygiene on delete/replace. Safe to call under Engine.mu — calMu is
+// a leaf lock.
+func (e *Engine) dropCalibrations(id string) {
+	e.calMu.Lock()
+	delete(e.cals, calKey(id, "ic"))
+	delete(e.cals, calKey(id, "lt"))
+	e.calMu.Unlock()
+}
+
+// validateEstimateNodes range-checks both node lists and rejects an
+// empty seed set, mirroring what the tier-2 estimators enforce — the
+// closed-form tier indexes masks directly and must never see a bad id.
+func validateEstimateNodes(g *graph.Graph, seeds, boost []int32) error {
+	if len(seeds) == 0 {
+		return fmt.Errorf("engine: empty seed set")
+	}
+	for _, v := range seeds {
+		if v < 0 || int(v) >= g.N() {
+			return fmt.Errorf("engine: seed %d out of range [0,%d)", v, g.N())
+		}
+	}
+	for _, v := range boost {
+		if v < 0 || int(v) >= g.N() {
+			return fmt.Errorf("engine: boost node %d out of range [0,%d)", v, g.N())
+		}
+	}
+	return nil
+}
+
+// estimateTiered serves a request with at least one tiering knob set.
+func (e *Engine) estimateTiered(req EstimateRequest) (EstimateResult, error) {
+	g, version, err := e.snapshotFor(req.GraphID)
+	if err != nil {
+		return EstimateResult{}, err
+	}
+	if err := validateEstimateNodes(g, req.Seeds, req.Boost); err != nil {
+		return EstimateResult{}, err
+	}
+	mode := req.Mode
+	if mode == "" {
+		mode = "ic"
+	}
+
+	cal := e.calibrationFor(req.GraphID, mode, version)
+	if cal == nil {
+		if req.MaxError <= 0 {
+			// Latency cap only: tier 0 is the one tier known-cheap without
+			// measurement, so serve it directly — no calibration, no pool.
+			out := estimateTier0(g, req, e.tier0Norms(g, mode, nil))
+			e.countTier(0, mode)
+			return out, nil
+		}
+		return e.calibrate(req, g, version, mode)
+	}
+
+	switch tier := pickTier(cal, req); tier {
+	case 0:
+		out := estimateTier0(g, req, e.tier0Norms(g, mode, cal))
+		e.countTier(0, mode)
+		return out, nil
+	case 1:
+		out, err := e.estimateTier1(req, g, mode)
+		if err != nil {
+			return EstimateResult{}, err
+		}
+		e.countTier(1, mode)
+		return out, nil
+	default:
+		out, err := e.estimateTier2(req)
+		if err != nil {
+			return out, err
+		}
+		out.Tier = 2
+		e.ctr.estimateTier2.Add(1)
+		return out, nil
+	}
+}
+
+// pickTier chooses the cheapest tier consistent with the knobs. The
+// error target picks the cheapest tier whose calibrated relative error
+// fits (tier 2 is exact and always fits); tightening MaxError can
+// therefore only move the choice to a more expensive tier — the
+// monotonicity the property tests pin. The latency cap then degrades
+// the choice downward: it is a hard budget, unlike the best-effort
+// error target, so a tier that measured over it is never served even
+// when that sacrifices the error target.
+func pickTier(cal *calibration, req EstimateRequest) int {
+	tier := 0
+	if req.MaxError > 0 {
+		switch {
+		case cal.relErr[0] <= req.MaxError:
+			tier = 0
+		case cal.relErr[1] <= req.MaxError:
+			tier = 1
+		default:
+			tier = 2
+		}
+	}
+	if req.MaxLatencyMS > 0 {
+		for tier > 0 && cal.latMS[tier] > req.MaxLatencyMS {
+			tier--
+		}
+	}
+	return tier
+}
+
+// countTier bumps the query counters for a tier-0/1 serve (the tier-2
+// path counts itself inside the legacy estimators).
+func (e *Engine) countTier(tier int, mode string) {
+	e.ctr.estimateQueries.Add(1)
+	if mode == "lt" {
+		e.ctr.ltEstimateQueries.Add(1)
+	}
+	if tier == 0 {
+		e.ctr.estimateTier0.Add(1)
+	} else {
+		e.ctr.estimateTier1.Add(1)
+	}
+}
+
+// tier0Norms resolves the probability normalizers tier 0 needs: nil
+// for IC (raw edge probabilities), the LT in-weight normalizers for
+// "lt" — from the calibration cache when present, else an O(N+M)
+// recompute off the CSR (still pool-free).
+func (e *Engine) tier0Norms(g *graph.Graph, mode string, cal *calibration) []float64 {
+	if mode != "lt" {
+		return nil
+	}
+	if cal != nil && cal.ltNorm != nil {
+		return cal.ltNorm
+	}
+	return lt.New(g).Norms()
+}
+
+// estimateTier0 answers closed-form: the Chung-Lee style two-hop
+// approximation of the boosted spread, and its boosted-minus-base
+// difference when the request carries a boost set.
+func estimateTier0(g *graph.Graph, req EstimateRequest, norm []float64) EstimateResult {
+	out := EstimateResult{Tier: 0}
+	if len(req.Boost) > 0 {
+		out.Spread, out.Boost = approx.TwoHopBoost(g, req.Seeds, req.Boost, norm)
+	} else {
+		out.Spread = approx.TwoHopSpread(g, req.Seeds, nil, norm)
+	}
+	return out
+}
+
+// estimateTier1 answers from tier1Sims worker-invariant simulations:
+// means for the point estimates, and a CI over the headline quantity.
+// The per-simulation samples are index-seeded (rng.ReseedStream), so
+// the result is bit-identical for every worker count.
+func (e *Engine) estimateTier1(req EstimateRequest, g *graph.Graph, mode string) (EstimateResult, error) {
+	var spreadS, deltaS []float64
+	var err error
+	if mode == "lt" {
+		spreadS, deltaS, err = lt.EstimateSamples(g, req.Seeds, req.Boost, lt.Options{
+			Sims: tier1Sims, Seed: req.Seed, Workers: e.workersFor(req.Workers),
+		})
+	} else {
+		spreadS, deltaS, err = diffusion.EstimateSamples(g, req.Seeds, req.Boost, diffusion.Options{
+			Sims: tier1Sims, Seed: req.Seed, Workers: e.workersFor(req.Workers),
+		})
+	}
+	if err != nil {
+		return EstimateResult{}, err
+	}
+	ss := stats.Summarize(spreadS)
+	out := EstimateResult{Tier: 1, Spread: ss.Mean}
+	headline, half := spreadS, ss.CI95()
+	if len(req.Boost) > 0 {
+		ds := stats.Summarize(deltaS)
+		out.Boost = ds.Mean
+		headline, half = deltaS, ds.CI95()
+	}
+	// In-place sort + QuantileSorted: the samples are query-local, so
+	// the hot path takes the allocation-free median.
+	sort.Float64s(headline)
+	out.CI = &EstimateCI{Half: half, Median: stats.QuantileSorted(headline, 0.5), Sims: len(headline)}
+	return out, nil
+}
+
+// calibrate is the first-contact pass for a MaxError request with no
+// profile on file: run every tier on this request's operands, time
+// them, measure the cheap tiers against the exact answer, cache the
+// profile for the snapshot, and serve the tier-2 result — the only
+// answer that honors an error target before any profile exists.
+func (e *Engine) calibrate(req EstimateRequest, g *graph.Graph, version uint64, mode string) (EstimateResult, error) {
+	cal := &calibration{version: version}
+	if mode == "lt" {
+		// Copied, not aliased: the calibration outlives the Model built
+		// here and is shared across queries.
+		cal.ltNorm = append([]float64(nil), lt.New(g).Norms()...)
+	}
+	boosted := len(req.Boost) > 0
+
+	t := time.Now()
+	r0 := estimateTier0(g, req, cal.ltNorm)
+	cal.latMS[0] = msSince(t)
+
+	t = time.Now()
+	r1, err := e.estimateTier1(req, g, mode)
+	if err != nil {
+		return EstimateResult{}, err
+	}
+	cal.latMS[1] = msSince(t)
+
+	t = time.Now()
+	out, err := e.estimateTier2(req)
+	if err != nil {
+		return out, err
+	}
+	cal.latMS[2] = msSince(t)
+
+	cal.relErr[0] = calSafety * relErrVs(r0, out, boosted)
+	// Tier 1's profile also folds in its own CI half-width: a pass that
+	// happened to land near the exact answer must not understate the
+	// tier's intrinsic sampling noise.
+	err1 := relErrVs(r1, out, boosted)
+	if ciErr := r1.CI.Half / refScale(out, boosted); ciErr > err1 {
+		err1 = ciErr
+	}
+	cal.relErr[1] = calSafety * err1
+
+	e.calMu.Lock()
+	e.cals[calKey(req.GraphID, mode)] = cal
+	e.calMu.Unlock()
+	e.ctr.tierCalibrations.Add(1)
+
+	out.Tier = 2
+	e.ctr.estimateTier2.Add(1)
+	return out, nil
+}
+
+func msSince(t time.Time) float64 { return float64(time.Since(t)) / float64(time.Millisecond) }
+
+// relErrVs is the relative disagreement between a cheap tier's answer
+// and the exact one — the max over the quantities the request asked
+// for, each against a denominator floored at 1 so near-zero exact
+// values cannot blow the ratio up.
+func relErrVs(got, exact EstimateResult, boosted bool) float64 {
+	err := math.Abs(got.Spread-exact.Spread) / math.Max(1, math.Abs(exact.Spread))
+	if boosted {
+		if d := math.Abs(got.Boost-exact.Boost) / math.Max(1, math.Abs(exact.Boost)); d > err {
+			err = d
+		}
+	}
+	return err
+}
+
+// refScale is the headline quantity's magnitude, floored at 1.
+func refScale(exact EstimateResult, boosted bool) float64 {
+	v := exact.Spread
+	if boosted {
+		v = exact.Boost
+	}
+	return math.Max(1, math.Abs(v))
+}

@@ -56,6 +56,12 @@ func New(g *graph.Graph) *Model {
 	return m
 }
 
+// Norms returns the per-node in-weight normalizers max(1, Σ_in p').
+// The slice aliases the model (kboost:aliased-view): treat it as
+// read-only. Exported for the engine's tier-0 closed-form estimator,
+// which approximates boosted-LT with the norm-divided probabilities.
+func (m *Model) Norms() []float64 { return m.norm }
+
 // Weight returns the effective weight of edge (u,v) given v's boost
 // status, or 0 if the edge does not exist.
 func (m *Model) Weight(u, v int32, boosted bool) float64 {

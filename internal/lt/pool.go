@@ -78,6 +78,11 @@ type Pool struct {
 	scratch sync.Pool // of *evalScratch
 }
 
+// Norms returns the pool's per-node in-weight normalizers (see
+// Model.Norms). The slice aliases the pool's model and must not be
+// modified. kboost:aliased-view
+func (p *Pool) Norms() []float64 { return p.m.Norms() }
+
 // NewPool creates an empty pool for (g, seeds). seed determines every
 // profile the pool will ever contain; workers <= 0 means GOMAXPROCS.
 // Unlike PRR pools, pool contents do not depend on workers.

@@ -65,6 +65,44 @@ func TestPoolGreedyMatchesNaive(t *testing.T) {
 	}
 }
 
+// TestGreedyBoostAmongMatchesDefault pins the explicit-candidate
+// variant's contract: handed the default ranking's own list it is
+// exactly GreedyBoost, it never picks outside the list, and seeds or
+// out-of-range ids in the list are ignored rather than selectable.
+func TestGreedyBoostAmongMatchesDefault(t *testing.T) {
+	r := rng.New(41)
+	for trial := 0; trial < 8; trial++ {
+		n := 12 + r.Intn(20)
+		g := testutil.RandomGraph(r, n, n+r.Intn(3*n), 0.5)
+		seeds := randomSeedSet(r, n)
+		pool, err := NewPool(g, seeds, uint64(trial)+5, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool.Extend(300)
+		k, candCap := 3, 6
+		want, wantEst, err := pool.GreedyBoost(k, candCap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cands := boostCandidates(g, pool.seedMask, k, candCap)
+		// Polluted copy: seeds and junk ids must be filtered out.
+		dirty := append(append([]int32{seeds[0], -1, int32(n) + 7}, cands...), seeds[0])
+		got, gotEst, err := pool.GreedyBoostAmong(k, dirty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotEst != wantEst || fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("trial %d: among %v/%v != default %v/%v", trial, got, gotEst, want, wantEst)
+		}
+		for _, v := range got {
+			if pool.seedMask[v] {
+				t.Fatalf("trial %d: picked seed %d", trial, v)
+			}
+		}
+	}
+}
+
 // TestPoolGreedyMatchesNaiveParallel forces the sharded evaluation path
 // (normally reserved for large batches) and re-checks equivalence with
 // the naive reference.

@@ -30,10 +30,16 @@ import (
 // an active node in dirtyOut, or an active or frontier node in dirtyIn.
 //
 // touched reports how many profiles needed re-simulation. When the
-// touched fraction exceeds maxFrac (0 < maxFrac <= 1), Repair declines
-// without mutating the pool and returns ok == false; the caller decides
-// what to do with a declined pool (the engine drops it and lets the
-// next query rebuild cold).
+// touched share of the pool's total stored cascade size — each
+// profile's active-set plus frontier length, the quantity
+// re-simulation cost is proportional to — exceeds maxFrac
+// (0 < maxFrac <= 1), Repair declines without mutating the pool and
+// returns ok == false; the caller decides what to do with a declined
+// pool (the engine drops it and lets the next query rebuild cold).
+// Weighting by cascade size instead of profile count mirrors the PRR
+// repair fallback: on dense supercritical graphs the profiles a delta
+// touches are exactly the expensive ones, so an unweighted count
+// understates the repair bill.
 //
 // The node universe is fixed: g2 must have the same node count (deltas
 // mutate edges only). Growing the universe is a re-upload.
@@ -49,6 +55,7 @@ func (p *Pool) Repair(g2 *graph.Graph, dirtyOut, dirtyIn []bool, maxFrac float64
 	R := len(p.profileSeed)
 	touchedMask := make([]bool, R)
 	perWorker := make([]int, p.workers)
+	perWorkerCost := make([]int64, p.workers)
 	chunk := (R + p.workers - 1) / p.workers
 	var wg sync.WaitGroup
 	for w := 0; w < p.workers; w++ {
@@ -61,6 +68,7 @@ func (p *Pool) Repair(g2 *graph.Graph, dirtyOut, dirtyIn []bool, maxFrac float64
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			c := 0
+			var cost int64
 			for pi := lo; pi < hi; pi++ {
 				hit := false
 				for _, v := range p.baseActive(pi) {
@@ -80,16 +88,21 @@ func (p *Pool) Repair(g2 *graph.Graph, dirtyOut, dirtyIn []bool, maxFrac float64
 				if hit {
 					touchedMask[pi] = true
 					c++
+					cost += int64(len(p.baseActive(pi)) + len(p.baseFront(pi)))
 				}
 			}
 			perWorker[w] = c
+			perWorkerCost[w] = cost
 		}(w, lo, hi)
 	}
 	wg.Wait()
-	for _, c := range perWorker {
-		touched += c
+	var touchedCost int64
+	for w := range perWorker {
+		touched += perWorker[w]
+		touchedCost += perWorkerCost[w]
 	}
-	if R > 0 && float64(touched) > maxFrac*float64(R) {
+	totalCost := int64(len(p.activeItems) + len(p.frontItems))
+	if totalCost > 0 && float64(touchedCost) > maxFrac*float64(totalCost) {
 		return touched, false, nil
 	}
 

@@ -128,15 +128,46 @@ var ltReEvalParallelMin = 64
 // the simulations. Safe to run concurrently with other read-only pool
 // methods (not with Extend).
 func (p *Pool) GreedyBoost(k, candCap int) ([]int32, float64, error) {
+	if err := p.checkSelect(k); err != nil {
+		return nil, 0, err
+	}
+	return p.greedyBoost(k, boostCandidates(p.g, p.seedMask, k, candCap))
+}
+
+// GreedyBoostAmong is GreedyBoost over an explicit candidate list
+// instead of the in-weight-ranked default pool: only listed non-seed
+// nodes may be picked. Callers (the engine's tier-0 pre-filter) supply
+// a shortlist from a cheap closed-form ranking; out-of-range ids and
+// seeds are ignored.
+func (p *Pool) GreedyBoostAmong(k int, cands []int32) ([]int32, float64, error) {
+	if err := p.checkSelect(k); err != nil {
+		return nil, 0, err
+	}
+	ok := make([]int32, 0, len(cands))
+	for _, v := range cands {
+		if v >= 0 && int(v) < p.g.N() && !p.seedMask[v] {
+			ok = append(ok, v)
+		}
+	}
+	return p.greedyBoost(k, ok)
+}
+
+// checkSelect validates a selection request against the pool.
+func (p *Pool) checkSelect(k int) error {
 	if k < 1 {
-		return nil, 0, fmt.Errorf("lt: k=%d must be >= 1", k)
+		return fmt.Errorf("lt: k=%d must be >= 1", k)
 	}
+	if len(p.profileSeed) == 0 {
+		return fmt.Errorf("lt: selection on an empty pool (call Extend first)")
+	}
+	return nil
+}
+
+// greedyBoost is the shared CELF implementation over a resolved
+// candidate list.
+func (p *Pool) greedyBoost(k int, cands []int32) ([]int32, float64, error) {
 	R := len(p.profileSeed)
-	if R == 0 {
-		return nil, 0, fmt.Errorf("lt: selection on an empty pool (call Extend first)")
-	}
 	n := p.g.N()
-	cands := boostCandidates(p.g, p.seedMask, k, candCap)
 	candMask := make([]bool, n)
 	for _, v := range cands {
 		candMask[v] = true

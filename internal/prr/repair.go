@@ -124,11 +124,19 @@ func (l *sketchLog) bytes() int64 {
 // equivalence gate asserts.
 //
 // touched reports how many sketches needed regeneration. When the
-// touched fraction exceeds maxFrac (0 < maxFrac <= 1), Repair declines
-// without mutating the pool and returns ok == false: at high touch
-// fractions a cold rebuild is cheaper than a repair that resamples
-// almost everything and still rebuilds the indexes. The caller decides
-// what to do with a declined pool (the engine drops it).
+// touched share of the pool's total expansion size — the number of
+// nodes the generation BFSes examined, the quantity regeneration cost
+// is actually proportional to — exceeds maxFrac (0 < maxFrac <= 1),
+// Repair declines without mutating the pool and returns ok == false: at
+// high touched cost a cold rebuild is cheaper than a repair that
+// resamples almost everything and still rebuilds the indexes. Weighting
+// by expansion size instead of sketch count matters on dense
+// supercritical graphs, where a sketch's probability of being touched
+// and its regeneration cost are both proportional to its expansion: the
+// ~15% of sketches a small delta touches there can carry ~75% of the
+// pool's generation cost, making repair as slow as a rebuild even
+// though the touched count looks low. The caller decides what to do
+// with a declined pool (the engine drops it).
 //
 // The node universe is fixed: g2 must have the same node count (deltas
 // mutate edges only). Growing the universe is a re-upload.
@@ -142,10 +150,13 @@ func (p *Pool) Repair(g2 *graph.Graph, dirtyIn []bool, maxFrac float64) (touched
 	}
 
 	total := p.total
-	// Touched scan: parallel over contiguous index ranges.
+	// Touched scan: parallel over contiguous index ranges, accumulating
+	// both the touched count and the touched expansion size (the cost
+	// weight for the fallback decision below).
 	touchedMask := make([]bool, total)
 	counts, offs := splitCounts(total, p.workers)
 	perWorker := make([]int, p.workers)
+	perWorkerExp := make([]int64, p.workers)
 	var wg sync.WaitGroup
 	for w := 0; w < p.workers; w++ {
 		if counts[w] == 0 {
@@ -155,23 +166,29 @@ func (p *Pool) Repair(g2 *graph.Graph, dirtyIn []bool, maxFrac float64) (touched
 		go func(w int) {
 			defer wg.Done()
 			c := 0
+			var exp int64
 			for i := offs[w]; i < offs[w+1]; i++ {
 				for _, v := range p.log.exp(i) {
 					if dirtyIn[v] {
 						touchedMask[i] = true
 						c++
+						exp += int64(len(p.log.exp(i)))
 						break
 					}
 				}
 			}
 			perWorker[w] = c
+			perWorkerExp[w] = exp
 		}(w)
 	}
 	wg.Wait()
-	for _, c := range perWorker {
-		touched += c
+	var touchedExp int64
+	for w := range perWorker {
+		touched += perWorker[w]
+		touchedExp += perWorkerExp[w]
 	}
-	if total > 0 && float64(touched) > maxFrac*float64(total) {
+	totalExp := int64(len(p.log.expItems))
+	if totalExp > 0 && float64(touchedExp) > maxFrac*float64(totalExp) {
 		return touched, false, nil
 	}
 

@@ -152,6 +152,32 @@ type reEval struct {
 // run concurrently with other read-only pool methods (not with Extend)
 // and returns exactly what selectDeltaNaive would.
 func (p *Pool) SelectDelta(k int) ([]int32, int, error) {
+	return p.selectDelta(k, nil)
+}
+
+// SelectDeltaAmong is SelectDelta restricted to the given candidate
+// set: only listed nodes may be picked. Coverage accounting and gain
+// maintenance still run over the whole pool, so the returned covered
+// count means the same thing — only the argmax is narrowed. Callers
+// (the engine's tier-0 pre-filter) trade the exact greedy for a
+// cheaper one over a shortlist; cands == nil behaves like SelectDelta.
+func (p *Pool) SelectDeltaAmong(k int, cands []int32) ([]int32, int, error) {
+	if cands == nil {
+		return p.selectDelta(k, nil)
+	}
+	candMask := make([]bool, p.g.N())
+	for _, v := range cands {
+		if v >= 0 && int(v) < len(candMask) {
+			candMask[v] = true
+		}
+	}
+	return p.selectDelta(k, candMask)
+}
+
+// selectDelta is the shared implementation; a non-nil candMask
+// restricts which nodes may enter the heap (initially and on gain
+// rises), leaving the rest of the incremental machinery untouched.
+func (p *Pool) selectDelta(k int, candMask []bool) ([]int32, int, error) {
 	if p.mode != ModeFull {
 		return nil, 0, fmt.Errorf("prr: SelectDelta requires ModeFull")
 	}
@@ -180,7 +206,7 @@ func (p *Pool) SelectDelta(k int) ([]int32, int, error) {
 	// on the true maximum, which makes the pop loop exact.
 	h := make(maxcover.Heap, 0, n/2)
 	for v := int32(0); int(v) < n; v++ {
-		if gain[v] > 0 && !p.seedMask[v] {
+		if gain[v] > 0 && !p.seedMask[v] && (candMask == nil || candMask[v]) {
 			h = append(h, maxcover.Entry{Item: v, Gain: gain[v]})
 		}
 	}
@@ -265,7 +291,7 @@ func (p *Pool) SelectDelta(k int) ([]int32, int, error) {
 			}
 		}
 		for _, v := range bumped {
-			if gain[v] > 0 && !mask[v] && !p.seedMask[v] {
+			if gain[v] > 0 && !mask[v] && !p.seedMask[v] && (candMask == nil || candMask[v]) {
 				h.PushEntry(maxcover.Entry{Item: v, Gain: gain[v]})
 			}
 		}

@@ -91,6 +91,50 @@ func TestSelectDeltaMatchesNaiveParallelReEval(t *testing.T) {
 	}
 }
 
+// TestSelectDeltaAmongFullSetMatches pins the restricted variant's
+// contract: with every non-seed node listed (or nil) it is exactly
+// SelectDelta, and with a shortlist it only ever picks listed nodes.
+func TestSelectDeltaAmongFullSetMatches(t *testing.T) {
+	r := rng.New(77)
+	for trial := 0; trial < 8; trial++ {
+		g := testutil.RandomGraph(r, 20+r.Intn(20), 80+r.Intn(80), 0.4)
+		pool, err := NewPool(g, []int32{0, 1}, 3, ModeFull, uint64(trial)+11, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool.Extend(1500)
+		want, wantCov, err := pool.SelectDelta(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all := make([]int32, 0, g.N())
+		for v := int32(2); int(v) < g.N(); v++ {
+			all = append(all, v)
+		}
+		for name, cands := range map[string][]int32{"all": all, "nil": nil} {
+			got, gotCov, err := pool.SelectDeltaAmong(3, cands)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotCov != wantCov || fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("trial %d (%s): restricted %v/%d != exact %v/%d",
+					trial, name, got, gotCov, want, wantCov)
+			}
+		}
+		// A genuine shortlist: picks must stay inside it.
+		short := all[:4]
+		got, _, err := pool.SelectDeltaAmong(3, short)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range got {
+			if !slices.Contains(short, v) {
+				t.Fatalf("trial %d: pick %d outside shortlist %v", trial, v, short)
+			}
+		}
+	}
+}
+
 // TestSelectDeltaRepeatable checks that repeated warm selections on an
 // unchanged pool agree with each other (the per-query state must not
 // leak into the shared index).

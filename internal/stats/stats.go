@@ -49,13 +49,29 @@ func Summarize(xs []float64) Summary {
 	return s
 }
 
-// CI95 returns the half-width of a normal-approximation 95% confidence
-// interval for the mean.
+// tCrit975 holds two-sided 95% Student-t critical values t_{0.975,df}
+// for df = 1..28 (index df-1), covering samples of size N = 2..29. From
+// N = 30 on, the normal value 1.96 is within 2.5% of the t value.
+var tCrit975 = [28]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+	2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
+	2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
+	2.048,
+}
+
+// CI95 returns the half-width of a 95% confidence interval for the
+// mean: Student-t critical values for small samples (N < 30, where the
+// normal approximation understates the interval — at N=5 by ~30%) and
+// z = 1.96 for larger ones.
 func (s Summary) CI95() float64 {
 	if s.N < 2 {
 		return 0
 	}
-	return 1.96 * s.Std / math.Sqrt(float64(s.N))
+	crit := 1.96
+	if s.N < 30 {
+		crit = tCrit975[s.N-2]
+	}
+	return crit * s.Std / math.Sqrt(float64(s.N))
 }
 
 // Mean returns the arithmetic mean of xs (0 for empty input).
@@ -73,40 +89,43 @@ func Mean(xs []float64) float64 {
 // Median returns the median of xs (0 for empty input). xs is not
 // modified.
 func Median(xs []float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	cp := append([]float64(nil), xs...)
-	sort.Float64s(cp)
-	mid := len(cp) / 2
-	if len(cp)%2 == 1 {
-		return cp[mid]
-	}
-	return (cp[mid-1] + cp[mid]) / 2
+	return Quantile(xs, 0.5)
 }
 
 // Quantile returns the q-quantile (0<=q<=1) of xs using linear
-// interpolation. xs is not modified.
+// interpolation. xs is not modified; a caller that already holds sorted
+// data (or owns xs and can sort it once) should use QuantileSorted to
+// skip the per-call copy and sort.
 func Quantile(xs []float64, q float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
 	cp := append([]float64(nil), xs...)
 	sort.Float64s(cp)
+	return QuantileSorted(cp, q)
+}
+
+// QuantileSorted returns the q-quantile (0<=q<=1) of the
+// ascending-sorted sample xs using linear interpolation, without
+// copying or allocating. Behavior on unsorted input is undefined.
+func QuantileSorted(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
 	if q <= 0 {
-		return cp[0]
+		return xs[0]
 	}
 	if q >= 1 {
-		return cp[len(cp)-1]
+		return xs[len(xs)-1]
 	}
-	pos := q * float64(len(cp)-1)
+	pos := q * float64(len(xs)-1)
 	lo := int(math.Floor(pos))
 	hi := int(math.Ceil(pos))
 	if lo == hi {
-		return cp[lo]
+		return xs[lo]
 	}
 	frac := pos - float64(lo)
-	return cp[lo]*(1-frac) + cp[hi]*frac
+	return xs[lo]*(1-frac) + xs[hi]*frac
 }
 
 // Timer measures wall-clock durations.

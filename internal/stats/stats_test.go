@@ -34,10 +34,65 @@ func TestSummarizeSingle(t *testing.T) {
 }
 
 func TestCI95(t *testing.T) {
+	// Small samples use Student-t critical values: t_{0.975,3} = 3.182.
 	s := Summarize([]float64{0, 2, 0, 2})
-	want := 1.96 * s.Std / 2
+	want := 3.182 * s.Std / 2
 	if math.Abs(s.CI95()-want) > 1e-12 {
 		t.Fatalf("CI %v, want %v", s.CI95(), want)
+	}
+}
+
+func TestCI95StudentT(t *testing.T) {
+	// Pairs of (N, critical value): the t table below 30, z at 30+.
+	cases := []struct {
+		n    int
+		crit float64
+	}{
+		{2, 12.706}, {5, 2.776}, {29, 2.048}, {30, 1.96}, {100, 1.96},
+	}
+	for _, c := range cases {
+		xs := make([]float64, c.n)
+		for i := range xs {
+			xs[i] = float64(i % 2) // alternating 0/1: nonzero Std
+		}
+		s := Summarize(xs)
+		want := c.crit * s.Std / math.Sqrt(float64(c.n))
+		if got := s.CI95(); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("N=%d: CI %v, want %v", c.n, got, want)
+		}
+	}
+	// Tightening monotonicity across the t/z boundary: for a fixed
+	// underlying distribution the half-width shrinks as N grows.
+	prev := math.Inf(1)
+	for n := 2; n <= 40; n++ {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(i % 2)
+		}
+		ci := Summarize(xs).CI95()
+		if ci > prev*1.05 { // small slack: Std itself wiggles with parity
+			t.Fatalf("CI95 grew sharply at N=%d: %v -> %v", n, prev, ci)
+		}
+		prev = ci
+	}
+}
+
+func TestQuantileSorted(t *testing.T) {
+	xs := []float64{4, 0, 3, 1, 2}
+	sorted := []float64{0, 1, 2, 3, 4}
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.77, 1} {
+		if got, want := QuantileSorted(sorted, q), Quantile(xs, q); got != want {
+			t.Fatalf("QuantileSorted(%v) = %v, want %v", q, got, want)
+		}
+	}
+	if QuantileSorted(nil, 0.5) != 0 {
+		t.Fatal("empty QuantileSorted wrong")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		QuantileSorted(sorted, 0.5)
+	})
+	if allocs != 0 {
+		t.Fatalf("QuantileSorted allocates (%v allocs/op)", allocs)
 	}
 }
 

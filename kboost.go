@@ -79,6 +79,12 @@
 // worlds across queries the same way PRR pools are reused — with the
 // caveat that boosted LT carries no approximation guarantee.
 //
+// Estimates are latency-tiered: an EngineEstimateRequest with
+// MaxLatencyMS or MaxError set is served by the cheapest of a
+// closed-form two-hop approximation (microseconds, pool-free, no
+// guarantee), a small Monte-Carlo sample with a confidence interval,
+// or the full evaluation — calibrated per graph snapshot.
+//
 // Graphs served by an Engine are live: UploadGraph installs an
 // immutable snapshot under a monotonically increasing version
 // (replacing any previous snapshot of the same id), DeleteGraph removes
@@ -303,10 +309,18 @@ type EngineBoostResult = engine.BoostResult
 type EngineSeedsRequest = engine.SeedsRequest
 
 // EngineEstimateRequest asks an Engine for Monte-Carlo estimates.
+// Setting MaxLatencyMS or MaxError opts into the tiered read path:
+// the Engine serves the cheapest of three estimators (closed-form /
+// small-sample / full) consistent with the knobs.
 type EngineEstimateRequest = engine.EstimateRequest
 
-// EngineEstimateResult reports them.
+// EngineEstimateResult reports them, plus which tier served the query
+// and (for tier 1) a confidence interval.
 type EngineEstimateResult = engine.EstimateResult
+
+// EngineEstimateCI is tier 1's uncertainty report for the headline
+// quantity of a tiered estimate.
+type EngineEstimateCI = engine.EstimateCI
 
 // EngineGraphInfo describes one registered snapshot (id, version,
 // size), as listed by Engine.GraphInfos and GET /v1/graphs.
