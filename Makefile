@@ -17,9 +17,11 @@ test:
 
 # maxcover (CoverageOf/MemoryBytes run concurrently with each other) and
 # graph (shared immutable CSR read from every worker) joined the race
-# matrix alongside the original four concurrent hot paths.
+# matrix alongside the original four concurrent hot paths; the pluggable
+# model pools (sir, kthresh) shard their sampling across workers the
+# same way lt does.
 race:
-	$(GO) test -race ./internal/prr ./internal/diffusion ./internal/engine ./internal/lt ./internal/maxcover ./internal/graph
+	$(GO) test -race ./internal/prr ./internal/diffusion ./internal/engine ./internal/lt ./internal/maxcover ./internal/graph ./internal/model/sir ./internal/model/kthresh
 
 # lint runs the project's own invariant analyzers (cmd/kboostvet: see
 # internal/analysis) plus staticcheck and govulncheck when they are on
@@ -62,6 +64,8 @@ fuzz-short:
 bench:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkSelectDeltaWarm|BenchmarkExtendIncremental|BenchmarkPoolBuildCold|BenchmarkPRREval' -benchmem -count=3 ./internal/prr && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkLTSelectWarm|BenchmarkLTEstimateWarm' -benchmem -count=3 ./internal/lt && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkSIRSelectWarm|BenchmarkSIREstimateWarm' -benchmem -count=3 ./internal/model/sir && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkKThreshSelectWarm|BenchmarkKThreshEstimateWarm' -benchmem -count=3 ./internal/model/kthresh && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkEstimateTier' -benchmem -count=3 ./internal/engine && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkEngineWarmBoost|BenchmarkLTWarmBoost|BenchmarkLTPoolExtend|BenchmarkGraphPatch' -benchmem -count=3 . ; } | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_select.json
 	@echo "wrote BENCH_select.json"
@@ -71,6 +75,8 @@ bench:
 bench-short:
 	$(GO) test -run '^$$' -bench 'BenchmarkSelectDeltaWarm|BenchmarkExtendIncremental|BenchmarkPoolBuildCold|BenchmarkPRREval' -benchmem -benchtime 1x -short -count=1 ./internal/prr
 	$(GO) test -run '^$$' -bench 'BenchmarkLTSelectWarm|BenchmarkLTEstimateWarm' -benchmem -benchtime 1x -short -count=1 ./internal/lt
+	$(GO) test -run '^$$' -bench 'BenchmarkSIRSelectWarm|BenchmarkSIREstimateWarm' -benchmem -benchtime 1x -short -count=1 ./internal/model/sir
+	$(GO) test -run '^$$' -bench 'BenchmarkKThreshSelectWarm|BenchmarkKThreshEstimateWarm' -benchmem -benchtime 1x -short -count=1 ./internal/model/kthresh
 	$(GO) test -run '^$$' -bench 'BenchmarkEstimateTier' -benchmem -benchtime 1x -short -count=1 ./internal/engine
 	$(GO) test -run '^$$' -bench 'BenchmarkEngineWarmBoost|BenchmarkLTWarmBoost|BenchmarkLTPoolExtend|BenchmarkGraphPatch' -benchmem -benchtime 1x -short -count=1 .
 
@@ -94,6 +100,8 @@ bench-short:
 bench-gate:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkSelectDeltaWarm' -benchmem -count=3 ./internal/prr && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkLTSelectWarmShort|BenchmarkLTEstimateWarmShort' -benchmem -count=3 ./internal/lt && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkSIRSelectWarm|BenchmarkSIREstimateWarm' -benchmem -count=3 ./internal/model/sir && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkKThreshSelectWarm|BenchmarkKThreshEstimateWarm' -benchmem -count=3 ./internal/model/kthresh && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkEstimateTier' -benchmem -count=3 ./internal/engine && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkEngineWarmBoost|BenchmarkLTWarmBoostShort|BenchmarkGraphPatchRepair' -benchmem -count=3 . ; } | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_fresh.json
 	$(GO) run ./cmd/benchjson -baseline BENCH_select.json -current BENCH_fresh.json -filter 'Warm|PatchRepair|EstimateTier' -max-regress 0.25 -max-alloc-regress 0.25

@@ -1,0 +1,103 @@
+// Models: one warm engine, four diffusion models, one content knob.
+//
+// The engine's snapshot/pool/result-cache plumbing is written once
+// against a pluggable model interface (internal/model), so asking "how
+// does this campaign fare if the world diffuses differently?" is a
+// one-field change on the request. This example boosts the same seed
+// set under IC (the paper's PRR-Boost, with its approximation
+// guarantee), boosted LT, boosted SIR (geometric infectious windows,
+// tunable recovery rate), and k-threshold complex contagion — then
+// re-runs the LT query for a more viral, less credible piece of
+// content and shows the pools never mix.
+//
+// Run with: go run ./examples/models
+package main
+
+import (
+	"fmt"
+	"log"
+
+	kboost "github.com/kboost/kboost"
+)
+
+func main() {
+	g, err := kboost.GenerateDataset("digg", 0.008, 2, 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seedRes, err := kboost.SelectSeeds(g, 10, kboost.SeedOptions{Seed: 21, MaxSamples: 50000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	seeds := seedRes.Seeds
+	fmt.Printf("network: %d users, %d edges, %d seeds\n", g.N(), g.M(), len(seeds))
+	fmt.Printf("pluggable modes: %v (plus \"ic\"/\"lb\" on the PRR path)\n\n", kboost.ModelNames())
+
+	eng := kboost.NewEngine(kboost.EngineOptions{})
+	if err := eng.RegisterGraph("prod", g); err != nil {
+		log.Fatal(err)
+	}
+
+	const k = 10
+	base := kboost.EngineBoostRequest{
+		GraphID: "prod", Seeds: seeds, K: k, Sims: 6000, Seed: 33,
+	}
+
+	// Same campaign, four worlds. Each mode samples and caches its own
+	// pool; knobs like recovery/threshold are part of the cache key, so
+	// distinct parameterizations never share sampled worlds.
+	for _, tc := range []struct {
+		label string
+		mut   func(*kboost.EngineBoostRequest)
+	}{
+		{`ic       (PRR-Boost, guarantee)`, func(r *kboost.EngineBoostRequest) {
+			r.Mode = "ic"
+			r.Sims = 0
+			r.MaxSamples = 50000
+		}},
+		{`lt       (boosted Linear Threshold)`, func(r *kboost.EngineBoostRequest) { r.Mode = "lt" }},
+		{`sir r=.3 (slow recovery, long windows)`, func(r *kboost.EngineBoostRequest) {
+			r.Mode = "sir"
+			r.Recovery = 0.3
+		}},
+		{`kthresh 2 (complex contagion)`, func(r *kboost.EngineBoostRequest) {
+			r.Mode = "kthresh"
+			r.Threshold = 2
+		}},
+	} {
+		req := base
+		tc.mut(&req)
+		res, err := eng.Boost(req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("mode %-40s Δ̂=%6.2f  set=%v\n", tc.label, res.EstBoost, res.BoostSet)
+	}
+
+	// Content-aware transmission: virality scales every edge
+	// probability, credibility scales how much of the boost uplift
+	// survives. The content tag is part of the pool key — this query
+	// builds a third LT pool rather than contaminating the plain one.
+	viral := base
+	viral.Mode = "lt"
+	viral.Content = &kboost.EngineContent{Virality: 1.4, Credibility: 0.7}
+	res, err := eng.Boost(viral)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nlt with content{virality:1.4, credibility:0.7}: Δ̂=%.2f (cache_hit=%v — own pool)\n",
+		res.EstBoost, res.CacheHit)
+
+	st := eng.Stats()
+	fmt.Println("\nper-mode traffic (sim_modes in /v1/stats):")
+	for _, name := range kboost.ModelNames() {
+		if ms, ok := st.SimModes[name]; ok {
+			fmt.Printf("  %-8s boost_queries=%d pool_misses=%d profiles=%d\n",
+				name, ms.BoostQueries, ms.PoolMisses, ms.Profiles)
+		}
+	}
+
+	fmt.Println("\ntakeaway: only mode \"ic\"/\"lb\" carries the paper's guarantee; the")
+	fmt.Println("pooled modes are unbiased Monte-Carlo heuristics — but the shared")
+	fmt.Println("engine makes asking each scenario as cheap as the last.")
+}

@@ -30,13 +30,17 @@
 // concurrently, exactly one builds the pool and the rest block until
 // it is ready, then reuse it.
 //
-// Mode "lt" queries are served from a second pool family under the same
-// cache: boosted-LT threshold-profile pools (internal/lt). They share
-// the LRU, the byte budget, the singleflight entry locks and the
-// per-pool result cache, but differ structurally in one happy way: LT
-// profiles do not depend on the boost budget k, so an LT pool never
-// rebuilds — any k is a warm query, and only a larger simulation budget
-// grows it (in place).
+// The simulation modes ("lt", "sir", "kthresh" — every internal/model
+// Model) are served from a second pool family under the same cache:
+// pre-sampled possible-world pools behind the generic model.Pool
+// interface. They share the LRU, the byte budget, the singleflight
+// entry locks and the per-pool result cache, but differ structurally in
+// one happy way: simulation profiles do not depend on the boost budget
+// k, so a sim pool never rebuilds — any k is a warm query, and only a
+// larger simulation budget grows it (in place). The mode registry
+// (mode.go) resolves request modes and per-model knobs onto the two
+// families, and the optional content modifier derives per-request
+// graphs whose pools are cached under content-tagged keys.
 package engine
 
 import (
@@ -55,7 +59,7 @@ import (
 	"github.com/kboost/kboost/internal/core"
 	"github.com/kboost/kboost/internal/diffusion"
 	"github.com/kboost/kboost/internal/graph"
-	"github.com/kboost/kboost/internal/lt"
+	"github.com/kboost/kboost/internal/model"
 	"github.com/kboost/kboost/internal/prr"
 	"github.com/kboost/kboost/internal/rrset"
 )
@@ -195,9 +199,15 @@ type Stats struct {
 	// query leaves it unchanged.
 	PRRGenerated int64 `json:"prr_generated"`
 
-	// The lt_* counters break out the boosted-LT serving path: queries
-	// with mode "lt", their share of the pool cache traffic, and the
-	// cumulative number of Monte-Carlo threshold profiles generated.
+	// SimModes breaks the pooled simulation traffic down per mode
+	// ("lt", "sir", "kthresh"): queries, their share of the pool cache
+	// traffic, and the cumulative number of Monte-Carlo profiles
+	// generated. A mode appears once it has served at least one query.
+	SimModes map[string]SimModeStats `json:"sim_modes,omitempty"`
+
+	// The lt_* counters mirror SimModes["lt"] — the boosted-LT path
+	// predates the generic mode registry and dashboards already scrape
+	// these names.
 	LTBoostQueries    int64 `json:"lt_boost_queries"`
 	LTEstimateQueries int64 `json:"lt_estimate_queries"`
 	LTPoolHits        int64 `json:"lt_pool_hits"`
@@ -239,14 +249,6 @@ type counters struct {
 	resultHits     atomic.Int64
 	evictions      atomic.Int64
 	prrGenerated   atomic.Int64
-
-	ltBoostQueries    atomic.Int64
-	ltEstimateQueries atomic.Int64
-	ltPoolHits        atomic.Int64
-	ltPoolMisses      atomic.Int64
-	ltPoolExtensions  atomic.Int64
-	ltResultHits      atomic.Int64
-	ltProfiles        atomic.Int64
 }
 
 // snapshot is one immutable registered graph plus its version.
@@ -281,6 +283,12 @@ type Engine struct {
 	cals  map[string]*calibration // kboost:guarded-by calMu
 
 	ctr counters
+
+	// simCtrs holds the per-mode counter blocks for the pooled
+	// simulation family, created on first use. simCtrMu is a leaf lock
+	// guarding only map access; the blocks themselves are atomic.
+	simCtrMu sync.Mutex
+	simCtrs  map[string]*simCounters // kboost:guarded-by simCtrMu
 }
 
 // poolEntry is one cached pool. entry.mu serializes pool *mutation*
@@ -299,11 +307,17 @@ type poolEntry struct {
 
 	mu   sync.RWMutex
 	pool *prr.Pool // nil until the first query builds it // kboost:guarded-by mu
-	// lt is the boosted-LT profile pool for mode "lt" entries (an entry
-	// is either a PRR pool or an LT pool, never both — the families live
-	// under distinct keys but share the LRU, byte accounting and result
-	// cache machinery).
-	lt *lt.Pool // kboost:guarded-by mu
+	// sim is the possible-world profile pool for simulation-mode entries
+	// ("lt", "sir", "kthresh"; an entry is either a PRR pool or a sim
+	// pool, never both — the families live under distinct keys but share
+	// the LRU, byte accounting and result cache machinery).
+	sim model.Pool // kboost:guarded-by mu
+	// derived marks a sim pool sampled from a content-derived graph
+	// rather than the registered snapshot itself. Such pools are dropped
+	// (not repaired) on graph patches: the patch delta describes the base
+	// graph, and migrating worlds sampled under transformed probabilities
+	// onto it would mix the two.
+	derived bool // kboost:guarded-by mu
 	// sized records the (K, ε, ℓ, MaxSamples) sizings already applied to
 	// the current pool. Re-running the IMM sizing re-derives its OPT
 	// lower bound from the now-larger pool and can land on a slightly
@@ -350,6 +364,7 @@ func New(opt Options) *Engine {
 		pools:    make(map[string]*poolEntry),
 		lru:      list.New(),
 		cals:     make(map[string]*calibration),
+		simCtrs:  make(map[string]*simCounters),
 	}
 }
 
@@ -558,14 +573,32 @@ func (e *Engine) Stats() Stats {
 		ResultHits:     e.ctr.resultHits.Load(),
 		Evictions:      e.ctr.evictions.Load(),
 		PRRGenerated:   e.ctr.prrGenerated.Load(),
-
-		LTBoostQueries:    e.ctr.ltBoostQueries.Load(),
-		LTEstimateQueries: e.ctr.ltEstimateQueries.Load(),
-		LTPoolHits:        e.ctr.ltPoolHits.Load(),
-		LTPoolMisses:      e.ctr.ltPoolMisses.Load(),
-		LTPoolExtensions:  e.ctr.ltPoolExtensions.Load(),
-		LTResultHits:      e.ctr.ltResultHits.Load(),
-		LTProfiles:        e.ctr.ltProfiles.Load(),
+	}
+	e.simCtrMu.Lock()
+	if len(e.simCtrs) > 0 {
+		st.SimModes = make(map[string]SimModeStats, len(e.simCtrs))
+		for name, sc := range e.simCtrs {
+			st.SimModes[name] = SimModeStats{
+				BoostQueries:    sc.boostQueries.Load(),
+				EstimateQueries: sc.estimateQueries.Load(),
+				PoolHits:        sc.poolHits.Load(),
+				PoolMisses:      sc.poolMisses.Load(),
+				PoolExtensions:  sc.poolExtensions.Load(),
+				ResultHits:      sc.resultHits.Load(),
+				Profiles:        sc.profiles.Load(),
+			}
+		}
+	}
+	e.simCtrMu.Unlock()
+	// The legacy lt_* fields mirror SimModes["lt"] for existing scrapes.
+	if ltStats, ok := st.SimModes["lt"]; ok {
+		st.LTBoostQueries = ltStats.BoostQueries
+		st.LTEstimateQueries = ltStats.EstimateQueries
+		st.LTPoolHits = ltStats.PoolHits
+		st.LTPoolMisses = ltStats.PoolMisses
+		st.LTPoolExtensions = ltStats.PoolExtensions
+		st.LTResultHits = ltStats.ResultHits
+		st.LTProfiles = ltStats.Profiles
 	}
 	e.mu.Lock()
 	st.Graphs = len(e.graphs)
@@ -584,24 +617,39 @@ type BoostRequest struct {
 	GraphID string  `json:"graph"`
 	Seeds   []int32 `json:"seeds"`
 	K       int     `json:"k"`
-	// Mode selects the algorithm: "full" (PRR-Boost, default), "lb"
-	// (PRR-Boost-LB, leaner pools, lower-bound greedy only), or "lt"
-	// (boosted Linear Threshold: Monte-Carlo greedy over a cached pool
-	// of threshold profiles — a heuristic with no approximation
-	// guarantee, see internal/lt).
+	// Mode selects the diffusion model and algorithm: "ic" (PRR-Boost,
+	// the default; "" and the legacy "full" are aliases), "lb"
+	// (PRR-Boost-LB, leaner pools, lower-bound greedy only), or one of
+	// the pooled simulation models — "lt" (boosted Linear Threshold),
+	// "sir" (boosted SIR epidemic), "kthresh" (k-threshold complex
+	// contagion) — each a Monte-Carlo greedy over a cached pool of
+	// pre-sampled possible worlds, heuristics with no approximation
+	// guarantee (see internal/model).
 	Mode       string  `json:"mode,omitempty"`
 	Epsilon    float64 `json:"epsilon,omitempty"`
 	Ell        float64 `json:"ell,omitempty"`
 	Seed       uint64  `json:"seed,omitempty"`
 	Workers    int     `json:"workers,omitempty"`
 	MaxSamples int     `json:"max_samples,omitempty"`
-	// Sims is the Monte-Carlo profile budget for mode "lt" (default
-	// 10000); a cached pool with fewer profiles is extended in place.
-	// Ignored by the PRR modes.
+	// Sims is the Monte-Carlo profile budget for the simulation modes
+	// (default 10000); a cached pool with fewer profiles is extended in
+	// place. Ignored by the PRR modes.
 	Sims int `json:"sims,omitempty"`
-	// CandCap caps the greedy candidate pool for mode "lt" (<= 0 picks
-	// the 4k default). Ignored by the PRR modes.
+	// CandCap caps the greedy candidate pool for the simulation modes
+	// (<= 0 picks the 4k default). Ignored by the PRR modes.
 	CandCap int `json:"cand_cap,omitempty"`
+	// Recovery is mode "sir"'s per-round recovery probability in (0, 1]
+	// (0 picks the 0.5 default); rejected for every other mode.
+	Recovery float64 `json:"recovery,omitempty"`
+	// Threshold is mode "kthresh"'s activation threshold, >= 1 (0 picks
+	// the default of 2); rejected for every other mode.
+	Threshold int `json:"threshold,omitempty"`
+	// Content, when set, applies the content-properties transmission
+	// modifier: the query computes against a derived graph whose edge
+	// probabilities are scaled by the item's virality and credibility,
+	// and pools/results/calibrations are cached under content-tagged
+	// keys so distinct content never shares sampled worlds.
+	Content *model.Content `json:"content,omitempty"`
 	// Prefilter, when > 0, restricts the greedy to the top-Prefilter
 	// candidates of the closed-form two-hop ranking (internal/approx) —
 	// the tier-0 estimator doubling as a CELF pre-filter. Selection gets
@@ -636,17 +684,6 @@ type BoostResult struct {
 	PoolK int
 	// GraphVersion is the snapshot version the query computed against.
 	GraphVersion uint64
-}
-
-func parseMode(s string) (prr.Mode, error) {
-	switch s {
-	case "", "full":
-		return prr.ModeFull, nil
-	case "lb":
-		return prr.ModeLB, nil
-	default:
-		return 0, fmt.Errorf("engine: unknown mode %q (want \"full\", \"lb\" or \"lt\")", s)
-	}
 }
 
 // canonicalSeeds returns a sorted copy of seeds so that permutations of
@@ -705,17 +742,18 @@ func (e *Engine) acquireEntry(key, graphID string, version uint64) *poolEntry {
 // current pool, so a given query is deterministic for a fixed engine
 // history.
 func (e *Engine) Boost(req BoostRequest) (*BoostResult, error) {
-	if req.Mode == "lt" {
-		return e.boostLT(req)
-	}
-	mode, err := parseMode(req.Mode)
+	spec, err := resolveSpec(req.Mode, model.Params{Recovery: req.Recovery, Threshold: req.Threshold}, req.Content)
 	if err != nil {
 		return nil, err
+	}
+	if spec.sim != nil {
+		return e.boostSim(spec, req)
 	}
 	g, version, err := e.snapshotFor(req.GraphID)
 	if err != nil {
 		return nil, err
 	}
+	rg := &reqGraph{base: g, content: spec.content}
 	seeds := canonicalSeeds(req.Seeds)
 	opt := core.Options{
 		K:          req.K,
@@ -730,13 +768,29 @@ func (e *Engine) Boost(req BoostRequest) (*BoostResult, error) {
 	if err := core.Validate(g, seeds, opt); err != nil {
 		return nil, err
 	}
+	if err := validatePrefilter(req.Prefilter, opt.K); err != nil {
+		return nil, err
+	}
+	pre := 0
 	if req.Prefilter > 0 {
 		// Tier-0 pre-filter: the Δ̂ greedy only considers the two-hop
 		// ranking's shortlist. Deterministic in (graph, seeds, cap), so
 		// the result cache can key on the cap alone.
-		opt.Candidates = approx.BoostCandidates(g, seeds, req.Prefilter, nil)
+		g2, err := rg.get()
+		if err != nil {
+			return nil, err
+		}
+		if cands := approx.BoostCandidates(g2, seeds, req.Prefilter, nil); len(cands) >= req.Prefilter {
+			opt.Candidates = cands
+			pre = req.Prefilter
+		}
+		// A shorter shortlist means the two-hop ranking ran out of nodes
+		// with any boostable path from the seeds: restricting the greedy
+		// to it would silently degrade (and cache!) the result, so fall
+		// back to unrestricted selection — pre stays 0, sharing the
+		// exact queries' cache slot.
 	}
-	key := poolKey(req.GraphID, version, "m"+strconv.Itoa(int(mode)), seeds)
+	key := poolKey(req.GraphID, version, spec.tag(), seeds)
 	sizeKey := fmt.Sprintf("%d|%g|%g|%d", opt.K, opt.Epsilon, opt.Ell, opt.MaxSamples)
 
 	e.ctr.boostQueries.Add(1)
@@ -753,20 +807,27 @@ func (e *Engine) Boost(req BoostRequest) (*BoostResult, error) {
 		defer ent.mu.RUnlock()
 		out.CacheHit = true
 		e.ctr.poolHits.Add(1)
-		return e.finishBoost(ent, out, opt, req.Prefilter)
+		return e.finishBoost(ent, out, opt, pre)
 	}
 	ent.mu.RUnlock()
 
 	ent.mu.Lock()
 	switch {
 	case ent.pool == nil:
-		pool, err := core.BuildPool(g, seeds, opt, mode)
+		g2, err := rg.get()
+		if err != nil {
+			ent.mu.Unlock()
+			e.dropEntry(ent)
+			return nil, err
+		}
+		pool, err := core.BuildPool(g2, seeds, opt, spec.prrMode)
 		if err != nil {
 			ent.mu.Unlock()
 			e.dropEntry(ent)
 			return nil, err
 		}
 		ent.pool = pool
+		ent.derived = !spec.content.Identity()
 		ent.sized = map[string]bool{sizeKey: true}
 		out.NewSamples = pool.Size()
 		e.ctr.poolMisses.Add(1)
@@ -775,12 +836,18 @@ func (e *Engine) Boost(req BoostRequest) (*BoostResult, error) {
 		// Generation-time pruning depends on k; a bigger budget needs a
 		// rebuild. The new pool serves this and every smaller k after it.
 		// On failure keep the old pool — it still serves smaller k.
-		pool, err := core.BuildPool(g, seeds, opt, mode)
+		g2, err := rg.get()
+		if err != nil {
+			ent.mu.Unlock()
+			return nil, err
+		}
+		pool, err := core.BuildPool(g2, seeds, opt, spec.prrMode)
 		if err != nil {
 			ent.mu.Unlock()
 			return nil, err
 		}
 		ent.pool = pool
+		ent.derived = !spec.content.Identity()
 		ent.sized = map[string]bool{sizeKey: true}
 		ent.clearResults() // a rebuilt pool may repeat generation numbers
 		out.Rebuilt = true
@@ -813,7 +880,18 @@ func (e *Engine) Boost(req BoostRequest) (*BoostResult, error) {
 	ent.mu.Unlock()
 	ent.mu.RLock()
 	defer ent.mu.RUnlock()
-	return e.finishBoost(ent, out, opt, req.Prefilter)
+	return e.finishBoost(ent, out, opt, pre)
+}
+
+// validatePrefilter rejects a pre-filter cap smaller than the boost
+// budget: the shortlist could never fill the requested k, so the query
+// would silently return (and cache) a degraded result. 0 disables the
+// pre-filter and is always valid.
+func validatePrefilter(prefilter, k int) error {
+	if prefilter > 0 && prefilter < k {
+		return fmt.Errorf("engine: prefilter %d is smaller than k=%d — the shortlist cannot fill the boost set (raise prefilter or drop it)", prefilter, k)
+	}
+	return nil
 }
 
 // finishBoost runs (or recalls) the selection phase for a ready pool.
@@ -874,25 +952,25 @@ func (ent *poolEntry) clearResults() {
 	ent.resMu.Unlock()
 }
 
-// --- the boosted-LT serving path ---
+// --- the pooled simulation serving path ("lt", "sir", "kthresh") ---
 
-// defaultLTSims is the Monte-Carlo profile budget when a request does
-// not set one (matching lt.Options' default).
-const defaultLTSims = 10000
+// defaultSimProfiles is the Monte-Carlo profile budget when a request
+// does not set one (matching lt.Options' historical default).
+const defaultSimProfiles = 10000
 
-// validateLT rejects bad LT boost queries before they can touch the
-// cache.
-func validateLT(g *graph.Graph, seeds []int32, k int) error {
+// validateSimBoost rejects bad simulation-mode boost queries before
+// they can touch the cache.
+func validateSimBoost(g *graph.Graph, seeds []int32, k int) error {
 	if k < 1 {
 		return fmt.Errorf("engine: k=%d must be >= 1", k)
 	}
-	return validateLTSeeds(g, seeds)
+	return validateSimSeeds(g, seeds)
 }
 
-// validateLTSeeds checks a canonical (sorted) seed set: non-empty, in
+// validateSimSeeds checks a canonical (sorted) seed set: non-empty, in
 // range, and free of duplicates — rejected like the PRR path does, so
 // two spellings of one seed set cannot fragment the pool cache.
-func validateLTSeeds(g *graph.Graph, seeds []int32) error {
+func validateSimSeeds(g *graph.Graph, seeds []int32) error {
 	if len(seeds) == 0 {
 		return fmt.Errorf("engine: empty seed set")
 	}
@@ -907,36 +985,42 @@ func validateLTSeeds(g *graph.Graph, seeds []int32) error {
 	return nil
 }
 
-// boostLT answers a mode:"lt" boosting query from the cached profile
-// pool for (graph snapshot, seed set): warm queries reuse (and, when
-// the request asks for more simulations, extend in place) the pool's
-// pre-sampled threshold profiles, and identical repeat queries are
-// answered from the generation-keyed result cache without running
-// selection at all. LT pools have no generation budget — profiles are
-// k-independent — so unlike the PRR path there is no rebuild case. The
-// profile RNG seed is fixed at pool construction; a later query's Seed
-// does not re-sample a cached pool (register a new query with different
-// seeds, or rely on eviction, to draw fresh worlds). ltAcquire returns
-// holding ent.mu.RLock, which covers the ent.lt reads below.
+// boostSim answers a simulation-mode boosting query from the cached
+// profile pool for (graph snapshot, mode spec, seed set): warm queries
+// reuse (and, when the request asks for more simulations, extend in
+// place) the pool's pre-sampled possible worlds, and identical repeat
+// queries are answered from the generation-keyed result cache without
+// running selection at all. Sim pools have no generation budget —
+// profiles are k-independent — so unlike the PRR path there is no
+// rebuild case. The profile RNG seed is fixed at pool construction; a
+// later query's Seed does not re-sample a cached pool (register a new
+// query with different seeds, or rely on eviction, to draw fresh
+// worlds). simAcquire returns holding ent.mu.RLock, which covers the
+// ent.sim reads below.
 // kboost:holds mu
-func (e *Engine) boostLT(req BoostRequest) (*BoostResult, error) {
+func (e *Engine) boostSim(spec *modeSpec, req BoostRequest) (*BoostResult, error) {
 	g, version, err := e.snapshotFor(req.GraphID)
 	if err != nil {
 		return nil, err
 	}
+	rg := &reqGraph{base: g, content: spec.content}
 	seeds := canonicalSeeds(req.Seeds)
-	if err := validateLT(g, seeds, req.K); err != nil {
+	if err := validateSimBoost(g, seeds, req.K); err != nil {
 		return nil, err
 	}
+	if err := validatePrefilter(req.Prefilter, req.K); err != nil {
+		return nil, err
+	}
+	sc := e.simCtr(spec.name)
 	e.ctr.boostQueries.Add(1)
-	e.ctr.ltBoostQueries.Add(1)
+	sc.boostQueries.Add(1)
 	// A boost query's simulation budget is a quality floor, so an
 	// omitted Sims means the full default — unlike estimates, which
 	// reuse a cached pool lazily at whatever size it has.
 	if req.Sims <= 0 {
-		req.Sims = defaultLTSims
+		req.Sims = defaultSimProfiles
 	}
-	ent, hit, added, err := e.ltAcquire(req, g, version, seeds)
+	ent, hit, added, err := e.simAcquire(spec, sc, req, rg, version, seeds)
 	if err != nil {
 		return nil, err
 	}
@@ -944,94 +1028,111 @@ func (e *Engine) boostLT(req BoostRequest) (*BoostResult, error) {
 	out := &BoostResult{CacheHit: hit, NewSamples: added, GraphVersion: version}
 	if req.Prefilter > 0 {
 		// Tier-0 pre-filter: rank candidates with the closed-form two-hop
-		// score under the pool's LT normalizers instead of the in-weight
-		// default. CandCap is ignored — the shortlist IS the cap.
-		cands := approx.BoostCandidates(g, seeds, req.Prefilter, ent.lt.Norms())
-		return e.finishBoostLT(ent, out, req.K, 0, req.Prefilter, cands)
+		// score under the pool's model normalizers instead of the model's
+		// default ranking. CandCap is ignored — the shortlist IS the cap.
+		g2, err := rg.get()
+		if err != nil {
+			return nil, err
+		}
+		cands := approx.BoostCandidates(g2, seeds, req.Prefilter, ent.sim.Norms())
+		if len(cands) >= req.Prefilter {
+			return e.finishBoostSim(ent, sc, out, req.K, 0, req.Prefilter, cands)
+		}
+		// Shortlist ran dry (fewer nonzero-score candidates than the
+		// cap): fall through to unrestricted selection under pre=0 so the
+		// degraded shortlist is neither used nor cached.
 	}
-	return e.finishBoostLT(ent, out, req.K, lt.CandidateCap(req.K, req.CandCap), 0, nil)
+	return e.finishBoostSim(ent, sc, out, req.K, spec.sim.CandidateCap(req.K, req.CandCap), 0, nil)
 }
 
-// ltAcquire returns the pool entry for (graph snapshot, "lt", seeds)
-// with its profile pool built or extended to at least the requested
-// simulation count, holding ent.mu for reading on success (the caller
-// must RUnlock). sims <= 0 is lazy: an existing pool is reused at
-// whatever size it has (a read must not silently trigger an expensive
-// extension), and only a cold build falls back to defaultLTSims. hit
-// reports whether a cached pool served the query (true even when it
-// was extended in place); added is the number of freshly generated
-// profiles.
-func (e *Engine) ltAcquire(req BoostRequest, g *graph.Graph, version uint64, seeds []int32) (ent *poolEntry, hit bool, added int, err error) {
+// simAcquire returns the pool entry for (graph snapshot, mode tag,
+// seeds) with its profile pool built or extended to at least the
+// requested simulation count, holding ent.mu for reading on success
+// (the caller must RUnlock). sims <= 0 is lazy: an existing pool is
+// reused at whatever size it has (a read must not silently trigger an
+// expensive extension), and only a cold build falls back to
+// defaultSimProfiles. hit reports whether a cached pool served the
+// query (true even when it was extended in place); added is the number
+// of freshly generated profiles. The content-derived graph is only
+// materialized on a cold build — warm queries never pay the derive.
+func (e *Engine) simAcquire(spec *modeSpec, sc *simCounters, req BoostRequest, rg *reqGraph, version uint64, seeds []int32) (ent *poolEntry, hit bool, added int, err error) {
 	sims := req.Sims
 	seed := req.Seed
 	if seed == 0 {
 		seed = 1
 	}
-	key := poolKey(req.GraphID, version, "lt", seeds)
+	key := poolKey(req.GraphID, version, spec.tag(), seeds)
 
 	ent = e.acquireEntry(key, req.GraphID, version)
 
 	// Fast path: the pool exists and already holds enough profiles —
 	// concurrent warm queries share the read lock and run in parallel.
 	ent.mu.RLock()
-	if ent.lt != nil && ent.lt.NumProfiles() >= sims {
+	if ent.sim != nil && ent.sim.NumProfiles() >= sims {
 		e.ctr.poolHits.Add(1)
-		e.ctr.ltPoolHits.Add(1)
+		sc.poolHits.Add(1)
 		return ent, true, 0, nil
 	}
 	ent.mu.RUnlock()
 
 	ent.mu.Lock()
 	switch {
-	case ent.lt != nil && sims <= 0:
+	case ent.sim != nil && sims <= 0:
 		// Lazy request racing a concurrent build: reuse whatever exists.
 		hit = true
 		e.ctr.poolHits.Add(1)
-		e.ctr.ltPoolHits.Add(1)
-	case ent.lt == nil:
+		sc.poolHits.Add(1)
+	case ent.sim == nil:
 		if sims <= 0 {
-			sims = defaultLTSims
+			sims = defaultSimProfiles
 		}
-		pool, err := lt.NewPool(g, seeds, seed, e.workersFor(req.Workers))
+		g2, err := rg.get()
+		if err != nil {
+			ent.mu.Unlock()
+			e.dropEntry(ent)
+			return nil, false, 0, err
+		}
+		pool, err := spec.sim.NewPool(g2, seeds, seed, e.workersFor(req.Workers))
 		if err != nil {
 			ent.mu.Unlock()
 			e.dropEntry(ent)
 			return nil, false, 0, err
 		}
 		pool.Extend(sims)
-		ent.lt = pool
+		ent.sim = pool
+		ent.derived = !spec.content.Identity()
 		added = sims
 		e.ctr.poolMisses.Add(1)
-		e.ctr.ltPoolMisses.Add(1)
-		e.ctr.ltProfiles.Add(int64(added))
-	case ent.lt.NumProfiles() < sims:
-		added = sims - ent.lt.NumProfiles()
-		ent.lt.Extend(sims)
+		sc.poolMisses.Add(1)
+		sc.profiles.Add(int64(added))
+	case ent.sim.NumProfiles() < sims:
+		added = sims - ent.sim.NumProfiles()
+		ent.sim.Extend(sims)
 		hit = true
 		e.ctr.poolHits.Add(1)
-		e.ctr.ltPoolHits.Add(1)
+		sc.poolHits.Add(1)
 		e.ctr.poolExtensions.Add(1)
-		e.ctr.ltPoolExtensions.Add(1)
-		e.ctr.ltProfiles.Add(int64(added))
+		sc.poolExtensions.Add(1)
+		sc.profiles.Add(int64(added))
 	default:
 		// Another query raced us here and finished the extension between
 		// the read and write locks.
 		hit = true
 		e.ctr.poolHits.Add(1)
-		e.ctr.ltPoolHits.Add(1)
+		sc.poolHits.Add(1)
 	}
-	e.accountBytes(ent, ent.lt.MemoryEstimate())
+	e.accountBytes(ent, ent.sim.MemoryEstimate())
 	ent.mu.Unlock()
 	ent.mu.RLock()
 	return ent, hit, added, nil
 }
 
-// finishBoostLT runs (or recalls) the pooled LT greedy for a ready
-// pool. Callers hold ent.mu.RLock; ent.lt is immutable for the
+// finishBoostSim runs (or recalls) the pooled greedy for a ready
+// pool. Callers hold ent.mu.RLock; ent.sim is immutable for the
 // duration.
 // kboost:holds mu
-func (e *Engine) finishBoostLT(ent *poolEntry, out *BoostResult, k, candCap, pre int, cands []int32) (*BoostResult, error) {
-	pool := ent.lt
+func (e *Engine) finishBoostSim(ent *poolEntry, sc *simCounters, out *BoostResult, k, candCap, pre int, cands []int32) (*BoostResult, error) {
+	pool := ent.sim
 	key := resultKey{gen: pool.Generation(), k: k, cand: candCap, pre: pre}
 
 	ent.resMu.Lock()
@@ -1044,7 +1145,7 @@ func (e *Engine) finishBoostLT(ent *poolEntry, out *BoostResult, k, candCap, pre
 		out.Result = copyResult(cached)
 		out.ResultCached = true
 		e.ctr.resultHits.Add(1)
-		e.ctr.ltResultHits.Add(1)
+		sc.resultHits.Add(1)
 		return out, nil
 	}
 
@@ -1140,8 +1241,13 @@ func (e *Engine) evictLocked() {
 // SeedsRequest asks for k influence-maximizing seeds on a registered
 // graph (classic IMM, no boosting).
 type SeedsRequest struct {
-	GraphID    string  `json:"graph"`
-	K          int     `json:"k"`
+	GraphID string `json:"graph"`
+	K       int    `json:"k"`
+	// Mode must name a registered diffusion mode, and of those only ""
+	// and "ic" are servable — IMM's RR-set machinery is IC-specific. The
+	// field exists so a mistyped mode gets the same unknown-mode 400
+	// every other endpoint returns instead of being silently ignored.
+	Mode       string  `json:"mode,omitempty"`
 	Epsilon    float64 `json:"epsilon,omitempty"`
 	Ell        float64 `json:"ell,omitempty"`
 	Seed       uint64  `json:"seed,omitempty"`
@@ -1152,6 +1258,13 @@ type SeedsRequest struct {
 // SelectSeeds runs IMM seed selection on a registered graph. RR-set
 // pools are much cheaper than PRR pools and are not cached.
 func (e *Engine) SelectSeeds(req SeedsRequest) (rrset.Result, error) {
+	spec, err := resolveSpec(req.Mode, model.Params{}, nil)
+	if err != nil {
+		return rrset.Result{}, err
+	}
+	if spec.name != "ic" {
+		return rrset.Result{}, fmt.Errorf("engine: seed selection runs under mode \"ic\" only (got mode %q)", spec.name)
+	}
 	g, err := e.Graph(req.GraphID)
 	if err != nil {
 		return rrset.Result{}, err
@@ -1173,14 +1286,26 @@ type EstimateRequest struct {
 	Seeds   []int32 `json:"seeds"`
 	Boost   []int32 `json:"boost,omitempty"`
 	// Mode selects the diffusion model: "" or "ic" runs fresh Monte-
-	// Carlo under the influence boosting (IC) model; "lt" evaluates on
-	// the cached boosted-LT profile pool for (graph, seeds) — the same
-	// pool mode:"lt" boost queries use, so a warm pool answers both.
+	// Carlo under the influence boosting (IC) model; a simulation mode
+	// ("lt", "sir", "kthresh") evaluates on the cached profile pool for
+	// (graph, mode, seeds) — the same pool that mode's boost queries
+	// use, so a warm pool answers both. "lb" is selection-only and is
+	// rejected here.
 	Mode string `json:"mode,omitempty"`
-	// Sims is the simulation count. For mode "lt" it is lazy: omitted
-	// (<= 0), an existing pool is reused at whatever size it has — an
-	// estimate never silently triggers an expensive extension — and only
-	// a cold build samples the 10000-profile default.
+	// Recovery is mode:"sir"'s per-round recovery probability γ in
+	// (0, 1]; rejected for every other mode.
+	Recovery float64 `json:"recovery,omitempty"`
+	// Threshold is mode:"kthresh"'s uniform activation threshold τ >= 1;
+	// rejected for every other mode.
+	Threshold int `json:"threshold,omitempty"`
+	// Content optionally scales transmission by content properties; see
+	// BoostRequest.Content.
+	Content *model.Content `json:"content,omitempty"`
+	// Sims is the simulation count. For the simulation modes it is
+	// lazy: omitted (<= 0), an existing pool is reused at whatever size
+	// it has — an estimate never silently triggers an expensive
+	// extension — and only a cold build samples the 10000-profile
+	// default.
 	Sims    int    `json:"sims,omitempty"`
 	Seed    uint64 `json:"seed,omitempty"`
 	Workers int    `json:"workers,omitempty"`
@@ -1226,39 +1351,55 @@ type EstimateResult struct {
 	Tier int `json:"tier"`
 	// CI is tier 1's confidence report; nil for tiers 0 and 2.
 	CI *EstimateCI `json:"ci,omitempty"`
+	// ErrorTargetMet reports whether the tier that served the query is
+	// at least as accurate as the one MaxError asked for. It is false
+	// exactly when a MaxLatencyMS budget forced a cheaper tier than the
+	// error target fits — the one case where the knobs conflict and
+	// latency silently won before this field existed. Requests without a
+	// MaxError target (including knobless exact requests) always report
+	// true.
+	ErrorTargetMet bool `json:"error_target_met"`
 }
 
 // Estimate runs spread/boost estimation. Requests with a tiering knob
 // set (MaxLatencyMS / MaxError) are routed through the tiered read
 // path; everything else runs the full evaluation and reports tier 2.
+// Knobless requests trivially meet their (absent) error target.
 func (e *Engine) Estimate(req EstimateRequest) (EstimateResult, error) {
-	switch req.Mode {
-	case "", "ic", "lt":
-	default:
-		return EstimateResult{}, fmt.Errorf("engine: unknown estimate mode %q (want \"ic\" or \"lt\")", req.Mode)
+	spec, err := resolveSpec(req.Mode, model.Params{Recovery: req.Recovery, Threshold: req.Threshold}, req.Content)
+	if err != nil {
+		return EstimateResult{}, err
+	}
+	if spec.sim == nil && spec.prrMode == prr.ModeLB {
+		return EstimateResult{}, fmt.Errorf("engine: mode \"lb\" is selection-only — estimate under mode \"ic\" (both diffuse identically)")
 	}
 	if req.MaxLatencyMS > 0 || req.MaxError > 0 {
-		return e.estimateTiered(req)
+		return e.estimateTiered(spec, req)
 	}
-	out, err := e.estimateTier2(req)
+	out, err := e.estimateTier2(spec, req)
 	if err != nil {
 		return out, err
 	}
 	out.Tier = 2
+	out.ErrorTargetMet = true
 	e.ctr.estimateTier2.Add(1)
 	return out, nil
 }
 
 // estimateTier2 is the full evaluation: fresh Monte-Carlo for mode
-// ""/"ic", the cached profile pool for "lt". The knobless dispatch
-// above and the tiered path both funnel here, so a tiered request that
-// lands on tier 2 answers bit-identically to a knobless one.
-func (e *Engine) estimateTier2(req EstimateRequest) (EstimateResult, error) {
-	if req.Mode == "lt" {
-		return e.estimateLT(req)
+// ""/"ic", the cached profile pool for the simulation modes. The
+// knobless dispatch above and the tiered path both funnel here, so a
+// tiered request that lands on tier 2 answers bit-identically to a
+// knobless one.
+func (e *Engine) estimateTier2(spec *modeSpec, req EstimateRequest) (EstimateResult, error) {
+	if spec.sim != nil {
+		return e.estimateSim(spec, req)
 	}
 	g, err := e.Graph(req.GraphID)
 	if err != nil {
+		return EstimateResult{}, err
+	}
+	if g, err = spec.content.Apply(g); err != nil {
 		return EstimateResult{}, err
 	}
 	e.ctr.estimateQueries.Add(1)
@@ -1282,21 +1423,22 @@ func (e *Engine) estimateTier2(req EstimateRequest) (EstimateResult, error) {
 	return out, nil
 }
 
-// estimateLT evaluates σ̂ and Δ̂ under the boosted-LT model on the
-// cached profile pool for (graph snapshot, seed set), building or
-// extending the pool exactly like a mode:"lt" boost query would — so
-// estimates issued after a boost query (or vice versa) hit the same
-// warm pool, and both legs of Δ̂ share possible worlds (coupled,
-// low-variance — and ltAcquire returns holding ent.mu.RLock, which
-// covers the ent.lt reads below.
+// estimateSim evaluates σ̂ and Δ̂ under a pooled simulation model on
+// the cached profile pool for (graph snapshot, mode, seed set),
+// building or extending the pool exactly like a boost query in the
+// same mode would — so estimates issued after a boost query (or vice
+// versa) hit the same warm pool, and both legs of Δ̂ share possible
+// worlds (coupled, low-variance). simAcquire returns holding
+// ent.mu.RLock, which covers the ent.sim reads below.
 // kboost:holds mu
-func (e *Engine) estimateLT(req EstimateRequest) (EstimateResult, error) {
+func (e *Engine) estimateSim(spec *modeSpec, req EstimateRequest) (EstimateResult, error) {
 	g, version, err := e.snapshotFor(req.GraphID)
 	if err != nil {
 		return EstimateResult{}, err
 	}
+	rg := &reqGraph{base: g, content: spec.content}
 	seeds := canonicalSeeds(req.Seeds)
-	if err := validateLTSeeds(g, seeds); err != nil {
+	if err := validateSimSeeds(g, seeds); err != nil {
 		return EstimateResult{}, err
 	}
 	for _, v := range req.Boost {
@@ -1304,17 +1446,18 @@ func (e *Engine) estimateLT(req EstimateRequest) (EstimateResult, error) {
 			return EstimateResult{}, fmt.Errorf("engine: boost node %d out of range [0,%d)", v, g.N())
 		}
 	}
+	sc := e.simCtr(spec.name)
 	e.ctr.estimateQueries.Add(1)
-	e.ctr.ltEstimateQueries.Add(1)
-	ent, hit, _, err := e.ltAcquire(BoostRequest{
+	sc.estimateQueries.Add(1)
+	ent, hit, _, err := e.simAcquire(spec, sc, BoostRequest{
 		GraphID: req.GraphID, Seeds: seeds,
 		Sims: req.Sims, Seed: req.Seed, Workers: req.Workers,
-	}, g, version, seeds)
+	}, rg, version, seeds)
 	if err != nil {
 		return EstimateResult{}, err
 	}
 	defer ent.mu.RUnlock()
-	spread, err := ent.lt.EstimateSpread(req.Boost)
+	spread, err := ent.sim.EstimateSpread(req.Boost)
 	if err != nil {
 		return EstimateResult{}, err
 	}
@@ -1322,7 +1465,7 @@ func (e *Engine) estimateLT(req EstimateRequest) (EstimateResult, error) {
 	if len(req.Boost) > 0 {
 		// Differenced on the pool's integer activation sums, so it agrees
 		// bit-for-bit with the Δ̂ a boost query reports for the same set.
-		boost, err := ent.lt.EstimateBoost(req.Boost)
+		boost, err := ent.sim.EstimateBoost(req.Boost)
 		if err != nil {
 			return EstimateResult{}, err
 		}

@@ -3,6 +3,7 @@ package engine
 import (
 	"testing"
 
+	"github.com/kboost/kboost/internal/model"
 	"github.com/kboost/kboost/internal/rng"
 	"github.com/kboost/kboost/internal/testutil"
 )
@@ -75,9 +76,13 @@ func BenchmarkEstimateTier1(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			spec, err := resolveSpec(mode, model.Params{}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := e.estimateTier1(req, g, mode); err != nil {
+				if _, err := e.estimateTier1(req, g, spec); err != nil {
 					b.Fatal(err)
 				}
 			}

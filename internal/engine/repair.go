@@ -4,13 +4,16 @@ package engine
 // applies an edge delta to a registered snapshot, installing the
 // patched graph under a bumped version — and instead of sweeping the
 // old version's cached pools the way UploadGraph does, it migrates
-// them: each pool is repaired in place (prr.Pool.Repair /
-// lt.Pool.Repair resample only the sketches/profiles the delta
+// them: each pool is repaired in place (prr.Pool.Repair / the sim
+// pool's model.Repairer resample only the sketches/profiles the delta
 // touched) and re-keyed to the new version, so the warm state survives
 // the mutation. A pool whose touched share of regeneration cost
 // (expansion/cascade size, not sketch count) exceeds
 // Options.RepairFallbackFraction is dropped instead — at that point a
-// cold rebuild is cheaper — and the next query rebuilds it.
+// cold rebuild is cheaper — and the next query rebuilds it. Sim pools
+// whose model cannot migrate in place (no Repairer: "sir", "kthresh")
+// and content-derived pools take the same fallback: dropped, rebuilt
+// cold on next use.
 //
 // The version-migration protocol keeps the "no query ever mixes
 // snapshots" invariant intact:
@@ -45,6 +48,7 @@ import (
 	"strings"
 
 	"github.com/kboost/kboost/internal/graph"
+	"github.com/kboost/kboost/internal/model"
 )
 
 // ErrGraphChanged is returned (wrapped) when a snapshot is replaced or
@@ -185,7 +189,13 @@ func (e *Engine) repairEntry(ent *poolEntry, g2 *graph.Graph, eff *graph.DeltaEf
 	switch {
 	case ent.pool != nil:
 		pool := ent.pool
+		derived := ent.derived
 		ent.pool, ent.sized = nil, nil
+		if derived {
+			// Sampled from a content-derived graph; the base-graph delta
+			// does not describe its probabilities. Drop and rebuild cold.
+			return nil, 0, 0, 0, true
+		}
 		touched, ok, err := pool.Repair(g2, eff.DirtyIn, frac)
 		if err != nil || !ok {
 			return nil, 0, 0, 0, true
@@ -202,10 +212,20 @@ func (e *Engine) repairEntry(ent *poolEntry, g2 *graph.Graph, eff *graph.DeltaEf
 		fresh.sized = make(map[string]bool)
 		fresh.mu.Unlock()
 		return fresh, bytes, sketches, 0, true
-	case ent.lt != nil:
-		pool := ent.lt
-		ent.lt = nil
-		touched, ok, err := pool.Repair(g2, eff.DirtyOut, eff.DirtyIn, frac)
+	case ent.sim != nil:
+		pool := ent.sim
+		derived := ent.derived
+		ent.sim = nil
+		// Only pools that can migrate in place (model.Repairer) and were
+		// sampled from the base snapshot are repairable: a content-derived
+		// pool's worlds came from transformed probabilities the base-graph
+		// delta does not describe. Everything else falls back to a drop
+		// and cold rebuild.
+		rep, canRepair := pool.(model.Repairer)
+		if !canRepair || derived {
+			return nil, 0, 0, 0, true
+		}
+		touched, ok, err := rep.Repair(g2, eff.DirtyOut, eff.DirtyIn, frac)
 		if err != nil || !ok {
 			return nil, 0, 0, 0, true
 		}
@@ -213,7 +233,7 @@ func (e *Engine) repairEntry(ent *poolEntry, g2 *graph.Graph, eff *graph.DeltaEf
 		fresh = &poolEntry{key: rekey(ent.key, ent.graphID, newVersion), graphID: ent.graphID}
 		bytes = pool.MemoryEstimate()
 		fresh.mu.Lock()
-		fresh.lt = pool
+		fresh.sim = pool
 		fresh.mu.Unlock()
 		return fresh, bytes, 0, profiles, true
 	default:

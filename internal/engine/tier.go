@@ -6,36 +6,46 @@ package engine
 //
 //	tier 0 — closed-form one/two-hop approximation (internal/approx),
 //	         straight off the CSR. Microseconds, no pool, no sampling,
-//	         and no error guarantee of any kind.
+//	         and no error guarantee of any kind. A model may decline
+//	         this tier outright (spec.tier0Norms ok == false) when its
+//	         transmission semantics have no per-node-normalizer form;
+//	         its tier floor is then tier 1.
 //	tier 1 — small fixed-budget Monte-Carlo (tier1Sims worker-invariant
 //	         simulations) with a normal-approximation 95% CI.
 //	tier 2 — the full evaluation (estimateTier2): fresh 10k-sim Monte-
-//	         Carlo for IC, the cached profile pool for LT.
+//	         Carlo for IC, the cached profile pool for the simulation
+//	         modes.
 //
 // Tier choice needs to know how wrong the cheap tiers are *on this
 // graph*, which cannot be derived a priori — so the first MaxError
-// request against a snapshot runs a calibration pass: all three tiers
-// once, timed, with the cheap tiers' relative error measured against
-// the exact answer (inflated by a safety factor, since one operand
-// pair is only a point probe of the error surface). The profile is
-// cached per (graph id, mode) and keyed to the snapshot version, so
-// uploads and patches invalidate it by construction.
+// request against a snapshot runs a calibration pass: all admissible
+// tiers once, timed, with the cheap tiers' relative error measured
+// against the exact answer (inflated by a safety factor, since one
+// operand pair is only a point probe of the error surface). The
+// profile is cached per (graph id, mode parameterization, content) and
+// keyed to the snapshot version, so uploads and patches invalidate it
+// by construction.
 //
 // Requests that only cap latency never calibrate: with no error target
 // there is nothing to trade off, and tier 0 is the one tier whose cost
 // is known to be negligible without measuring anything — so they are
-// served closed-form immediately, pool-free even on a cold engine.
+// served closed-form immediately, pool-free even on a cold engine
+// (tier 1 when the mode declines tier 0).
+//
+// When both knobs are set they can conflict: the latency cap is hard
+// and wins, degrading below the tier the error target fits. The
+// response's ErrorTargetMet field reports exactly that sacrifice.
 
 import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"time"
 
 	"github.com/kboost/kboost/internal/approx"
 	"github.com/kboost/kboost/internal/diffusion"
 	"github.com/kboost/kboost/internal/graph"
-	"github.com/kboost/kboost/internal/lt"
 	"github.com/kboost/kboost/internal/stats"
 )
 
@@ -48,17 +58,23 @@ const tier1Sims = 256
 // same graph can disagree more.
 const calSafety = 2.0
 
-// calibration is one (graph snapshot, mode)'s measured tier profile.
+// calibration is one (graph snapshot, mode spec)'s measured tier
+// profile.
 type calibration struct {
 	version uint64
 	// relErr[t] is tier t's observed relative error against the tier-2
-	// answer, times calSafety. Tier 2 is implicitly 0.
+	// answer, times calSafety. Tier 2 is implicitly 0; a declined tier 0
+	// is +Inf (it can never fit an error target).
 	relErr [2]float64
 	// latMS[t] is tier t's measured serving latency in milliseconds.
 	latMS [3]float64
-	// ltNorm caches the LT in-weight normalizers for tier 0 (mode "lt"
-	// only), so calibrated tier-0 serves skip the O(N+M) recompute.
-	ltNorm []float64
+	// norm caches the mode's tier-0 normalizers (nil for raw edge
+	// probabilities), so calibrated tier-0 serves skip the O(N+M)
+	// recompute.
+	norm []float64
+	// tier0OK records whether the mode admits the closed-form tier at
+	// all; false floors every pick at tier 1.
+	tier0OK bool
 }
 
 // calKey builds the calibration cache key. Graph ids cannot contain
@@ -66,26 +82,31 @@ type calibration struct {
 // cannot collide.
 func calKey(id, mode string) string { return id + "\x00" + mode }
 
-// calibrationFor returns the cached calibration for (id, mode) if it
+// calibrationFor returns the cached calibration for (id, calID) if it
 // matches the given snapshot version, else nil.
-func (e *Engine) calibrationFor(id, mode string, version uint64) *calibration {
+func (e *Engine) calibrationFor(id, calID string, version uint64) *calibration {
 	e.calMu.Lock()
 	defer e.calMu.Unlock()
-	c := e.cals[calKey(id, mode)]
+	c := e.cals[calKey(id, calID)]
 	if c == nil || c.version != version {
 		return nil
 	}
 	return c
 }
 
-// dropCalibrations forgets both modes' calibrations for id. Stale
-// entries are never served anyway (version mismatch); this is memory
-// hygiene on delete/replace. Safe to call under Engine.mu — calMu is
-// a leaf lock.
+// dropCalibrations forgets every mode's calibrations for id — the key
+// space is open-ended (parameterized models, content variants), so this
+// is a prefix sweep rather than a fixed enumeration. Stale entries are
+// never served anyway (version mismatch); this is memory hygiene on
+// delete/replace. Safe to call under Engine.mu — calMu is a leaf lock.
 func (e *Engine) dropCalibrations(id string) {
+	prefix := id + "\x00"
 	e.calMu.Lock()
-	delete(e.cals, calKey(id, "ic"))
-	delete(e.cals, calKey(id, "lt"))
+	for k := range e.cals {
+		if strings.HasPrefix(k, prefix) {
+			delete(e.cals, k)
+		}
+	}
 	e.calMu.Unlock()
 }
 
@@ -110,7 +131,7 @@ func validateEstimateNodes(g *graph.Graph, seeds, boost []int32) error {
 }
 
 // estimateTiered serves a request with at least one tiering knob set.
-func (e *Engine) estimateTiered(req EstimateRequest) (EstimateResult, error) {
+func (e *Engine) estimateTiered(spec *modeSpec, req EstimateRequest) (EstimateResult, error) {
 	g, version, err := e.snapshotFor(req.GraphID)
 	if err != nil {
 		return EstimateResult{}, err
@@ -118,59 +139,92 @@ func (e *Engine) estimateTiered(req EstimateRequest) (EstimateResult, error) {
 	if err := validateEstimateNodes(g, req.Seeds, req.Boost); err != nil {
 		return EstimateResult{}, err
 	}
-	mode := req.Mode
-	if mode == "" {
-		mode = "ic"
-	}
+	rg := &reqGraph{base: g, content: spec.content}
 
-	cal := e.calibrationFor(req.GraphID, mode, version)
+	cal := e.calibrationFor(req.GraphID, spec.calID(), version)
 	if cal == nil {
 		if req.MaxError <= 0 {
 			// Latency cap only: tier 0 is the one tier known-cheap without
 			// measurement, so serve it directly — no calibration, no pool.
-			out := estimateTier0(g, req, e.tier0Norms(g, mode, nil))
-			e.countTier(0, mode)
+			// A mode that declines the closed-form tier is floored at tier
+			// 1 instead; with no error target set, either serve trivially
+			// meets it.
+			g2, err := rg.get()
+			if err != nil {
+				return EstimateResult{}, err
+			}
+			norm, ok := spec.tier0Norms(g2)
+			if !ok {
+				out, err := e.estimateTier1(req, g2, spec)
+				if err != nil {
+					return EstimateResult{}, err
+				}
+				out.ErrorTargetMet = true
+				e.countTier(1, spec)
+				return out, nil
+			}
+			out := estimateTier0(g2, req, norm)
+			out.ErrorTargetMet = true
+			e.countTier(0, spec)
 			return out, nil
 		}
-		return e.calibrate(req, g, version, mode)
+		return e.calibrate(spec, req, rg, version)
 	}
 
-	switch tier := pickTier(cal, req); tier {
+	tier, errMet := pickTier(cal, req)
+	switch tier {
 	case 0:
-		out := estimateTier0(g, req, e.tier0Norms(g, mode, cal))
-		e.countTier(0, mode)
-		return out, nil
-	case 1:
-		out, err := e.estimateTier1(req, g, mode)
+		g2, err := rg.get()
 		if err != nil {
 			return EstimateResult{}, err
 		}
-		e.countTier(1, mode)
+		out := estimateTier0(g2, req, cal.norm)
+		out.ErrorTargetMet = errMet
+		e.countTier(0, spec)
+		return out, nil
+	case 1:
+		g2, err := rg.get()
+		if err != nil {
+			return EstimateResult{}, err
+		}
+		out, err := e.estimateTier1(req, g2, spec)
+		if err != nil {
+			return EstimateResult{}, err
+		}
+		out.ErrorTargetMet = errMet
+		e.countTier(1, spec)
 		return out, nil
 	default:
-		out, err := e.estimateTier2(req)
+		out, err := e.estimateTier2(spec, req)
 		if err != nil {
 			return out, err
 		}
 		out.Tier = 2
+		out.ErrorTargetMet = true
 		e.ctr.estimateTier2.Add(1)
 		return out, nil
 	}
 }
 
-// pickTier chooses the cheapest tier consistent with the knobs. The
-// error target picks the cheapest tier whose calibrated relative error
-// fits (tier 2 is exact and always fits); tightening MaxError can
-// therefore only move the choice to a more expensive tier — the
-// monotonicity the property tests pin. The latency cap then degrades
-// the choice downward: it is a hard budget, unlike the best-effort
-// error target, so a tier that measured over it is never served even
-// when that sacrifices the error target.
-func pickTier(cal *calibration, req EstimateRequest) int {
-	tier := 0
+// pickTier chooses the cheapest tier consistent with the knobs, and
+// reports whether that choice still honors the error target. The error
+// target picks the cheapest tier whose calibrated relative error fits
+// (tier 2 is exact and always fits); tightening MaxError can therefore
+// only move the choice to a more expensive tier — the monotonicity the
+// property tests pin. The latency cap then degrades the choice
+// downward: it is a hard budget, unlike the best-effort error target,
+// so a tier that measured over it is never served even when that
+// sacrifices the error target — the one case errMet is false. Modes
+// that decline tier 0 are floored at tier 1 throughout.
+func pickTier(cal *calibration, req EstimateRequest) (tier int, errMet bool) {
+	minTier := 0
+	if !cal.tier0OK {
+		minTier = 1
+	}
+	tier = minTier
 	if req.MaxError > 0 {
 		switch {
-		case cal.relErr[0] <= req.MaxError:
+		case minTier == 0 && cal.relErr[0] <= req.MaxError:
 			tier = 0
 		case cal.relErr[1] <= req.MaxError:
 			tier = 1
@@ -178,40 +232,27 @@ func pickTier(cal *calibration, req EstimateRequest) int {
 			tier = 2
 		}
 	}
+	errTier := tier
 	if req.MaxLatencyMS > 0 {
-		for tier > 0 && cal.latMS[tier] > req.MaxLatencyMS {
+		for tier > minTier && cal.latMS[tier] > req.MaxLatencyMS {
 			tier--
 		}
 	}
-	return tier
+	return tier, tier >= errTier
 }
 
 // countTier bumps the query counters for a tier-0/1 serve (the tier-2
-// path counts itself inside the legacy estimators).
-func (e *Engine) countTier(tier int, mode string) {
+// path counts itself inside the full estimators).
+func (e *Engine) countTier(tier int, spec *modeSpec) {
 	e.ctr.estimateQueries.Add(1)
-	if mode == "lt" {
-		e.ctr.ltEstimateQueries.Add(1)
+	if spec.sim != nil {
+		e.simCtr(spec.name).estimateQueries.Add(1)
 	}
 	if tier == 0 {
 		e.ctr.estimateTier0.Add(1)
 	} else {
 		e.ctr.estimateTier1.Add(1)
 	}
-}
-
-// tier0Norms resolves the probability normalizers tier 0 needs: nil
-// for IC (raw edge probabilities), the LT in-weight normalizers for
-// "lt" — from the calibration cache when present, else an O(N+M)
-// recompute off the CSR (still pool-free).
-func (e *Engine) tier0Norms(g *graph.Graph, mode string, cal *calibration) []float64 {
-	if mode != "lt" {
-		return nil
-	}
-	if cal != nil && cal.ltNorm != nil {
-		return cal.ltNorm
-	}
-	return lt.New(g).Norms()
 }
 
 // estimateTier0 answers closed-form: the Chung-Lee style two-hop
@@ -230,14 +271,14 @@ func estimateTier0(g *graph.Graph, req EstimateRequest, norm []float64) Estimate
 // estimateTier1 answers from tier1Sims worker-invariant simulations:
 // means for the point estimates, and a CI over the headline quantity.
 // The per-simulation samples are index-seeded (rng.ReseedStream), so
-// the result is bit-identical for every worker count.
-func (e *Engine) estimateTier1(req EstimateRequest, g *graph.Graph, mode string) (EstimateResult, error) {
+// the result is bit-identical for every worker count. g is the
+// request's effective (content-applied) graph.
+func (e *Engine) estimateTier1(req EstimateRequest, g *graph.Graph, spec *modeSpec) (EstimateResult, error) {
 	var spreadS, deltaS []float64
 	var err error
-	if mode == "lt" {
-		spreadS, deltaS, err = lt.EstimateSamples(g, req.Seeds, req.Boost, lt.Options{
-			Sims: tier1Sims, Seed: req.Seed, Workers: e.workersFor(req.Workers),
-		})
+	if spec.sim != nil {
+		spreadS, deltaS, err = spec.sim.EstimateSamples(g, req.Seeds, req.Boost,
+			tier1Sims, req.Seed, e.workersFor(req.Workers))
 	} else {
 		spreadS, deltaS, err = diffusion.EstimateSamples(g, req.Seeds, req.Boost, diffusion.Options{
 			Sims: tier1Sims, Seed: req.Seed, Workers: e.workersFor(req.Workers),
@@ -262,38 +303,53 @@ func (e *Engine) estimateTier1(req EstimateRequest, g *graph.Graph, mode string)
 }
 
 // calibrate is the first-contact pass for a MaxError request with no
-// profile on file: run every tier on this request's operands, time
-// them, measure the cheap tiers against the exact answer, cache the
-// profile for the snapshot, and serve the tier-2 result — the only
-// answer that honors an error target before any profile exists.
-func (e *Engine) calibrate(req EstimateRequest, g *graph.Graph, version uint64, mode string) (EstimateResult, error) {
+// profile on file: run every admissible tier on this request's
+// operands, time them, measure the cheap tiers against the exact
+// answer, cache the profile for the snapshot, and serve the tier-2
+// result — the only answer that honors an error target before any
+// profile exists.
+func (e *Engine) calibrate(spec *modeSpec, req EstimateRequest, rg *reqGraph, version uint64) (EstimateResult, error) {
+	g2, err := rg.get()
+	if err != nil {
+		return EstimateResult{}, err
+	}
 	cal := &calibration{version: version}
-	if mode == "lt" {
-		// Copied, not aliased: the calibration outlives the Model built
-		// here and is shared across queries.
-		cal.ltNorm = append([]float64(nil), lt.New(g).Norms()...)
+	norm, tier0OK := spec.tier0Norms(g2)
+	cal.tier0OK = tier0OK
+	if norm != nil {
+		// Copied, not aliased: the calibration outlives the pool state
+		// backing the normalizers and is shared across queries.
+		cal.norm = append([]float64(nil), norm...)
 	}
 	boosted := len(req.Boost) > 0
 
-	t := time.Now()
-	r0 := estimateTier0(g, req, cal.ltNorm)
-	cal.latMS[0] = msSince(t)
+	var r0 EstimateResult
+	if tier0OK {
+		t := time.Now()
+		r0 = estimateTier0(g2, req, cal.norm)
+		cal.latMS[0] = msSince(t)
+	}
 
-	t = time.Now()
-	r1, err := e.estimateTier1(req, g, mode)
+	t := time.Now()
+	r1, err := e.estimateTier1(req, g2, spec)
 	if err != nil {
 		return EstimateResult{}, err
 	}
 	cal.latMS[1] = msSince(t)
 
 	t = time.Now()
-	out, err := e.estimateTier2(req)
+	out, err := e.estimateTier2(spec, req)
 	if err != nil {
 		return out, err
 	}
 	cal.latMS[2] = msSince(t)
 
-	cal.relErr[0] = calSafety * relErrVs(r0, out, boosted)
+	if tier0OK {
+		cal.relErr[0] = calSafety * relErrVs(r0, out, boosted)
+	} else {
+		// A declined closed-form tier can never fit an error target.
+		cal.relErr[0] = math.Inf(1)
+	}
 	// Tier 1's profile also folds in its own CI half-width: a pass that
 	// happened to land near the exact answer must not understate the
 	// tier's intrinsic sampling noise.
@@ -304,11 +360,12 @@ func (e *Engine) calibrate(req EstimateRequest, g *graph.Graph, version uint64, 
 	cal.relErr[1] = calSafety * err1
 
 	e.calMu.Lock()
-	e.cals[calKey(req.GraphID, mode)] = cal
+	e.cals[calKey(req.GraphID, spec.calID())] = cal
 	e.calMu.Unlock()
 	e.ctr.tierCalibrations.Add(1)
 
 	out.Tier = 2
+	out.ErrorTargetMet = true
 	e.ctr.estimateTier2.Add(1)
 	return out, nil
 }

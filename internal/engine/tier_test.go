@@ -3,6 +3,8 @@ package engine
 import (
 	"fmt"
 	"testing"
+
+	"github.com/kboost/kboost/internal/model"
 )
 
 func tierRequest(mode string) EstimateRequest {
@@ -173,10 +175,14 @@ func TestEstimateTier1WorkerInvariance(t *testing.T) {
 			t.Fatal(err)
 		}
 		req := tierRequest(mode)
+		spec, err := resolveSpec(mode, model.Params{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
 		var want EstimateResult
 		for i, workers := range []int{1, 2, 3, 7} {
 			req.Workers = workers
-			got, err := e.estimateTier1(req, g, mode)
+			got, err := e.estimateTier1(req, g, spec)
 			if err != nil {
 				t.Fatalf("mode %s workers=%d: %v", mode, workers, err)
 			}

@@ -1,0 +1,95 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"github.com/kboost/kboost/internal/graph"
+)
+
+// Content is the optional content-properties transmission modifier:
+// per-request scalars describing the item being spread, applied to the
+// base edge probabilities before any world is sampled. Real cascades
+// transmit at content-dependent rates — a viral, credible item spreads
+// along the same edges at very different probabilities than a stale one
+// — so the modifier lets one graph serve many content profiles without
+// uploading a reweighted copy per item.
+//
+// Virality scales both probabilities of every edge:
+//
+//	p_eff  = min(1, Virality · p)
+//
+// Credibility scales how much of the boost uplift survives (a boosted
+// recommendation of low-credibility content converts less):
+//
+//	p'_eff = min(1, Virality · (p + Credibility · (p' − p)))
+//
+// Zero values mean "unset" and normalize to 1 (identity); both scalars
+// must otherwise be positive and finite, with Credibility ≤ 1 so the
+// transformed pair always satisfies the graph invariant p'_eff ≥ p_eff
+// with p'_eff bounded by the boosted ceiling. The modifier is part of
+// every pool and calibration cache key (see Key), so distinct content
+// never shares sampled worlds.
+type Content struct {
+	Virality    float64 `json:"virality,omitempty"`
+	Credibility float64 `json:"credibility,omitempty"`
+}
+
+// Normalize maps unset (zero) scalars to 1 and validates the rest.
+func (c Content) Normalize() (Content, error) {
+	if c.Virality == 0 {
+		c.Virality = 1
+	}
+	if c.Credibility == 0 {
+		c.Credibility = 1
+	}
+	if math.IsNaN(c.Virality) || math.IsInf(c.Virality, 0) || c.Virality <= 0 {
+		return c, fmt.Errorf("model: content virality %g must be a positive finite number", c.Virality)
+	}
+	if math.IsNaN(c.Credibility) || c.Credibility <= 0 || c.Credibility > 1 {
+		return c, fmt.Errorf("model: content credibility %g out of range (0, 1]", c.Credibility)
+	}
+	return c, nil
+}
+
+// Identity reports whether the (normalized) modifier leaves the graph
+// unchanged, letting callers skip the derived-graph build entirely.
+func (c Content) Identity() bool { return c.Virality == 1 && c.Credibility == 1 }
+
+// Key returns the canonical cache-key fragment for the modifier: empty
+// for the identity (so content-free requests keep their existing keys),
+// otherwise a "v=..|c=.." tag with exact float formatting — two
+// contents collide only if they define the same transform.
+func (c Content) Key() string {
+	if c.Identity() {
+		return ""
+	}
+	return "v=" + strconv.FormatFloat(c.Virality, 'g', -1, 64) +
+		"|c=" + strconv.FormatFloat(c.Credibility, 'g', -1, 64)
+}
+
+// Apply builds the content-derived graph: every edge's probability pair
+// mapped through the modifier. The transform preserves the builder's
+// invariants (both probabilities in [0, 1], boosted ≥ base) for any
+// normalized Content, so the build cannot fail on a valid input graph.
+// Identity modifiers return g itself.
+func (c Content) Apply(g *graph.Graph) (*graph.Graph, error) {
+	if c.Identity() {
+		return g, nil
+	}
+	edges := g.Edges()
+	for i := range edges {
+		e := &edges[i]
+		p := c.Virality * e.P
+		pb := c.Virality * (e.P + c.Credibility*(e.PBoost-e.P))
+		if p > 1 {
+			p = 1
+		}
+		if pb > 1 {
+			pb = 1
+		}
+		e.P, e.PBoost = p, pb
+	}
+	return graph.FromEdges(g.N(), edges)
+}

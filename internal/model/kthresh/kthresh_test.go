@@ -1,0 +1,386 @@
+package kthresh
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/kboost/kboost/internal/graph"
+	"github.com/kboost/kboost/internal/rng"
+	"github.com/kboost/kboost/internal/testutil"
+)
+
+// randomSeedSet draws 1-3 distinct seed nodes.
+func randomSeedSet(r *rng.Source, n int) []int32 {
+	numSeeds := 1 + r.Intn(3)
+	seeds := make([]int32, 0, numSeeds)
+	for len(seeds) < numSeeds {
+		s := int32(r.Intn(n))
+		dup := false
+		for _, prev := range seeds {
+			dup = dup || prev == s
+		}
+		if !dup {
+			seeds = append(seeds, s)
+		}
+	}
+	return seeds
+}
+
+// thresholds samples the knob across its range, including τ = 1 (the
+// percolation degenerate case) and τ = 3 (deep complex contagion).
+var thresholds = []int{1, 2, 3}
+
+// TestThresholdSemantics pins the contagion rule on a deterministic
+// graph (all probabilities 0 or 1): at τ = 2 a node with one active
+// live in-neighbor stays inactive, with two it activates, and a
+// boost-only edge counts exactly when the target is boosted.
+func TestThresholdSemantics(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.MustAddEdge(0, 2, 1, 1)    // always live
+	b.MustAddEdge(1, 2, 0, 1)    // usable only when 2 is boosted
+	b.MustAddEdge(2, 3, 1, 1)    // always live, but 3 needs 2 exposures
+	m := New(2)
+	pool, err := m.NewPool(b.MustBuild(), []int32{0, 1}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Extend(10)
+	if got := pool.BaseSpread(); got != 2 {
+		t.Fatalf("base spread %v, want 2 (one live exposure is below τ=2)", got)
+	}
+	boosted, err := pool.EstimateSpread([]int32{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if boosted != 3 {
+		t.Fatalf("boosted spread %v, want 3 (boost-only edge completes 2's threshold; 3 still has one exposure)", boosted)
+	}
+	if naive := pool.estimateSpreadNaive([]int32{2}); naive != boosted {
+		t.Fatalf("incremental %v != naive %v", boosted, naive)
+	}
+}
+
+// TestPoolEstimateMatchesNaive pins the incremental warm estimator to
+// the from-scratch re-simulation of the same percolation profiles:
+// identical possible worlds must give bit-identical spreads, and the
+// coupled boost delta must never be negative (monotone coupling).
+func TestPoolEstimateMatchesNaive(t *testing.T) {
+	r := rng.New(177)
+	for trial := 0; trial < 12; trial++ {
+		n := 10 + r.Intn(20)
+		g := testutil.RandomGraph(r, n, 2*n+r.Intn(4*n), 0.7)
+		seeds := randomSeedSet(r, n)
+		m := New(thresholds[trial%len(thresholds)])
+		pool, err := m.NewPool(g, seeds, uint64(trial)+11, 1+trial%4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool.Extend(400)
+		for bt := 0; bt < 5; bt++ {
+			boost := make([]int32, 0, 3)
+			for len(boost) < 1+r.Intn(3) {
+				boost = append(boost, int32(r.Intn(n)))
+			}
+			warm, err := pool.EstimateSpread(boost)
+			if err != nil {
+				t.Fatal(err)
+			}
+			naive := pool.estimateSpreadNaive(boost)
+			if warm != naive {
+				t.Fatalf("trial %d τ=%d boost %v: warm %v != naive %v", trial, m.Threshold(), boost, warm, naive)
+			}
+			delta, err := pool.EstimateBoost(boost)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if delta < 0 {
+				t.Fatalf("trial %d boost %v: negative coupled delta %v", trial, boost, delta)
+			}
+		}
+		empty, err := pool.EstimateSpread(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if empty != pool.BaseSpread() || empty != pool.estimateSpreadNaive(nil) {
+			t.Fatalf("trial %d: empty-boost spread %v, base %v", trial, empty, pool.BaseSpread())
+		}
+	}
+}
+
+// TestPoolGreedyMatchesNaive is the equivalence property test for the
+// pooled selection subsystem: across random pools, thresholds, k values
+// and interleaved growth, the frontier-indexed GreedyBoost must return
+// exactly the picks and estimate of the retained full-resimulation
+// reference.
+func TestPoolGreedyMatchesNaive(t *testing.T) {
+	r := rng.New(199)
+	for trial := 0; trial < 12; trial++ {
+		n := 10 + r.Intn(25)
+		g := testutil.RandomGraph(r, n, 2*n+r.Intn(4*n), 0.7)
+		seeds := randomSeedSet(r, n)
+		m := New(thresholds[trial%len(thresholds)])
+		pool, err := m.NewPool(g, seeds, uint64(trial)+1, 1+trial%3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		target := 0
+		for stage := 0; stage < 2; stage++ {
+			target += 100 + r.Intn(300)
+			pool.Extend(target)
+			for _, k := range []int{1, 3} {
+				candCap := k + r.Intn(2*k)
+				fast, fastEst, err := pool.GreedyBoost(k, candCap)
+				if err != nil {
+					t.Fatal(err)
+				}
+				slow, slowEst, err := pool.greedyBoostNaive(k, candCap)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fastEst != slowEst || fmt.Sprint(fast) != fmt.Sprint(slow) {
+					t.Fatalf("trial %d stage %d τ=%d k=%d cap=%d: incremental %v/%v != naive %v/%v",
+						trial, stage, m.Threshold(), k, candCap, fast, fastEst, slow, slowEst)
+				}
+			}
+		}
+	}
+}
+
+// TestPoolGreedyMatchesNaiveParallel forces the sharded estimate and
+// candidate-evaluation paths (normally reserved for large batches) and
+// re-checks equivalence with the naive reference.
+func TestPoolGreedyMatchesNaiveParallel(t *testing.T) {
+	oldSel, oldEst := selectParallelMin, estimateParallelMin
+	selectParallelMin, estimateParallelMin = 1, 1
+	defer func() { selectParallelMin, estimateParallelMin = oldSel, oldEst }()
+
+	r := rng.New(155)
+	for trial := 0; trial < 6; trial++ {
+		g := testutil.RandomGraph(r, 15+r.Intn(15), 80+r.Intn(60), 0.7)
+		m := New(thresholds[trial%len(thresholds)])
+		pool, err := m.NewPool(g, []int32{0, 1}, uint64(trial)+3, 2+trial%3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool.Extend(500)
+		fast, fastEst, err := pool.GreedyBoost(3, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, slowEst, err := pool.greedyBoostNaive(3, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fastEst != slowEst || fmt.Sprint(fast) != fmt.Sprint(slow) {
+			t.Fatalf("trial %d: parallel %v/%v != naive %v/%v", trial, fast, fastEst, slow, slowEst)
+		}
+	}
+}
+
+// TestGreedyBoostAmongMatchesDefault pins the explicit-candidate
+// variant's contract: handed the default ranking's own list it is
+// exactly GreedyBoost, and seeds or out-of-range ids in the list are
+// ignored rather than selectable.
+func TestGreedyBoostAmongMatchesDefault(t *testing.T) {
+	r := rng.New(141)
+	for trial := 0; trial < 6; trial++ {
+		n := 12 + r.Intn(20)
+		g := testutil.RandomGraph(r, n, 2*n+r.Intn(3*n), 0.7)
+		seeds := randomSeedSet(r, n)
+		pool, err := New(2).NewPool(g, seeds, uint64(trial)+5, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool.Extend(300)
+		k, candCap := 3, 6
+		want, wantEst, err := pool.GreedyBoost(k, candCap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cands := boostCandidates(g, pool.seedMask, candidateCap(k, candCap))
+		dirty := append(append([]int32{seeds[0], -1, int32(n) + 7}, cands...), seeds[0])
+		got, gotEst, err := pool.GreedyBoostAmong(k, dirty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotEst != wantEst || fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("trial %d: among %v/%v != default %v/%v", trial, got, gotEst, want, wantEst)
+		}
+		for _, v := range got {
+			if pool.seedMask[v] {
+				t.Fatalf("trial %d: picked seed %d", trial, v)
+			}
+		}
+	}
+}
+
+// TestPoolWorkerCountInvariance pins the contract the Engine relies on:
+// pool contents, estimates and selections are bit-identical across
+// worker counts 1, 2 and 7.
+func TestPoolWorkerCountInvariance(t *testing.T) {
+	r := rng.New(121)
+	g := testutil.RandomGraph(r, 25, 120, 0.7)
+	seeds := []int32{0, 5}
+	m := New(2)
+	type result struct {
+		base, est float64
+		picks     string
+		pickEst   float64
+	}
+	run := func(workers int) result {
+		pool, err := m.NewPool(g, seeds, 9, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool.Extend(700)
+		est, err := pool.EstimateSpread([]int32{1, 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		picks, pickEst, err := pool.GreedyBoost(3, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return result{pool.BaseSpread(), est, fmt.Sprint(picks), pickEst}
+	}
+	want := run(1)
+	for _, workers := range []int{2, 7} {
+		if got := run(workers); got != want {
+			t.Fatalf("workers=%d: %+v != single-worker %+v", workers, got, want)
+		}
+	}
+}
+
+// TestPoolExtendMatchesOneShot verifies that staged growth yields the
+// same profiles as generating everything in one Extend call, including
+// increments smaller than the worker count (idle trailing shards).
+func TestPoolExtendMatchesOneShot(t *testing.T) {
+	r := rng.New(141)
+	g := testutil.RandomGraph(r, 20, 90, 0.7)
+	m := New(2)
+	staged, err := m.NewPool(g, []int32{0}, 17, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, target := range []int{3, 150, 400, 650} {
+		staged.Extend(target)
+	}
+	oneshot, err := m.NewPool(g, []int32{0}, 17, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneshot.Extend(650)
+	if staged.BaseSpread() != oneshot.BaseSpread() {
+		t.Fatalf("base spread: staged %v != oneshot %v", staged.BaseSpread(), oneshot.BaseSpread())
+	}
+	a, ea, err := staged.GreedyBoost(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, eb, err := oneshot.GreedyBoost(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ea != eb || fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("staged selection %v/%v != oneshot %v/%v", a, ea, b, eb)
+	}
+}
+
+// TestPoolGenerationAdvances pins the result-cache key contract: Extend
+// that adds profiles bumps Generation; estimates and selections do not.
+func TestPoolGenerationAdvances(t *testing.T) {
+	r := rng.New(113)
+	g := testutil.RandomGraph(r, 15, 60, 0.7)
+	pool, err := New(2).NewPool(g, []int32{0}, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.Generation() != 0 || pool.NumProfiles() != 0 {
+		t.Fatalf("fresh pool: generation %d profiles %d, want 0/0", pool.Generation(), pool.NumProfiles())
+	}
+	pool.Extend(200)
+	gen := pool.Generation()
+	if gen == 0 || pool.NumProfiles() != 200 {
+		t.Fatalf("after Extend: generation %d profiles %d", gen, pool.NumProfiles())
+	}
+	if _, _, err := pool.GreedyBoost(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.EstimateSpread([]int32{1}); err != nil {
+		t.Fatal(err)
+	}
+	if pool.Generation() != gen {
+		t.Fatal("read-only queries changed the generation")
+	}
+	pool.Extend(100) // no-op: target below current size
+	if pool.Generation() != gen {
+		t.Fatal("no-op Extend bumped the generation")
+	}
+	if pool.MemoryEstimate() <= 0 {
+		t.Fatal("memory estimate not positive for a grown pool")
+	}
+}
+
+// TestPoolValidation covers the error paths: bad nodes, empty pools,
+// bad k.
+func TestPoolValidation(t *testing.T) {
+	g, _ := testutil.Fig1()
+	m := New(2)
+	if _, err := m.NewPool(g, []int32{-1}, 1, 1); err == nil {
+		t.Fatal("bad seed accepted")
+	}
+	pool, err := m.NewPool(g, []int32{0}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.EstimateSpread(nil); err == nil {
+		t.Fatal("estimate on empty pool accepted")
+	}
+	if _, _, err := pool.GreedyBoost(1, 0); err == nil {
+		t.Fatal("selection on empty pool accepted")
+	}
+	pool.Extend(50)
+	if _, err := pool.EstimateSpread([]int32{9}); err == nil {
+		t.Fatal("bad boost node accepted")
+	}
+	if _, _, err := pool.GreedyBoost(0, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+// TestEstimateSamplesWorkerInvariance pins the tier-1 contract: the
+// sample vectors are bit-identical across worker counts 1, 2 and 7, and
+// the coupled deltas are never negative.
+func TestEstimateSamplesWorkerInvariance(t *testing.T) {
+	r := rng.New(131)
+	g := testutil.RandomGraph(r, 30, 150, 0.7)
+	m := New(2)
+	seeds, boost := []int32{0, 3}, []int32{5, 9}
+	wantS, wantD, err := m.EstimateSamples(g, seeds, boost, 200, 42, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 7} {
+		gotS, gotD, err := m.EstimateSamples(g, seeds, boost, 200, 42, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(gotS) != fmt.Sprint(wantS) || fmt.Sprint(gotD) != fmt.Sprint(wantD) {
+			t.Fatalf("workers=%d: samples differ from single-worker run", workers)
+		}
+	}
+	for i, d := range wantD {
+		if d < 0 {
+			t.Fatalf("sim %d: negative coupled delta %v", i, d)
+		}
+	}
+	_, zeroD, err := m.EstimateSamples(g, seeds, nil, 50, 42, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range zeroD {
+		if d != 0 {
+			t.Fatalf("sim %d: empty boost produced delta %v", i, d)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package sir
+
+import (
+	"testing"
+
+	"github.com/kboost/kboost/internal/dataset"
+)
+
+// The SIR benchmarks run on the same flixster stand-in the LT pool
+// benchmarks use. The Warm pair below is sized so every sub-benchmark
+// completes well over 20 iterations (the bench-gate's noise floor);
+// `make bench` emits them into BENCH_select.json and `make bench-gate`
+// holds them to the 25% envelope. Dimensions are deliberately NOT
+// testing.Short()-gated: the gate compares against a committed
+// baseline, so they must be identical on every machine.
+func benchSIRPool(b *testing.B) *Pool {
+	b.Helper()
+	spec, err := dataset.ByName("flixster")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := spec.Generate(0.002, 2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seeds := dataset.InfluentialSeeds(g, 10)
+	pool, err := New(0.5).NewPool(g, seeds, 7, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool.Extend(200)
+	return pool
+}
+
+// BenchmarkSIRSelectWarm measures repeat-query selection on an
+// already-built percolation pool: the frontier-indexed GreedyBoost
+// against the retained full-resimulation naive reference.
+func BenchmarkSIRSelectWarm(b *testing.B) {
+	const k = 4
+	pool := benchSIRPool(b)
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := pool.GreedyBoost(k, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := pool.greedyBoostNaive(k, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSIREstimateWarm measures the incremental batch estimator
+// against the from-scratch re-simulation reference on the same pool.
+func BenchmarkSIREstimateWarm(b *testing.B) {
+	pool := benchSIRPool(b)
+	n := pool.g.N()
+	set := []int32{int32(n / 3), int32(n / 2), int32(2 * n / 3)}
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := pool.EstimateSpread(set); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pool.estimateSpreadNaive(set)
+		}
+	})
+}

@@ -1,0 +1,246 @@
+package sir
+
+// Pooled greedy boost selection for SIR. Unlike lt's CELF lazy-heap,
+// the SIR greedy is a plain exhaustive greedy made cheap by the
+// frontier index: a candidate's delta is nonzero only in profiles where
+// some member of (chosen ∪ {candidate}) sits in the base frontier, so
+// each round evaluates every candidate over the merged posting lists —
+// typically a small fraction of R — instead of all profiles.
+// Candidates are evaluated in parallel (each goroutine owns a scratch,
+// gains land in a per-candidate slot) and the argmax is applied
+// serially, so results are bit-identical for every worker count and to
+// the retained full-resimulation reference greedyBoostNaive.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/kboost/kboost/internal/graph"
+)
+
+// boostCandidates returns the greedy candidate pool: non-seed nodes
+// ordered by incoming boost gain Σ (p'−p) descending (ties toward the
+// smaller id), capped at candCap (already resolved by the caller). The
+// same raw-uplift ranking lt uses — for SIR the per-round uplift is the
+// natural first-order proxy for boosted transmissibility gain.
+func boostCandidates(g *graph.Graph, seedMask []bool, candCap int) []int32 {
+	type nw struct {
+		v int32
+		w float64
+	}
+	pool := make([]nw, 0, g.N())
+	for v := int32(0); int(v) < g.N(); v++ {
+		if seedMask[v] {
+			continue
+		}
+		var wsum float64
+		p := g.InP(v)
+		pb := g.InPBoost(v)
+		for i := range p {
+			wsum += pb[i] - p[i]
+		}
+		pool = append(pool, nw{v, wsum})
+	}
+	sort.Slice(pool, func(i, j int) bool {
+		if pool[i].w != pool[j].w {
+			return pool[i].w > pool[j].w
+		}
+		return pool[i].v < pool[j].v
+	})
+	if len(pool) > candCap {
+		pool = pool[:candCap]
+	}
+	out := make([]int32, len(pool))
+	for i, c := range pool {
+		out[i] = c.v
+	}
+	return out
+}
+
+// candidateCap resolves the candidate-pool cap: candCap < k falls back
+// to the repo-wide 4k default.
+func candidateCap(k, candCap int) int {
+	if candCap < k {
+		return 4 * k
+	}
+	return candCap
+}
+
+// GreedyBoost greedily selects up to k boost nodes maximizing the
+// pooled SIR boost estimate over the candidate pool (candCap < k picks
+// the 4k default). It returns the chosen nodes in pick order and the
+// pooled boost estimate Δ̂ of the chosen set. Selection stops early
+// when no candidate adds infections in any profile. Like boosted LT it
+// is a heuristic without an approximation guarantee, but it returns
+// exactly what greedyBoostNaive would, bit-for-bit, at a fraction of
+// the simulations. Safe to run concurrently with other read-only pool
+// methods (not with Extend).
+func (p *Pool) GreedyBoost(k, candCap int) ([]int32, float64, error) {
+	if err := p.checkSelect(k); err != nil {
+		return nil, 0, err
+	}
+	return p.greedyBoost(k, boostCandidates(p.g, p.seedMask, candidateCap(k, candCap)))
+}
+
+// GreedyBoostAmong is GreedyBoost over an explicit candidate list
+// instead of the uplift-ranked default pool: only listed non-seed nodes
+// may be picked. Callers (the engine's tier-0 pre-filter) supply a
+// shortlist from a cheap closed-form ranking; out-of-range ids and
+// seeds are ignored.
+func (p *Pool) GreedyBoostAmong(k int, cands []int32) ([]int32, float64, error) {
+	if err := p.checkSelect(k); err != nil {
+		return nil, 0, err
+	}
+	ok := make([]int32, 0, len(cands))
+	for _, v := range cands {
+		if v >= 0 && int(v) < p.g.N() && !p.seedMask[v] {
+			ok = append(ok, v)
+		}
+	}
+	return p.greedyBoost(k, ok)
+}
+
+// checkSelect validates a selection request against the pool.
+func (p *Pool) checkSelect(k int) error {
+	if k < 1 {
+		return fmt.Errorf("sir: k=%d must be >= 1", k)
+	}
+	if len(p.profileSeed) == 0 {
+		return fmt.Errorf("sir: selection on an empty pool (call Extend first)")
+	}
+	return nil
+}
+
+// selectParallelMin is the minimum number of candidates per greedy
+// round before gain evaluation fans out to the pool's workers; a
+// variable so tests can force the parallel path on small pools.
+var selectParallelMin = 16
+
+// greedyBoost is the exhaustive greedy over a resolved candidate list.
+func (p *Pool) greedyBoost(k int, cands []int32) ([]int32, float64, error) {
+	R := len(p.profileSeed)
+	chosenMask := make([]bool, p.g.N())
+	var chosen []int32
+	var profsChosen []int32 // sorted union of chosen's posting lists
+	var curDelta int64      // Σ_profiles delta(chosen), integer-exact
+	gains := make([]int64, len(cands))
+
+	for len(chosen) < k {
+		p.evalGains(cands, chosen, chosenMask, profsChosen, curDelta, gains)
+		best := int32(-1)
+		var bestGain int64
+		for ci, c := range cands {
+			if chosenMask[c] {
+				continue
+			}
+			if g := gains[ci]; g > 0 && (g > bestGain || (g == bestGain && c < best)) {
+				best, bestGain = c, g
+			}
+		}
+		if best < 0 {
+			break
+		}
+		chosen = append(chosen, best)
+		chosenMask[best] = true
+		curDelta += bestGain
+		profsChosen = p.mergeFrontierProfiles(profsChosen, []int32{best})
+	}
+	return chosen, float64(curDelta) / float64(R), nil
+}
+
+// evalGains fills gains[ci] with candidate cands[ci]'s marginal delta
+// over the current chosen set: Σ delta(chosen ∪ {c}) over the merged
+// posting lists, minus the chosen set's own delta. Each candidate is a
+// pure function of (pool, chosen, candidate), so the parallel fan-out
+// cannot change results.
+func (p *Pool) evalGains(cands, chosen []int32, chosenMask []bool, profsChosen []int32, curDelta int64, gains []int64) {
+	evalRange := func(lo, hi int, s *evalScratch) {
+		for ci := lo; ci < hi; ci++ {
+			c := cands[ci]
+			if chosenMask[c] {
+				gains[ci] = 0
+				continue
+			}
+			profs := p.mergeFrontierProfiles(profsChosen, cands[ci:ci+1])
+			var sum int64
+			for _, pi := range profs {
+				sum += int64(p.evalBoostSet(int(pi), chosen, chosenMask, c, s))
+			}
+			gains[ci] = sum - curDelta
+		}
+	}
+	if len(cands) < selectParallelMin || p.workers <= 1 {
+		s := p.getScratch()
+		defer p.putScratch(s)
+		evalRange(0, len(cands), s)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (len(cands) + p.workers - 1) / p.workers
+	for w := 0; w < p.workers; w++ {
+		lo := w * chunk
+		if lo >= len(cands) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(cands) {
+			hi = len(cands)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			s := p.getScratch()
+			defer p.putScratch(s)
+			evalRange(lo, hi, s)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// greedyBoostNaive is the retained reference implementation: each round
+// it re-simulates every profile from scratch for every remaining
+// candidate and takes the best (ties toward the smaller node id,
+// stopping when no candidate adds infections) — exactly the semantics
+// GreedyBoost reproduces incrementally. The equivalence property tests
+// and the warm-selection benchmark run it against the fast path.
+func (p *Pool) greedyBoostNaive(k, candCap int) ([]int32, float64, error) {
+	if err := p.checkSelect(k); err != nil {
+		return nil, 0, err
+	}
+	R := len(p.profileSeed)
+	cands := append([]int32(nil), boostCandidates(p.g, p.seedMask, candidateCap(k, candCap))...)
+	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+
+	s := p.getScratch()
+	defer p.putScratch(s)
+	mask := make([]bool, p.g.N())
+	curSum := p.baseSum
+	var chosen []int32
+	for len(chosen) < k {
+		best := int32(-1)
+		bestSum := curSum
+		for _, v := range cands {
+			if mask[v] {
+				continue
+			}
+			mask[v] = true
+			var sum int64
+			for pi := range p.profileSeed {
+				sum += int64(p.simulate(p.profileSeed[pi], mask, false, s))
+				s.reset()
+			}
+			mask[v] = false
+			if sum > bestSum {
+				best, bestSum = v, sum
+			}
+		}
+		if best < 0 {
+			break
+		}
+		chosen = append(chosen, best)
+		mask[best] = true
+		curSum = bestSum
+	}
+	return chosen, float64(curSum-p.baseSum) / float64(R), nil
+}

@@ -73,17 +73,25 @@
 //	})
 //	fmt.Println(warm.CacheHit, warm.NewSamples) // true 0
 //
-// The Engine also serves the boosted Linear Threshold extension: a
-// boost query with Mode "lt" runs the pooled Monte-Carlo greedy over a
-// cached pool of LT threshold profiles (see LTPool), reusing sampled
-// worlds across queries the same way PRR pools are reused — with the
-// caveat that boosted LT carries no approximation guarantee.
+// The Engine also serves pluggable pooled diffusion models: a boost
+// query with Mode "lt" (boosted Linear Threshold, see LTPool), "sir"
+// (boosted SIR epidemic percolation, Recovery knob) or "kthresh"
+// (k-threshold complex contagion, Threshold knob) runs the pooled
+// Monte-Carlo greedy over a cached pool of pre-sampled possible worlds,
+// reusing sampled worlds across queries the same way PRR pools are
+// reused — with the caveat that the pooled models carry no
+// approximation guarantee. Requests may additionally attach an
+// EngineContent modifier (virality/credibility scalars) to model
+// content-dependent transmission; distinct content never shares
+// sampled worlds.
 //
 // Estimates are latency-tiered: an EngineEstimateRequest with
 // MaxLatencyMS or MaxError set is served by the cheapest of a
 // closed-form two-hop approximation (microseconds, pool-free, no
 // guarantee), a small Monte-Carlo sample with a confidence interval,
-// or the full evaluation — calibrated per graph snapshot.
+// or the full evaluation — calibrated per graph snapshot and mode.
+// When a hard latency cap forces a cheaper tier than the error target
+// fits, the result's ErrorTargetMet field reports the sacrifice.
 //
 // Graphs served by an Engine are live: UploadGraph installs an
 // immutable snapshot under a monotonically increasing version

@@ -1,0 +1,25 @@
+package kboost
+
+import (
+	"github.com/kboost/kboost/internal/engine"
+	"github.com/kboost/kboost/internal/model"
+)
+
+// ModelNames lists the pluggable pooled simulation modes an Engine
+// serves ("kthresh", "lt", "sir"), sorted. The PRR family ("ic", "lb")
+// is not listed — it keeps its own specialized serving path — but
+// shares the same mode registry and unknown-mode error.
+func ModelNames() []string { return model.Names() }
+
+// EngineContent is the optional content-properties transmission
+// modifier a boost or estimate request may carry: Virality scales every
+// edge probability, Credibility scales how much of the boost uplift
+// survives. Zero fields normalize to 1 (identity). Distinct content
+// values never share sampled worlds — the modifier is part of every
+// pool and calibration cache key.
+type EngineContent = model.Content
+
+// EngineSimModeStats is the per-mode counter block reported under
+// EngineStats.SimModes for each pooled simulation mode that has served
+// a query.
+type EngineSimModeStats = engine.SimModeStats
