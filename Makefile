@@ -5,7 +5,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: all build test race lint bench bench-short bench-gate fuzz-short
+.PHONY: all build test race lint bench bench-short bench-gate fuzz-short chaos-short
 
 all: build test
 
@@ -40,6 +40,15 @@ lint:
 	else \
 	  echo "lint: govulncheck not installed, skipping (CI runs it pinned)"; \
 	fi
+
+# chaos-short runs the fault-injection property suite under the race
+# detector: injected latency/errors/panics at the pool-build shard
+# boundary must never poison the pool cache, retries must be
+# bit-identical to uninterrupted runs, and the HTTP layer must shed,
+# degrade, and drain correctly under pressure (internal/faults,
+# chaos_test.go, server_robustness_test.go).
+chaos-short:
+	$(GO) test -race -run 'TestChaos|TestHealthAndReady|TestColdOverflow|TestEstimateDegrades|TestEstimateSheds|TestShardPanic|TestClientDisconnect' -v ./internal/engine
 
 # fuzz-short smoke-fuzzes the graph codecs (the untrusted-input surface
 # of the upload and PATCH endpoints); go only accepts one fuzz target

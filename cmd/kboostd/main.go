@@ -17,6 +17,9 @@
 //	POST /v1/seeds    {"graph":"prod","k":10,...}
 //	POST /v1/estimate {"graph":"prod","seeds":[1,2],"boost":[3],...}
 //	GET  /v1/stats
+//	GET  /healthz                   liveness (always 200 while the
+//	                                process serves)
+//	GET  /readyz                    readiness (503 once draining)
 //	GET  /v1/graphs                 list snapshots (id, version, size)
 //	POST /v1/graphs/{name}          upload a snapshot (text or binary
 //	                                graph codec; requires -auth-token,
@@ -43,8 +46,20 @@
 // share the pool LRU, so warm LT queries skip sampling the same way
 // warm PRR queries do — watch the lt_* counters in /v1/stats.
 //
-// kboostd shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// requests for up to -drain-timeout.
+// kboostd shuts down gracefully on SIGINT/SIGTERM: /readyz flips to 503
+// (so load balancers stop routing), in-flight requests drain for up to
+// -drain-timeout, and past that budget every request context is
+// canceled so cooperative cancellation unwinds the stragglers. A signal
+// during -prewarm aborts the warm-up promptly instead of finishing it.
+//
+// Admission is bounded per lane (-max-inflight-cold for pool-building
+// requests, -max-inflight-warm for cache hits); overflow is answered
+// with 429 + Retry-After, except estimates, which degrade to the
+// closed-form/fixed-budget floor tier with "degraded":true unless
+// -no-degrade is set.
+//
+// Setting KBOOST_FAULTS (e.g. "pool.build.shard=err#2") arms the fault
+// injection registry for chaos drills; leave it unset in production.
 package main
 
 import (
@@ -53,6 +68,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -62,6 +78,7 @@ import (
 	"time"
 
 	kboost "github.com/kboost/kboost"
+	"github.com/kboost/kboost/internal/faults"
 )
 
 func main() {
@@ -84,6 +101,17 @@ func run(args []string) error {
 		repairFrac   = fs.Float64("repair-fallback-frac", 0, "touched share of pool regeneration cost (expansion size) above which a graph patch drops a cached pool instead of repairing it (0 = default 0.5, 1 = always repair)")
 		maxUploadMB  = fs.Int64("max-upload-mb", 64, "graph upload body cap in MiB")
 		dataDir      = fs.String("data-dir", "", "directory persisting uploaded snapshots as <name>.kbg, reloaded on boot")
+
+		readHeaderTimeout = fs.Duration("read-header-timeout", 10*time.Second, "http.Server ReadHeaderTimeout (slowloris guard)")
+		readTimeout       = fs.Duration("read-timeout", 5*time.Minute, "http.Server ReadTimeout; must cover the largest graph upload (0 = unlimited)")
+		writeTimeout      = fs.Duration("write-timeout", 0, "http.Server WriteTimeout; 0 (the default) leaves cold pool builds unbounded — set only with a known worst-case build time")
+		idleTimeout       = fs.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections (0 = unlimited)")
+
+		maxInFlightCold = fs.Int("max-inflight-cold", kboost.DefaultMaxInFlightCold(), "concurrent requests allowed to build pools; overflow gets 429 (0 = unbounded)")
+		maxInFlightWarm = fs.Int("max-inflight-warm", kboost.DefaultMaxInFlightWarm(), "concurrent cache-hit requests; overflow gets 429 (0 = unbounded)")
+		retryAfter      = fs.Int("retry-after", 0, "Retry-After seconds on shed (429) responses (0 = default 1)")
+		noDegrade       = fs.Bool("no-degrade", false, "shed over-admission estimates with 429 instead of serving the degraded floor tier")
+
 		graphSpecs   sliceFlag
 		datasetSpecs sliceFlag
 		prewarmSpecs sliceFlag
@@ -96,6 +124,12 @@ func run(args []string) error {
 	}
 	if len(graphSpecs) == 0 && len(datasetSpecs) == 0 && *authToken == "" && *dataDir == "" {
 		return fmt.Errorf("no graphs to serve: pass -graph id=path or -dataset id=spec (or enable live uploads with -auth-token)")
+	}
+	if spec := os.Getenv("KBOOST_FAULTS"); spec != "" {
+		if err := faults.InitFromEnv(spec); err != nil {
+			return fmt.Errorf("KBOOST_FAULTS: %w", err)
+		}
+		log.Printf("fault injection armed: KBOOST_FAULTS=%q (chaos drills only)", spec)
 	}
 
 	eng := kboost.NewEngine(kboost.EngineOptions{
@@ -149,6 +183,12 @@ func run(args []string) error {
 	if *authToken == "" {
 		log.Printf("graph administration disabled (no -auth-token); serving startup graphs only")
 	}
+	// The signal context is armed before prewarming: pool builds can take
+	// minutes on large graphs, and a SIGTERM during startup should abort
+	// the warm-up promptly instead of finishing it for nobody.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	// Pre-warm named pools before the listener opens: the builds run on
 	// the startup path, so the first user queries against these
 	// (graph, seeds) pairs land on a warm cache instead of paying the
@@ -158,25 +198,38 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("-prewarm %q: %w", spec, err)
 		}
-		if err := prewarmEngine(eng, pw); err != nil {
+		if err := prewarmEngine(ctx, eng, pw); err != nil {
+			if ctx.Err() != nil {
+				log.Printf("prewarm aborted by signal; exiting")
+				return nil
+			}
 			return fmt.Errorf("-prewarm %q: %w", spec, err)
 		}
 	}
 
-	handler := kboost.NewEngineServer(eng, kboost.EngineServerOptions{
-		MaxWorkers:     *maxWorkers,
-		AuthToken:      *authToken,
-		MaxUploadBytes: *maxUploadMB << 20,
-		SnapshotDir:    *dataDir,
+	api := kboost.NewEngineServer(eng, kboost.EngineServerOptions{
+		MaxWorkers:        *maxWorkers,
+		AuthToken:         *authToken,
+		MaxUploadBytes:    *maxUploadMB << 20,
+		SnapshotDir:       *dataDir,
+		MaxInFlightCold:   *maxInFlightCold,
+		MaxInFlightWarm:   *maxInFlightWarm,
+		RetryAfterSeconds: *retryAfter,
+		DisableDegrade:    *noDegrade,
 	})
+	// Request contexts hang off baseCtx so the drain path can cancel
+	// whatever is still in flight once the drain budget runs out.
+	baseCtx, cancelRequests := context.WithCancel(context.Background())
+	defer cancelRequests()
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           logRequests(handler),
-		ReadHeaderTimeout: 10 * time.Second,
+		Handler:           logRequests(api),
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+		BaseContext:       func(net.Listener) context.Context { return baseCtx },
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 
 	errc := make(chan error, 1)
 	go func() {
@@ -189,10 +242,18 @@ func run(args []string) error {
 		return fmt.Errorf("serving: %w", err)
 	case <-ctx.Done():
 	}
+	// Flip readiness before draining so load balancers polling /readyz
+	// stop routing new work here while in-flight requests finish.
+	api.SetDraining(true)
 	log.Printf("shutting down (draining up to %s)", *drainTimeout)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
+		// Drain budget exhausted: cancel every in-flight request context
+		// (cooperative cancellation unwinds pool builds at the next shard
+		// boundary) and close the lingering connections.
+		cancelRequests()
+		_ = srv.Close()
 		return fmt.Errorf("shutdown: %w", err)
 	}
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
@@ -272,14 +333,15 @@ func readSeedsFile(path string) ([]int32, error) {
 
 // prewarmEngine builds the pools named by pw through the ordinary boost
 // path, so the cache entries (and their result caches) are exactly what
-// live queries will hit.
-func prewarmEngine(eng *kboost.Engine, pw prewarmSpec) error {
+// live queries will hit. The builds observe ctx: a shutdown signal
+// during startup aborts the warm-up at the next shard boundary.
+func prewarmEngine(ctx context.Context, eng *kboost.Engine, pw prewarmSpec) error {
 	seeds, err := readSeedsFile(pw.seedsPath)
 	if err != nil {
 		return err
 	}
 	start := time.Now()
-	res, err := eng.Boost(kboost.EngineBoostRequest{GraphID: pw.graphID, Seeds: seeds, K: pw.k})
+	res, err := eng.BoostContext(ctx, kboost.EngineBoostRequest{GraphID: pw.graphID, Seeds: seeds, K: pw.k})
 	if err != nil {
 		return err
 	}
@@ -287,7 +349,7 @@ func prewarmEngine(eng *kboost.Engine, pw prewarmSpec) error {
 		pw.graphID, len(seeds), pw.k, res.Samples, time.Since(start).Round(time.Millisecond))
 	if pw.sims > 0 {
 		start = time.Now()
-		ltRes, err := eng.Boost(kboost.EngineBoostRequest{GraphID: pw.graphID, Seeds: seeds, K: pw.k, Mode: "lt", Sims: pw.sims})
+		ltRes, err := eng.BoostContext(ctx, kboost.EngineBoostRequest{GraphID: pw.graphID, Seeds: seeds, K: pw.k, Mode: "lt", Sims: pw.sims})
 		if err != nil {
 			return err
 		}

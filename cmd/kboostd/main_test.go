@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -70,7 +71,7 @@ func TestPrewarmEngineWarmsCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := prewarmEngine(eng, pw); err != nil {
+	if err := prewarmEngine(context.Background(), eng, pw); err != nil {
 		t.Fatal(err)
 	}
 	res, err := eng.Boost(kboost.EngineBoostRequest{GraphID: "prod", Seeds: []int32{0, 1, 2}, K: 3})

@@ -30,6 +30,9 @@
 //	//                             aliases shared arena storage
 //	// kboost:holds mu             on a function whose contract is that
 //	//                             the caller already holds the lock
+//	// kboost:locks mu             on a lock-wrapper function: calling it
+//	//                             write-acquires mu on its first argument
+//	// kboost:rlocks mu            same, read-acquisition
 package framework
 
 import (

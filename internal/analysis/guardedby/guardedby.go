@@ -25,6 +25,13 @@
 //   - a function annotated `// kboost:holds mu` (or `Engine.mu`),
 //     naming the lock its callers are contractually holding.
 //
+// Lock-wrapper functions — helpers that acquire a mutex on behalf of
+// the caller, such as the engine's waiter-counting lockEntry — are
+// annotated `// kboost:locks mu` (write) or `// kboost:rlocks mu`
+// (read): a call to such a function counts as acquiring the named
+// mutex on the call's first argument, exactly as if the caller had
+// written arg.mu.Lock() itself.
+//
 // The check is positional, not path-sensitive: an access is considered
 // guarded when a matching Lock call appears earlier in the function
 // body. That catches the dangerous class — fields touched with no
@@ -102,6 +109,22 @@ func checkFunc(pass *framework.Pass, fn *ast.FuncDecl) {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true
+		}
+		// Annotated lock wrappers: calling a function marked
+		// kboost:locks <mu> / kboost:rlocks <mu> acquires <mu> on the
+		// call's first argument.
+		if obj := calleeObj(pass, call); obj != nil && len(call.Args) > 0 {
+			for _, ann := range pass.Program.FuncAnnotations(obj) {
+				if (ann.Key != "locks" && ann.Key != "rlocks") || ann.Arg == "" {
+					continue
+				}
+				ev := lockEvent{muName: ann.Arg, rlock: ann.Key == "rlocks", pos: call.Pos()}
+				if id, ok := call.Args[0].(*ast.Ident); ok {
+					ev.baseObj = pass.TypesInfo.ObjectOf(id)
+				}
+				ev.baseType = namedTypeOf(pass, call.Args[0])
+				locks = append(locks, ev)
+			}
 		}
 		sel, ok := call.Fun.(*ast.SelectorExpr)
 		if !ok {
@@ -223,6 +246,19 @@ func isWriteTarget(body *ast.BlockStmt, sel *ast.SelectorExpr) bool {
 		return !write
 	})
 	return write
+}
+
+// calleeObj resolves the function object a call invokes, for plain
+// identifiers (package-level wrappers) and selector calls (methods and
+// imported functions); nil otherwise.
+func calleeObj(pass *framework.Pass, call *ast.CallExpr) types.Object {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.ObjectOf(fun)
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.ObjectOf(fun.Sel)
+	}
+	return nil
 }
 
 // namedTypeOf returns the name of an expression's named type with

@@ -73,3 +73,47 @@ func (r *registry) goodSlotTouch(name string) {
 	s := r.slots[name]
 	s.refs++
 }
+
+// lockBox exercises the annotated lock-wrapper path: lockCounter /
+// rlockCounter acquire mu on their argument, so calls to them count as
+// lock acquisitions.
+type lockBox struct {
+	mu sync.RWMutex
+	n  int // kboost:guarded-by mu
+}
+
+// lockCounter write-locks b.
+// kboost:locks mu
+func lockCounter(b *lockBox) {
+	b.mu.Lock()
+}
+
+// rlockCounter read-locks b.
+// kboost:rlocks mu
+func rlockCounter(b *lockBox) {
+	b.mu.RLock()
+}
+
+func goodWrapperWrite(b *lockBox, v int) {
+	lockCounter(b)
+	b.n = v
+	b.mu.Unlock()
+}
+
+func goodWrapperRead(b *lockBox) int {
+	rlockCounter(b)
+	defer b.mu.RUnlock()
+	return b.n
+}
+
+func badWrapperWrite(b *lockBox, v int) {
+	rlockCounter(b)
+	b.n = v // want `field n \(kboost:guarded-by mu\) written without a preceding mu\.Lock`
+	b.mu.RUnlock()
+}
+
+func badWrapperOtherBase(b, c *lockBox) int {
+	lockCounter(b)
+	defer b.mu.Unlock()
+	return c.n // want `field n \(kboost:guarded-by mu\) read without a preceding mu\.Lock`
+}

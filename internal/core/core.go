@@ -18,6 +18,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -139,7 +140,7 @@ func boostOnce(g *graph.Graph, seeds []int32, opt Options, mode prr.Mode) (*Resu
 		return nil, err
 	}
 	t0 := time.Now()
-	pool, err := buildPool(g, seeds, opt, mode)
+	pool, err := buildPool(context.Background(), g, seeds, opt, mode)
 	if err != nil {
 		return nil, err
 	}
@@ -158,11 +159,19 @@ func boostOnce(g *graph.Graph, seeds []int32, opt Options, mode prr.Mode) (*Resu
 // returned pool and amortize it across queries with GrowPool and
 // BoostFromPool.
 func BuildPool(g *graph.Graph, seeds []int32, opt Options, mode prr.Mode) (*prr.Pool, error) {
+	return BuildPoolContext(context.Background(), g, seeds, opt, mode)
+}
+
+// BuildPoolContext is BuildPool with cooperative cancellation threaded
+// through the IMM sampling loop: a canceled build aborts within a few
+// sketches, merges nothing, and a retry regenerates a bit-identical
+// pool.
+func BuildPoolContext(ctx context.Context, g *graph.Graph, seeds []int32, opt Options, mode prr.Mode) (*prr.Pool, error) {
 	opt = opt.WithDefaults()
 	if err := validate(g, seeds, opt); err != nil {
 		return nil, err
 	}
-	return buildPool(g, seeds, opt, mode)
+	return buildPool(ctx, g, seeds, opt, mode)
 }
 
 // GrowPool re-runs the IMM sizing against an existing pool, extending
@@ -172,6 +181,13 @@ func BuildPool(g *graph.Graph, seeds []int32, opt Options, mode prr.Mode) (*prr.
 // ones (zero when the pool is already large enough). opt.K must not
 // exceed the pool's generation budget pool.K().
 func GrowPool(pool *prr.Pool, opt Options) (added int, err error) {
+	return GrowPoolContext(context.Background(), pool, opt)
+}
+
+// GrowPoolContext is GrowPool with cooperative cancellation: an aborted
+// grow leaves the pool exactly as it was (completed IMM rounds are
+// kept; a partial Extend never merges).
+func GrowPoolContext(ctx context.Context, pool *prr.Pool, opt Options) (added int, err error) {
 	opt = opt.WithDefaults()
 	if err := validate(pool.Graph(), pool.Seeds(), opt); err != nil {
 		return 0, err
@@ -187,7 +203,7 @@ func GrowPool(pool *prr.Pool, opt Options) (added int, err error) {
 		Ell:        imm.EllForSandwich(opt.Ell, pool.Graph().N()),
 		MaxSamples: opt.MaxSamples,
 	}
-	if _, err := imm.Run(pool, params); err != nil {
+	if _, err := imm.RunContext(ctx, pool, params); err != nil {
 		return 0, err
 	}
 	return pool.Size() - before, nil
@@ -199,6 +215,14 @@ func GrowPool(pool *prr.Pool, opt Options) (added int, err error) {
 // two. The pool is not grown; callers wanting the full algorithm
 // combine BuildPool/GrowPool with this. SamplingTime is left zero.
 func BoostFromPool(pool *prr.Pool, opt Options) (*Result, error) {
+	return BoostFromPoolContext(context.Background(), pool, opt)
+}
+
+// BoostFromPoolContext is BoostFromPool with cooperative cancellation:
+// the CELF selection loops poll ctx once per pick, so a canceled warm
+// query returns within one re-evaluation round. The pool is read-only
+// here; cancellation cannot corrupt it.
+func BoostFromPoolContext(ctx context.Context, pool *prr.Pool, opt Options) (*Result, error) {
 	opt = opt.WithDefaults()
 	g, seeds := pool.Graph(), pool.Seeds()
 	if err := validate(g, seeds, opt); err != nil {
@@ -221,7 +245,7 @@ func BoostFromPool(pool *prr.Pool, opt Options) (*Result, error) {
 		return res, nil
 	}
 
-	bDelta, covDelta, err := pool.SelectDeltaAmong(opt.K, opt.Candidates)
+	bDelta, covDelta, err := pool.SelectDeltaAmongContext(ctx, opt.K, opt.Candidates)
 	if err != nil {
 		return nil, err
 	}
@@ -247,7 +271,7 @@ func BoostFromPool(pool *prr.Pool, opt Options) (*Result, error) {
 
 // buildPool runs the sampling phase — IMM by default, the SSA-style
 // adaptive controller when opt.Adaptive — and returns the sized pool.
-func buildPool(g *graph.Graph, seeds []int32, opt Options, mode prr.Mode) (*prr.Pool, error) {
+func buildPool(ctx context.Context, g *graph.Graph, seeds []int32, opt Options, mode prr.Mode) (*prr.Pool, error) {
 	params := imm.Params{
 		N:          g.N(),
 		K:          opt.K,
@@ -257,6 +281,9 @@ func buildPool(g *graph.Graph, seeds []int32, opt Options, mode prr.Mode) (*prr.
 	}
 	if opt.Adaptive {
 		trained, _, err := imm.RunAdaptive(func(s uint64) (imm.ValidatableSketcher, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			return prr.NewPool(g, seeds, opt.K, mode, opt.Seed*0x9e3779b97f4a7c15+s, opt.Workers)
 		}, params)
 		if err != nil {
@@ -268,7 +295,7 @@ func buildPool(g *graph.Graph, seeds []int32, opt Options, mode prr.Mode) (*prr.
 	if err != nil {
 		return nil, err
 	}
-	if _, err := imm.Run(pool, params); err != nil {
+	if _, err := imm.RunContext(ctx, pool, params); err != nil {
 		return nil, err
 	}
 	return pool, nil

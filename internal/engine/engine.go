@@ -45,6 +45,7 @@ package engine
 
 import (
 	"container/list"
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -60,6 +61,7 @@ import (
 	"github.com/kboost/kboost/internal/diffusion"
 	"github.com/kboost/kboost/internal/graph"
 	"github.com/kboost/kboost/internal/model"
+	"github.com/kboost/kboost/internal/panicsafe"
 	"github.com/kboost/kboost/internal/prr"
 	"github.com/kboost/kboost/internal/rrset"
 )
@@ -215,6 +217,20 @@ type Stats struct {
 	LTPoolExtensions  int64 `json:"lt_pool_extensions"`
 	LTResultHits      int64 `json:"lt_result_hits"`
 	LTProfiles        int64 `json:"lt_profiles"`
+
+	// The request-lifecycle counters. RequestsShed counts requests the
+	// server's admission control rejected with 429 (never admitted, so
+	// they appear in no per-query counter); RequestsCanceled counts
+	// admitted requests abandoned because their context was canceled or
+	// timed out mid-flight; PanicsRecovered counts panics contained by
+	// the shard workers or the server middleware and converted into
+	// errors instead of crashing the process; DegradedEstimates counts
+	// estimate queries that admission pressure forced down to tier 0
+	// (served with degraded: true instead of being shed).
+	RequestsShed      int64 `json:"requests_shed"`
+	RequestsCanceled  int64 `json:"requests_canceled"`
+	PanicsRecovered   int64 `json:"panics_recovered"`
+	DegradedEstimates int64 `json:"degraded_estimates"`
 }
 
 // counters is the engine's live counter set. Every field is atomic so
@@ -249,6 +265,11 @@ type counters struct {
 	resultHits     atomic.Int64
 	evictions      atomic.Int64
 	prrGenerated   atomic.Int64
+
+	requestsShed      atomic.Int64
+	requestsCanceled  atomic.Int64
+	panicsRecovered   atomic.Int64
+	degradedEstimates atomic.Int64
 }
 
 // snapshot is one immutable registered graph plus its version.
@@ -328,6 +349,18 @@ type poolEntry struct {
 	// bytes is the pool's last MemoryEstimate, accounted into
 	// Engine.poolBytes; guarded by Engine.mu, not entry.mu.
 	bytes int64 // kboost:guarded-by Engine.mu
+
+	// waiters counts requests currently blocked on (or about to block
+	// on) mu. A canceled cold build consults it to decide between
+	// handing the entry off to a blocked follower (who retries the
+	// build under the same singleflight lock) and dropping the entry
+	// outright; either way the cache never retains a half-built pool.
+	waiters atomic.Int32
+	// ready flips true after the first successful build and stays true
+	// (repairs and extensions keep the pool warm). The server's
+	// admission control reads it lock-free to classify an incoming
+	// request as warm or cold.
+	ready atomic.Bool
 
 	// results caches final selection results keyed by (pool generation,
 	// k): selection is a pure function of the pool contents, so an
@@ -573,6 +606,11 @@ func (e *Engine) Stats() Stats {
 		ResultHits:     e.ctr.resultHits.Load(),
 		Evictions:      e.ctr.evictions.Load(),
 		PRRGenerated:   e.ctr.prrGenerated.Load(),
+
+		RequestsShed:      e.ctr.requestsShed.Load(),
+		RequestsCanceled:  e.ctr.requestsCanceled.Load(),
+		PanicsRecovered:   e.ctr.panicsRecovered.Load(),
+		DegradedEstimates: e.ctr.degradedEstimates.Load(),
 	}
 	e.simCtrMu.Lock()
 	if len(e.simCtrs) > 0 {
@@ -736,18 +774,87 @@ func (e *Engine) acquireEntry(key, graphID string, version uint64) *poolEntry {
 	return ent
 }
 
+// boostWarm reports — best-effort, without blocking on any entry lock —
+// whether a boost request would be served without paying for a cold
+// build itself. An existing cache entry counts as warm even before its
+// pool is ready: some other request is building it, and this one will
+// only wait on the singleflight lock and then read — admitting it to
+// the warm lane is what makes canceled-leader handoff possible at all.
+// The server's admission control uses this to pick the request's lane;
+// a stale or optimistic answer (e.g. a PRR pool about to be rebuilt for
+// a larger K, or an entry evicted a microsecond later) misclassifies
+// the queue the request waits in, never the result it gets. Invalid
+// requests classify warm: their rejection is cheap and should never be
+// shed as if it were expensive.
+func (e *Engine) boostWarm(req BoostRequest) bool {
+	spec, err := resolveSpec(req.Mode, model.Params{Recovery: req.Recovery, Threshold: req.Threshold}, req.Content)
+	if err != nil {
+		return true
+	}
+	_, version, err := e.snapshotFor(req.GraphID)
+	if err != nil {
+		return true
+	}
+	key := poolKey(req.GraphID, version, spec.tag(), canonicalSeeds(req.Seeds))
+	e.mu.Lock()
+	_, ok := e.pools[key]
+	e.mu.Unlock()
+	return ok
+}
+
+// estimateWarm is boostWarm for the estimate path. Pool-backed modes
+// classify by pool readiness; the pool-free IC path classifies by what
+// the request will actually run — closed-form for latency-capped
+// requests, a full-tier calibration pass on first contact with an error
+// target, and the full Monte-Carlo when knobless.
+func (e *Engine) estimateWarm(req EstimateRequest) bool {
+	spec, err := resolveSpec(req.Mode, model.Params{Recovery: req.Recovery, Threshold: req.Threshold}, req.Content)
+	if err != nil {
+		return true
+	}
+	if spec.sim == nil {
+		if req.MaxError > 0 {
+			_, version, err := e.snapshotFor(req.GraphID)
+			if err != nil {
+				return true
+			}
+			return e.calibrationFor(req.GraphID, spec.calID(), version) != nil
+		}
+		return req.MaxLatencyMS > 0
+	}
+	return e.boostWarm(BoostRequest{
+		GraphID: req.GraphID, Seeds: req.Seeds, Mode: req.Mode,
+		Recovery: req.Recovery, Threshold: req.Threshold, Content: req.Content,
+	})
+}
+
 // Boost answers a boosting query, reusing a cached PRR pool when one
 // exists for the same (graph snapshot, seed set, mode) with a
 // generation budget covering req.K. Selection always runs against the
 // current pool, so a given query is deterministic for a fixed engine
 // history.
 func (e *Engine) Boost(req BoostRequest) (*BoostResult, error) {
+	return e.BoostContext(context.Background(), req)
+}
+
+// BoostContext is Boost with cooperative cancellation. Cancellation is
+// polled at shard and pick boundaries in the sampling and selection
+// loops, so a canceled cold build returns ctx.Err() within a few
+// sketches. A canceled build never poisons the cache: the pool under
+// construction is discarded whole (nothing half-merged), and the cache
+// entry is either handed off to a follower already blocked on its
+// singleflight lock or dropped — a retried identical request rebuilds
+// from the same RNG streams and returns bit-identical results.
+func (e *Engine) BoostContext(ctx context.Context, req BoostRequest) (*BoostResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	spec, err := resolveSpec(req.Mode, model.Params{Recovery: req.Recovery, Threshold: req.Threshold}, req.Content)
 	if err != nil {
 		return nil, err
 	}
 	if spec.sim != nil {
-		return e.boostSim(spec, req)
+		return e.boostSim(ctx, spec, req)
 	}
 	g, version, err := e.snapshotFor(req.GraphID)
 	if err != nil {
@@ -802,33 +909,39 @@ func (e *Engine) Boost(req BoostRequest) (*BoostResult, error) {
 	// exact sizing already applied — needs only read access. Taking the
 	// read lock lets concurrent warm queries on the same pool select in
 	// parallel instead of serializing.
-	ent.mu.RLock()
+	rlockEntry(ent)
 	if ent.pool != nil && ent.pool.K() >= req.K && ent.sized[sizeKey] {
 		defer ent.mu.RUnlock()
 		out.CacheHit = true
 		e.ctr.poolHits.Add(1)
-		return e.finishBoost(ent, out, opt, pre)
+		return e.finishBoost(ctx, ent, out, opt, pre)
 	}
 	ent.mu.RUnlock()
 
-	ent.mu.Lock()
+	lockEntry(ent)
+	if err := ctx.Err(); err != nil {
+		// Canceled while blocked on the singleflight lock: nothing was
+		// built on our behalf, so just walk away. The entry belongs to
+		// whoever is building (or will build) under it.
+		ent.mu.Unlock()
+		return nil, e.noteRequestErr(err)
+	}
 	switch {
 	case ent.pool == nil:
 		g2, err := rg.get()
 		if err != nil {
-			ent.mu.Unlock()
-			e.dropEntry(ent)
+			e.abandonColdBuild(ent)
 			return nil, err
 		}
-		pool, err := core.BuildPool(g2, seeds, opt, spec.prrMode)
+		pool, err := core.BuildPoolContext(ctx, g2, seeds, opt, spec.prrMode)
 		if err != nil {
-			ent.mu.Unlock()
-			e.dropEntry(ent)
-			return nil, err
+			e.abandonColdBuild(ent)
+			return nil, e.noteRequestErr(err)
 		}
 		ent.pool = pool
 		ent.derived = !spec.content.Identity()
 		ent.sized = map[string]bool{sizeKey: true}
+		ent.ready.Store(true)
 		out.NewSamples = pool.Size()
 		e.ctr.poolMisses.Add(1)
 		e.ctr.prrGenerated.Add(int64(out.NewSamples))
@@ -841,10 +954,10 @@ func (e *Engine) Boost(req BoostRequest) (*BoostResult, error) {
 			ent.mu.Unlock()
 			return nil, err
 		}
-		pool, err := core.BuildPool(g2, seeds, opt, spec.prrMode)
+		pool, err := core.BuildPoolContext(ctx, g2, seeds, opt, spec.prrMode)
 		if err != nil {
 			ent.mu.Unlock()
-			return nil, err
+			return nil, e.noteRequestErr(err)
 		}
 		ent.pool = pool
 		ent.derived = !spec.content.Identity()
@@ -857,11 +970,13 @@ func (e *Engine) Boost(req BoostRequest) (*BoostResult, error) {
 	default:
 		// Another query raced us here and finished the sizing between the
 		// read and write locks; or this sizing still needs a growth pass.
+		// A failed growth (canceled or faulted) merges nothing — the pool
+		// keeps serving its current sizings, so the entry stays.
 		var added int
 		if !ent.sized[sizeKey] {
-			if added, err = core.GrowPool(ent.pool, opt); err != nil {
+			if added, err = core.GrowPoolContext(ctx, ent.pool, opt); err != nil {
 				ent.mu.Unlock()
-				return nil, err
+				return nil, e.noteRequestErr(err)
 			}
 			ent.sized[sizeKey] = true
 		}
@@ -880,7 +995,68 @@ func (e *Engine) Boost(req BoostRequest) (*BoostResult, error) {
 	ent.mu.Unlock()
 	ent.mu.RLock()
 	defer ent.mu.RUnlock()
-	return e.finishBoost(ent, out, opt, pre)
+	return e.finishBoost(ctx, ent, out, opt, pre)
+}
+
+// lockEntry acquires ent.mu for writing while counting the caller in
+// ent.waiters for the duration of the wait, so a failing leader can see
+// whether a follower is poised to take over the entry.
+// kboost:locks mu
+func lockEntry(ent *poolEntry) {
+	ent.waiters.Add(1)
+	ent.mu.Lock()
+	ent.waiters.Add(-1)
+}
+
+// rlockEntry is lockEntry for the warm fast paths. Readers must be
+// counted too: a follower that arrives while a leader is building
+// blocks in this RLock, and if the leader's build is then canceled it
+// must see the follower and hand the entry off instead of dropping it —
+// the follower falls through to the write lock and runs the cold build
+// itself, keeping the entry (and the result) cached. Two uncontended
+// atomic adds on the warm path; invisible next to selection.
+// kboost:rlocks mu
+func rlockEntry(ent *poolEntry) {
+	ent.waiters.Add(1)
+	ent.mu.RLock()
+	ent.waiters.Add(-1)
+}
+
+// abandonColdBuild releases an entry whose cold build did not complete
+// (canceled, faulted, or panicked). The entry holds no pool, so it must
+// not stay in the cache looking warm: if followers are blocked on the
+// singleflight lock the entry is handed off — the next follower finds
+// pool == nil and runs the cold build itself, exactly the path it would
+// have taken had it arrived first — otherwise the entry is dropped.
+// Either way the cache never retains a half-built pool. Called with
+// ent.mu held for writing; always unlocks it.
+func (e *Engine) abandonColdBuild(ent *poolEntry) {
+	handoff := ent.waiters.Load() > 0
+	ent.mu.Unlock()
+	if !handoff {
+		e.dropEntry(ent)
+	}
+}
+
+// noteRequestErr classifies a request-path failure into the lifecycle
+// counters: context cancellations and deadline expiries bump
+// requests_canceled; contained shard-worker panics bump
+// panics_recovered and are wrapped so callers see an internal error
+// rather than a crash. Other errors pass through unchanged.
+func (e *Engine) noteRequestErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		e.ctr.requestsCanceled.Add(1)
+		return err
+	}
+	var pe *panicsafe.Error
+	if errors.As(err, &pe) {
+		e.ctr.panicsRecovered.Add(1)
+		return fmt.Errorf("engine: internal error: %w", err)
+	}
+	return err
 }
 
 // validatePrefilter rejects a pre-filter cap smaller than the boost
@@ -897,7 +1073,7 @@ func validatePrefilter(prefilter, k int) error {
 // finishBoost runs (or recalls) the selection phase for a ready pool.
 // Callers hold ent.mu.RLock; ent.pool is immutable for the duration.
 // kboost:holds mu
-func (e *Engine) finishBoost(ent *poolEntry, out *BoostResult, opt core.Options, pre int) (*BoostResult, error) {
+func (e *Engine) finishBoost(ctx context.Context, ent *poolEntry, out *BoostResult, opt core.Options, pre int) (*BoostResult, error) {
 	pool := ent.pool
 	key := resultKey{gen: pool.Generation(), k: opt.K, pre: pre}
 
@@ -915,9 +1091,9 @@ func (e *Engine) finishBoost(ent *poolEntry, out *BoostResult, opt core.Options,
 		return out, nil
 	}
 
-	res, err := core.BoostFromPool(pool, opt)
+	res, err := core.BoostFromPoolContext(ctx, pool, opt)
 	if err != nil {
-		return nil, err
+		return nil, e.noteRequestErr(err)
 	}
 	ent.resMu.Lock()
 	if ent.resultsGen == key.gen && len(ent.results) < maxCachedResults {
@@ -998,7 +1174,7 @@ func validateSimSeeds(g *graph.Graph, seeds []int32) error {
 // worlds). simAcquire returns holding ent.mu.RLock, which covers the
 // ent.sim reads below.
 // kboost:holds mu
-func (e *Engine) boostSim(spec *modeSpec, req BoostRequest) (*BoostResult, error) {
+func (e *Engine) boostSim(ctx context.Context, spec *modeSpec, req BoostRequest) (*BoostResult, error) {
 	g, version, err := e.snapshotFor(req.GraphID)
 	if err != nil {
 		return nil, err
@@ -1020,7 +1196,7 @@ func (e *Engine) boostSim(spec *modeSpec, req BoostRequest) (*BoostResult, error
 	if req.Sims <= 0 {
 		req.Sims = defaultSimProfiles
 	}
-	ent, hit, added, err := e.simAcquire(spec, sc, req, rg, version, seeds)
+	ent, hit, added, err := e.simAcquire(ctx, spec, sc, req, rg, version, seeds)
 	if err != nil {
 		return nil, err
 	}
@@ -1036,13 +1212,13 @@ func (e *Engine) boostSim(spec *modeSpec, req BoostRequest) (*BoostResult, error
 		}
 		cands := approx.BoostCandidates(g2, seeds, req.Prefilter, ent.sim.Norms())
 		if len(cands) >= req.Prefilter {
-			return e.finishBoostSim(ent, sc, out, req.K, 0, req.Prefilter, cands)
+			return e.finishBoostSim(ctx, ent, sc, out, req.K, 0, req.Prefilter, cands)
 		}
 		// Shortlist ran dry (fewer nonzero-score candidates than the
 		// cap): fall through to unrestricted selection under pre=0 so the
 		// degraded shortlist is neither used nor cached.
 	}
-	return e.finishBoostSim(ent, sc, out, req.K, spec.sim.CandidateCap(req.K, req.CandCap), 0, nil)
+	return e.finishBoostSim(ctx, ent, sc, out, req.K, spec.sim.CandidateCap(req.K, req.CandCap), 0, nil)
 }
 
 // simAcquire returns the pool entry for (graph snapshot, mode tag,
@@ -1055,7 +1231,7 @@ func (e *Engine) boostSim(spec *modeSpec, req BoostRequest) (*BoostResult, error
 // query (true even when it was extended in place); added is the number
 // of freshly generated profiles. The content-derived graph is only
 // materialized on a cold build — warm queries never pay the derive.
-func (e *Engine) simAcquire(spec *modeSpec, sc *simCounters, req BoostRequest, rg *reqGraph, version uint64, seeds []int32) (ent *poolEntry, hit bool, added int, err error) {
+func (e *Engine) simAcquire(ctx context.Context, spec *modeSpec, sc *simCounters, req BoostRequest, rg *reqGraph, version uint64, seeds []int32) (ent *poolEntry, hit bool, added int, err error) {
 	sims := req.Sims
 	seed := req.Seed
 	if seed == 0 {
@@ -1067,7 +1243,7 @@ func (e *Engine) simAcquire(spec *modeSpec, sc *simCounters, req BoostRequest, r
 
 	// Fast path: the pool exists and already holds enough profiles —
 	// concurrent warm queries share the read lock and run in parallel.
-	ent.mu.RLock()
+	rlockEntry(ent)
 	if ent.sim != nil && ent.sim.NumProfiles() >= sims {
 		e.ctr.poolHits.Add(1)
 		sc.poolHits.Add(1)
@@ -1075,7 +1251,14 @@ func (e *Engine) simAcquire(spec *modeSpec, sc *simCounters, req BoostRequest, r
 	}
 	ent.mu.RUnlock()
 
-	ent.mu.Lock()
+	lockEntry(ent)
+	if err := ctx.Err(); err != nil {
+		// Canceled while blocked on the singleflight lock: nothing was
+		// built on our behalf, walk away and leave the entry to the
+		// builder (see BoostContext).
+		ent.mu.Unlock()
+		return nil, false, 0, e.noteRequestErr(err)
+	}
 	switch {
 	case ent.sim != nil && sims <= 0:
 		// Lazy request racing a concurrent build: reuse whatever exists.
@@ -1088,26 +1271,35 @@ func (e *Engine) simAcquire(spec *modeSpec, sc *simCounters, req BoostRequest, r
 		}
 		g2, err := rg.get()
 		if err != nil {
-			ent.mu.Unlock()
-			e.dropEntry(ent)
+			e.abandonColdBuild(ent)
 			return nil, false, 0, err
 		}
 		pool, err := spec.sim.NewPool(g2, seeds, seed, e.workersFor(req.Workers))
 		if err != nil {
-			ent.mu.Unlock()
-			e.dropEntry(ent)
+			e.abandonColdBuild(ent)
 			return nil, false, 0, err
 		}
-		pool.Extend(sims)
+		if err := pool.ExtendContext(ctx, sims); err != nil {
+			// The half-sampled pool is discarded whole; the entry is
+			// handed to a waiting follower or dropped, never cached.
+			e.abandonColdBuild(ent)
+			return nil, false, 0, e.noteRequestErr(err)
+		}
 		ent.sim = pool
 		ent.derived = !spec.content.Identity()
+		ent.ready.Store(true)
 		added = sims
 		e.ctr.poolMisses.Add(1)
 		sc.poolMisses.Add(1)
 		sc.profiles.Add(int64(added))
 	case ent.sim.NumProfiles() < sims:
 		added = sims - ent.sim.NumProfiles()
-		ent.sim.Extend(sims)
+		if err := ent.sim.ExtendContext(ctx, sims); err != nil {
+			// A failed extension merges nothing and restores the RNG
+			// state, so the cached pool is exactly as it was: keep it.
+			ent.mu.Unlock()
+			return nil, false, 0, e.noteRequestErr(err)
+		}
 		hit = true
 		e.ctr.poolHits.Add(1)
 		sc.poolHits.Add(1)
@@ -1131,7 +1323,7 @@ func (e *Engine) simAcquire(spec *modeSpec, sc *simCounters, req BoostRequest, r
 // pool. Callers hold ent.mu.RLock; ent.sim is immutable for the
 // duration.
 // kboost:holds mu
-func (e *Engine) finishBoostSim(ent *poolEntry, sc *simCounters, out *BoostResult, k, candCap, pre int, cands []int32) (*BoostResult, error) {
+func (e *Engine) finishBoostSim(ctx context.Context, ent *poolEntry, sc *simCounters, out *BoostResult, k, candCap, pre int, cands []int32) (*BoostResult, error) {
 	pool := ent.sim
 	key := resultKey{gen: pool.Generation(), k: k, cand: candCap, pre: pre}
 
@@ -1154,12 +1346,12 @@ func (e *Engine) finishBoostSim(ent *poolEntry, sc *simCounters, out *BoostResul
 	var est float64
 	var err error
 	if pre > 0 {
-		chosen, est, err = pool.GreedyBoostAmong(k, cands)
+		chosen, est, err = pool.GreedyBoostAmongContext(ctx, k, cands)
 	} else {
-		chosen, est, err = pool.GreedyBoost(k, candCap)
+		chosen, est, err = pool.GreedyBoostContext(ctx, k, candCap)
 	}
 	if err != nil {
-		return nil, err
+		return nil, e.noteRequestErr(err)
 	}
 	res := &core.Result{
 		BoostSet:      chosen,
@@ -1258,6 +1450,16 @@ type SeedsRequest struct {
 // SelectSeeds runs IMM seed selection on a registered graph. RR-set
 // pools are much cheaper than PRR pools and are not cached.
 func (e *Engine) SelectSeeds(req SeedsRequest) (rrset.Result, error) {
+	return e.SelectSeedsContext(context.Background(), req)
+}
+
+// SelectSeedsContext is SelectSeeds with cooperative cancellation: the
+// RR-set pool is per-request (never cached), so a canceled selection
+// simply abandons it — there is no cache state to protect.
+func (e *Engine) SelectSeedsContext(ctx context.Context, req SeedsRequest) (rrset.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	spec, err := resolveSpec(req.Mode, model.Params{}, nil)
 	if err != nil {
 		return rrset.Result{}, err
@@ -1270,13 +1472,17 @@ func (e *Engine) SelectSeeds(req SeedsRequest) (rrset.Result, error) {
 		return rrset.Result{}, err
 	}
 	e.ctr.seedQueries.Add(1)
-	return rrset.SelectSeeds(g, req.K, rrset.Options{
+	res, err := rrset.SelectSeedsContext(ctx, g, req.K, rrset.Options{
 		Epsilon:    req.Epsilon,
 		Ell:        req.Ell,
 		Seed:       req.Seed,
 		Workers:    e.workersFor(req.Workers),
 		MaxSamples: req.MaxSamples,
 	})
+	if err != nil {
+		return rrset.Result{}, e.noteRequestErr(err)
+	}
+	return res, nil
 }
 
 // EstimateRequest asks for Monte-Carlo estimates of the boosted spread
@@ -1359,6 +1565,12 @@ type EstimateResult struct {
 	// MaxError target (including knobless exact requests) always report
 	// true.
 	ErrorTargetMet bool `json:"error_target_met"`
+	// Degraded reports that server admission pressure forced the query
+	// down to the cheapest tier its mode supports instead of shedding
+	// it: the answer is served, but at lower fidelity than the request's
+	// knobs (or their absence) asked for. ErrorTargetMet is reported
+	// against the tier that actually served the query.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // Estimate runs spread/boost estimation. Requests with a tiering knob
@@ -1366,6 +1578,15 @@ type EstimateResult struct {
 // path; everything else runs the full evaluation and reports tier 2.
 // Knobless requests trivially meet their (absent) error target.
 func (e *Engine) Estimate(req EstimateRequest) (EstimateResult, error) {
+	return e.EstimateContext(context.Background(), req)
+}
+
+// EstimateContext is Estimate with cooperative cancellation (threaded
+// into pool builds and the Monte-Carlo loops like BoostContext).
+func (e *Engine) EstimateContext(ctx context.Context, req EstimateRequest) (EstimateResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	spec, err := resolveSpec(req.Mode, model.Params{Recovery: req.Recovery, Threshold: req.Threshold}, req.Content)
 	if err != nil {
 		return EstimateResult{}, err
@@ -1374,9 +1595,9 @@ func (e *Engine) Estimate(req EstimateRequest) (EstimateResult, error) {
 		return EstimateResult{}, fmt.Errorf("engine: mode \"lb\" is selection-only — estimate under mode \"ic\" (both diffuse identically)")
 	}
 	if req.MaxLatencyMS > 0 || req.MaxError > 0 {
-		return e.estimateTiered(spec, req)
+		return e.estimateTiered(ctx, spec, req)
 	}
-	out, err := e.estimateTier2(spec, req)
+	out, err := e.estimateTier2(ctx, spec, req)
 	if err != nil {
 		return out, err
 	}
@@ -1386,14 +1607,45 @@ func (e *Engine) Estimate(req EstimateRequest) (EstimateResult, error) {
 	return out, nil
 }
 
+// EstimateDegraded serves an estimate at the cheapest tier the mode
+// supports, regardless of the request's tiering knobs — the server's
+// admission-control pressure valve. Tier 0 is closed-form (no
+// sampling, microseconds); modes that decline tier 0 (sir; kthresh at
+// τ >= 2) are served at tier 1's fixed small sample budget. The result
+// carries Degraded=true so callers can tell fidelity was traded for
+// availability.
+func (e *Engine) EstimateDegraded(ctx context.Context, req EstimateRequest) (EstimateResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	spec, err := resolveSpec(req.Mode, model.Params{Recovery: req.Recovery, Threshold: req.Threshold}, req.Content)
+	if err != nil {
+		return EstimateResult{}, err
+	}
+	if spec.sim == nil && spec.prrMode == prr.ModeLB {
+		return EstimateResult{}, fmt.Errorf("engine: mode \"lb\" is selection-only — estimate under mode \"ic\" (both diffuse identically)")
+	}
+	out, err := e.estimateFloor(ctx, spec, req)
+	if err != nil {
+		return out, err
+	}
+	out.Degraded = true
+	// Degraded answers only meet an explicit error target by luck; report
+	// the honest default (no target ⇒ trivially met, like tier dispatch).
+	out.ErrorTargetMet = req.MaxError <= 0
+	e.ctr.estimateQueries.Add(1)
+	e.ctr.degradedEstimates.Add(1)
+	return out, nil
+}
+
 // estimateTier2 is the full evaluation: fresh Monte-Carlo for mode
 // ""/"ic", the cached profile pool for the simulation modes. The
 // knobless dispatch above and the tiered path both funnel here, so a
 // tiered request that lands on tier 2 answers bit-identically to a
 // knobless one.
-func (e *Engine) estimateTier2(spec *modeSpec, req EstimateRequest) (EstimateResult, error) {
+func (e *Engine) estimateTier2(ctx context.Context, spec *modeSpec, req EstimateRequest) (EstimateResult, error) {
 	if spec.sim != nil {
-		return e.estimateSim(spec, req)
+		return e.estimateSim(ctx, spec, req)
 	}
 	g, err := e.Graph(req.GraphID)
 	if err != nil {
@@ -1408,12 +1660,20 @@ func (e *Engine) estimateTier2(spec *modeSpec, req EstimateRequest) (EstimateRes
 		Seed:    req.Seed,
 		Workers: e.workersFor(req.Workers),
 	}
+	// The IC Monte-Carlo is uncancelable once launched (stateless, no
+	// cache to protect); honor ctx between the two estimation legs.
+	if err := ctx.Err(); err != nil {
+		return EstimateResult{}, e.noteRequestErr(err)
+	}
 	spread, err := diffusion.EstimateSpread(g, req.Seeds, req.Boost, opt)
 	if err != nil {
 		return EstimateResult{}, err
 	}
 	out := EstimateResult{Spread: spread}
 	if len(req.Boost) > 0 {
+		if err := ctx.Err(); err != nil {
+			return EstimateResult{}, e.noteRequestErr(err)
+		}
 		boost, err := diffusion.EstimateBoost(g, req.Seeds, req.Boost, opt)
 		if err != nil {
 			return EstimateResult{}, err
@@ -1431,7 +1691,7 @@ func (e *Engine) estimateTier2(spec *modeSpec, req EstimateRequest) (EstimateRes
 // worlds (coupled, low-variance). simAcquire returns holding
 // ent.mu.RLock, which covers the ent.sim reads below.
 // kboost:holds mu
-func (e *Engine) estimateSim(spec *modeSpec, req EstimateRequest) (EstimateResult, error) {
+func (e *Engine) estimateSim(ctx context.Context, spec *modeSpec, req EstimateRequest) (EstimateResult, error) {
 	g, version, err := e.snapshotFor(req.GraphID)
 	if err != nil {
 		return EstimateResult{}, err
@@ -1449,7 +1709,7 @@ func (e *Engine) estimateSim(spec *modeSpec, req EstimateRequest) (EstimateResul
 	sc := e.simCtr(spec.name)
 	e.ctr.estimateQueries.Add(1)
 	sc.estimateQueries.Add(1)
-	ent, hit, _, err := e.simAcquire(spec, sc, BoostRequest{
+	ent, hit, _, err := e.simAcquire(ctx, spec, sc, BoostRequest{
 		GraphID: req.GraphID, Seeds: seeds,
 		Sims: req.Sims, Seed: req.Seed, Workers: req.Workers,
 	}, rg, version, seeds)

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"github.com/kboost/kboost/internal/faults"
 	"github.com/kboost/kboost/internal/graph"
 )
 
@@ -28,6 +29,9 @@ const snapshotTmpTag = ".tmp-"
 // be validated as path-safe (the HTTP layer enforces its name charset
 // before calling this).
 func SaveSnapshot(dir, id string, g *graph.Graph) error {
+	if err := faults.Check(faults.PersistWrite); err != nil {
+		return fmt.Errorf("engine: persisting snapshot %q: %w", id, err)
+	}
 	tmp, err := os.CreateTemp(dir, "."+id+snapshotTmpTag+"*")
 	if err != nil {
 		return fmt.Errorf("engine: persisting snapshot %q: %w", id, err)
@@ -89,6 +93,9 @@ func (e *Engine) LoadSnapshotDir(dir string) (int, error) {
 		return 0, fmt.Errorf("engine: loading snapshot dir: %w", err)
 	}
 	loaded := 0
+	if err := faults.Check(faults.SnapshotLoad); err != nil {
+		return 0, fmt.Errorf("engine: loading snapshot dir: %w", err)
+	}
 	for _, entry := range entries {
 		name := entry.Name()
 		if !entry.IsDir() && strings.HasPrefix(name, ".") && strings.Contains(name, snapshotTmpTag) {

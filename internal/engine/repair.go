@@ -42,11 +42,13 @@ package engine
 // by a pool built from scratch on the patched graph.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
 	"strings"
 
+	"github.com/kboost/kboost/internal/faults"
 	"github.com/kboost/kboost/internal/graph"
 	"github.com/kboost/kboost/internal/model"
 )
@@ -89,8 +91,25 @@ func rekey(key, graphID string, version uint64) string {
 // the old version's cached pools by repair instead of sweeping them.
 // On any error the registry and cache are left untouched.
 func (e *Engine) RepairGraph(id string, delta *graph.EdgeDelta) (RepairResult, error) {
+	return e.RepairGraphContext(context.Background(), id, delta)
+}
+
+// RepairGraphContext is RepairGraph with cooperative cancellation up to
+// the point of no return: ctx is honored before the delta is applied
+// and again before the patched snapshot is installed, so a canceled
+// patch leaves the registry and cache byte-identical. Once the new
+// version is installed the pool migration runs to completion regardless
+// of ctx — the old pools are already detached, and abandoning them
+// half-migrated would leak warm state and skew the repair counters.
+func (e *Engine) RepairGraphContext(ctx context.Context, id string, delta *graph.EdgeDelta) (RepairResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if delta == nil {
 		return RepairResult{}, fmt.Errorf("engine: nil delta for graph %q", id)
+	}
+	if err := faults.CheckContext(ctx, faults.Repair); err != nil {
+		return RepairResult{}, e.noteRequestErr(err)
 	}
 	g, version, err := e.snapshotFor(id)
 	if err != nil {
@@ -99,6 +118,11 @@ func (e *Engine) RepairGraph(id string, delta *graph.EdgeDelta) (RepairResult, e
 	g2, eff, err := g.ApplyDelta(delta)
 	if err != nil {
 		return RepairResult{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		// Canceled after the (side-effect-free) delta application: the
+		// patched graph is discarded, nothing was installed.
+		return RepairResult{}, e.noteRequestErr(err)
 	}
 
 	e.mu.Lock()
@@ -202,6 +226,7 @@ func (e *Engine) repairEntry(ent *poolEntry, g2 *graph.Graph, eff *graph.DeltaEf
 		}
 		sketches = touched
 		fresh = &poolEntry{key: rekey(ent.key, ent.graphID, newVersion), graphID: ent.graphID}
+		fresh.ready.Store(true)
 		bytes = pool.MemoryEstimate()
 		fresh.mu.Lock()
 		// The sizing memo restarts empty (not carried over): it was
@@ -231,6 +256,7 @@ func (e *Engine) repairEntry(ent *poolEntry, g2 *graph.Graph, eff *graph.DeltaEf
 		}
 		profiles = touched
 		fresh = &poolEntry{key: rekey(ent.key, ent.graphID, newVersion), graphID: ent.graphID}
+		fresh.ready.Store(true)
 		bytes = pool.MemoryEstimate()
 		fresh.mu.Lock()
 		fresh.sim = pool

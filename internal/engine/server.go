@@ -2,16 +2,21 @@ package engine
 
 import (
 	"bufio"
+	"context"
 	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/kboost/kboost/internal/graph"
+	"github.com/kboost/kboost/internal/panicsafe"
 )
 
 // ServerOptions configures the HTTP front end.
@@ -41,6 +46,31 @@ type ServerOptions struct {
 	// file on DELETE, so a restarted daemon can reload its live graphs
 	// with Engine.LoadSnapshotDir.
 	SnapshotDir string
+	// MaxInFlightCold bounds concurrently admitted cold queries — ones
+	// that must build a pool, run a tier calibration, or run a pool-free
+	// full Monte-Carlo (identical concurrent queries do not count twice:
+	// singleflight followers of an in-flight build ride the warm lane,
+	// since they only wait). Cold work is the expensive, memory-hungry
+	// kind, so its lane should be narrow — kboostd defaults it to
+	// GOMAXPROCS. Overflow is shed with 429 and a Retry-After hint
+	// (estimates degrade instead; see DisableDegrade). 0, the library
+	// default, leaves the lane unbounded.
+	MaxInFlightCold int
+	// MaxInFlightWarm bounds concurrently admitted warm queries (served
+	// from an already-built pool or closed-form). Warm work is cheap, so
+	// its lane should be wide — kboostd defaults it to 16×GOMAXPROCS. 0,
+	// the library default, leaves it unbounded.
+	MaxInFlightWarm int
+	// RetryAfterSeconds is the Retry-After hint on shed (429) responses
+	// (default 1).
+	RetryAfterSeconds int
+	// DisableDegrade turns off the estimate pressure valve. By default
+	// an estimate that would be shed is served degraded instead: the
+	// cheapest tier its mode supports (closed-form two-hop, or tier 1's
+	// fixed small sample budget for modes without a closed form), marked
+	// "degraded": true — availability traded for fidelity. With
+	// DisableDegrade estimates are shed with 429 like everything else.
+	DisableDegrade bool
 }
 
 func (o ServerOptions) withDefaults() ServerOptions {
@@ -53,8 +83,18 @@ func (o ServerOptions) withDefaults() ServerOptions {
 	if o.MaxGraphNodes <= 0 {
 		o.MaxGraphNodes = 1 << 24
 	}
+	if o.RetryAfterSeconds <= 0 {
+		o.RetryAfterSeconds = 1
+	}
 	return o
 }
+
+// DefaultMaxInFlightCold / DefaultMaxInFlightWarm are the admission
+// bounds kboostd serves with unless overridden by flag: a cold lane as
+// wide as the machine (pool builds saturate all cores anyway, more of
+// them just thrash) and a generously wide warm lane.
+func DefaultMaxInFlightCold() int { return runtime.GOMAXPROCS(0) }
+func DefaultMaxInFlightWarm() int { return 16 * runtime.GOMAXPROCS(0) }
 
 // Server is the HTTP front end of an Engine. It serves:
 //
@@ -98,22 +138,116 @@ type Server struct {
 	// the registry serves are different — and a restart would silently
 	// revive the loser. Admin traffic is rare; one mutex is plenty.
 	adminMu sync.Mutex
+
+	// coldSem / warmSem are the admission semaphores (nil = unbounded):
+	// a query handler try-acquires the lane its request classifies into
+	// and sheds (or degrades) on overflow instead of queueing — the
+	// expensive pool builds behind a full lane would only pile up behind
+	// the entry locks anyway, and a bounded 429 beats an unbounded queue
+	// of doomed requests.
+	coldSem chan struct{}
+	warmSem chan struct{}
+
+	// draining flips the /readyz probe to 503 so load balancers stop
+	// routing new work here before http.Server.Shutdown starts refusing
+	// connections; requests already in flight (and stragglers that still
+	// arrive) are served normally.
+	draining atomic.Bool
 }
 
 // NewServer wraps an Engine in the HTTP front end.
 func NewServer(e *Engine, opt ServerOptions) *Server {
 	s := &Server{engine: e, opt: opt.withDefaults(), mux: http.NewServeMux(), start: time.Now()}
+	if s.opt.MaxInFlightCold > 0 {
+		s.coldSem = make(chan struct{}, s.opt.MaxInFlightCold)
+	}
+	if s.opt.MaxInFlightWarm > 0 {
+		s.warmSem = make(chan struct{}, s.opt.MaxInFlightWarm)
+	}
 	s.mux.HandleFunc("/v1/boost", s.handleBoost)
 	s.mux.HandleFunc("/v1/seeds", s.handleSeeds)
 	s.mux.HandleFunc("/v1/estimate", s.handleEstimate)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/graphs", s.handleGraphList)
 	s.mux.HandleFunc("/v1/graphs/", s.handleGraph)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler, wrapping the mux in the panic
+// containment middleware: a panic that escapes a handler (including one
+// re-raised from a shard worker before panicsafe containment existed on
+// that path) is converted into a JSON 500 and counted, instead of
+// killing the connection — and, under http.Server, being the only
+// goroutine that dies. http.ErrAbortHandler is the deliberate
+// abort-this-response sentinel and is re-raised untouched.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			s.engine.ctr.panicsRecovered.Add(1)
+			// If the handler already started its response this write is a
+			// no-op on the status line; the client sees a truncated body,
+			// which is the best available outcome mid-stream.
+			s.writeJSON(w, http.StatusInternalServerError,
+				errorResponse{Error: fmt.Sprintf("internal error: recovered panic: %v", rec)})
+		}
+	}()
+	s.mux.ServeHTTP(w, r)
+}
+
+// SetDraining flips the /readyz readiness probe (true ⇒ 503). Call with
+// true before http.Server.Shutdown so load balancers drain this
+// instance first; the liveness probe /healthz is unaffected.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{Status: "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeJSON(w, http.StatusServiceUnavailable, struct {
+			Status string `json:"status"`
+		}{Status: "draining"})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{Status: "ready"})
+}
+
+// tryAcquire claims a slot in the warm or cold admission lane without
+// blocking. ok == false means the lane is full; the caller sheds or
+// degrades. release must be called exactly once when ok.
+func (s *Server) tryAcquire(cold bool) (release func(), ok bool) {
+	sem := s.warmSem
+	if cold {
+		sem = s.coldSem
+	}
+	if sem == nil {
+		return func() {}, true
+	}
+	select {
+	case sem <- struct{}{}:
+		return func() { <-sem }, true
+	default:
+		return nil, false
+	}
+}
+
+// shed rejects an unadmittable request with 429 and a Retry-After hint.
+func (s *Server) shed(w http.ResponseWriter) {
+	s.engine.ctr.requestsShed.Add(1)
+	w.Header().Set("Retry-After", strconv.Itoa(s.opt.RetryAfterSeconds))
+	s.writeJSON(w, http.StatusTooManyRequests,
+		errorResponse{Error: "server is at capacity; retry shortly"})
+}
 
 type errorResponse struct {
 	Error string `json:"error"`
@@ -127,9 +261,16 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v) // the status line is already out; nothing to recover
 }
 
+// statusClientClosedRequest is the (nginx-convention) status for a
+// request abandoned by its own client: the engine returned ctx.Err()
+// because the connection went away, and nobody is reading the reply —
+// but logs and middleware still deserve an honest status over a 400.
+const statusClientClosedRequest = 499
+
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
 	var tooBig *http.MaxBytesError
+	var panicked *panicsafe.Error
 	switch {
 	case errors.Is(err, ErrUnknownGraph):
 		status = http.StatusNotFound
@@ -137,6 +278,10 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 		status = http.StatusConflict
 	case errors.As(err, &tooBig):
 		status = http.StatusRequestEntityTooLarge
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		status = statusClientClosedRequest
+	case errors.As(err, &panicked):
+		status = http.StatusInternalServerError
 	}
 	s.writeJSON(w, status, errorResponse{Error: err.Error()})
 }
@@ -207,7 +352,13 @@ func (s *Server) handleBoost(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req.Workers = s.clampWorkers(req.Workers)
-	res, err := s.engine.Boost(req)
+	release, ok := s.tryAcquire(!s.engine.boostWarm(req))
+	if !ok {
+		s.shed(w)
+		return
+	}
+	defer release()
+	res, err := s.engine.BoostContext(r.Context(), req)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -247,7 +398,15 @@ func (s *Server) handleSeeds(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req.Workers = s.clampWorkers(req.Workers)
-	res, err := s.engine.SelectSeeds(req)
+	// Seed selection builds a per-request RR-set pool every time — there
+	// is no warm case — so it always rides the cold lane.
+	release, ok := s.tryAcquire(true)
+	if !ok {
+		s.shed(w)
+		return
+	}
+	defer release()
+	res, err := s.engine.SelectSeedsContext(r.Context(), req)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -269,7 +428,26 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req.Workers = s.clampWorkers(req.Workers)
-	res, err := s.engine.Estimate(req)
+	release, ok := s.tryAcquire(!s.engine.estimateWarm(req))
+	if !ok {
+		if s.opt.DisableDegrade {
+			s.shed(w)
+			return
+		}
+		// The estimate pressure valve: serve the cheapest tier the mode
+		// supports instead of shedding. Degraded serves are pool-free and
+		// closed-form or small-sample, so admitting them outside the lanes
+		// cannot pile up expensive work.
+		res, err := s.engine.EstimateDegraded(r.Context(), req)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, res)
+		return
+	}
+	defer release()
+	res, err := s.engine.EstimateContext(r.Context(), req)
 	if err != nil {
 		s.writeError(w, err)
 		return

@@ -1,0 +1,233 @@
+package engine
+
+// HTTP-level robustness coverage: admission control sheds with 429 +
+// Retry-After, estimates degrade instead of shedding, /healthz and
+// /readyz report liveness vs drain, a shard-worker panic surfaces as a
+// JSON 500 without killing the server, and a client disconnect during a
+// cold build leaves the pool cache unpoisoned.
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/kboost/kboost/internal/faults"
+)
+
+// newRobustnessServer builds a server over a fresh test engine and
+// returns both, so tests can drive HTTP traffic and then assert
+// directly on the engine's cache and counters.
+func newRobustnessServer(t *testing.T, opt ServerOptions) (*Engine, *Server, *httptest.Server) {
+	t.Helper()
+	e := newTestEngine(t, Options{})
+	api := NewServer(e, opt)
+	srv := httptest.NewServer(api)
+	t.Cleanup(srv.Close)
+	return e, api, srv
+}
+
+// getStatus issues a GET and returns the status code and body.
+func getStatus(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 512)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return resp.StatusCode, sb.String()
+}
+
+// holdColdBuild parks one cold boost request inside an injected latency
+// stall at the pool-build shard boundary, occupying a cold admission
+// slot until the returned release func is called.
+func holdColdBuild(t *testing.T, url string, seeds string) (release func()) {
+	t.Helper()
+	faults.Enable(faults.PoolBuildShard, faults.Fault{Mode: "latency", Delay: 10 * time.Second})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	body := `{"graph":"g","seeds":[` + seeds + `],"k":2,"seed":3,"max_samples":3000}`
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/v1/boost", strings.NewReader(body))
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	go func() {
+		defer close(done)
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	// Let the request reach the stall and occupy its admission slot.
+	time.Sleep(100 * time.Millisecond)
+	return func() {
+		cancel()
+		<-done
+	}
+}
+
+func TestHealthAndReadyEndpoints(t *testing.T) {
+	_, api, srv := newRobustnessServer(t, ServerOptions{})
+
+	if code, body := getStatus(t, srv.URL+"/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("healthz: %d %q, want 200 ok", code, body)
+	}
+	if code, body := getStatus(t, srv.URL+"/readyz"); code != http.StatusOK || !strings.Contains(body, "ready") {
+		t.Errorf("readyz: %d %q, want 200 ready", code, body)
+	}
+
+	api.SetDraining(true)
+	if code, body := getStatus(t, srv.URL+"/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Errorf("readyz during drain: %d %q, want 503 draining", code, body)
+	}
+	// Liveness is about the process, not routability: still 200.
+	if code, _ := getStatus(t, srv.URL+"/healthz"); code != http.StatusOK {
+		t.Errorf("healthz during drain: %d, want 200", code)
+	}
+
+	api.SetDraining(false)
+	if code, _ := getStatus(t, srv.URL+"/readyz"); code != http.StatusOK {
+		t.Errorf("readyz after drain cleared: %d, want 200", code)
+	}
+}
+
+func TestColdOverflowShedsWith429(t *testing.T) {
+	resetFaults(t)
+	e, _, srv := newRobustnessServer(t, ServerOptions{MaxInFlightCold: 1, RetryAfterSeconds: 7})
+
+	release := holdColdBuild(t, srv.URL, "0,20,40")
+	defer release()
+
+	// A second cold request (different seed set, so no cache entry) must
+	// be shed, not queued behind a ten-second build.
+	resp, err := http.Post(srv.URL+"/v1/boost", "application/json",
+		strings.NewReader(`{"graph":"g","seeds":[1,21,41],"k":2,"seed":3,"max_samples":3000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow cold boost: status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "7" {
+		t.Errorf("Retry-After = %q, want \"7\"", ra)
+	}
+	if got := e.Stats().RequestsShed; got != 1 {
+		t.Errorf("RequestsShed = %d, want 1", got)
+	}
+}
+
+func TestEstimateDegradesUnderPressure(t *testing.T) {
+	resetFaults(t)
+	e, _, srv := newRobustnessServer(t, ServerOptions{MaxInFlightCold: 1})
+
+	release := holdColdBuild(t, srv.URL, "0,20,40")
+	defer release()
+
+	// A knobless IC estimate classifies cold; with the lane full it must
+	// be served from the floor tier with degraded:true instead of shed.
+	resp, est := postJSON(t, srv.URL+"/v1/estimate", `{"graph":"g","seeds":[0,20,40],"boost":[1,2]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded estimate: status %d, body %v", resp.StatusCode, est)
+	}
+	if est["degraded"] != true {
+		t.Errorf("estimate under pressure not marked degraded: %v", est)
+	}
+	if got := e.Stats().DegradedEstimates; got != 1 {
+		t.Errorf("DegradedEstimates = %d, want 1", got)
+	}
+}
+
+func TestEstimateShedsWhenDegradeDisabled(t *testing.T) {
+	resetFaults(t)
+	_, _, srv := newRobustnessServer(t, ServerOptions{MaxInFlightCold: 1, DisableDegrade: true})
+
+	release := holdColdBuild(t, srv.URL, "0,20,40")
+	defer release()
+
+	resp, err := http.Post(srv.URL+"/v1/estimate", "application/json",
+		strings.NewReader(`{"graph":"g","seeds":[0,20,40],"boost":[1,2]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("estimate with degrade disabled: status %d, want 429", resp.StatusCode)
+	}
+}
+
+func TestShardPanicReturnsJSON500(t *testing.T) {
+	resetFaults(t)
+	e, _, srv := newRobustnessServer(t, ServerOptions{})
+
+	faults.Enable(faults.PoolBuildShard, faults.Fault{Mode: "panic", Count: 1})
+	body := `{"graph":"g","seeds":[0,20,40],"k":2,"seed":3,"max_samples":3000}`
+	resp, decoded := postJSON(t, srv.URL+"/v1/boost", body)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicked build: status %d, body %v, want 500", resp.StatusCode, decoded)
+	}
+	if msg, _ := decoded["error"].(string); !strings.Contains(msg, "internal error") {
+		t.Errorf("panicked build error body = %v, want an internal error message", decoded)
+	}
+	if got := e.Stats().PanicsRecovered; got != 1 {
+		t.Errorf("PanicsRecovered = %d, want 1", got)
+	}
+
+	// The panic was contained: the same server serves the retry clean.
+	resp, decoded = postJSON(t, srv.URL+"/v1/boost", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("retry after contained panic: status %d, body %v", resp.StatusCode, decoded)
+	}
+}
+
+func TestClientDisconnectLeavesCacheUnpoisoned(t *testing.T) {
+	resetFaults(t)
+	e, _, srv := newRobustnessServer(t, ServerOptions{})
+
+	faults.Enable(faults.PoolBuildShard, faults.Fault{Mode: "latency", Delay: 10 * time.Second})
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	body := `{"graph":"g","seeds":[0,20,40],"k":2,"seed":3,"max_samples":3000}`
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, srv.URL+"/v1/boost", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+		t.Fatal("request expected to be abandoned by its context deadline")
+	}
+
+	// The handler unwinds asynchronously after the disconnect; wait for
+	// the cancellation to be recorded before inspecting the cache.
+	deadline := time.Now().Add(5 * time.Second)
+	for e.Stats().RequestsCanceled == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("canceled request never recorded")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	assertNoPools(t, e)
+
+	faults.Reset()
+	resp, decoded := postJSON(t, srv.URL+"/v1/boost", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("retry after client disconnect: status %d, body %v", resp.StatusCode, decoded)
+	}
+	if decoded["cache_hit"] == true {
+		t.Error("retry after abandoned cold build claims a cache hit")
+	}
+}

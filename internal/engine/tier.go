@@ -37,6 +37,7 @@ package engine
 // response's ErrorTargetMet field reports exactly that sacrifice.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -131,7 +132,7 @@ func validateEstimateNodes(g *graph.Graph, seeds, boost []int32) error {
 }
 
 // estimateTiered serves a request with at least one tiering knob set.
-func (e *Engine) estimateTiered(spec *modeSpec, req EstimateRequest) (EstimateResult, error) {
+func (e *Engine) estimateTiered(ctx context.Context, spec *modeSpec, req EstimateRequest) (EstimateResult, error) {
 	g, version, err := e.snapshotFor(req.GraphID)
 	if err != nil {
 		return EstimateResult{}, err
@@ -168,7 +169,7 @@ func (e *Engine) estimateTiered(spec *modeSpec, req EstimateRequest) (EstimateRe
 			e.countTier(0, spec)
 			return out, nil
 		}
-		return e.calibrate(spec, req, rg, version)
+		return e.calibrate(ctx, spec, req, rg, version)
 	}
 
 	tier, errMet := pickTier(cal, req)
@@ -195,7 +196,7 @@ func (e *Engine) estimateTiered(spec *modeSpec, req EstimateRequest) (EstimateRe
 		e.countTier(1, spec)
 		return out, nil
 	default:
-		out, err := e.estimateTier2(spec, req)
+		out, err := e.estimateTier2(ctx, spec, req)
 		if err != nil {
 			return out, err
 		}
@@ -204,6 +205,41 @@ func (e *Engine) estimateTiered(spec *modeSpec, req EstimateRequest) (EstimateRe
 		e.ctr.estimateTier2.Add(1)
 		return out, nil
 	}
+}
+
+// estimateFloor serves a request at the cheapest tier the mode admits —
+// tier 0 when the mode has a closed-form normalizer form, tier 1
+// otherwise. It is the degrade-mode workhorse (EstimateDegraded):
+// pool-free in both cases, so it stays cheap even on a cold engine
+// under load. Tier/counters are recorded; the caller owns the Degraded
+// and ErrorTargetMet marks.
+func (e *Engine) estimateFloor(ctx context.Context, spec *modeSpec, req EstimateRequest) (EstimateResult, error) {
+	g, _, err := e.snapshotFor(req.GraphID)
+	if err != nil {
+		return EstimateResult{}, err
+	}
+	if err := validateEstimateNodes(g, req.Seeds, req.Boost); err != nil {
+		return EstimateResult{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return EstimateResult{}, e.noteRequestErr(err)
+	}
+	rg := &reqGraph{base: g, content: spec.content}
+	g2, err := rg.get()
+	if err != nil {
+		return EstimateResult{}, err
+	}
+	if norm, ok := spec.tier0Norms(g2); ok {
+		out := estimateTier0(g2, req, norm)
+		e.ctr.estimateTier0.Add(1)
+		return out, nil
+	}
+	out, err := e.estimateTier1(req, g2, spec)
+	if err != nil {
+		return EstimateResult{}, err
+	}
+	e.ctr.estimateTier1.Add(1)
+	return out, nil
 }
 
 // pickTier chooses the cheapest tier consistent with the knobs, and
@@ -308,7 +344,7 @@ func (e *Engine) estimateTier1(req EstimateRequest, g *graph.Graph, spec *modeSp
 // answer, cache the profile for the snapshot, and serve the tier-2
 // result — the only answer that honors an error target before any
 // profile exists.
-func (e *Engine) calibrate(spec *modeSpec, req EstimateRequest, rg *reqGraph, version uint64) (EstimateResult, error) {
+func (e *Engine) calibrate(ctx context.Context, spec *modeSpec, req EstimateRequest, rg *reqGraph, version uint64) (EstimateResult, error) {
 	g2, err := rg.get()
 	if err != nil {
 		return EstimateResult{}, err
@@ -338,7 +374,7 @@ func (e *Engine) calibrate(spec *modeSpec, req EstimateRequest, rg *reqGraph, ve
 	cal.latMS[1] = msSince(t)
 
 	t = time.Now()
-	out, err := e.estimateTier2(spec, req)
+	out, err := e.estimateTier2(ctx, spec, req)
 	if err != nil {
 		return out, err
 	}

@@ -13,6 +13,7 @@
 package imm
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -29,6 +30,17 @@ type Sketcher interface {
 	// SelectAndCover greedily chooses up to k items and returns them with
 	// the number of covered sketches.
 	SelectAndCover(k int) (items []int32, covered int)
+}
+
+// CtxSketcher is implemented by sketchers whose Extend can be canceled
+// mid-pool (the production pools: prr, rrset). RunContext uses it to
+// propagate cancellation into the sampling loops; plain Sketchers are
+// still supported and are only checked between rounds.
+type CtxSketcher interface {
+	Sketcher
+	// ExtendContext grows the pool to at least target sketches, aborting
+	// with ctx.Err() — merging nothing — if ctx is canceled first.
+	ExtendContext(ctx context.Context, target int) error
 }
 
 // Params configures a run.
@@ -89,9 +101,29 @@ func lnChoose(n, k int) float64 {
 // bound on OPT found by geometric search. After Run returns, the caller
 // performs the final selection on the same pool.
 func Run(s Sketcher, p Params) (Stats, error) {
+	return RunContext(context.Background(), s, p)
+}
+
+// RunContext is Run with cooperative cancellation: ctx is checked
+// before every doubling round and threaded into the pool's Extend when
+// the sketcher implements CtxSketcher, so a canceled caller stops
+// within a few sketches rather than after the full sampling phase. On
+// cancellation the pool may hold sketches from completed rounds but
+// never a partial Extend.
+func RunContext(ctx context.Context, s Sketcher, p Params) (Stats, error) {
 	p = p.withDefaults()
 	if err := p.validate(); err != nil {
 		return Stats{}, err
+	}
+	extend := func(target int) error {
+		if cs, ok := s.(CtxSketcher); ok {
+			return cs.ExtendContext(ctx, target)
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		s.Extend(target)
+		return nil
 	}
 	n := float64(p.N)
 	lnN := math.Log(n)
@@ -118,7 +150,9 @@ func Run(s Sketcher, p Params) (Stats, error) {
 			thetaI = p.MaxSamples
 			st.CapHit = true
 		}
-		s.Extend(thetaI)
+		if err := extend(thetaI); err != nil {
+			return Stats{}, err
+		}
 		_, covered := s.SelectAndCover(p.K)
 		st.Coverage = covered
 		est := n * float64(covered) / float64(s.Size())
@@ -137,7 +171,9 @@ func Run(s Sketcher, p Params) (Stats, error) {
 		target = p.MaxSamples
 		st.CapHit = true
 	}
-	s.Extend(target)
+	if err := extend(target); err != nil {
+		return Stats{}, err
+	}
 	st.Samples = s.Size()
 	return st, nil
 }

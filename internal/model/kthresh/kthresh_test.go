@@ -36,9 +36,9 @@ var thresholds = []int{1, 2, 3}
 // boost-only edge counts exactly when the target is boosted.
 func TestThresholdSemantics(t *testing.T) {
 	b := graph.NewBuilder(4)
-	b.MustAddEdge(0, 2, 1, 1)    // always live
-	b.MustAddEdge(1, 2, 0, 1)    // usable only when 2 is boosted
-	b.MustAddEdge(2, 3, 1, 1)    // always live, but 3 needs 2 exposures
+	b.MustAddEdge(0, 2, 1, 1) // always live
+	b.MustAddEdge(1, 2, 0, 1) // usable only when 2 is boosted
+	b.MustAddEdge(2, 3, 1, 1) // always live, but 3 needs 2 exposures
 	m := New(2)
 	pool, err := m.NewPool(b.MustBuild(), []int32{0, 1}, 1, 1)
 	if err != nil {

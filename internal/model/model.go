@@ -24,6 +24,7 @@
 package model
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/kboost/kboost/internal/graph"
@@ -72,6 +73,19 @@ type Pool interface {
 	// the chosen set.
 	GreedyBoost(k, candCap int) ([]int32, float64, error)
 	GreedyBoostAmong(k int, cands []int32) ([]int32, float64, error)
+	// ExtendContext is Extend with cooperative cancellation and
+	// shard-worker panic containment: on error (ctx canceled, injected
+	// fault, contained panic) the pool must be left exactly as it was —
+	// nothing merged, RNG state restored — so a retried identical call
+	// produces a bit-identical pool. The engine's build and repair
+	// paths use only this form.
+	ExtendContext(ctx context.Context, target int) error
+	// GreedyBoostContext / GreedyBoostAmongContext are the selection
+	// entry points with cooperative cancellation, polled once per
+	// greedy pick; the pool is read-only during selection so
+	// cancellation cannot corrupt it.
+	GreedyBoostContext(ctx context.Context, k, candCap int) ([]int32, float64, error)
+	GreedyBoostAmongContext(ctx context.Context, k int, cands []int32) ([]int32, float64, error)
 }
 
 // Repairer is optionally implemented by pools that can migrate to a

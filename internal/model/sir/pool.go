@@ -13,15 +13,24 @@ package sir
 // gain infections from a boost — never lose them.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
 	"slices"
 	"sync"
+	"sync/atomic"
 
+	"github.com/kboost/kboost/internal/faults"
 	"github.com/kboost/kboost/internal/graph"
+	"github.com/kboost/kboost/internal/panicsafe"
 	"github.com/kboost/kboost/internal/rng"
 )
+
+// cancelStride is the amortized cooperative-cancellation poll interval
+// inside shard simulation loops (see internal/prr): one ctx check per
+// 64 profiles.
+const cancelStride = 64
 
 // Pool is a growable collection of boosted-SIR percolation profiles for
 // a fixed (graph, seed set). Profiles are independent of the boost
@@ -313,16 +322,38 @@ type sirShard struct {
 // merged in profile order), and the frontier index is merged in one
 // pass.
 func (p *Pool) Extend(target int) {
+	// Ctx-less compat form; without a cancelable ctx or armed faults the
+	// context variant cannot fail.
+	_ = p.ExtendContext(context.Background(), target)
+}
+
+// ExtendContext is Extend with cooperative cancellation and shard-worker
+// panic containment. On any error — ctx canceled, injected fault, or a
+// worker panic (returned as *panicsafe.Error) — no shard is merged and
+// the pool rolls back to its exact pre-call state: the appended profile
+// seeds are truncated and the root RNG restored, so a retried call
+// draws the same seeds again and the final pool is bit-identical to one
+// built without interruption.
+func (p *Pool) ExtendContext(ctx context.Context, target int) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	need := target - len(p.profileSeed)
 	if need <= 0 {
-		return
+		return nil
 	}
 	from := len(p.profileSeed)
+	savedRoot := *p.root // for rollback: Uint64 draws below advance it
 	for i := 0; i < need; i++ {
 		p.profileSeed = append(p.profileSeed, p.root.Uint64())
 	}
 	shards := make([]sirShard, p.workers)
 	var wg sync.WaitGroup
+	var stop atomic.Bool // flipped on first failure so sibling shards bail early
+	errs := make([]error, p.workers)
 	chunk := (need + p.workers - 1) / p.workers
 	for w := 0; w < p.workers; w++ {
 		lo := w * chunk
@@ -336,17 +367,45 @@ func (p *Pool) Extend(target int) {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			s := p.getScratch()
-			defer p.putScratch(s)
-			sh := &shards[w]
-			sh.activeStart = append(sh.activeStart, 0)
-			sh.frontStart = append(sh.frontStart, 0)
-			for i := lo; i < hi; i++ {
-				p.simulateBaseInto(p.profileSeed[from+i], sh, s)
+			err := panicsafe.Do(func() {
+				if e := faults.CheckContext(ctx, faults.PoolBuildShard); e != nil {
+					errs[w] = e
+					stop.Store(true)
+					return
+				}
+				s := p.getScratch()
+				defer p.putScratch(s)
+				sh := &shards[w]
+				sh.activeStart = append(sh.activeStart, 0)
+				sh.frontStart = append(sh.frontStart, 0)
+				for i := lo; i < hi; i++ {
+					if (i-lo)%cancelStride == 0 && (stop.Load() || ctx.Err() != nil) {
+						errs[w] = ctx.Err()
+						stop.Store(true)
+						return
+					}
+					p.simulateBaseInto(p.profileSeed[from+i], sh, s)
+				}
+			})
+			if err != nil {
+				errs[w] = err
+				stop.Store(true)
 			}
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	abort := ctx.Err()
+	for _, err := range errs {
+		if err != nil {
+			abort = err
+			break
+		}
+	}
+	if abort != nil {
+		p.profileSeed = p.profileSeed[:from]
+		*p.root = savedRoot
+		return abort
+	}
 
 	// Merge the shards in profile order: bulk-append the flat state,
 	// shifting the local CSR offsets. Trailing workers get no profiles
@@ -398,6 +457,7 @@ func (p *Pool) Extend(target int) {
 	}
 	p.idxStart, p.idxItems = newStart, newItems
 	p.generation++
+	return nil
 }
 
 // simulateBaseInto runs one profile's base world (B = ∅) and appends

@@ -1,15 +1,25 @@
 package prr
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
+	"github.com/kboost/kboost/internal/faults"
 	"github.com/kboost/kboost/internal/graph"
 	"github.com/kboost/kboost/internal/imm"
 	"github.com/kboost/kboost/internal/maxcover"
+	"github.com/kboost/kboost/internal/panicsafe"
 	"github.com/kboost/kboost/internal/rng"
 )
+
+// cancelStride is how many sketches a shard worker generates between
+// cooperative ctx polls. Amortizing the check keeps the per-sketch cost
+// at one predictable branch in 64 — invisible next to a BFS per sketch —
+// while still bounding cancellation latency to a few sketches' work.
+const cancelStride = 64
 
 // Pool is a growable collection of random PRR-graphs for a fixed
 // (graph, seed set, k). It implements imm.Sketcher over the critical
@@ -189,13 +199,33 @@ func splitCounts(need, workers int) (counts, offs []int) {
 // boostable graph's initial candidate set, computed while the graph is
 // cache-hot — and the shards are merged in deterministic worker order.
 func (p *Pool) Extend(target int) {
+	// Ctx-less compat form; without a cancelable ctx or armed faults the
+	// context variant cannot fail.
+	_ = p.ExtendContext(context.Background(), target)
+}
+
+// ExtendContext is Extend with cooperative cancellation and shard-worker
+// panic containment. On any error — ctx canceled, injected fault, or a
+// worker panic (returned as *panicsafe.Error) — NO shard is merged and
+// the pool is left exactly as it was, so a retried call regenerates the
+// same sketches from the same stateless per-index streams and the final
+// pool is bit-identical to one built without interruption.
+func (p *Pool) ExtendContext(ctx context.Context, target int) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	need := target - p.total
 	if need <= 0 {
-		return
+		return nil
 	}
 	start := p.total
 	counts, offs := splitCounts(need, p.workers)
 	var wg sync.WaitGroup
+	var stop atomic.Bool // flipped on first failure so sibling shards bail early
+	errs := make([]error, p.workers)
 	for w := 0; w < p.workers; w++ {
 		if counts[w] == 0 {
 			continue
@@ -203,18 +233,45 @@ func (p *Pool) Extend(target int) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			r := p.streams[w]
-			gen := p.gens[w]
-			sh := p.shards[w]
-			sh.reset()
-			for i := 0; i < counts[w]; i++ {
-				r.ReseedStream(p.seed, uint64(start+offs[w]+i))
-				res := gen.GenerateInto(&sh.arena, r)
-				sh.record(res, gen.lastExpanded)
+			err := panicsafe.Do(func() {
+				if e := faults.CheckContext(ctx, faults.PoolBuildShard); e != nil {
+					errs[w] = e
+					stop.Store(true)
+					return
+				}
+				r := p.streams[w]
+				gen := p.gens[w]
+				sh := p.shards[w]
+				sh.reset()
+				for i := 0; i < counts[w]; i++ {
+					if i%cancelStride == 0 && (stop.Load() || ctx.Err() != nil) {
+						errs[w] = ctx.Err()
+						stop.Store(true)
+						return
+					}
+					r.ReseedStream(p.seed, uint64(start+offs[w]+i))
+					res := gen.GenerateInto(&sh.arena, r)
+					sh.record(res, gen.lastExpanded)
+				}
+			})
+			if err != nil {
+				errs[w] = err
+				stop.Store(true)
 			}
 		}(w)
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		// Canceled after the last stride poll: the shards are complete
+		// but unmerged; discard them rather than merge work the caller
+		// no longer wants.
+		return err
+	}
 
 	// Deterministic merge in worker order (= global sketch-index order).
 	from := p.arena.numGraphs()
@@ -243,6 +300,7 @@ func (p *Pool) Extend(target int) {
 		p.sel.extend(&p.arena, from)
 	}
 	p.generation++
+	return nil
 }
 
 // SelectAndCover greedily maximizes μ̂ coverage (critical-node max

@@ -1,6 +1,7 @@
 package prr
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -152,7 +153,14 @@ type reEval struct {
 // run concurrently with other read-only pool methods (not with Extend)
 // and returns exactly what selectDeltaNaive would.
 func (p *Pool) SelectDelta(k int) ([]int32, int, error) {
-	return p.selectDelta(k, nil)
+	return p.selectDelta(context.Background(), k, nil)
+}
+
+// SelectDeltaContext is SelectDelta with cooperative cancellation: the
+// CELF pick loop polls ctx once per chosen node, so a canceled request
+// stops within one re-evaluation round.
+func (p *Pool) SelectDeltaContext(ctx context.Context, k int) ([]int32, int, error) {
+	return p.selectDelta(ctx, k, nil)
 }
 
 // SelectDeltaAmong is SelectDelta restricted to the given candidate
@@ -162,8 +170,14 @@ func (p *Pool) SelectDelta(k int) ([]int32, int, error) {
 // (the engine's tier-0 pre-filter) trade the exact greedy for a
 // cheaper one over a shortlist; cands == nil behaves like SelectDelta.
 func (p *Pool) SelectDeltaAmong(k int, cands []int32) ([]int32, int, error) {
+	return p.SelectDeltaAmongContext(context.Background(), k, cands)
+}
+
+// SelectDeltaAmongContext is SelectDeltaAmong with cooperative
+// cancellation (see SelectDeltaContext).
+func (p *Pool) SelectDeltaAmongContext(ctx context.Context, k int, cands []int32) ([]int32, int, error) {
 	if cands == nil {
-		return p.selectDelta(k, nil)
+		return p.selectDelta(ctx, k, nil)
 	}
 	candMask := make([]bool, p.g.N())
 	for _, v := range cands {
@@ -171,15 +185,18 @@ func (p *Pool) SelectDeltaAmong(k int, cands []int32) ([]int32, int, error) {
 			candMask[v] = true
 		}
 	}
-	return p.selectDelta(k, candMask)
+	return p.selectDelta(ctx, k, candMask)
 }
 
 // selectDelta is the shared implementation; a non-nil candMask
 // restricts which nodes may enter the heap (initially and on gain
 // rises), leaving the rest of the incremental machinery untouched.
-func (p *Pool) selectDelta(k int, candMask []bool) ([]int32, int, error) {
+func (p *Pool) selectDelta(ctx context.Context, k int, candMask []bool) ([]int32, int, error) {
 	if p.mode != ModeFull {
 		return nil, 0, fmt.Errorf("prr: SelectDelta requires ModeFull")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
 	}
 	x := p.sel
 	n := p.g.N()
@@ -234,6 +251,12 @@ func (p *Pool) selectDelta(k int, candMask []bool) ([]int32, int, error) {
 		}
 		if top.Gain == 0 {
 			break
+		}
+		// One poll per pick: re-evaluation below is the expensive part
+		// of a round, so this bounds cancellation latency to one round
+		// while costing nothing measurable on the warm path.
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
 		}
 		best := top.Item
 		chosen = append(chosen, best)

@@ -13,15 +13,23 @@
 package rrset
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
+	"github.com/kboost/kboost/internal/faults"
 	"github.com/kboost/kboost/internal/graph"
 	"github.com/kboost/kboost/internal/imm"
 	"github.com/kboost/kboost/internal/maxcover"
+	"github.com/kboost/kboost/internal/panicsafe"
 	"github.com/kboost/kboost/internal/rng"
 )
+
+// cancelStride is the amortized cooperative-cancellation poll interval
+// inside the RR-set generation loop: one ctx check per 64 sets.
+const cancelStride = 64
 
 // Pool is a growable collection of RR-sets implementing imm.Sketcher.
 type Pool struct {
@@ -83,9 +91,27 @@ func (p *Pool) Size() int { return p.cov.NumSets() }
 
 // Extend grows the pool to at least target RR-sets.
 func (p *Pool) Extend(target int) {
+	// Ctx-less compat form; without a cancelable ctx or armed faults the
+	// context variant cannot fail.
+	_ = p.ExtendContext(context.Background(), target)
+}
+
+// ExtendContext is Extend with cooperative cancellation and shard-worker
+// panic containment: on any error no batch is merged and the error is
+// returned. Unlike the cached pool families, an aborted rrset Extend
+// does not roll back its worker streams — rrset pools are per-request
+// and are discarded wholesale on failure, so a retry reconstructs the
+// pool from its seed and remains bit-identical.
+func (p *Pool) ExtendContext(ctx context.Context, target int) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	need := target - p.Size()
 	if need <= 0 {
-		return
+		return nil
 	}
 	results := make([][][]int32, p.workers)
 	counts := make([]int, p.workers)
@@ -97,6 +123,8 @@ func (p *Pool) Extend(target int) {
 		}
 	}
 	var wg sync.WaitGroup
+	var stop atomic.Bool // flipped on first failure so sibling workers bail early
+	errs := make([]error, p.workers)
 	for w := 0; w < p.workers; w++ {
 		if counts[w] == 0 {
 			continue
@@ -104,22 +132,49 @@ func (p *Pool) Extend(target int) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			r := p.streams[w]
-			wk := p.scratch[w]
-			batch := make([][]int32, 0, counts[w])
-			for i := 0; i < counts[w]; i++ {
-				root := int32(r.Intn(p.g.N()))
-				batch = append(batch, generate(p.g, root, wk, r))
+			err := panicsafe.Do(func() {
+				if e := faults.CheckContext(ctx, faults.PoolBuildShard); e != nil {
+					errs[w] = e
+					stop.Store(true)
+					return
+				}
+				r := p.streams[w]
+				wk := p.scratch[w]
+				batch := make([][]int32, 0, counts[w])
+				for i := 0; i < counts[w]; i++ {
+					if i%cancelStride == 0 && (stop.Load() || ctx.Err() != nil) {
+						errs[w] = ctx.Err()
+						stop.Store(true)
+						return
+					}
+					root := int32(r.Intn(p.g.N()))
+					batch = append(batch, generate(p.g, root, wk, r))
+				}
+				results[w] = batch
+			})
+			if err != nil {
+				errs[w] = err
+				stop.Store(true)
 			}
-			results[w] = batch
 		}(w)
 	}
 	wg.Wait()
+	abort := ctx.Err()
+	for _, err := range errs {
+		if err != nil {
+			abort = err
+			break
+		}
+	}
+	if abort != nil {
+		return abort
+	}
 	for _, batch := range results {
 		for _, set := range batch {
 			p.cov.AddSet(set)
 		}
 	}
+	return nil
 }
 
 // SelectAndCover greedily picks up to k nodes maximizing RR-set coverage.
@@ -200,6 +255,13 @@ type Result struct {
 // SelectSeeds runs IMM influence maximization and returns k seeds with a
 // (1-1/e-ε) approximation guarantee (with probability 1-1/n^ℓ).
 func SelectSeeds(g *graph.Graph, k int, opt Options) (Result, error) {
+	return SelectSeedsContext(context.Background(), g, k, opt)
+}
+
+// SelectSeedsContext is SelectSeeds with cooperative cancellation
+// threaded through the IMM sampling loop. The adaptive path retrains
+// whole pools and is only checked between phases.
+func SelectSeedsContext(ctx context.Context, g *graph.Graph, k int, opt Options) (Result, error) {
 	opt = opt.withDefaults()
 	if k < 1 || k > g.N() {
 		return Result{}, fmt.Errorf("rrset: k=%d out of range [1,%d]", k, g.N())
@@ -211,7 +273,13 @@ func SelectSeeds(g *graph.Graph, k int, opt Options) (Result, error) {
 	}
 	var pool *Pool
 	if opt.Adaptive {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		trained, _, err := imm.RunAdaptive(func(s uint64) (imm.ValidatableSketcher, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			return NewPool(g, opt.Seed*0x9e3779b97f4a7c15+s, opt.Workers), nil
 		}, params)
 		if err != nil {
@@ -220,7 +288,7 @@ func SelectSeeds(g *graph.Graph, k int, opt Options) (Result, error) {
 		pool = trained.(*Pool)
 	} else {
 		pool = NewPool(g, opt.Seed, opt.Workers)
-		if _, err := imm.Run(pool, params); err != nil {
+		if _, err := imm.RunContext(ctx, pool, params); err != nil {
 			return Result{}, err
 		}
 	}
@@ -238,6 +306,12 @@ func SelectSeeds(g *graph.Graph, k int, opt Options) (Result, error) {
 // MoreSeeds baseline: the IMM machinery re-targeted at marginal
 // coverage.
 func SelectMarginalSeeds(g *graph.Graph, have []int32, k int, opt Options) (Result, error) {
+	return SelectMarginalSeedsContext(context.Background(), g, have, k, opt)
+}
+
+// SelectMarginalSeedsContext is SelectMarginalSeeds with cooperative
+// cancellation threaded through the IMM sampling loop.
+func SelectMarginalSeedsContext(ctx context.Context, g *graph.Graph, have []int32, k int, opt Options) (Result, error) {
 	opt = opt.withDefaults()
 	if k < 1 || k > g.N() {
 		return Result{}, fmt.Errorf("rrset: k=%d out of range [1,%d]", k, g.N())
@@ -245,7 +319,7 @@ func SelectMarginalSeeds(g *graph.Graph, have []int32, k int, opt Options) (Resu
 	pool := NewPool(g, opt.Seed, opt.Workers)
 	pool.Ban(have)
 	pool.PreCover(have)
-	_, err := imm.Run(pool, imm.Params{
+	_, err := imm.RunContext(ctx, pool, imm.Params{
 		N: g.N(), K: k,
 		Epsilon: opt.Epsilon, Ell: opt.Ell,
 		MaxSamples: opt.MaxSamples,

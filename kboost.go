@@ -376,6 +376,12 @@ func NewEngineServer(e *Engine, opt EngineServerOptions) *EngineServer {
 	return engine.NewServer(e, opt)
 }
 
+// DefaultMaxInFlightCold and DefaultMaxInFlightWarm are the admission
+// bounds kboostd applies unless overridden by flag; the library default
+// (zero EngineServerOptions fields) leaves both lanes unbounded.
+func DefaultMaxInFlightCold() int { return engine.DefaultMaxInFlightCold() }
+func DefaultMaxInFlightWarm() int { return engine.DefaultMaxInFlightWarm() }
+
 // --- classic influence maximization ---
 
 // SeedOptions configures SelectSeeds.
